@@ -1,0 +1,101 @@
+// Shared fixtures for the experiment benches (see DESIGN.md §4).
+//
+// Benches compare the hybrid catalog against the inlining / edge / CLOB
+// baselines on identical generated corpora. Heavy setup (corpus generation,
+// backend ingest) is cached across benchmark iterations keyed by the
+// benchmark arguments.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/backend.hpp"
+#include "core/catalog.hpp"
+#include "workload/generator.hpp"
+#include "workload/lead_schema.hpp"
+#include "workload/query_gen.hpp"
+
+namespace hxrc::benchx {
+
+/// The partitioned LEAD schema (static: Partition keeps a schema pointer).
+inline const core::Partition& lead_partition() {
+  static const xml::Schema schema = workload::lead_schema();
+  static const core::Partition partition =
+      core::Partition::build(schema, workload::lead_annotations());
+  return partition;
+}
+
+/// Cached deterministic corpora keyed by (size, config signature).
+inline const std::vector<xml::Document>& corpus(std::size_t size,
+                                                const workload::GeneratorConfig& config = {}) {
+  struct KeyedCorpus {
+    workload::GeneratorConfig config;
+    std::size_t size;
+    std::vector<xml::Document> docs;
+  };
+  static std::vector<KeyedCorpus> cache;
+  for (const auto& entry : cache) {
+    if (entry.size == size && entry.config.seed == config.seed &&
+        entry.config.params_max == config.params_max &&
+        entry.config.themes_max == config.themes_max &&
+        entry.config.value_cardinality == config.value_cardinality &&
+        entry.config.sub_attr_probability == config.sub_attr_probability &&
+        entry.config.max_nesting == config.max_nesting) {
+      return entry.docs;
+    }
+  }
+  workload::DocumentGenerator generator(config);
+  cache.push_back(KeyedCorpus{config, size, generator.corpus(size)});
+  return cache.back().docs;
+}
+
+/// A backend pre-loaded with `size` documents, cached per (kind, size).
+inline baselines::MetadataBackend& loaded_backend(baselines::BackendKind kind,
+                                                  std::size_t size) {
+  static std::map<std::pair<int, std::size_t>,
+                  std::unique_ptr<baselines::MetadataBackend>>
+      cache;
+  const auto key = std::make_pair(static_cast<int>(kind), size);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto backend = baselines::make_backend(kind, lead_partition());
+    for (const auto& doc : corpus(size)) backend->ingest(doc, "bench");
+    it = cache.emplace(key, std::move(backend)).first;
+  }
+  return *it->second;
+}
+
+/// Registers every (group, model, parameter) combination the generator can
+/// emit, so catalogs can ingest without auto-definition (parallel ingest).
+inline void register_all_dynamic(core::MetadataCatalog& catalog) {
+  static constexpr const char* kSubGroups[] = {"grid-stretching", "damping", "advection",
+                                               "boundary", "filtering"};
+  for (const char* model : workload::model_names()) {
+    for (const char* group : workload::grid_group_names()) {
+      std::vector<core::DynamicElementSpec> elements;
+      for (const char* param : workload::parameter_names()) {
+        elements.push_back(
+            core::DynamicElementSpec{param, xml::LeafType::kDouble, model});
+      }
+      const core::AttrDefId top =
+          catalog.define_dynamic_attribute(group, model, elements);
+      for (const char* sub_group : kSubGroups) {
+        const core::AttrDefId sub =
+            catalog.define_dynamic_sub_attribute(top, sub_group, model, elements);
+        // Nested sub-groups (depth 2).
+        for (const char* sub_sub : kSubGroups) {
+          catalog.define_dynamic_sub_attribute(sub, sub_sub, model, elements);
+        }
+      }
+    }
+  }
+}
+
+inline core::CatalogConfig auto_define_config() {
+  core::CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  return config;
+}
+
+}  // namespace hxrc::benchx

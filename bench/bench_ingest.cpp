@@ -1,0 +1,73 @@
+// E1 — ingest and mixed-workload throughput across the four backends.
+//
+// Paper anchor (§1): the group's prior benchmarking found a relational
+// store "far inferior ... in terms of throughput" backwards — i.e. the
+// native-XML/document store (modelled by the `clob` backend) loses badly on
+// a catalog workload. Expectation: hybrid/inlining/edge ingest within a
+// small factor of each other (clob ingest is cheapest — it only copies),
+// but on the mixed ingest+query workload the clob backend collapses because
+// every query re-parses the corpus.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hxrc;
+using baselines::BackendKind;
+
+constexpr BackendKind kKinds[] = {BackendKind::kHybrid, BackendKind::kInlining,
+                                  BackendKind::kEdge, BackendKind::kClob};
+
+void ingest_bench(benchmark::State& state, BackendKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& docs = benchx::corpus(n);
+  std::size_t total_docs = 0;
+  for (auto _ : state) {
+    auto backend = baselines::make_backend(kind, benchx::lead_partition());
+    for (const auto& doc : docs) backend->ingest(doc, "bench");
+    total_docs += docs.size();
+    benchmark::DoNotOptimize(backend->object_count());
+  }
+  state.counters["docs/s"] =
+      benchmark::Counter(static_cast<double>(total_docs), benchmark::Counter::kIsRate);
+}
+
+void mixed_bench(benchmark::State& state, BackendKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& docs = benchx::corpus(n);
+  workload::QueryGenerator queries;
+  std::size_t ops = 0;
+  for (auto _ : state) {
+    auto backend = baselines::make_backend(kind, benchx::lead_partition());
+    for (const auto& doc : docs) backend->ingest(doc, "bench");
+    std::size_t hits = 0;
+    for (std::uint64_t q = 0; q < 20; ++q) {
+      hits += backend->query(queries.generate(q)).size();
+    }
+    benchmark::DoNotOptimize(hits);
+    ops += docs.size() + 20;
+  }
+  state.counters["ops/s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const BackendKind kind : kKinds) {
+    const std::string name = std::string(baselines::to_string(kind));
+    for (const long n : {100L, 400L}) {
+      benchmark::RegisterBenchmark(("E1/Ingest/" + name).c_str(), ingest_bench, kind)
+          ->Arg(n)
+          ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark(("E1/Mixed/" + name).c_str(), mixed_bench, kind)
+        ->Arg(200)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// E6 — schema-level global ordering vs per-document ordering ([19], §2/§6).
+//
+// The hybrid approach computes the global ordering ONCE per schema, which
+// is legal because multi-instance and recursive elements are confined to
+// metadata attributes. Systems that order at the document level (global /
+// local / Dewey orderings of [19]) pay per document at ingest and pay
+// renumbering on mid-document inserts.
+//
+// Benchmarks:
+//   Ingest/schema_level     hybrid ingest (per-document ordering cost: none)
+//   Ingest/document_level   hybrid ingest + per-document order assignment
+//   Insert/schema_level     add_attribute on an existing object (append rows)
+//   Insert/document_level   the same insert + tail renumbering of the
+//                           document-level global order
+// Expectation: ingest overhead is modest but nonzero; the insert gap is
+// large and grows with document size (renumbering is O(tail)).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "xml/parser.hpp"
+
+namespace {
+
+using namespace hxrc;
+
+/// Document-level global ordering ([19]'s global scheme): assigns pre-order
+/// ranks to every element of every document and supports mid-document
+/// inserts by renumbering the tail.
+class DocumentLevelOrderer {
+ public:
+  /// Assigns orders for a new document; returns its handle.
+  std::size_t index_document(const xml::Node& root) {
+    std::vector<std::int64_t> orders;
+    std::int64_t next = 0;
+    assign(root, orders, next);
+    documents_.push_back(std::move(orders));
+    return documents_.size() - 1;
+  }
+
+  /// Inserts `subtree_size` nodes at `position`: every later node is
+  /// renumbered — the update cost [19] mitigates with gaps but cannot
+  /// eliminate.
+  void insert(std::size_t doc, std::size_t position, std::int64_t subtree_size) {
+    std::vector<std::int64_t>& orders = documents_[doc];
+    for (std::size_t i = position; i < orders.size(); ++i) {
+      orders[i] += subtree_size;
+    }
+    for (std::int64_t k = 0; k < subtree_size; ++k) {
+      orders.insert(orders.begin() + static_cast<std::ptrdiff_t>(position),
+                    static_cast<std::int64_t>(position) + subtree_size - 1 - k);
+    }
+  }
+
+  std::size_t node_count(std::size_t doc) const { return documents_[doc].size(); }
+
+ private:
+  static void assign(const xml::Node& node, std::vector<std::int64_t>& orders,
+                     std::int64_t& next) {
+    orders.push_back(next++);
+    for (const auto& child : node.children()) {
+      if (child->is_element()) assign(*child, orders, next);
+    }
+  }
+
+  std::vector<std::vector<std::int64_t>> documents_;
+};
+
+void ingest_bench(benchmark::State& state, bool document_level) {
+  const auto& docs = benchx::corpus(300);
+  static xml::Schema schema = workload::lead_schema();
+  std::size_t total = 0;
+  for (auto _ : state) {
+    core::MetadataCatalog catalog(schema, workload::lead_annotations(),
+                                  benchx::auto_define_config());
+    DocumentLevelOrderer orderer;
+    for (const auto& doc : docs) {
+      catalog.ingest(doc, "d", "bench");
+      if (document_level) orderer.index_document(*doc.root);
+    }
+    total += docs.size();
+  }
+  state.counters["docs/s"] =
+      benchmark::Counter(static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+
+void insert_bench(benchmark::State& state, bool document_level) {
+  // One object with many themes; each iteration inserts one more theme.
+  static xml::Schema schema = workload::lead_schema();
+  core::MetadataCatalog catalog(schema, workload::lead_annotations(),
+                                benchx::auto_define_config());
+  const core::ObjectId object =
+      catalog.ingest_xml(workload::fig3_document(), "victim", "bench");
+
+  DocumentLevelOrderer orderer;
+  const xml::Document base = xml::parse(workload::fig3_document());
+  const std::size_t doc_handle = orderer.index_document(*base.root);
+
+  const xml::NodePtr theme = xml::parse_fragment(
+      "<theme><themekt>CF NetCDF</themekt><themekey>air_temperature</themekey></theme>");
+  const auto subtree = static_cast<std::int64_t>(theme->subtree_element_count());
+
+  std::size_t inserts = 0;
+  for (auto _ : state) {
+    catalog.add_attribute(object, "data/idinfo/keywords/theme", *theme, "bench");
+    if (document_level) {
+      // Insert in the middle: everything after the keywords section shifts.
+      orderer.insert(doc_handle, orderer.node_count(doc_handle) / 2, subtree);
+    }
+    ++inserts;
+  }
+  state.counters["inserts/s"] =
+      benchmark::Counter(static_cast<double>(inserts), benchmark::Counter::kIsRate);
+  state.counters["doc_nodes"] = static_cast<double>(orderer.node_count(doc_handle));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("E6/Ingest/schema_level", ingest_bench, false)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("E6/Ingest/document_level", ingest_bench, true)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("E6/Insert/schema_level", insert_bench, false)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("E6/Insert/document_level", insert_bench, true)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

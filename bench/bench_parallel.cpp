@@ -1,0 +1,84 @@
+// E9 — concurrent catalog operation (hpc-parallel substrate).
+//
+// ParallelIngest: documents are shredded into per-thread staging databases
+// and merged once (no locks on the hot path); expectation: near-linear
+// speedup until the single-threaded merge dominates.
+// ConcurrentQuery: read-only query throughput with T worker threads over a
+// shared catalog; expectation: near-linear (tables are immutable during
+// reads).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace hxrc;
+
+void parallel_ingest_bench(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  workload::GeneratorConfig config;
+  const auto& docs = benchx::corpus(400, config);
+  static xml::Schema schema = workload::lead_schema();
+
+  std::size_t total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::MetadataCatalog catalog(schema, workload::lead_annotations());
+    benchx::register_all_dynamic(catalog);
+    util::ThreadPool pool(threads);
+    state.ResumeTiming();
+
+    catalog.ingest_parallel(pool, docs, "bench");
+    total += docs.size();
+  }
+  state.counters["docs/s"] =
+      benchmark::Counter(static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+
+void concurrent_query_bench(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  baselines::MetadataBackend& backend =
+      benchx::loaded_backend(baselines::BackendKind::kHybrid, 1000);
+
+  // Pre-generate a query batch.
+  workload::QueryGenerator generator;
+  std::vector<core::ObjectQuery> queries;
+  for (std::uint64_t q = 0; q < 64; ++q) queries.push_back(generator.generate(q));
+
+  util::ThreadPool pool(threads);
+  std::size_t total = 0;
+  for (auto _ : state) {
+    std::atomic<std::size_t> hits{0};
+    util::parallel_for(pool, 0, queries.size(), [&](std::size_t i) {
+      hits.fetch_add(backend.query(queries[i]).size(), std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(hits.load());
+    total += queries.size();
+  }
+  state.counters["queries/s"] =
+      benchmark::Counter(static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const long threads : {1L, 2L, 4L, 8L}) {
+    benchmark::RegisterBenchmark("E9/ParallelIngest/threads", parallel_ingest_bench)
+        ->Arg(threads)
+        ->Unit(benchmark::kMillisecond)
+        ->MeasureProcessCPUTime()
+        ->UseRealTime();
+    benchmark::RegisterBenchmark("E9/ConcurrentQuery/threads", concurrent_query_bench)
+        ->Arg(threads)
+        ->Unit(benchmark::kMillisecond)
+        ->MeasureProcessCPUTime()
+        ->UseRealTime();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// E3 — query latency across backends (§4 / Fig. 4, §6).
+//
+// Three query shapes on corpora of 200 and 1000 documents:
+//   simple   one dynamic parameter predicate;
+//   theme    one structural multi-instance keyword predicate;
+//   nested   the paper's grid + grid-stretching sub-attribute query.
+// Expectation: hybrid and inlining are close on `simple`; on `nested` the
+// hybrid's inverted list beats the edge table's per-level self-joins and
+// the recursive-fragment joins of inlining; clob is orders of magnitude
+// slower everywhere (it re-parses the corpus per query).
+#include <benchmark/benchmark.h>
+
+#include "baselines/edge_backend.hpp"
+#include "bench_common.hpp"
+#include "core/path_query.hpp"
+
+namespace {
+
+using namespace hxrc;
+using baselines::BackendKind;
+
+constexpr BackendKind kKinds[] = {BackendKind::kHybrid, BackendKind::kInlining,
+                                  BackendKind::kEdge, BackendKind::kClob};
+
+core::ObjectQuery simple_query() {
+  return workload::dynamic_param_query("grid", "ARPS", "dx",
+                                       workload::parameter_value("dx", 1));
+}
+
+core::ObjectQuery theme_query() {
+  return workload::theme_keyword_query("air_temperature");
+}
+
+core::ObjectQuery nested_query() { return workload::paper_example_query(); }
+
+void query_bench(benchmark::State& state, BackendKind kind,
+                 core::ObjectQuery (*make_query)()) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  baselines::MetadataBackend& backend = benchx::loaded_backend(kind, n);
+  const core::ObjectQuery query = make_query();
+  std::size_t hits = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    hits = backend.query(query).size();
+    benchmark::DoNotOptimize(hits);
+    ++runs;
+  }
+  state.counters["queries/s"] =
+      benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kIsRate);
+  state.counters["hits"] = static_cast<double>(hits);
+  // Self-join work: the edge baseline counts its parent/child probes —
+  // the cost the paper's inverted lists avoid (§4/§6).
+  if (const auto* edge = dynamic_cast<const baselines::EdgeBackend*>(&backend)) {
+    state.counters["probes"] = static_cast<double>(edge->last_query_probes());
+  }
+}
+
+/// Rewriting overhead of the §4 path-to-query translation (the cost a
+/// client pays to keep writing XPath).
+void translate_bench(benchmark::State& state) {
+  const core::Partition& partition = benchx::lead_partition();
+  constexpr std::string_view kPath =
+      "//detailed[enttyp/enttypl='grid' and enttyp/enttypds='ARPS']"
+      "[attr[attrlabl='dx' and attrdefs='ARPS' and attrv=1000]]"
+      "[attr[attrlabl='grid-stretching' and attrdefs='ARPS']"
+      "[attr[attrlabl='dzmin' and attrv=100]]]";
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    const core::ObjectQuery query = core::path_to_query(partition, kPath);
+    benchmark::DoNotOptimize(query.attributes().size());
+    ++runs;
+  }
+  state.counters["translations/s"] =
+      benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct Shape {
+    const char* name;
+    core::ObjectQuery (*make)();
+  };
+  const Shape shapes[] = {{"simple", simple_query},
+                          {"theme", theme_query},
+                          {"nested", nested_query}};
+  for (const auto& shape : shapes) {
+    for (const BackendKind kind : kKinds) {
+      const std::string name =
+          "E3/Query/" + std::string(shape.name) + "/" +
+          std::string(baselines::to_string(kind));
+      for (const long n : {200L, 1000L}) {
+        benchmark::RegisterBenchmark(name.c_str(), query_bench, kind, shape.make)
+            ->Arg(n)
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+  benchmark::RegisterBenchmark("E3/PathTranslate", translate_bench)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E4 — ablation of the §4 query simplification ("if the attributes ... do
+// not have multiple instances ... or there are no sub-attributes ... the
+// query can be significantly simplified").
+//
+// Runs the same single-instance structural queries with the fast path
+// enabled and disabled. Expectation: the fast path wins by skipping
+// per-instance grouping, with the gap growing with corpus size.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hxrc;
+
+core::MetadataCatalog& catalog_for(std::size_t n, bool fastpath) {
+  static std::map<std::pair<std::size_t, bool>, std::unique_ptr<core::MetadataCatalog>>
+      cache;
+  static xml::Schema schema = workload::lead_schema();
+  const auto key = std::make_pair(n, fastpath);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    core::CatalogConfig config = benchx::auto_define_config();
+    config.engine.enable_fastpath = fastpath;
+    auto catalog = std::make_unique<core::MetadataCatalog>(
+        schema, workload::lead_annotations(), config);
+    for (const auto& doc : benchx::corpus(n)) catalog->ingest(doc, "d", "bench");
+    it = cache.emplace(key, std::move(catalog)).first;
+  }
+  return *it->second;
+}
+
+core::ObjectQuery status_query() {
+  core::ObjectQuery query;
+  core::AttrQuery status("status");
+  status.add_element("progress", rel::Value("Complete"), core::CompareOp::kEq);
+  query.add_attribute(std::move(status));
+  core::AttrQuery citation("citation");
+  citation.add_element("origin", rel::Value("LEAD"), core::CompareOp::kEq);
+  query.add_attribute(std::move(citation));
+  return query;
+}
+
+void fastpath_bench(benchmark::State& state, bool fastpath) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::MetadataCatalog& catalog = catalog_for(n, fastpath);
+  const core::ObjectQuery query = status_query();
+  std::size_t hits = 0;
+  std::size_t runs = 0;
+  core::QueryPlanInfo info;
+  for (auto _ : state) {
+    hits = catalog.query(query, &info).size();
+    benchmark::DoNotOptimize(hits);
+    ++runs;
+  }
+  state.counters["queries/s"] =
+      benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kIsRate);
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["fast"] = info.fast_path ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const bool fastpath : {true, false}) {
+    const std::string name =
+        std::string("E4/StructuralQuery/") + (fastpath ? "fastpath" : "general");
+    for (const long n : {200L, 1000L, 4000L}) {
+      benchmark::RegisterBenchmark(name.c_str(), fastpath_bench, fastpath)
+          ->Arg(n)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E5 — response construction (§5).
+//
+// Rebuilds result sets of 1..100 documents from a 500-document corpus.
+// Expectation: clob wins trivially (stored verbatim); the hybrid's
+// set-based CLOB-plus-ordering assembly lands close behind; edge must
+// reassemble the whole node tree; inlining re-joins its fragment tables and
+// runs the external tagger — the §5 claim is that hybrid avoids exactly
+// those two costs while still supporting shredded queries (E3).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hxrc;
+using baselines::BackendKind;
+
+constexpr BackendKind kKinds[] = {BackendKind::kHybrid, BackendKind::kInlining,
+                                  BackendKind::kEdge, BackendKind::kClob};
+constexpr std::size_t kCorpus = 500;
+
+void reconstruct_bench(benchmark::State& state, BackendKind kind) {
+  const auto result_size = static_cast<std::size_t>(state.range(0));
+  baselines::MetadataBackend& backend = benchx::loaded_backend(kind, kCorpus);
+  std::size_t bytes = 0;
+  std::size_t documents = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < result_size; ++i) {
+      // Spread the result set across the corpus.
+      const auto id = static_cast<core::ObjectId>((i * 37) % kCorpus);
+      bytes += backend.reconstruct(id).size();
+    }
+    documents += result_size;
+  }
+  state.counters["docs/s"] =
+      benchmark::Counter(static_cast<double>(documents), benchmark::Counter::kIsRate);
+  benchmark::DoNotOptimize(bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const BackendKind kind : kKinds) {
+    const std::string name =
+        "E5/Reconstruct/" + std::string(baselines::to_string(kind));
+    for (const long k : {1L, 10L, 100L}) {
+      benchmark::RegisterBenchmark(name.c_str(), reconstruct_bench, kind)
+          ->Arg(k)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E8 — query latency vs. selectivity for the count-based pipeline (§4).
+//
+// The corpus value cardinality controls how many documents match an
+// equality predicate (cardinality c => roughly corpus/c candidate hits per
+// parameter value). Expectation: hybrid latency tracks the number of
+// matching element rows (index probe + grouping), while the clob baseline
+// is flat — and high — because it always parses everything; the edge
+// baseline sits between, paying path verification per candidate.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hxrc;
+using baselines::BackendKind;
+
+constexpr std::size_t kCorpus = 1000;
+
+baselines::MetadataBackend& backend_for(BackendKind kind, int cardinality) {
+  static std::map<std::pair<int, int>, std::unique_ptr<baselines::MetadataBackend>>
+      cache;
+  const auto key = std::make_pair(static_cast<int>(kind), cardinality);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    workload::GeneratorConfig config;
+    config.value_cardinality = cardinality;
+    auto backend = baselines::make_backend(kind, benchx::lead_partition());
+    for (const auto& doc : benchx::corpus(kCorpus, config)) {
+      backend->ingest(doc, "bench");
+    }
+    it = cache.emplace(key, std::move(backend)).first;
+  }
+  return *it->second;
+}
+
+void selectivity_bench(benchmark::State& state, BackendKind kind) {
+  const int cardinality = static_cast<int>(state.range(0));
+  baselines::MetadataBackend& backend = backend_for(kind, cardinality);
+  const core::ObjectQuery query = workload::dynamic_param_query(
+      "grid", "ARPS", "dx", workload::parameter_value("dx", 0));
+  std::size_t hits = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    hits = backend.query(query).size();
+    benchmark::DoNotOptimize(hits);
+    ++runs;
+  }
+  state.counters["queries/s"] =
+      benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kIsRate);
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["selectivity%"] = 100.0 * static_cast<double>(hits) / kCorpus;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const BackendKind kind :
+       {BackendKind::kHybrid, BackendKind::kEdge, BackendKind::kClob}) {
+    const std::string name =
+        "E8/Selectivity/" + std::string(baselines::to_string(kind));
+    for (const long cardinality : {2L, 8L, 32L}) {
+      benchmark::RegisterBenchmark(name.c_str(), selectivity_bench, kind)
+          ->Arg(cardinality)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

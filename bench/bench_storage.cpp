@@ -1,0 +1,74 @@
+// E10 — storage footprint and CLOB-granularity ablation (§6).
+//
+// Prints two tables (this bench measures space, not time):
+//
+//   1. bytes/document across the four backends (total, CLOB payload,
+//      relational rows);
+//   2. CLOB granularity ablation: per-attribute CLOBs (the hybrid choice)
+//      vs one CLOB per document (DB2 XML Column / Oracle default [21][22])
+//      vs a CLOB for EVERY interior element (Balmin/Papakonstantinou [15]).
+//      §6 argues the hybrid sits near the per-document cost because at most
+//      one metadata attribute lies on any root-to-leaf path, while [15]
+//      multiplies payload by document depth.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "xml/writer.hpp"
+
+namespace {
+
+using namespace hxrc;
+using baselines::BackendKind;
+
+/// Sum of serialized sizes of every interior element except the root
+/// ([15]'s granularity).
+std::size_t per_element_clob_bytes(const xml::Node& node, bool is_root) {
+  std::size_t bytes = 0;
+  const bool interior = !node.is_leaf_element();
+  if (!is_root && interior) bytes += xml::write(node).size();
+  for (const auto& child : node.children()) {
+    if (child->is_element()) bytes += per_element_clob_bytes(*child, false);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kCorpus = 500;
+  const auto& docs = benchx::corpus(kCorpus);
+
+  std::printf("E10 storage footprint, %zu generated LEAD documents\n\n", kCorpus);
+  std::printf("%-10s %14s %14s\n", "backend", "bytes/doc", "total[KiB]");
+  for (const BackendKind kind : {BackendKind::kHybrid, BackendKind::kInlining,
+                                 BackendKind::kEdge, BackendKind::kClob}) {
+    auto backend = baselines::make_backend(kind, benchx::lead_partition());
+    for (const auto& doc : docs) backend->ingest(doc, "bench");
+    const std::size_t bytes = backend->storage_bytes();
+    std::printf("%-10s %14zu %14zu\n", backend->name().c_str(), bytes / kCorpus,
+                bytes / 1024);
+  }
+
+  // CLOB granularity ablation.
+  std::size_t per_document = 0;
+  std::size_t per_element = 0;
+  for (const auto& doc : docs) {
+    per_document += xml::write(doc).size();
+    per_element += per_element_clob_bytes(*doc.root, true);
+  }
+  // The hybrid's actual per-attribute CLOB payload.
+  xml::Schema schema = workload::lead_schema();
+  core::MetadataCatalog catalog(schema, workload::lead_annotations(),
+                                benchx::auto_define_config());
+  for (const auto& doc : docs) catalog.ingest(doc, "d", "bench");
+  const std::size_t per_attribute = catalog.total_stats().clob_bytes;
+
+  std::printf("\nCLOB granularity ablation (payload bytes per document):\n");
+  std::printf("%-34s %14zu\n", "per-attribute CLOBs (hybrid)", per_attribute / kCorpus);
+  std::printf("%-34s %14zu\n", "per-document CLOB (DB2/Oracle)", per_document / kCorpus);
+  std::printf("%-34s %14zu\n", "per-interior-element CLOBs [15]", per_element / kCorpus);
+  std::printf("\nhybrid overhead vs whole-document: %.2fx;  [15] overhead: %.2fx\n",
+              static_cast<double>(per_attribute) / static_cast<double>(per_document),
+              static_cast<double>(per_element) / static_cast<double>(per_document));
+  return 0;
+}

@@ -1,0 +1,197 @@
+// An interactive shell over the hybrid metadata catalog.
+//
+// Commands (one per line; also usable non-interactively via a pipe):
+//   gen <n>                          generate and ingest n synthetic documents
+//   ingest <file.xml>                ingest a LEAD metadata document from disk
+//   find <name> [<source>] [<elem><op><value> ...]
+//                                    metadata-attribute query, e.g.
+//                                      find grid ARPS dx=1000 dz<=500
+//   xfind <path-expression>          XPath-style query (§4 rewriting), e.g.
+//                                      xfind //theme[themekey='air_temperature']
+//   fetch <object_id>                print one object's reconstructed XML
+//   sql <statement>                  run SQL against the shredded tables
+//   defs                             list attribute definitions
+//   stats                            catalog statistics
+//   help                             this text
+//   quit
+//
+// Run:  ./build/examples/catalog_shell
+//       echo -e "gen 50\nfind theme themekey=air_temperature\nquit" | \
+//           ./build/examples/catalog_shell
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/catalog.hpp"
+#include "core/path_query.hpp"
+#include "util/string_util.hpp"
+#include "workload/generator.hpp"
+#include "workload/lead_schema.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace {
+
+using namespace hxrc;
+
+/// Parses "name<op>value" with op in {=, !=, <=, >=, <, >}.
+bool parse_predicate(const std::string& token, core::AttrQuery& attr) {
+  static constexpr std::pair<const char*, core::CompareOp> kOps[] = {
+      {"!=", core::CompareOp::kNe}, {"<=", core::CompareOp::kLe},
+      {">=", core::CompareOp::kGe}, {"=", core::CompareOp::kEq},
+      {"<", core::CompareOp::kLt},  {">", core::CompareOp::kGt},
+  };
+  for (const auto& [text, op] : kOps) {
+    const auto pos = token.find(text);
+    if (pos == std::string::npos || pos == 0) continue;
+    const std::string name = token.substr(0, pos);
+    const std::string value = token.substr(pos + std::string(text).size());
+    if (const auto num = util::parse_double(value)) {
+      attr.add_element(name, rel::Value(*num), op);
+    } else {
+      attr.add_element(name, rel::Value(value), op);
+    }
+    return true;
+  }
+  return false;
+}
+
+void print_help() {
+  std::printf(
+      "commands:\n"
+      "  gen <n>                         ingest n synthetic documents\n"
+      "  ingest <file.xml>               ingest a document from disk\n"
+      "  find <name> [<source>] [<elem><op><value> ...]\n"
+      "  xfind <path-expression>         XPath-style metadata query\n"
+      "  fetch <object_id>               print reconstructed XML\n"
+      "  sql <statement>                 query the shredded tables\n"
+      "  defs | stats | help | quit\n");
+}
+
+}  // namespace
+
+int main() {
+  xml::Schema schema = workload::lead_schema();
+  core::CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  core::MetadataCatalog catalog(schema, workload::lead_annotations(), config);
+  workload::DocumentGenerator generator;
+  std::uint64_t next_doc = 0;
+
+  std::printf("hybrid XML-relational metadata catalog shell — 'help' for commands\n");
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream input(line);
+    std::string command;
+    input >> command;
+    try {
+      if (command.empty()) continue;
+      if (command == "quit" || command == "exit") break;
+      if (command == "help") {
+        print_help();
+      } else if (command == "gen") {
+        std::size_t n = 10;
+        input >> n;
+        for (std::size_t i = 0; i < n; ++i) {
+          catalog.ingest(generator.generate(next_doc), "gen-" + std::to_string(next_doc),
+                         "shell");
+          ++next_doc;
+        }
+        std::printf("ingested %zu documents (catalog now has %zu objects)\n", n,
+                    catalog.object_count());
+      } else if (command == "ingest") {
+        std::string path;
+        input >> path;
+        std::ifstream file(path);
+        if (!file) {
+          std::printf("cannot open '%s'\n", path.c_str());
+          continue;
+        }
+        std::stringstream buffer;
+        buffer << file.rdbuf();
+        const auto id = catalog.ingest_xml(buffer.str(), path, "shell");
+        std::printf("ingested object %lld\n", static_cast<long long>(id));
+      } else if (command == "find") {
+        std::string name;
+        input >> name;
+        if (name.empty()) {
+          std::printf("usage: find <name> [<source>] [<elem><op><value> ...]\n");
+          continue;
+        }
+        std::vector<std::string> tokens;
+        std::string token;
+        while (input >> token) tokens.push_back(token);
+        // A first token without an operator is the source.
+        std::string source;
+        std::size_t first_pred = 0;
+        if (!tokens.empty() && tokens[0].find_first_of("=<>!") == std::string::npos) {
+          source = tokens[0];
+          first_pred = 1;
+        }
+        core::AttrQuery attr(name, source);
+        bool ok = true;
+        for (std::size_t i = first_pred; i < tokens.size(); ++i) {
+          if (!parse_predicate(tokens[i], attr)) {
+            std::printf("bad predicate '%s'\n", tokens[i].c_str());
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        core::ObjectQuery query;
+        query.add_attribute(std::move(attr));
+        core::QueryPlanInfo info;
+        const auto ids = catalog.query(query, &info);
+        std::printf("%zu object(s)%s:", ids.size(),
+                    info.fast_path ? " [fast path]" : "");
+        for (const auto id : ids) std::printf(" %lld", static_cast<long long>(id));
+        std::printf("\n");
+      } else if (command == "xfind") {
+        std::string expression;
+        std::getline(input, expression);
+        const core::ObjectQuery query =
+            core::path_to_query(catalog.partition(), util::trim(expression));
+        const auto ids = catalog.query(query);
+        std::printf("%zu object(s):", ids.size());
+        for (const auto id : ids) std::printf(" %lld", static_cast<long long>(id));
+        std::printf("\n");
+      } else if (command == "fetch") {
+        long long id = -1;
+        input >> id;
+        const xml::Document doc = catalog.fetch(id);
+        std::printf("%s\n", xml::write(doc, xml::WriteOptions{.indent = 2}).c_str());
+      } else if (command == "sql") {
+        std::string statement;
+        std::getline(input, statement);
+        const rel::ResultSet result = catalog.database().execute(statement);
+        std::printf("%s(%zu rows)\n", result.pretty().c_str(), result.size());
+      } else if (command == "defs") {
+        for (const core::AttributeDef& def : catalog.registry().attributes()) {
+          std::printf("  [%lld] %s%s%s %s parent=%lld\n",
+                      static_cast<long long>(def.id), def.name.c_str(),
+                      def.source.empty() ? "" : " @ ",
+                      def.source.c_str(),
+                      def.kind == core::AttrKind::kDynamic ? "(dynamic)" : "(structural)",
+                      static_cast<long long>(def.parent));
+        }
+      } else if (command == "stats") {
+        const core::ShredStats& stats = catalog.total_stats();
+        std::printf(
+            "objects=%zu attr_instances=%zu sub_attrs=%zu elements=%zu clobs=%zu "
+            "clob_bytes=%zu defs=%zu elem_defs=%zu db_bytes=%zu\n",
+            catalog.object_count(), stats.attribute_instances,
+            stats.sub_attribute_instances, stats.element_rows, stats.clobs,
+            stats.clob_bytes, catalog.registry().attribute_count(),
+            catalog.registry().element_count(), catalog.database().approx_bytes());
+      } else {
+        std::printf("unknown command '%s' — try 'help'\n", command.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  return 0;
+}

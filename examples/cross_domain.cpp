@@ -1,0 +1,146 @@
+// Cross-domain generality (§1, §7): the same hybrid machinery drives a
+// catalog for a completely different community.
+//
+// The paper argues the approach "generalizes to metadata in other
+// scientific grid environments" and proposes configuring a catalog from an
+// annotated schema. This example builds a Taverna-style bioinformatics
+// workflow-run catalog ([4] in the paper) from ONE annotated-schema
+// document — different element names, a different dynamic-attribute
+// convention — and exercises ingest, dynamic validation, path queries, and
+// response building without any LEAD-specific code.
+//
+// Run:  ./build/examples/cross_domain
+#include <cstdio>
+
+#include "core/annotated_schema.hpp"
+#include "core/browse.hpp"
+#include "core/catalog.hpp"
+#include "core/path_query.hpp"
+#include "xml/writer.hpp"
+
+namespace {
+
+// The community schema, annotated: processors carry dynamic parameters
+// identified by (head/name, head/impl); items use param/key/src/val.
+const char* kWorkflowSchema = R"(
+<schema root="workflowRun">
+  <element name="runID" type="string" metadata="attribute"/>
+  <element name="provenance">
+    <element name="runInfo" metadata="attribute">
+      <element name="title" type="string"/>
+      <element name="started" type="date"/>
+      <element name="engine" type="string"/>
+    </element>
+    <element name="tags" metadata="attribute" maxOccurs="unbounded">
+      <element name="scheme" type="string"/>
+      <element name="tag" type="string" maxOccurs="unbounded"/>
+    </element>
+    <element name="processor" maxOccurs="unbounded" metadata="dynamic">
+      <element name="head">
+        <element name="name" type="string"/>
+        <element name="impl" type="string"/>
+      </element>
+      <element name="param" maxOccurs="unbounded" recursive="true">
+        <element name="key" type="string"/>
+        <element name="src" type="string"/>
+        <element name="val" type="string"/>
+      </element>
+    </element>
+  </element>
+  <convention container="head" name="name" source="impl" item="param"
+              itemName="key" itemSource="src" itemValue="val"/>
+</schema>)";
+
+std::string run_document(int run, const char* tool, double evalue) {
+  std::string text = "<workflowRun><runID>run-" + std::to_string(run) + "</runID>";
+  text += "<provenance><runInfo><title>protein annotation sweep</title>";
+  text += "<started>2006-07-0" + std::to_string(1 + run % 7) + "</started>";
+  text += "<engine>taverna-1.3</engine></runInfo>";
+  text += "<tags><scheme>GO</scheme><tag>protein_binding</tag>";
+  if (run % 2 == 0) text += "<tag>kinase_activity</tag>";
+  text += "</tags>";
+  text += "<processor><head><name>blast</name><impl>";
+  text += tool;
+  text += "</impl></head>";
+  text += "<param><key>evalue</key><src>";
+  text += tool;
+  text += "</src><val>" + std::to_string(evalue) + "</val></param>";
+  text += "<param><key>matrix</key><src>";
+  text += tool;
+  text += "</src><val>BLOSUM62</val></param>";
+  text += "<param><key>filtering</key><src>";
+  text += tool;
+  text += "</src><param><key>low_complexity</key><src>";
+  text += tool;
+  text += "</src><val>1</val></param></param>";
+  text += "</processor></provenance></workflowRun>";
+  return text;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hxrc;
+
+  // One document configures the whole catalog (§7's annotated schema).
+  const core::AnnotatedSchema annotated = core::load_annotated_schema(kWorkflowSchema);
+  core::CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  core::MetadataCatalog catalog(annotated.schema, annotated.annotations, config);
+  std::printf("workflow catalog: %zu schema declarations, %zu metadata attributes, "
+              "dynamic convention item=<%s>\n",
+              annotated.schema.node_count(),
+              catalog.partition().attribute_roots().size(),
+              annotated.annotations.convention.item_tag.c_str());
+
+  // Ingest a sweep of BLAST runs with two implementations.
+  for (int run = 0; run < 12; ++run) {
+    const char* tool = (run % 3 == 0) ? "ncbi-blast" : "wu-blast";
+    const double evalue = (run % 4 == 0) ? 1e-10 : 1e-5;
+    catalog.ingest_xml(run_document(run, tool, evalue), "run", "bioscientist");
+  }
+  std::printf("ingested %zu workflow runs (%zu dynamic definitions registered)\n\n",
+              catalog.object_count(), catalog.registry().attribute_count());
+
+  // Query 1: strict-threshold NCBI runs, via the path-query rewriting —
+  // note the convention-specific names (head/name, param/key/val).
+  const core::ObjectQuery strict = core::path_to_query(
+      catalog.partition(),
+      "//processor[head/name='blast' and head/impl='ncbi-blast']"
+      "[param[key='evalue' and val<=0.000001]]");
+  const auto strict_runs = catalog.query(strict);
+  std::printf("ncbi-blast runs with evalue <= 1e-6: %zu\n", strict_runs.size());
+
+  // Query 2: nested sub-attribute (filtering/low_complexity).
+  const core::ObjectQuery filtered = core::path_to_query(
+      catalog.partition(),
+      "//processor[head/name='blast' and head/impl='wu-blast']"
+      "[param[key='filtering' and src='wu-blast']"
+      "[param[key='low_complexity' and val=1]]]");
+  std::printf("wu-blast runs with low-complexity filtering: %zu\n",
+              catalog.query(filtered).size());
+
+  // Query 3: structural tag lookup.
+  const core::ObjectQuery tagged = core::path_to_query(
+      catalog.partition(), "//tags[scheme='GO' and tag='kinase_activity']");
+  std::printf("runs tagged kinase_activity: %zu\n\n", catalog.query(tagged).size());
+
+  // Browse the catalog as a query-builder GUI would (§4).
+  const core::CatalogBrowser browser(catalog);
+  std::printf("available attributes:\n");
+  for (const core::AttributeSummary& summary : browser.attributes()) {
+    if (summary.parent != core::kNoAttr) continue;
+    std::printf("  %-12s %-12s %s  (%zu instances)\n", summary.name.c_str(),
+                summary.source.empty() ? "-" : summary.source.c_str(),
+                summary.kind == core::AttrKind::kDynamic ? "dynamic" : "structural",
+                summary.instances);
+  }
+
+  // Projected response: just the runInfo of the first strict hit.
+  if (!strict_runs.empty()) {
+    const std::vector<core::ObjectId> one{strict_runs.front()};
+    std::printf("\nrunInfo of first match:\n%s\n",
+                catalog.build_response(one, {"provenance/runInfo"}).c_str());
+  }
+  return 0;
+}

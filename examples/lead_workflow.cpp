@@ -1,0 +1,141 @@
+// A LEAD-style forecast workflow (the scenario motivating the paper's §1/§3):
+//
+// A scientist runs an ensemble of ARPS forecasts. Each run's Fortran
+// namelist (the model configuration) is converted into dynamic metadata
+// attributes and ingested alongside structural metadata — including a
+// *user-private* quality attribute that other scientists cannot query.
+// Afterwards the scientist locates runs by model parameters and drills into
+// one run's full metadata.
+//
+// Run:  ./build/examples/lead_workflow
+#include <cstdio>
+#include <string>
+
+#include "core/catalog.hpp"
+#include "util/prng.hpp"
+#include "workload/lead_schema.hpp"
+#include "workload/namelist.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace {
+
+using namespace hxrc;
+
+/// The namelist an ensemble member runs with: dx varies per member; the
+/// stretching block only appears for stretched-grid members.
+std::string member_namelist(int member, double dx, bool stretched) {
+  std::string text = "&grid\n";
+  text += "  runname = 'ensemble-" + std::to_string(member) + "',\n";
+  text += "  dx = " + std::to_string(dx) + ",\n";
+  text += "  dz = 500.0,\n";
+  if (stretched) {
+    text += "  grid_stretching%dzmin = 100.0,\n";
+    text += "  grid_stretching%strhopt = 2,\n";
+  }
+  text += "/\n";
+  text += "&microphysics\n  mphyopt = 2,\n  hail_density = 913.0,\n/\n";
+  return text;
+}
+
+/// Builds one run's metadata document from its namelist.
+xml::Document member_document(int member, const std::string& namelist_text) {
+  xml::Document doc(xml::Node::element("LEADresource"));
+  doc.root->add_element("resourceID", "ensemble-member-" + std::to_string(member));
+  xml::Node* data = doc.root->add_element("data");
+
+  xml::Node* idinfo = data->add_element("idinfo");
+  xml::Node* citation = idinfo->add_element("citation");
+  citation->add_element("origin", "LEAD");
+  citation->add_element("pubdate", "2006-06-15");
+  citation->add_element("title", "May 20 supercell ensemble member " +
+                                     std::to_string(member));
+  xml::Node* keywords = idinfo->add_element("keywords");
+  xml::Node* theme = keywords->add_element("theme");
+  theme->add_element("themekt", "CF NetCDF");
+  theme->add_element("themekey", "convective_precipitation_amount");
+
+  // Every namelist group becomes one dynamic metadata attribute.
+  xml::Node* eainfo = data->add_element("geospatial")->add_element("eainfo");
+  for (const workload::NamelistGroup& group :
+       workload::parse_namelist(namelist_text)) {
+    eainfo->add_child(workload::namelist_group_to_detailed(group, "ARPS"));
+  }
+  return doc;
+}
+
+}  // namespace
+
+int main() {
+  xml::Schema schema = workload::lead_schema();
+  core::CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  core::MetadataCatalog catalog(schema, workload::lead_annotations(), config);
+
+  // The scientist registers a *private* quality-control attribute: only
+  // alice can define and query it (§3: user-level definitions).
+  const core::AttrDefId qc = catalog.registry().define_attribute(
+      "quality", "alice-qc", core::AttrKind::kDynamic, core::kNoAttr, core::kNoOrder,
+      core::Visibility::kUser, "alice");
+  catalog.registry().define_element("score", "alice-qc", qc, xml::LeafType::kDouble);
+
+  // Ingest a 16-member ensemble; half the members use grid stretching and
+  // dx alternates between 1000 m and 2000 m.
+  util::Prng rng(7);
+  std::printf("ingesting 16 ensemble members...\n");
+  for (int member = 0; member < 16; ++member) {
+    const double dx = (member % 2 == 0) ? 1000.0 : 2000.0;
+    const bool stretched = member % 4 < 2;
+    const std::string namelist = member_namelist(member, dx, stretched);
+    xml::Document doc = member_document(member, namelist);
+
+    // alice attaches her private QC score as another dynamic attribute.
+    xml::Node* eainfo =
+        doc.root->first_child("data")->first_child("geospatial")->first_child("eainfo");
+    xml::Node* detailed = eainfo->add_element("detailed");
+    xml::Node* enttyp = detailed->add_element("enttyp");
+    enttyp->add_element("enttypl", "quality");
+    enttyp->add_element("enttypds", "alice-qc");
+    xml::Node* item = detailed->add_element("attr");
+    item->add_element("attrlabl", "score");
+    item->add_element("attrdefs", "alice-qc");
+    item->add_element("attrv", std::to_string(0.5 + 0.03 * member));
+
+    catalog.ingest(doc, "member-" + std::to_string(member), "alice");
+  }
+  std::printf("catalog now holds %zu objects, %zu attribute definitions, "
+              "%zu element definitions\n\n",
+              catalog.object_count(), catalog.registry().attribute_count(),
+              catalog.registry().element_count());
+
+  // Query 1: which runs used a 1 km grid with stretching (dzmin = 100)?
+  core::ObjectQuery q1;
+  core::AttrQuery grid("grid", "ARPS");
+  grid.add_element("dx", "ARPS", rel::Value(1000.0), core::CompareOp::kEq);
+  core::AttrQuery stretching("grid_stretching", "ARPS");
+  stretching.add_element("dzmin", rel::Value(100.0), core::CompareOp::kEq);
+  grid.add_attribute(std::move(stretching));
+  q1.add_attribute(std::move(grid));
+  const auto stretched_runs = catalog.query(q1);
+  std::printf("runs with dx=1000 and stretched grid (dzmin=100): %zu\n",
+              stretched_runs.size());
+
+  // Query 2: alice's private QC attribute — visible only to her.
+  core::ObjectQuery q2;
+  core::AttrQuery quality("quality", "alice-qc");
+  quality.add_element("score", "alice-qc", rel::Value(0.8), core::CompareOp::kGe);
+  q2.add_attribute(std::move(quality));
+
+  std::printf("high-QC runs visible to bob:   %zu\n",
+              catalog.query(core::ObjectQuery(q2).set_user("bob")).size());
+  std::printf("high-QC runs visible to alice: %zu\n",
+              catalog.query(core::ObjectQuery(q2).set_user("alice")).size());
+
+  // Drill into the first stretched run's full metadata.
+  if (!stretched_runs.empty()) {
+    const xml::Document doc = catalog.fetch(stretched_runs.front());
+    std::printf("\nfirst matching run:\n%s\n",
+                xml::write(doc, xml::WriteOptions{.indent = 2}).c_str());
+  }
+  return 0;
+}

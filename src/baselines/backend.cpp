@@ -1,0 +1,31 @@
+#include "baselines/backend.hpp"
+
+#include "baselines/clob_backend.hpp"
+#include "baselines/edge_backend.hpp"
+#include "baselines/hybrid_backend.hpp"
+#include "baselines/inlining_backend.hpp"
+
+namespace hxrc::baselines {
+
+std::string_view to_string(BackendKind kind) noexcept {
+  switch (kind) {
+    case BackendKind::kHybrid: return "hybrid";
+    case BackendKind::kInlining: return "inlining";
+    case BackendKind::kEdge: return "edge";
+    case BackendKind::kClob: return "clob";
+  }
+  return "?";
+}
+
+std::unique_ptr<MetadataBackend> make_backend(BackendKind kind,
+                                              const core::Partition& partition) {
+  switch (kind) {
+    case BackendKind::kHybrid: return std::make_unique<HybridBackend>(partition);
+    case BackendKind::kInlining: return std::make_unique<InliningBackend>(partition);
+    case BackendKind::kEdge: return std::make_unique<EdgeBackend>(partition);
+    case BackendKind::kClob: return std::make_unique<ClobBackend>(partition);
+  }
+  return nullptr;
+}
+
+}  // namespace hxrc::baselines

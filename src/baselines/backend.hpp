@@ -1,0 +1,62 @@
+// Common interface over the four storage approaches compared in the paper:
+//
+//   hybrid    — the paper's contribution (per-attribute CLOBs + shredded
+//               attribute tables + inverted lists + schema-level ordering);
+//   inlining  — shared inlining into schema-derived fragment tables
+//               (Shanmugasundaram et al. [14][16]);
+//   edge      — a single edge table viewing the document as a graph
+//               (Florescu/Kossmann [17]);
+//   clob      — whole-document CLOBs, queries scan and parse every document
+//               (the Xindice-like native/document store of [7]).
+//
+// All four answer the same metadata-attribute queries (core::ObjectQuery)
+// with identical semantics, so benchmarks compare like for like and property
+// tests can assert result equality.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/partition.hpp"
+#include "core/query.hpp"
+#include "xml/dom.hpp"
+
+namespace hxrc::baselines {
+
+using core::ObjectId;
+
+class MetadataBackend {
+ public:
+  virtual ~MetadataBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Ingests a document; object ids are dense, starting at 0.
+  virtual ObjectId ingest(const xml::Document& doc, const std::string& owner) = 0;
+
+  /// Matching object ids, ascending.
+  virtual std::vector<ObjectId> query(const core::ObjectQuery& q) const = 0;
+
+  /// Reconstructs the stored document as tagged XML.
+  virtual std::string reconstruct(ObjectId id) const = 0;
+
+  /// Approximate storage footprint in bytes (experiment E10).
+  virtual std::size_t storage_bytes() const = 0;
+
+  virtual std::size_t object_count() const = 0;
+};
+
+/// Backend factory selector used by benches and examples.
+enum class BackendKind { kHybrid, kInlining, kEdge, kClob };
+
+std::string_view to_string(BackendKind kind) noexcept;
+
+/// Creates a backend over a partitioned schema. All dynamic definitions are
+/// auto-registered on ingest (admin level) so the backends agree on what is
+/// queryable.
+std::unique_ptr<MetadataBackend> make_backend(BackendKind kind,
+                                              const core::Partition& partition);
+
+}  // namespace hxrc::baselines

@@ -1,0 +1,27 @@
+#include "baselines/clob_backend.hpp"
+
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace hxrc::baselines {
+
+ObjectId ClobBackend::ingest(const xml::Document& doc, const std::string& owner) {
+  (void)owner;
+  return static_cast<ObjectId>(store_.append(xml::write(doc)));
+}
+
+std::vector<ObjectId> ClobBackend::query(const core::ObjectQuery& q) const {
+  std::vector<ObjectId> out;
+  for (std::size_t i = 0; i < store_.count(); ++i) {
+    // The cost model of this baseline: parse + evaluate every document.
+    const xml::Document doc = xml::parse(store_.get(static_cast<rel::ClobId>(i)));
+    if (matcher_.matches(doc, q)) out.push_back(static_cast<ObjectId>(i));
+  }
+  return out;
+}
+
+std::string ClobBackend::reconstruct(ObjectId id) const {
+  return store_.get(static_cast<rel::ClobId>(id));
+}
+
+}  // namespace hxrc::baselines

@@ -1,0 +1,34 @@
+// Pure-CLOB baseline: whole-document storage, scan-and-parse queries.
+//
+// Models the document-store / native-XML economics the paper's group
+// measured against Xindice [7], and the DB2 "XML Column" / Oracle CLOB
+// default storage [21][22]: retrieval of the original document is free, but
+// every query must parse and evaluate every stored document.
+#pragma once
+
+#include "baselines/backend.hpp"
+#include "baselines/dom_matcher.hpp"
+#include "rel/clob_store.hpp"
+
+namespace hxrc::baselines {
+
+class ClobBackend final : public MetadataBackend {
+ public:
+  explicit ClobBackend(const core::Partition& partition)
+      : partition_(partition), matcher_(partition) {}
+
+  std::string name() const override { return "clob"; }
+
+  ObjectId ingest(const xml::Document& doc, const std::string& owner) override;
+  std::vector<ObjectId> query(const core::ObjectQuery& q) const override;
+  std::string reconstruct(ObjectId id) const override;
+  std::size_t storage_bytes() const override { return store_.payload_bytes(); }
+  std::size_t object_count() const override { return store_.count(); }
+
+ private:
+  const core::Partition& partition_;
+  DomMatcher matcher_;
+  rel::ClobStore store_;
+};
+
+}  // namespace hxrc::baselines

@@ -1,0 +1,147 @@
+#include "baselines/dom_matcher.hpp"
+
+#include "xml/matcher.hpp"
+
+namespace hxrc::baselines {
+
+using core::AttrQuery;
+using core::ElementPredicate;
+using core::ObjectQuery;
+
+namespace {
+
+/// The value-comparison semantics shared by every backend: numeric when both
+/// operands parse as doubles, else string comparison.
+bool value_satisfies(const std::string& text, const ElementPredicate& pred) {
+  if (pred.exists_only) return true;
+  return xml::compare_values(text, pred.op, pred.value.to_string());
+}
+
+}  // namespace
+
+bool DomMatcher::matches(const xml::Document& doc, const ObjectQuery& query) const {
+  for (const AttrQuery& attr : query.attributes()) {
+    if (!matches_attr(doc, attr)) return false;
+  }
+  return true;
+}
+
+bool DomMatcher::matches_attr(const xml::Document& doc, const AttrQuery& attr) const {
+  if (!doc.root) return false;
+  const std::vector<Instance> instances =
+      collect_instances(*doc.root, partition_.schema().root());
+  for (const Instance& instance : instances) {
+    if (instance_matches(instance, attr)) return true;
+  }
+  return false;
+}
+
+std::vector<DomMatcher::Instance> DomMatcher::collect_instances(
+    const xml::Node& node, const xml::SchemaNode& schema_node) const {
+  std::vector<Instance> out;
+  const core::OrderId order = partition_.order_of(schema_node);
+  if (const core::AttributeRootInfo* root = partition_.root_at(order)) {
+    out.push_back(Instance{root, &node});
+    return out;
+  }
+  for (const xml::Node* child : node.child_elements()) {
+    const xml::SchemaNode* child_schema = schema_node.child(child->name());
+    if (child_schema == nullptr) continue;  // non-conforming content is unqueryable
+    auto sub = collect_instances(*child, *child_schema);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+bool DomMatcher::instance_matches(const Instance& instance, const AttrQuery& attr) const {
+  if (!instance.root->queryable) return false;
+  if (instance.root->dynamic) {
+    // Dynamic instances are identified by the name/source values in the
+    // definition container (enttypl/enttypds in LEAD).
+    const core::DynamicConvention& c = partition_.convention();
+    const xml::Node* container = instance.node->first_child(c.def_container);
+    if (container == nullptr) return false;
+    if (container->child_text(c.def_name) != attr.name()) return false;
+    if (container->child_text(c.def_source) != attr.source()) return false;
+    return dynamic_matches(*instance.node, attr);
+  }
+  // Structural instances are identified by tag; sources do not apply.
+  if (instance.root->tag != attr.name() || !attr.source().empty()) return false;
+  return structural_matches(*instance.node, attr);
+}
+
+bool DomMatcher::structural_matches(const xml::Node& node, const AttrQuery& attr) const {
+  for (const ElementPredicate& pred : attr.elements()) {
+    if (!element_satisfied_structural(node, pred)) return false;
+  }
+  for (const AttrQuery& sub : attr.sub_attributes()) {
+    bool found = false;
+    for (const xml::Node* child : node.child_elements()) {
+      // Structural sub-attributes are interior direct children.
+      if (child->name() == sub.name() && sub.source().empty() &&
+          !child->is_leaf_element() && structural_matches(*child, sub)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool DomMatcher::element_satisfied_structural(const xml::Node& node,
+                                              const ElementPredicate& pred) const {
+  // Attribute-element: the node itself carries the value.
+  if (node.is_leaf_element() && node.name() == pred.name) {
+    return value_satisfies(node.text_content(), pred);
+  }
+  for (const xml::Node* child : node.child_elements()) {
+    if (child->name() == pred.name && child->is_leaf_element() &&
+        value_satisfies(child->text_content(), pred)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DomMatcher::dynamic_matches(const xml::Node& node, const AttrQuery& attr) const {
+  const core::DynamicConvention& c = partition_.convention();
+  for (const ElementPredicate& pred : attr.elements()) {
+    if (!element_satisfied_dynamic(node, pred)) return false;
+  }
+  for (const AttrQuery& sub : attr.sub_attributes()) {
+    bool found = false;
+    for (const xml::Node* item : node.children_named(c.item_tag)) {
+      if (item->child_text(c.item_name) != sub.name()) continue;
+      if (!sub.source().empty() && item->child_text(c.item_source) != sub.source()) {
+        continue;
+      }
+      // A sub-attribute is an item that itself contains items.
+      if (item->children_named(c.item_tag).empty()) continue;
+      if (dynamic_item_matches(*item, sub)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool DomMatcher::dynamic_item_matches(const xml::Node& item, const AttrQuery& attr) const {
+  return dynamic_matches(item, attr);
+}
+
+bool DomMatcher::element_satisfied_dynamic(const xml::Node& node,
+                                           const ElementPredicate& pred) const {
+  const core::DynamicConvention& c = partition_.convention();
+  for (const xml::Node* item : node.children_named(c.item_tag)) {
+    if (item->child_text(c.item_name) != pred.name) continue;
+    if (!pred.source.empty() && item->child_text(c.item_source) != pred.source) continue;
+    if (!item->children_named(c.item_tag).empty()) continue;  // sub-attribute, not element
+    if (value_satisfies(item->child_text(c.item_value), pred)) return true;
+  }
+  return false;
+}
+
+}  // namespace hxrc::baselines

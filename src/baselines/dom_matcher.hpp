@@ -1,0 +1,55 @@
+// Reference (oracle) evaluation of metadata-attribute queries over a DOM.
+//
+// Defines the query semantics all backends implement, evaluated directly on
+// a parsed document: an object matches when for every top-level AttrQuery
+// there exists a matching attribute instance. Structural instances are the
+// subtrees at the partition's attribute-root paths; dynamic instances are
+// identified by the name/source values per the partition's
+// DynamicConvention. Sub-attribute criteria match at any nesting depth
+// below the parent instance.
+//
+// The pure-CLOB backend uses this matcher for every stored document (that
+// is its cost model); tests use it as the executable oracle for the other
+// three backends.
+#pragma once
+
+#include "core/partition.hpp"
+#include "core/query.hpp"
+#include "xml/dom.hpp"
+
+namespace hxrc::baselines {
+
+class DomMatcher {
+ public:
+  explicit DomMatcher(const core::Partition& partition) : partition_(partition) {}
+
+  /// True when the document satisfies the whole query.
+  bool matches(const xml::Document& doc, const core::ObjectQuery& query) const;
+
+  /// True when the document contains an instance satisfying one attribute
+  /// criterion.
+  bool matches_attr(const xml::Document& doc, const core::AttrQuery& attr) const;
+
+ private:
+  struct Instance {
+    const core::AttributeRootInfo* root;
+    const xml::Node* node;
+  };
+
+  std::vector<Instance> collect_instances(const xml::Node& node,
+                                          const xml::SchemaNode& schema_node) const;
+
+  bool instance_matches(const Instance& instance, const core::AttrQuery& attr) const;
+  bool structural_matches(const xml::Node& node, const core::AttrQuery& attr) const;
+  bool dynamic_matches(const xml::Node& node, const core::AttrQuery& attr) const;
+  bool dynamic_item_matches(const xml::Node& item, const core::AttrQuery& attr) const;
+
+  bool element_satisfied_structural(const xml::Node& node,
+                                    const core::ElementPredicate& pred) const;
+  bool element_satisfied_dynamic(const xml::Node& node,
+                                 const core::ElementPredicate& pred) const;
+
+  const core::Partition& partition_;
+};
+
+}  // namespace hxrc::baselines

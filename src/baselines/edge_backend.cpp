@@ -1,0 +1,306 @@
+#include "baselines/edge_backend.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/string_util.hpp"
+#include "xml/matcher.hpp"
+#include "xml/writer.hpp"
+
+namespace hxrc::baselines {
+
+namespace {
+constexpr std::size_t kDocCol = 0;
+constexpr std::size_t kNodeCol = 1;
+constexpr std::size_t kParentCol = 2;
+constexpr std::size_t kOrdCol = 3;
+constexpr std::size_t kTagCol = 4;
+constexpr std::size_t kValueCol = 5;
+
+bool value_satisfies(const std::string& text, const core::ElementPredicate& pred) {
+  if (pred.exists_only) return true;
+  return xml::compare_values(text, pred.op, pred.value.to_string());
+}
+}  // namespace
+
+EdgeBackend::EdgeBackend(const core::Partition& partition) : partition_(partition) {
+  using rel::Type;
+  edges_ = &db_.create_table("edges", rel::TableSchema{{"doc", Type::kInt},
+                                                       {"node", Type::kInt},
+                                                       {"parent", Type::kInt},
+                                                       {"ord", Type::kInt},
+                                                       {"tag", Type::kString},
+                                                       {"value", Type::kString},
+                                                       {"value_num", Type::kDouble}});
+  by_tag_ = edges_->create_hash_index("idx_tag", {"tag"});
+  by_parent_ = edges_->create_hash_index("idx_parent", {"parent"});
+  by_node_ = edges_->create_hash_index("idx_node", {"node"});
+  by_doc_ = edges_->create_hash_index("idx_doc", {"doc"});
+}
+
+std::int64_t EdgeBackend::insert_subtree(const xml::Node& node, ObjectId doc,
+                                         std::int64_t parent, std::int64_t ord) {
+  const std::int64_t id = next_node_++;
+  const auto children = node.child_elements();
+  rel::Value text = rel::Value::null();
+  rel::Value numeric = rel::Value::null();
+  if (children.empty()) {
+    const std::string content = node.text_content();
+    text = rel::Value(content);
+    if (const auto v = util::parse_double(content)) numeric = rel::Value(*v);
+  }
+  edges_->append(rel::Row{rel::Value(doc), rel::Value(id), rel::Value(parent),
+                          rel::Value(ord), rel::Value(node.name()), std::move(text),
+                          std::move(numeric)});
+  std::int64_t child_ord = 0;
+  for (const xml::Node* child : children) {
+    insert_subtree(*child, doc, id, child_ord++);
+  }
+  return id;
+}
+
+ObjectId EdgeBackend::ingest(const xml::Document& doc, const std::string& owner) {
+  (void)owner;
+  const ObjectId id = next_doc_++;
+  insert_subtree(*doc.root, id, /*parent=*/-1, /*ord=*/0);
+  return id;
+}
+
+std::vector<rel::RowId> EdgeBackend::children_of(std::int64_t node) const {
+  ++probes_;
+  return by_parent_->lookup(rel::Key{{rel::Value(node)}});
+}
+
+std::string EdgeBackend::child_value(std::int64_t node, const std::string& tag) const {
+  for (const rel::RowId id : children_of(node)) {
+    const rel::Row& row = edges_->row(id);
+    if (row[kTagCol].as_string() == tag && !row[kValueCol].is_null()) {
+      return row[kValueCol].as_string();
+    }
+  }
+  return {};
+}
+
+bool EdgeBackend::path_matches(std::int64_t node, const std::string& path) const {
+  // Verify the chain of ancestor tags matches the attribute-root path, one
+  // parent self-join per step (the edge-table tax on schema positions).
+  const auto segments = util::split(path, '/');
+  std::int64_t current = node;
+  for (auto it = segments.rbegin(); it != segments.rend(); ++it) {
+    ++probes_;
+    const auto rows = by_node_->lookup(rel::Key{{rel::Value(current)}});
+    if (rows.empty()) return false;
+    const rel::Row& row = edges_->row(rows.front());
+    if (row[kTagCol].as_string() != *it) return false;
+    current = row[kParentCol].as_int();
+  }
+  // `current` must now be the document root's parent sentinel... one more
+  // probe to confirm we consumed the full path up to the schema root.
+  ++probes_;
+  const auto rows = by_node_->lookup(rel::Key{{rel::Value(current)}});
+  if (rows.empty()) return false;
+  const rel::Row& root_row = edges_->row(rows.front());
+  return root_row[kParentCol].as_int() == -1 &&
+         root_row[kTagCol].as_string() == partition_.schema().root().name();
+}
+
+bool EdgeBackend::structural_matches(std::int64_t node, const core::AttrQuery& attr) const {
+  for (const core::ElementPredicate& pred : attr.elements()) {
+    bool satisfied = false;
+    // Attribute-element: the node itself carries the value.
+    {
+      ++probes_;
+      const auto self_rows = by_node_->lookup(rel::Key{{rel::Value(node)}});
+      if (!self_rows.empty()) {
+        const rel::Row& row = edges_->row(self_rows.front());
+        if (!row[kValueCol].is_null() && row[kTagCol].as_string() == pred.name &&
+            value_satisfies(row[kValueCol].as_string(), pred)) {
+          satisfied = true;
+        }
+      }
+    }
+    if (!satisfied) {
+      for (const rel::RowId id : children_of(node)) {
+        const rel::Row& row = edges_->row(id);
+        if (row[kTagCol].as_string() != pred.name || row[kValueCol].is_null()) continue;
+        if (value_satisfies(row[kValueCol].as_string(), pred)) {
+          satisfied = true;
+          break;
+        }
+      }
+    }
+    if (!satisfied) return false;
+  }
+  for (const core::AttrQuery& sub : attr.sub_attributes()) {
+    if (!sub.source().empty()) return false;  // structural content has no sources
+    bool found = false;
+    for (const rel::RowId id : children_of(node)) {
+      const rel::Row& row = edges_->row(id);
+      if (row[kTagCol].as_string() != sub.name()) continue;
+      if (!row[kValueCol].is_null()) continue;  // leaf, not a sub-attribute
+      if (structural_matches(row[kNodeCol].as_int(), sub)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool EdgeBackend::dynamic_matches(std::int64_t node, const core::AttrQuery& attr) const {
+  const core::DynamicConvention& c = partition_.convention();
+  for (const core::ElementPredicate& pred : attr.elements()) {
+    bool satisfied = false;
+    for (const rel::RowId id : children_of(node)) {
+      const rel::Row& row = edges_->row(id);
+      if (row[kTagCol].as_string() != c.item_tag) continue;
+      const std::int64_t item = row[kNodeCol].as_int();
+      if (child_value(item, c.item_name) != pred.name) continue;
+      if (!pred.source.empty() && child_value(item, c.item_source) != pred.source) continue;
+      // An element item has no nested items.
+      bool has_sub_items = false;
+      for (const rel::RowId cid : children_of(item)) {
+        if (edges_->row(cid)[kTagCol].as_string() == c.item_tag) {
+          has_sub_items = true;
+          break;
+        }
+      }
+      if (has_sub_items) continue;
+      if (value_satisfies(child_value(item, c.item_value), pred)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  for (const core::AttrQuery& sub : attr.sub_attributes()) {
+    bool found = false;
+    for (const rel::RowId id : children_of(node)) {
+      const rel::Row& row = edges_->row(id);
+      if (row[kTagCol].as_string() != c.item_tag) continue;
+      const std::int64_t item = row[kNodeCol].as_int();
+      if (child_value(item, c.item_name) != sub.name()) continue;
+      if (!sub.source().empty() && child_value(item, c.item_source) != sub.source()) continue;
+      bool has_sub_items = false;
+      for (const rel::RowId cid : children_of(item)) {
+        if (edges_->row(cid)[kTagCol].as_string() == c.item_tag) {
+          has_sub_items = true;
+          break;
+        }
+      }
+      if (!has_sub_items) continue;
+      if (dynamic_matches(item, sub)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::vector<ObjectId> EdgeBackend::query(const core::ObjectQuery& q) const {
+  probes_ = 0;
+  std::vector<ObjectId> out;
+
+  // Per top-level criterion: candidate nodes by tag, path verification,
+  // then recursive child probing — each step costs self-joins.
+  std::vector<std::vector<ObjectId>> per_attr;
+  for (const core::AttrQuery& attr : q.attributes()) {
+    std::vector<ObjectId> docs;
+    for (const core::AttributeRootInfo& root : partition_.attribute_roots()) {
+      if (!root.queryable) continue;
+      const bool name_matches =
+          root.dynamic || (root.tag == attr.name() && attr.source().empty());
+      if (!name_matches) continue;
+      ++probes_;
+      for (const rel::RowId id : by_tag_->lookup(rel::Key{{rel::Value(root.tag)}})) {
+        const rel::Row& row = edges_->row(id);
+        const std::int64_t node = row[kNodeCol].as_int();
+        if (!path_matches(node, root.path)) continue;
+        if (root.dynamic) {
+          const core::DynamicConvention& c = partition_.convention();
+          // Identity check through the definition container.
+          std::int64_t container = -1;
+          for (const rel::RowId cid : children_of(node)) {
+            if (edges_->row(cid)[kTagCol].as_string() == c.def_container) {
+              container = edges_->row(cid)[kNodeCol].as_int();
+              break;
+            }
+          }
+          if (container < 0) continue;
+          if (child_value(container, c.def_name) != attr.name()) continue;
+          if (child_value(container, c.def_source) != attr.source()) continue;
+          if (!dynamic_matches(node, attr)) continue;
+        } else {
+          if (!structural_matches(node, attr)) continue;
+        }
+        docs.push_back(row[kDocCol].as_int());
+      }
+    }
+    std::sort(docs.begin(), docs.end());
+    docs.erase(std::unique(docs.begin(), docs.end()), docs.end());
+    per_attr.push_back(std::move(docs));
+  }
+  if (per_attr.empty()) return {};
+
+  // Intersect the per-criterion doc sets.
+  out = per_attr.front();
+  for (std::size_t i = 1; i < per_attr.size(); ++i) {
+    std::vector<ObjectId> merged;
+    std::set_intersection(out.begin(), out.end(), per_attr[i].begin(), per_attr[i].end(),
+                          std::back_inserter(merged));
+    out = std::move(merged);
+  }
+  return out;
+}
+
+std::string EdgeBackend::reconstruct(ObjectId id) const {
+  // Gather this document's edges and reassemble the tree.
+  struct NodeRec {
+    std::int64_t parent;
+    std::int64_t ord;
+    const std::string* tag;
+    const rel::Value* value;
+  };
+  std::map<std::int64_t, NodeRec> nodes;
+  std::map<std::int64_t, std::vector<std::int64_t>> children;
+  std::int64_t root = -1;
+  for (const rel::RowId rid : by_doc_->lookup(rel::Key{{rel::Value(id)}})) {
+    const rel::Row& row = edges_->row(rid);
+    const std::int64_t node = row[kNodeCol].as_int();
+    const std::int64_t parent = row[kParentCol].as_int();
+    nodes[node] =
+        NodeRec{parent, row[kOrdCol].as_int(), &row[kTagCol].as_string(), &row[kValueCol]};
+    if (parent == -1) {
+      root = node;
+    } else {
+      children[parent].push_back(node);
+    }
+  }
+  if (root == -1) return {};
+  for (auto& [parent, kids] : children) {
+    (void)parent;
+    std::sort(kids.begin(), kids.end(), [&](std::int64_t a, std::int64_t b) {
+      return nodes[a].ord < nodes[b].ord;
+    });
+  }
+
+  std::string out;
+  const auto emit = [&](auto&& self, std::int64_t node) -> void {
+    const NodeRec& rec = nodes[node];
+    xml::append_open_tag(out, *rec.tag, {});
+    const auto kids = children.find(node);
+    if (kids == children.end()) {
+      if (!rec.value->is_null()) out += xml::escape_text(rec.value->as_string());
+    } else {
+      for (const std::int64_t child : kids->second) self(self, child);
+    }
+    xml::append_close_tag(out, *rec.tag);
+  };
+  emit(emit, root);
+  return out;
+}
+
+}  // namespace hxrc::baselines

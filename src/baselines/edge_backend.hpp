@@ -1,0 +1,69 @@
+// Edge-table baseline (Florescu/Kossmann [17], also [16][18]).
+//
+// The document is stored as a graph: one row per element in a single table
+//   edges(doc, node, parent, ord, tag, value, value_num)
+// with leaf text carried in `value`. Queries navigate the graph through
+// self-joins (parent/child probes); verifying that a tag occurrence sits at
+// the right schema position costs one parent probe per path step, and
+// recursive content (dynamic attributes) costs one join round per data
+// nesting level — exactly the weaknesses the paper's inverted lists avoid
+// (§4, §6). Reconstruction reassembles the tree from the edge rows.
+//
+// Scope note: metadata documents are data-centric — no mixed content and no
+// XML attributes (the LEAD schema declares none) — so an element either has
+// element children or a single text value.
+#pragma once
+
+#include "baselines/backend.hpp"
+#include "rel/database.hpp"
+
+namespace hxrc::baselines {
+
+class EdgeBackend final : public MetadataBackend {
+ public:
+  explicit EdgeBackend(const core::Partition& partition);
+
+  std::string name() const override { return "edge"; }
+
+  ObjectId ingest(const xml::Document& doc, const std::string& owner) override;
+  std::vector<ObjectId> query(const core::ObjectQuery& q) const override;
+  std::string reconstruct(ObjectId id) const override;
+  std::size_t storage_bytes() const override { return db_.approx_bytes(); }
+  std::size_t object_count() const override { return static_cast<std::size_t>(next_doc_); }
+
+  /// Number of parent/child table probes issued by the last query (a proxy
+  /// for self-join work; read by the E3 bench).
+  std::size_t last_query_probes() const noexcept { return probes_; }
+
+ private:
+  struct NodeRef {
+    ObjectId doc;
+    std::int64_t node;
+  };
+
+  std::int64_t insert_subtree(const xml::Node& node, ObjectId doc, std::int64_t parent,
+                              std::int64_t ord);
+
+  /// Child rows of `node` (probe on the parent index).
+  std::vector<rel::RowId> children_of(std::int64_t node) const;
+
+  bool node_matches_attr(const rel::Row& row, const core::AttrQuery& attr,
+                         bool dynamic) const;
+  bool structural_matches(std::int64_t node, const core::AttrQuery& attr) const;
+  bool dynamic_matches(std::int64_t node, const core::AttrQuery& attr) const;
+  std::string child_value(std::int64_t node, const std::string& tag) const;
+  bool path_matches(std::int64_t node, const std::string& path) const;
+
+  const core::Partition& partition_;
+  rel::Database db_;
+  rel::Table* edges_;
+  const rel::Index* by_tag_;
+  const rel::Index* by_parent_;
+  const rel::Index* by_node_;
+  const rel::Index* by_doc_;
+  ObjectId next_doc_ = 0;
+  std::int64_t next_node_ = 0;
+  mutable std::size_t probes_ = 0;
+};
+
+}  // namespace hxrc::baselines

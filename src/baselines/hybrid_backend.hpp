@@ -1,0 +1,34 @@
+// The hybrid catalog exposed through the common backend interface, so the
+// benches sweep all four storage approaches uniformly.
+#pragma once
+
+#include "baselines/backend.hpp"
+#include "core/catalog.hpp"
+
+namespace hxrc::baselines {
+
+class HybridBackend final : public MetadataBackend {
+ public:
+  /// Builds a catalog over the partition's schema and annotations, with
+  /// dynamic auto-definition enabled (admin level) so all backends agree on
+  /// what is queryable without pre-registration.
+  explicit HybridBackend(const core::Partition& partition);
+
+  std::string name() const override { return "hybrid"; }
+
+  ObjectId ingest(const xml::Document& doc, const std::string& owner) override;
+  std::vector<ObjectId> query(const core::ObjectQuery& q) const override;
+  std::string reconstruct(ObjectId id) const override;
+  std::size_t storage_bytes() const override;
+  std::size_t object_count() const override { return catalog_.object_count(); }
+
+  core::MetadataCatalog& catalog() noexcept { return catalog_; }
+  const core::MetadataCatalog& catalog() const noexcept { return catalog_; }
+
+ private:
+  static core::PartitionAnnotations annotations_of(const core::Partition& partition);
+
+  core::MetadataCatalog catalog_;
+};
+
+}  // namespace hxrc::baselines

@@ -1,0 +1,98 @@
+// Shared-inlining baseline (Shanmugasundaram et al. [14], [16]).
+//
+// The schema is compiled into fragment tables: the document root and every
+// repeatable or recursive element become fragment roots; all non-repeatable
+// leaves reachable without crossing a fragment boundary are inlined as
+// columns (named by their path). Repeatable leaves become leaf fragments
+// with a single `value` column. Recursive elements (LEAD's attr) map to a
+// self-referencing fragment.
+//
+// This reproduces inlining's trade-offs as the paper describes them:
+//  * single-table predicates on inlined columns are fast (its strength);
+//  * set-valued content costs one join per fragment boundary;
+//  * dynamic metadata attributes shatter across the recursive fragment and
+//    need one self-join round per nesting level (§6: "dynamic metadata
+//    attributes would be split into numerous tables due to the cardinality
+//    issue");
+//  * reconstruction re-joins the fragments and runs an external tagger, and
+//    is only schema-ordered (§6 cites [20]: inlining is an unordered model).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "baselines/backend.hpp"
+#include "rel/database.hpp"
+#include "xml/schema.hpp"
+
+namespace hxrc::baselines {
+
+class InliningBackend final : public MetadataBackend {
+ public:
+  explicit InliningBackend(const core::Partition& partition);
+
+  std::string name() const override { return "inlining"; }
+
+  ObjectId ingest(const xml::Document& doc, const std::string& owner) override;
+  std::vector<ObjectId> query(const core::ObjectQuery& q) const override;
+  std::string reconstruct(ObjectId id) const override;
+  std::size_t storage_bytes() const override { return db_.approx_bytes(); }
+  std::size_t object_count() const override { return static_cast<std::size_t>(next_doc_); }
+
+  /// Number of fragment tables derived from the schema.
+  std::size_t fragment_count() const noexcept { return fragments_.size(); }
+
+ private:
+  /// A column inlined into a fragment: the slash path from the fragment
+  /// root and the schema node it came from.
+  struct InlinedLeaf {
+    std::string rel_path;
+    std::string column;
+    const xml::SchemaNode* node;
+  };
+
+  /// A nested fragment: where it hangs below this fragment root.
+  struct ChildFragment {
+    std::string rel_path;       // path of the child fragment root
+    std::size_t fragment;       // index into fragments_
+  };
+
+  struct Fragment {
+    const xml::SchemaNode* root = nullptr;
+    std::string table;
+    bool leaf_value = false;  // repeatable leaf: single `value` column
+    std::vector<InlinedLeaf> leaves;
+    std::vector<ChildFragment> children;
+  };
+
+  std::size_t compile_fragment(const xml::SchemaNode& node);
+  void compile_region(Fragment& fragment, const xml::SchemaNode& node,
+                      const std::string& prefix);
+  std::int64_t insert_fragment(std::size_t frag_index, const xml::Node& node,
+                               ObjectId doc, std::int64_t parent_frag,
+                               std::int64_t parent_row, std::int64_t ord);
+
+  // --- query evaluation ---
+  bool row_matches_structural(std::size_t frag_index, const rel::Row& row,
+                              const std::string& prefix,
+                              const core::AttrQuery& attr) const;
+  bool row_matches_dynamic(std::size_t frag_index, const rel::Row& row,
+                           const core::AttrQuery& attr) const;
+  /// Rows of fragment `child_frag` whose parent is (parent_frag, parent_row).
+  std::vector<rel::RowId> child_rows(std::size_t child_frag, std::int64_t parent_frag,
+                                     std::int64_t parent_row) const;
+
+  // --- reconstruction ---
+  void emit_fragment(std::string& out, std::size_t frag_index, const rel::Row& row) const;
+  void emit_region(std::string& out, std::size_t frag_index, const rel::Row& row,
+                   const xml::SchemaNode& node, const std::string& prefix) const;
+
+  const core::Partition& partition_;
+  rel::Database db_;
+  std::vector<Fragment> fragments_;
+  std::unordered_map<const xml::SchemaNode*, std::size_t> fragment_of_;
+  ObjectId next_doc_ = 0;
+  std::vector<std::int64_t> next_row_;  // per-fragment row id counters
+};
+
+}  // namespace hxrc::baselines

@@ -1,0 +1,119 @@
+#include "core/annotated_schema.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace hxrc::core {
+
+namespace {
+
+/// Collects metadata=... annotations from the raw declaration DOM, mirroring
+/// the path structure xml::load_schema builds.
+void collect_annotations(const xml::Node& decl, const std::string& prefix,
+                         PartitionAnnotations& annotations) {
+  for (const xml::Node* child : decl.child_elements()) {
+    if (child->name() != "element") continue;
+    const std::string* name = child->attribute("name");
+    if (name == nullptr) continue;  // load_schema rejects this separately
+    const std::string path = prefix.empty() ? *name : prefix + "/" + *name;
+    if (const std::string* metadata = child->attribute("metadata")) {
+      if (*metadata != "attribute" && *metadata != "dynamic") {
+        throw xml::SchemaError("metadata annotation must be 'attribute' or 'dynamic', got '" +
+                               *metadata + "'");
+      }
+      AttributeAnnotation annotation;
+      annotation.path = path;
+      annotation.dynamic = (*metadata == "dynamic");
+      if (const std::string* queryable = child->attribute("queryable")) {
+        annotation.queryable = (*queryable != "false");
+      }
+      annotations.attributes.push_back(std::move(annotation));
+    }
+    collect_annotations(*child, path, annotations);
+  }
+}
+
+void read_convention(const xml::Node& root, DynamicConvention& convention) {
+  const xml::Node* decl = root.first_child("convention");
+  if (decl == nullptr) return;
+  const auto assign = [&](const char* attr, std::string& target) {
+    if (const std::string* value = decl->attribute(attr)) target = *value;
+  };
+  assign("container", convention.def_container);
+  assign("name", convention.def_name);
+  assign("source", convention.def_source);
+  assign("item", convention.item_tag);
+  assign("itemName", convention.item_name);
+  assign("itemSource", convention.item_source);
+  assign("itemValue", convention.item_value);
+}
+
+}  // namespace
+
+AnnotatedSchema load_annotated_schema(std::string_view xml_text) {
+  // The structural part reuses the plain schema loader (which ignores the
+  // unknown metadata/queryable attributes); the annotations come from a
+  // second pass over the same DOM.
+  xml::Document doc = xml::parse(xml_text);
+  if (doc.root->name() != "schema") {
+    throw xml::SchemaError("expected <schema> root");
+  }
+  AnnotatedSchema out{xml::load_schema(xml_text), PartitionAnnotations{}};
+  collect_annotations(*doc.root, "", out.annotations);
+  read_convention(*doc.root, out.annotations.convention);
+  return out;
+}
+
+std::string save_annotated_schema(const xml::Schema& schema,
+                                  const PartitionAnnotations& annotations) {
+  // Serialize the plain schema, re-parse, and weave the annotations back in
+  // by path; then emit. This keeps one source of truth for the layout.
+  xml::Document doc = xml::parse(xml::save_schema(schema));
+
+  std::unordered_map<std::string, const AttributeAnnotation*> by_path;
+  for (const auto& annotation : annotations.attributes) {
+    by_path.emplace(annotation.path, &annotation);
+  }
+
+  const auto annotate = [&](auto&& self, xml::Node& decl,
+                            const std::string& prefix) -> void {
+    for (const auto& child_ptr : decl.children()) {
+      if (!child_ptr->is_element() || child_ptr->name() != "element") continue;
+      xml::Node& child = *child_ptr;
+      const std::string* name = child.attribute("name");
+      if (name == nullptr) continue;
+      const std::string path = prefix.empty() ? *name : prefix + "/" + *name;
+      const auto it = by_path.find(path);
+      if (it != by_path.end()) {
+        child.add_attribute("metadata", it->second->dynamic ? "dynamic" : "attribute");
+        if (!it->second->queryable) child.add_attribute("queryable", "false");
+      }
+      self(self, child, path);
+    }
+  };
+  annotate(annotate, *doc.root, "");
+
+  const DynamicConvention defaults;
+  const DynamicConvention& c = annotations.convention;
+  if (c.def_container != defaults.def_container || c.def_name != defaults.def_name ||
+      c.def_source != defaults.def_source || c.item_tag != defaults.item_tag ||
+      c.item_name != defaults.item_name || c.item_source != defaults.item_source ||
+      c.item_value != defaults.item_value) {
+    xml::Node* decl = doc.root->add_element("convention");
+    decl->add_attribute("container", c.def_container);
+    decl->add_attribute("name", c.def_name);
+    decl->add_attribute("source", c.def_source);
+    decl->add_attribute("item", c.item_tag);
+    decl->add_attribute("itemName", c.item_name);
+    decl->add_attribute("itemSource", c.item_source);
+    decl->add_attribute("itemValue", c.item_value);
+  }
+
+  return xml::write(doc, xml::WriteOptions{.indent = 2});
+}
+
+}  // namespace hxrc::core

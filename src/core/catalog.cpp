@@ -1,0 +1,534 @@
+#include "core/catalog.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <istream>
+#include <mutex>
+#include <ostream>
+
+#include "core/ordering.hpp"
+#include "core/storage.hpp"
+#include "rel/serialize.hpp"
+#include "xml/parser.hpp"
+
+namespace hxrc::core {
+
+MetadataCatalog::MetadataCatalog(const xml::Schema& schema,
+                                 PartitionAnnotations annotations, CatalogConfig config)
+    : schema_(schema),
+      config_(config),
+      partition_(Partition::build(schema, std::move(annotations))) {
+  registry_.install_structural(partition_);
+  install_storage(db_);
+  install_storage_indexes(db_);
+  install_ordering(db_, partition_);
+  // Containment tables for collections (aggregations).
+  rel::Table& collections = db_.create_table(
+      "collections", rel::TableSchema{{"coll_id", rel::Type::kInt},
+                                      {"name", rel::Type::kString},
+                                      {"owner", rel::Type::kString},
+                                      {"parent", rel::Type::kInt}});
+  collections.create_hash_index("idx_coll_parent", {"parent"});
+  rel::Table& members = db_.create_table(
+      "collection_members", rel::TableSchema{{"coll_id", rel::Type::kInt},
+                                             {"object_id", rel::Type::kInt}});
+  members.create_hash_index("idx_member_coll", {"coll_id"});
+  members.create_hash_index("idx_member_pair", {"coll_id", "object_id"});
+
+  shredder_ = std::make_unique<Shredder>(partition_, registry_, db_, config_.shred);
+  EngineOptions engine_options = config_.engine;
+  if (engine_options.thesaurus == nullptr) engine_options.thesaurus = &thesaurus_;
+  engine_ = std::make_unique<QueryEngine>(partition_, registry_, db_, engine_options);
+  responder_ = std::make_unique<ResponseBuilder>(partition_, db_);
+}
+
+ObjectId MetadataCatalog::ingest(const xml::Document& doc, const std::string& name,
+                                 const std::string& owner) {
+  const ObjectId id = next_object_++;
+  stats_ += shredder_->shred(doc, id, name, owner);
+  return id;
+}
+
+ObjectId MetadataCatalog::ingest_xml(std::string_view xml_text, const std::string& name,
+                                     const std::string& owner) {
+  return ingest(xml::parse(xml_text), name, owner);
+}
+
+void MetadataCatalog::add_attribute(ObjectId object, std::string_view attribute_path,
+                                    const xml::Node& content, const std::string& owner) {
+  for (const AttributeRootInfo& root : partition_.attribute_roots()) {
+    if (root.path == attribute_path) {
+      stats_ += shredder_->shred_additional(content, object, root, owner);
+      return;
+    }
+  }
+  throw ValidationError("no attribute root at path '" + std::string(attribute_path) + "'");
+}
+
+void MetadataCatalog::add_attribute_xml(ObjectId object, std::string_view attribute_path,
+                                        std::string_view content_xml,
+                                        const std::string& owner) {
+  const xml::NodePtr content = xml::parse_fragment(content_xml);
+  add_attribute(object, attribute_path, *content, owner);
+}
+
+std::vector<ObjectId> MetadataCatalog::ingest_parallel(
+    util::ThreadPool& pool, const std::vector<xml::Document>& docs,
+    const std::string& owner) {
+  // Reserve the id range up front so ids are stable regardless of thread
+  // interleaving.
+  const ObjectId first = next_object_;
+  next_object_ += static_cast<ObjectId>(docs.size());
+
+  // Per-thread staging databases: tables without indexes, shredded
+  // independently, merged under a single lock at the end.
+  const std::size_t shards = std::max<std::size_t>(1, pool.size());
+  struct Shard {
+    std::unique_ptr<rel::Database> db;
+    std::unique_ptr<Shredder> shredder;
+    ShredStats stats;
+  };
+  std::vector<Shard> staged(shards);
+  for (Shard& shard : staged) {
+    shard.db = std::make_unique<rel::Database>();
+    install_storage(*shard.db);  // no indexes during staging
+    shard.shredder =
+        std::make_unique<Shredder>(partition_, registry_, *shard.db, config_.shred);
+  }
+
+  // Note: auto-definition mutates the shared registry; ingest_parallel
+  // therefore requires all dynamic definitions to be registered up front.
+  if (config_.shred.auto_define_dynamic) {
+    throw ValidationError(
+        "ingest_parallel requires pre-registered dynamic definitions "
+        "(auto_define_dynamic is not thread-safe)");
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    futures.push_back(pool.submit([&, s] {
+      Shard& shard = staged[s];
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= docs.size()) break;
+        shard.stats += shard.shredder->shred(
+            docs[i], first + static_cast<ObjectId>(i),
+            "doc-" + std::to_string(first + static_cast<ObjectId>(i)), owner);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  // Merge staged rows and CLOBs. Each target table is independent, so the
+  // per-table merges run concurrently; CLOB ids are remapped by offsetting
+  // with per-shard offsets computed up front.
+  std::vector<rel::ClobId> clob_offsets(shards);
+  {
+    auto offset = static_cast<rel::ClobId>(db_.clobs().count());
+    for (std::size_t s = 0; s < shards; ++s) {
+      clob_offsets[s] = offset;
+      offset += static_cast<rel::ClobId>(staged[s].db->clobs().count());
+    }
+  }
+  std::vector<std::future<void>> merge_tasks;
+  merge_tasks.push_back(pool.submit([&] {
+    for (Shard& shard : staged) {
+      db_.clobs().absorb(shard.db->clobs());
+    }
+  }));
+  for (const char* table_name :
+       {kObjectsTable, kAttrInstancesTable, kAttrInvertedTable, kElemDataTable}) {
+    merge_tasks.push_back(pool.submit([this, table_name, &staged] {
+      rel::Table& target = db_.require_table(table_name);
+      for (Shard& shard : staged) {
+        target.merge_move_from(shard.db->require_table(table_name));
+      }
+    }));
+  }
+  merge_tasks.push_back(pool.submit([this, &staged, &clob_offsets] {
+    // attr_clobs needs the clob_id column remapped.
+    rel::Table& target = db_.require_table(kAttrClobsTable);
+    const std::size_t clob_id_col = target.schema().require("clob_id");
+    for (std::size_t s = 0; s < staged.size(); ++s) {
+      const rel::Table& source = staged[s].db->require_table(kAttrClobsTable);
+      for (rel::Row row : source.rows()) {
+        row[clob_id_col] = rel::Value(row[clob_id_col].as_int() + clob_offsets[s]);
+        target.append_unchecked(std::move(row));
+      }
+    }
+  }));
+  for (auto& task : merge_tasks) task.get();
+  for (Shard& shard : staged) {
+    stats_ += shard.stats;
+    shredder_->absorb_counters(*shard.shredder);
+  }
+
+  std::vector<ObjectId> ids;
+  ids.reserve(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    ids.push_back(first + static_cast<ObjectId>(i));
+  }
+  return ids;
+}
+
+AttrDefId MetadataCatalog::define_dynamic_attribute(
+    const std::string& name, const std::string& source,
+    const std::vector<DynamicElementSpec>& elements, Visibility visibility,
+    const std::string& owner) {
+  // Dynamic top-level definitions anchor at the first dynamic root's order.
+  OrderId order = kNoOrder;
+  for (const AttributeRootInfo& root : partition_.attribute_roots()) {
+    if (root.dynamic) {
+      order = root.order;
+      break;
+    }
+  }
+  const AttrDefId id = registry_.define_attribute(name, source, AttrKind::kDynamic,
+                                                  kNoAttr, order, visibility, owner);
+  for (const DynamicElementSpec& elem : elements) {
+    registry_.define_element(elem.name, elem.source.empty() ? source : elem.source, id,
+                             elem.type);
+  }
+  return id;
+}
+
+AttrDefId MetadataCatalog::define_dynamic_sub_attribute(
+    AttrDefId parent, const std::string& name, const std::string& source,
+    const std::vector<DynamicElementSpec>& elements, Visibility visibility,
+    const std::string& owner) {
+  const AttrDefId id = registry_.define_attribute(name, source, AttrKind::kDynamic,
+                                                  parent, kNoOrder, visibility, owner);
+  for (const DynamicElementSpec& elem : elements) {
+    registry_.define_element(elem.name, elem.source.empty() ? source : elem.source, id,
+                             elem.type);
+  }
+  return id;
+}
+
+CollectionId MetadataCatalog::create_collection(const std::string& name,
+                                                const std::string& owner,
+                                                CollectionId parent) {
+  rel::Table& collections = db_.require_table("collections");
+  if (parent != kNoCollection &&
+      static_cast<std::size_t>(parent) >= collections.row_count()) {
+    throw ValidationError("unknown parent collection " + std::to_string(parent));
+  }
+  const auto id = static_cast<CollectionId>(collections.row_count());
+  collections.append(rel::Row{rel::Value(id), rel::Value(name), rel::Value(owner),
+                              parent == kNoCollection ? rel::Value::null()
+                                                      : rel::Value(parent)});
+  return id;
+}
+
+void MetadataCatalog::add_to_collection(CollectionId collection, ObjectId object) {
+  rel::Table& members = db_.require_table("collection_members");
+  if (static_cast<std::size_t>(collection) >=
+      db_.require_table("collections").row_count()) {
+    throw ValidationError("unknown collection " + std::to_string(collection));
+  }
+  const rel::Index* pair_index = members.index("idx_member_pair");
+  if (!pair_index->lookup(rel::Key{{rel::Value(collection), rel::Value(object)}}).empty()) {
+    return;  // already a member
+  }
+  members.append(rel::Row{rel::Value(collection), rel::Value(object)});
+}
+
+std::vector<CollectionId> MetadataCatalog::child_collections(
+    CollectionId collection) const {
+  const rel::Table& collections = db_.require_table("collections");
+  std::vector<CollectionId> out;
+  for (const rel::RowId id :
+       collections.index("idx_coll_parent")->lookup(rel::Key{{rel::Value(collection)}})) {
+    out.push_back(collections.row(id)[0].as_int());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ObjectId> MetadataCatalog::collection_members(CollectionId collection,
+                                                          bool recursive) const {
+  const rel::Table& members = db_.require_table("collection_members");
+  const rel::Index* by_collection = members.index("idx_member_coll");
+  std::vector<ObjectId> out;
+  std::vector<CollectionId> frontier{collection};
+  while (!frontier.empty()) {
+    const CollectionId current = frontier.back();
+    frontier.pop_back();
+    for (const rel::RowId id : by_collection->lookup(rel::Key{{rel::Value(current)}})) {
+      out.push_back(members.row(id)[1].as_int());
+    }
+    if (recursive) {
+      const auto children = child_collections(current);
+      frontier.insert(frontier.end(), children.begin(), children.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<ObjectId> MetadataCatalog::query_in_collection(CollectionId collection,
+                                                           const ObjectQuery& q,
+                                                           bool recursive) const {
+  const std::vector<ObjectId> scope = collection_members(collection, recursive);
+  const std::vector<ObjectId> hits = engine_->run(q);
+  std::vector<ObjectId> out;
+  std::set_intersection(hits.begin(), hits.end(), scope.begin(), scope.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<ObjectId> MetadataCatalog::query(const ObjectQuery& q,
+                                             QueryPlanInfo* info) const {
+  std::vector<ObjectId> hits = engine_->run(q, info);
+  if (!deleted_.empty()) {
+    std::erase_if(hits, [this](ObjectId id) { return deleted_.count(id) != 0; });
+  }
+  return hits;
+}
+
+std::string MetadataCatalog::build_response(std::span<const ObjectId> ids) const {
+  std::string out = "<results>";
+  for (const ObjectId id : ids) {
+    if (is_deleted(id)) continue;
+    out += "<result objectID=\"" + std::to_string(id) + "\">";
+    out += responder_->build_document(id);
+    out += "</result>";
+  }
+  out += "</results>";
+  return out;
+}
+
+std::string MetadataCatalog::build_response(
+    std::span<const ObjectId> ids, const std::vector<std::string>& attribute_paths) const {
+  std::vector<OrderId> orders;
+  orders.reserve(attribute_paths.size());
+  for (const std::string& path : attribute_paths) {
+    bool found = false;
+    for (const AttributeRootInfo& root : partition_.attribute_roots()) {
+      if (root.path == path) {
+        orders.push_back(root.order);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw ValidationError("no attribute root at path '" + path + "'");
+    }
+  }
+  std::string out = "<results>";
+  for (const ObjectId id : ids) {
+    if (is_deleted(id)) continue;
+    out += "<result objectID=\"" + std::to_string(id) + "\">";
+    out += responder_->build_document(id, orders);
+    out += "</result>";
+  }
+  out += "</results>";
+  return out;
+}
+
+void MetadataCatalog::delete_object(ObjectId id) {
+  if (id < 0 || id >= next_object_) {
+    throw ValidationError("unknown object " + std::to_string(id));
+  }
+  deleted_.insert(id);
+}
+
+namespace {
+
+void write_token(std::ostream& out, const std::string& s) {
+  out << s.size() << ' ';
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  out << '\n';
+}
+
+std::string read_token(std::istream& in) {
+  std::size_t length = 0;
+  if (!(in >> length)) throw ValidationError("truncated catalog stream");
+  in.get();
+  std::string s(length, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(length));
+  if (static_cast<std::size_t>(in.gcount()) != length) {
+    throw ValidationError("truncated catalog stream");
+  }
+  return s;
+}
+
+}  // namespace
+
+void MetadataCatalog::save(std::ostream& out) const {
+  out << "HXRCCAT 1\n";
+  out << "next_object " << next_object_ << '\n';
+
+  // Structural definitions are reproduced by the constructor; count them so
+  // restore can verify alignment, then write everything after them.
+  std::size_t structural_attrs = 0;
+  for (const AttributeDef& def : registry_.attributes()) {
+    if (def.kind == AttrKind::kStructural) ++structural_attrs;
+  }
+  std::size_t structural_elems = 0;
+  for (const ElementDef& def : registry_.elements()) {
+    if (registry_.attribute(def.attribute).kind == AttrKind::kStructural &&
+        def.source.empty()) {
+      ++structural_elems;
+    }
+  }
+  // Structural defs form the id prefix (they are all created in the ctor).
+  out << "attrs " << structural_attrs << ' ' << registry_.attribute_count() << '\n';
+  for (std::size_t i = structural_attrs; i < registry_.attribute_count(); ++i) {
+    const AttributeDef& def = registry_.attribute(static_cast<AttrDefId>(i));
+    write_token(out, def.name);
+    write_token(out, def.source);
+    out << static_cast<int>(def.kind) << ' ' << def.parent << ' ' << def.schema_order
+        << ' ' << static_cast<int>(def.visibility) << ' ';
+    write_token(out, def.owner);
+    out << (def.queryable ? 1 : 0) << '\n';
+  }
+
+  // Element defs: the structural prefix is likewise rebuilt by the ctor.
+  std::size_t structural_elem_prefix = 0;
+  for (const ElementDef& def : registry_.elements()) {
+    if (static_cast<std::size_t>(def.attribute) < structural_attrs) {
+      ++structural_elem_prefix;
+    } else {
+      break;
+    }
+  }
+  (void)structural_elems;
+  out << "elems " << structural_elem_prefix << ' ' << registry_.element_count() << '\n';
+  for (std::size_t i = structural_elem_prefix; i < registry_.element_count(); ++i) {
+    const ElementDef& def = registry_.element(static_cast<ElemDefId>(i));
+    write_token(out, def.name);
+    write_token(out, def.source);
+    out << def.attribute << ' ' << static_cast<int>(def.type) << '\n';
+  }
+
+  // Thesaurus.
+  const auto synonyms = thesaurus_.items();
+  out << "thesaurus " << synonyms.size() << '\n';
+  for (const auto& [alias, canonical] : synonyms) {
+    write_token(out, alias.name);
+    write_token(out, alias.source);
+    write_token(out, canonical.name);
+    write_token(out, canonical.source);
+  }
+
+  out << "deleted " << deleted_.size() << '\n';
+  for (const ObjectId id : deleted_) out << id << '\n';
+
+  shredder_->save_counters(out);
+  rel::save_database(db_, out);
+}
+
+void MetadataCatalog::restore(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "HXRCCAT" || version != 1) {
+    throw ValidationError("not an HXRCCAT version-1 stream");
+  }
+  std::string tag;
+  if (!(in >> tag >> next_object_) || tag != "next_object") {
+    throw ValidationError("bad catalog header");
+  }
+
+  // Dynamic attribute definitions (the structural prefix must align with
+  // what the constructor rebuilt from the schema).
+  std::size_t structural_attrs = 0;
+  std::size_t total_attrs = 0;
+  if (!(in >> tag >> structural_attrs >> total_attrs) || tag != "attrs") {
+    throw ValidationError("bad attrs section");
+  }
+  std::size_t current_structural = 0;
+  for (const AttributeDef& def : registry_.attributes()) {
+    if (def.kind == AttrKind::kStructural) ++current_structural;
+  }
+  if (current_structural != structural_attrs ||
+      registry_.attribute_count() != structural_attrs) {
+    throw ValidationError(
+        "catalog stream was saved against a different schema partition");
+  }
+  for (std::size_t i = structural_attrs; i < total_attrs; ++i) {
+    const std::string name = read_token(in);
+    const std::string source = read_token(in);
+    int kind = 0;
+    AttrDefId parent = kNoAttr;
+    OrderId order = kNoOrder;
+    int visibility = 0;
+    in >> kind >> parent >> order >> visibility;
+    const std::string owner = read_token(in);
+    int queryable = 1;
+    in >> queryable;
+    const AttrDefId id = registry_.define_attribute(
+        name, source, static_cast<AttrKind>(kind), parent, order,
+        static_cast<Visibility>(visibility), owner, queryable != 0);
+    if (static_cast<std::size_t>(id) != i) {
+      throw ValidationError("definition id drift while restoring attributes");
+    }
+  }
+
+  std::size_t structural_elem_prefix = 0;
+  std::size_t total_elems = 0;
+  if (!(in >> tag >> structural_elem_prefix >> total_elems) || tag != "elems") {
+    throw ValidationError("bad elems section");
+  }
+  if (registry_.element_count() != structural_elem_prefix) {
+    throw ValidationError(
+        "catalog stream was saved against a different structural element set");
+  }
+  for (std::size_t i = structural_elem_prefix; i < total_elems; ++i) {
+    const std::string name = read_token(in);
+    const std::string source = read_token(in);
+    AttrDefId attribute = kNoAttr;
+    int type = 0;
+    in >> attribute >> type;
+    const ElemDefId id =
+        registry_.define_element(name, source, attribute, static_cast<xml::LeafType>(type));
+    if (static_cast<std::size_t>(id) != i) {
+      throw ValidationError("definition id drift while restoring elements");
+    }
+  }
+
+  std::size_t synonym_count = 0;
+  if (!(in >> tag >> synonym_count) || tag != "thesaurus") {
+    throw ValidationError("bad thesaurus section");
+  }
+  for (std::size_t i = 0; i < synonym_count; ++i) {
+    const std::string alias_name = read_token(in);
+    const std::string alias_source = read_token(in);
+    const std::string canonical_name = read_token(in);
+    const std::string canonical_source = read_token(in);
+    thesaurus_.add_synonym(alias_name, alias_source, canonical_name, canonical_source);
+  }
+
+  std::size_t deleted_count = 0;
+  if (!(in >> tag >> deleted_count) || tag != "deleted") {
+    throw ValidationError("bad deleted section");
+  }
+  deleted_.clear();
+  for (std::size_t i = 0; i < deleted_count; ++i) {
+    ObjectId id = 0;
+    in >> id;
+    deleted_.insert(id);
+  }
+
+  shredder_->load_counters(in);
+  rel::load_database_into(db_, in);
+}
+
+xml::Document MetadataCatalog::fetch(ObjectId id) const {
+  if (is_deleted(id)) {
+    throw ValidationError("object " + std::to_string(id) + " has been deleted");
+  }
+  const std::string text = responder_->build_document(id);
+  if (text.empty()) {
+    // An object with no stored attributes reconstructs as an empty root.
+    xml::Document doc;
+    doc.root = xml::Node::element(schema_.root().name());
+    return doc;
+  }
+  return xml::parse(text);
+}
+
+}  // namespace hxrc::core

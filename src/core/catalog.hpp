@@ -1,0 +1,193 @@
+// MetadataCatalog: the public facade of the hybrid XML-relational catalog.
+//
+// Wires together the partitioned schema, the definition registry, the
+// relational database (shredded tables + ordering tables + CLOB store), the
+// shredder, the Fig. 4 query engine, and the §5 response builder.
+//
+// Typical use:
+//
+//   xml::Schema schema = workload::lead_schema();
+//   MetadataCatalog catalog(schema, workload::lead_annotations());
+//   catalog.define_dynamic_attribute("grid", "ARPS", {{"dx", LeafType::kDouble}, ...});
+//   ObjectId id = catalog.ingest_xml(document_text, "run-042", "alice");
+//   auto ids = catalog.query(query);
+//   std::string response = catalog.build_response(ids);
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/model.hpp"
+#include "core/partition.hpp"
+#include "core/query.hpp"
+#include "core/registry.hpp"
+#include "core/response.hpp"
+#include "core/shredder.hpp"
+#include "rel/database.hpp"
+#include "util/thread_pool.hpp"
+#include "xml/dom.hpp"
+#include "xml/schema.hpp"
+
+namespace hxrc::core {
+
+struct CatalogConfig {
+  ShredOptions shred;
+  EngineOptions engine;
+};
+
+/// Declaration of one element of a dynamic attribute definition.
+struct DynamicElementSpec {
+  std::string name;
+  xml::LeafType type = xml::LeafType::kString;
+  /// Defaults to the attribute's source when empty.
+  std::string source;
+};
+
+class MetadataCatalog {
+ public:
+  /// The schema is partitioned with the given annotations (see
+  /// Partition::build); pass Partition::infer(schema) to auto-annotate.
+  /// The schema must outlive the catalog.
+  MetadataCatalog(const xml::Schema& schema, PartitionAnnotations annotations,
+                  CatalogConfig config = {});
+
+  // ---- ingest ----
+
+  /// Ingests a parsed document; returns the new object id.
+  ObjectId ingest(const xml::Document& doc, const std::string& name,
+                  const std::string& owner);
+
+  /// Parses and ingests serialized XML.
+  ObjectId ingest_xml(std::string_view xml_text, const std::string& name,
+                      const std::string& owner);
+
+  /// Adds one attribute instance to an existing object (§5: "as metadata
+  /// attributes were inserted later"). `attribute_path` is the schema path
+  /// of the attribute root (e.g. "data/idinfo/keywords/theme"); `content`
+  /// is the attribute subtree (its root tag must match). The instance
+  /// sequences after the object's existing siblings in rebuilt responses.
+  void add_attribute(ObjectId object, std::string_view attribute_path,
+                     const xml::Node& content, const std::string& owner = {});
+  void add_attribute_xml(ObjectId object, std::string_view attribute_path,
+                         std::string_view content_xml, const std::string& owner = {});
+
+  /// Shreds documents in parallel into per-thread staging databases, then
+  /// merges. Returns the assigned ids (in input order). Index maintenance
+  /// happens once, after the merge.
+  std::vector<ObjectId> ingest_parallel(util::ThreadPool& pool,
+                                        const std::vector<xml::Document>& docs,
+                                        const std::string& owner);
+
+  // ---- definitions ----
+
+  /// Registers a dynamic attribute (admin level by default) with its
+  /// elements. Returns the attribute definition id.
+  AttrDefId define_dynamic_attribute(const std::string& name, const std::string& source,
+                                     const std::vector<DynamicElementSpec>& elements = {},
+                                     Visibility visibility = Visibility::kAdmin,
+                                     const std::string& owner = {});
+
+  /// Registers a dynamic sub-attribute under an existing definition.
+  AttrDefId define_dynamic_sub_attribute(AttrDefId parent, const std::string& name,
+                                         const std::string& source,
+                                         const std::vector<DynamicElementSpec>& elements = {},
+                                         Visibility visibility = Visibility::kAdmin,
+                                         const std::string& owner = {});
+
+  // ---- collections (containment context, §1/§7) ----
+
+  /// Creates a (possibly nested) collection owned by `owner`.
+  CollectionId create_collection(const std::string& name, const std::string& owner,
+                                 CollectionId parent = kNoCollection);
+
+  /// Adds an object to a collection (idempotent).
+  void add_to_collection(CollectionId collection, ObjectId object);
+
+  /// Member objects; with `recursive`, members of nested collections too.
+  std::vector<ObjectId> collection_members(CollectionId collection,
+                                           bool recursive = true) const;
+
+  /// Direct child collections.
+  std::vector<CollectionId> child_collections(CollectionId collection) const;
+
+  /// Runs a metadata query scoped to a collection's (recursive) members —
+  /// the containment-context query of §7.
+  std::vector<ObjectId> query_in_collection(CollectionId collection, const ObjectQuery& q,
+                                            bool recursive = true) const;
+
+  // ---- query & response ----
+
+  std::vector<ObjectId> query(const ObjectQuery& q, QueryPlanInfo* info = nullptr) const;
+
+  /// Full tagged-XML response for a set of object ids (§5).
+  std::string build_response(std::span<const ObjectId> ids) const;
+
+  /// Projected response: only the attributes at the given schema paths
+  /// (e.g. {"data/idinfo/keywords/theme"}) are returned for each object.
+  std::string build_response(std::span<const ObjectId> ids,
+                             const std::vector<std::string>& attribute_paths) const;
+
+  /// One object's reconstructed document, parsed back to a DOM.
+  /// Throws ValidationError for deleted objects.
+  xml::Document fetch(ObjectId id) const;
+
+  // ---- deletion ----
+
+  /// Tombstones an object: it stops matching queries and can no longer be
+  /// fetched. Storage is reclaimed lazily (the tables are append-only).
+  void delete_object(ObjectId id);
+
+  bool is_deleted(ObjectId id) const noexcept { return deleted_.count(id) != 0; }
+  std::size_t deleted_count() const noexcept { return deleted_.size(); }
+
+  // ---- persistence ----
+
+  /// Serializes the whole catalog state: object counter, dynamic
+  /// definitions, thesaurus, same-sibling counters, and the database
+  /// (shredded tables, ordering tables, collections, CLOBs).
+  void save(std::ostream& out) const;
+
+  /// Restores state saved by save(). The catalog must have been constructed
+  /// with the same schema and annotations (the structural definitions and
+  /// ordering tables are rebuilt by the constructor and verified here).
+  /// Existing ingested data is discarded.
+  void restore(std::istream& in);
+
+  // ---- introspection ----
+
+  const Partition& partition() const noexcept { return partition_; }
+  const DefinitionRegistry& registry() const noexcept { return registry_; }
+  /// Mutable registry access for bulk definition import (e.g. replicating
+  /// definitions between catalogs before parallel ingest).
+  DefinitionRegistry& registry() noexcept { return registry_; }
+
+  /// The catalog's ontology (§3): synonyms added here are consulted when a
+  /// query criterion does not match a definition directly.
+  Thesaurus& thesaurus() noexcept { return thesaurus_; }
+  const Thesaurus& thesaurus() const noexcept { return thesaurus_; }
+  const rel::Database& database() const noexcept { return db_; }
+  rel::Database& database() noexcept { return db_; }
+  const ShredStats& total_stats() const noexcept { return stats_; }
+  std::size_t object_count() const noexcept { return static_cast<std::size_t>(next_object_); }
+
+ private:
+  const xml::Schema& schema_;
+  CatalogConfig config_;
+  Partition partition_;
+  DefinitionRegistry registry_;
+  Thesaurus thesaurus_;
+  rel::Database db_;
+  std::unique_ptr<Shredder> shredder_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<ResponseBuilder> responder_;
+  ObjectId next_object_ = 0;
+  ShredStats stats_;
+  std::unordered_set<ObjectId> deleted_;
+};
+
+}  // namespace hxrc::core

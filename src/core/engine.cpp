@@ -1,0 +1,416 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "core/storage.hpp"
+#include "rel/ops.hpp"
+#include "util/string_util.hpp"
+
+namespace hxrc::core {
+
+namespace {
+
+/// One shredded query-attribute criterion (a "temp table" row, Fig. 4).
+struct QueryNode {
+  std::size_t qa_id = 0;
+  const AttrQuery* query = nullptr;
+  std::size_t parent = SIZE_MAX;  // SIZE_MAX = top-level
+  std::size_t depth = 0;          // 0 = top-level
+  AttrDefId def = kNoAttr;
+  /// (qe_id, predicate, resolved element definition).
+  std::vector<std::tuple<std::size_t, const ElementPredicate*, const ElementDef*>> elements;
+  std::vector<std::size_t> children;  // qa_ids
+};
+
+/// Loose element lookup: exact (name, source) first, then a unique match by
+/// name alone — the paper's MyAttr.addElement("dzmin", 100, EQ) omits the
+/// source when it is unambiguous within the attribute — then the ontology's
+/// synonyms (§3).
+const ElementDef* find_element_loose(const DefinitionRegistry& registry,
+                                     const std::string& name, const std::string& source,
+                                     AttrDefId attribute, const Thesaurus* thesaurus) {
+  if (const ElementDef* exact = registry.find_element(name, source, attribute)) {
+    return exact;
+  }
+  if (source.empty()) {
+    const ElementDef* unique = nullptr;
+    for (const ElementDef& def : registry.elements()) {
+      if (def.attribute == attribute && def.name == name) {
+        if (unique != nullptr) {
+          unique = nullptr;  // ambiguous
+          break;
+        }
+        unique = &def;
+      }
+    }
+    if (unique != nullptr) return unique;
+  }
+  if (thesaurus != nullptr) {
+    if (const auto canonical = thesaurus->resolve(name, source)) {
+      return registry.find_element(canonical->name, canonical->source, attribute);
+    }
+  }
+  return nullptr;
+}
+
+/// Attribute lookup: exact (name, source) first; then, when the source is
+/// omitted, a unique match by name among visible definitions with the same
+/// parent; then the ontology's synonyms (§3).
+const AttributeDef* find_attribute_loose(const DefinitionRegistry& registry,
+                                         const std::string& name,
+                                         const std::string& source, AttrDefId parent,
+                                         const std::string& user,
+                                         const Thesaurus* thesaurus) {
+  if (const AttributeDef* exact = registry.find_attribute(name, source, parent, user)) {
+    return exact;
+  }
+  if (source.empty()) {
+    const AttributeDef* unique = nullptr;
+    for (const AttributeDef& def : registry.attributes()) {
+      if (def.parent != parent || def.name != name) continue;
+      if (def.visibility == Visibility::kUser && def.owner != user) continue;
+      if (unique != nullptr) {
+        unique = nullptr;  // ambiguous across sources
+        break;
+      }
+      unique = &def;
+    }
+    if (unique != nullptr) return unique;
+  }
+  if (thesaurus != nullptr) {
+    if (const auto canonical = thesaurus->resolve(name, source)) {
+      return registry.find_attribute(canonical->name, canonical->source, parent, user);
+    }
+  }
+  return nullptr;
+}
+
+/// Builds the value predicate over elem_data rows using the shared
+/// comparison semantics: numeric when both operands are numeric (value_num
+/// mirrors every value that parses as a number), string otherwise.
+rel::ExprPtr predicate_expr(const rel::ResultSet& elem_rows, const ElementPredicate& pred,
+                            const ElementDef& def) {
+  (void)def;
+  if (pred.exists_only) return rel::lit(rel::Value(std::int64_t{1}));
+
+  const std::size_t value_str = elem_rows.column("value_str");
+  const std::size_t value_num = elem_rows.column("value_num");
+
+  rel::BinOp op;
+  switch (pred.op) {
+    case CompareOp::kEq: op = rel::BinOp::kEq; break;
+    case CompareOp::kNe: op = rel::BinOp::kNe; break;
+    case CompareOp::kLt: op = rel::BinOp::kLt; break;
+    case CompareOp::kLe: op = rel::BinOp::kLe; break;
+    case CompareOp::kGt: op = rel::BinOp::kGt; break;
+    case CompareOp::kGe: op = rel::BinOp::kGe; break;
+    default: op = rel::BinOp::kEq; break;
+  }
+
+  const std::string rhs_text = pred.value.to_string();
+  const auto rhs_num = util::parse_double(rhs_text);
+  if (!rhs_num) {
+    // Non-numeric criterion: always a string comparison.
+    return rel::binary(op, rel::col(value_str, "value_str"), rel::lit(rel::Value(rhs_text)));
+  }
+  // Numeric criterion: numeric compare when the stored value is numeric,
+  // string compare against the criterion text otherwise.
+  return rel::or_(
+      rel::and_(rel::not_(rel::is_null(rel::col(value_num, "value_num"))),
+                rel::binary(op, rel::col(value_num, "value_num"),
+                            rel::lit(rel::Value(*rhs_num)))),
+      rel::and_(rel::is_null(rel::col(value_num, "value_num")),
+                rel::binary(op, rel::col(value_str, "value_str"),
+                            rel::lit(rel::Value(rhs_text)))));
+}
+
+}  // namespace
+
+struct QueryShredded {
+  std::vector<QueryNode> nodes;
+  std::vector<std::size_t> tops;
+  std::size_t element_count = 0;
+  std::size_t max_depth = 0;
+  bool resolved = true;  // false when any definition was unknown/invisible
+};
+
+QueryEngine::QueryEngine(const Partition& partition, const DefinitionRegistry& registry,
+                         const rel::Database& db, EngineOptions options)
+    : partition_(partition), registry_(registry), db_(db), options_(options) {}
+
+namespace {
+
+void shred_attr(const DefinitionRegistry& registry, const Thesaurus* thesaurus,
+                const std::string& user, const AttrQuery& attr, std::size_t parent,
+                std::size_t depth, QueryShredded& out) {
+  const AttrDefId parent_def =
+      parent == SIZE_MAX ? kNoAttr : out.nodes[parent].def;
+  const AttributeDef* def = find_attribute_loose(registry, attr.name(), attr.source(),
+                                                 parent_def, user, thesaurus);
+
+  QueryNode node;
+  node.qa_id = out.nodes.size();
+  node.query = &attr;
+  node.parent = parent;
+  node.depth = depth;
+  out.max_depth = std::max(out.max_depth, depth);
+  if (def == nullptr || !def->queryable) {
+    out.resolved = false;
+    out.nodes.push_back(std::move(node));
+    return;
+  }
+  node.def = def->id;
+
+  for (const ElementPredicate& pred : attr.elements()) {
+    const ElementDef* elem =
+        find_element_loose(registry, pred.name, pred.source, def->id, thesaurus);
+    if (elem == nullptr) {
+      out.resolved = false;
+    } else {
+      node.elements.emplace_back(out.element_count, &pred, elem);
+    }
+    ++out.element_count;
+  }
+
+  const std::size_t my_index = out.nodes.size();
+  out.nodes.push_back(std::move(node));
+  if (parent != SIZE_MAX) out.nodes[parent].children.push_back(my_index);
+  if (parent == SIZE_MAX) out.tops.push_back(my_index);
+
+  for (const AttrQuery& sub : attr.sub_attributes()) {
+    shred_attr(registry, thesaurus, user, sub, my_index, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+bool QueryEngine::can_fast_path(const QueryShredded& shredded) const {
+  for (const QueryNode& node : shredded.nodes) {
+    if (!node.children.empty()) return false;
+    // Single-instance check: structural attributes whose schema node is not
+    // repeatable have at most one instance per object. Anything else
+    // (repeatable or dynamic) may repeat.
+    const AttributeDef& def = registry_.attribute(node.def);
+    if (def.kind != AttrKind::kStructural) return false;
+    if (def.schema_order == kNoOrder) return false;
+    const AttributeRootInfo* root = partition_.root_at(def.schema_order);
+    if (root == nullptr || root->repeatable) return false;
+  }
+  return true;
+}
+
+std::vector<ObjectId> QueryEngine::run(const ObjectQuery& query,
+                                       QueryPlanInfo* info) const {
+  QueryShredded shredded;
+  for (const AttrQuery& attr : query.attributes()) {
+    shred_attr(registry_, options_.thesaurus, query.user(), attr, SIZE_MAX, 0, shredded);
+  }
+  if (info != nullptr) {
+    info->query_nodes = shredded.nodes.size();
+    info->query_elements = shredded.element_count;
+    info->rollup_levels = shredded.max_depth;
+  }
+  if (shredded.nodes.empty() || !shredded.resolved) return {};
+
+  if (options_.enable_fastpath && can_fast_path(shredded)) {
+    return run_fast(shredded, info);
+  }
+  return run_general(shredded, info);
+}
+
+std::vector<ObjectId> QueryEngine::run_fast(const QueryShredded& shredded,
+                                            QueryPlanInfo* info) const {
+  if (info != nullptr) info->fast_path = true;
+
+  const rel::Table& elem_data = db_.require_table(kElemDataTable);
+  const rel::Index* elem_index = elem_data.index("idx_elem_def");
+  const rel::Table& instances = db_.require_table(kAttrInstancesTable);
+  const rel::Index* inst_index = instances.index("idx_inst_attr");
+
+  // One pass: every criterion contributes (object_id, criterion_id) rows;
+  // an object qualifies when it satisfied all criteria.
+  rel::ResultSet hits;
+  hits.schema = rel::TableSchema{{"object_id", rel::Type::kInt},
+                                 {"criterion", rel::Type::kInt}};
+  std::int64_t criterion = 0;
+  std::int64_t total = 0;
+  for (const QueryNode& node : shredded.nodes) {
+    if (node.elements.empty()) {
+      // Existence of the attribute itself.
+      rel::ResultSet inst = rel::index_scan(instances, *inst_index,
+                                            rel::Key{{rel::Value(node.def)}});
+      const std::size_t object_col = inst.column("object_id");
+      const std::int64_t this_criterion = criterion++;
+      ++total;
+      for (const rel::Row& row : inst.rows) {
+        hits.rows.push_back(rel::Row{row[object_col], rel::Value(this_criterion)});
+      }
+      continue;
+    }
+    for (const auto& [qe_id, pred, elem] : node.elements) {
+      (void)qe_id;
+      rel::ResultSet rows = rel::index_scan(elem_data, *elem_index,
+                                            rel::Key{{rel::Value(elem->id)}});
+      rows = rel::filter(std::move(rows), *predicate_expr(rows, *pred, *elem));
+      const std::size_t object_col = rows.column("object_id");
+      const std::int64_t this_criterion = criterion++;
+      ++total;
+      for (const rel::Row& row : rows.rows) {
+        hits.rows.push_back(rel::Row{row[object_col], rel::Value(this_criterion)});
+      }
+    }
+  }
+  if (info != nullptr) info->candidate_rows = hits.rows.size();
+
+  rel::ResultSet grouped = rel::group_by(
+      hits, {0},
+      {rel::Aggregate{rel::Aggregate::Fn::kCountDistinct, 1, "matched"}});
+  std::vector<ObjectId> out;
+  for (const rel::Row& row : grouped.rows) {
+    if (row[1].as_int() == total) out.push_back(row[0].as_int());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ObjectId> QueryEngine::run_general(const QueryShredded& shredded,
+                                               QueryPlanInfo* info) const {
+  const rel::Table& elem_data = db_.require_table(kElemDataTable);
+  const rel::Index* elem_index = elem_data.index("idx_elem_def");
+  const rel::Table& instances = db_.require_table(kAttrInstancesTable);
+  const rel::Index* inst_index = instances.index("idx_inst_attr");
+  const rel::Table& inverted = db_.require_table(kAttrInvertedTable);
+
+  // ---- Stages 1-2: candidate instances per query node ----
+  // sat[qa] holds (object_id, seq) of instances satisfying the node's
+  // *direct element* criteria (sub-attribute roll-up comes after).
+  std::vector<rel::ResultSet> sat(shredded.nodes.size());
+  std::size_t candidate_rows = 0;
+
+  const rel::TableSchema instance_schema{{"object_id", rel::Type::kInt},
+                                         {"seq", rel::Type::kInt}};
+  for (const QueryNode& node : shredded.nodes) {
+    if (node.elements.empty()) {
+      // All instances of the definition are candidates.
+      rel::ResultSet inst = rel::index_scan(instances, *inst_index,
+                                            rel::Key{{rel::Value(node.def)}});
+      sat[node.qa_id] = rel::project(inst, {"object_id", "seq"});
+      candidate_rows += sat[node.qa_id].rows.size();
+      continue;
+    }
+    // (object_id, seq, qe) matches, then count distinct qe per instance.
+    rel::ResultSet matches;
+    matches.schema = rel::TableSchema{{"object_id", rel::Type::kInt},
+                                      {"seq", rel::Type::kInt},
+                                      {"qe", rel::Type::kInt}};
+    for (const auto& [qe_id, pred, elem] : node.elements) {
+      rel::ResultSet rows = rel::index_scan(elem_data, *elem_index,
+                                            rel::Key{{rel::Value(elem->id)}});
+      rows = rel::filter(std::move(rows), *predicate_expr(rows, *pred, *elem));
+      const std::size_t object_col = rows.column("object_id");
+      const std::size_t seq_col = rows.column("seq");
+      for (const rel::Row& row : rows.rows) {
+        matches.rows.push_back(rel::Row{row[object_col], row[seq_col],
+                                        rel::Value(static_cast<std::int64_t>(qe_id))});
+      }
+    }
+    candidate_rows += matches.rows.size();
+    rel::ResultSet grouped = rel::group_by(
+        matches, {0, 1},
+        {rel::Aggregate{rel::Aggregate::Fn::kCountDistinct, 2, "matched"}});
+    const auto required = static_cast<std::int64_t>(node.elements.size());
+    rel::ResultSet satisfied;
+    satisfied.schema = instance_schema;
+    for (const rel::Row& row : grouped.rows) {
+      if (row[2].as_int() == required) {
+        satisfied.rows.push_back(rel::Row{row[0], row[1]});
+      }
+    }
+    sat[node.qa_id] = std::move(satisfied);
+  }
+  if (info != nullptr) info->candidate_rows = candidate_rows;
+
+  // ---- Stage 3: roll sub-attribute criteria up, deepest level first ----
+  for (std::size_t depth = shredded.max_depth; depth-- > 0;) {
+    for (const QueryNode& node : shredded.nodes) {
+      if (node.depth != depth || node.children.empty()) continue;
+      if (sat[node.qa_id].empty()) continue;
+
+      // child_hits: (object_id, anc_seq, qc) — each satisfied child
+      // instance credits every enclosing instance of this node's def via
+      // the inverted list (distance >= 1: sub-attribute criteria match at
+      // any depth below the parent; the data side needs no recursion).
+      rel::ResultSet child_hits;
+      child_hits.schema = rel::TableSchema{{"object_id", rel::Type::kInt},
+                                           {"anc_seq", rel::Type::kInt},
+                                           {"qc", rel::Type::kInt}};
+      bool child_failed = false;
+      for (const std::size_t child_id : node.children) {
+        const QueryNode& child = shredded.nodes[child_id];
+        if (sat[child_id].empty()) {
+          child_failed = true;
+          break;
+        }
+        // Join satisfied child instances with the inverted list.
+        rel::ResultSet augmented = sat[child_id];
+        // add the child's definition id as a join column
+        augmented.schema.add(rel::Column{"attr_id", rel::Type::kInt});
+        for (rel::Row& row : augmented.rows) row.push_back(rel::Value(child.def));
+        const rel::Index* inv_index = inverted.index("idx_inv_child");
+        rel::ResultSet joined =
+            rel::index_join(augmented, {0, 2, 1}, inverted, *inv_index);
+        const std::size_t anc_attr = joined.column("anc_attr_id");
+        const std::size_t anc_seq = joined.column("anc_seq");
+        const std::size_t object_col = 0;  // from the left side
+        for (const rel::Row& row : joined.rows) {
+          if (row[anc_attr].as_int() != node.def) continue;
+          child_hits.rows.push_back(
+              rel::Row{row[object_col], row[anc_seq],
+                       rel::Value(static_cast<std::int64_t>(child_id))});
+        }
+      }
+      if (child_failed) {
+        sat[node.qa_id].rows.clear();
+        continue;
+      }
+
+      // Keep candidates credited by every child criterion.
+      rel::ResultSet credited = rel::group_by(
+          child_hits, {0, 1},
+          {rel::Aggregate{rel::Aggregate::Fn::kCountDistinct, 2, "matched"}});
+      const auto required = static_cast<std::int64_t>(node.children.size());
+      rel::ResultSet full;
+      full.schema = instance_schema;
+      for (const rel::Row& row : credited.rows) {
+        if (row[2].as_int() == required) full.rows.push_back(rel::Row{row[0], row[1]});
+      }
+      // Intersect with the node's own element-satisfied instances.
+      sat[node.qa_id] =
+          rel::distinct(rel::hash_join(sat[node.qa_id], {0, 1}, full, {0, 1}));
+      sat[node.qa_id] = rel::project(sat[node.qa_id], {"object_id", "seq"});
+    }
+  }
+
+  // ---- Stage 4: object-level counting over top-level criteria ----
+  rel::ResultSet top_hits;
+  top_hits.schema = rel::TableSchema{{"object_id", rel::Type::kInt},
+                                     {"qa", rel::Type::kInt}};
+  for (const std::size_t top : shredded.tops) {
+    for (const rel::Row& row : sat[top].rows) {
+      top_hits.rows.push_back(
+          rel::Row{row[0], rel::Value(static_cast<std::int64_t>(top))});
+    }
+  }
+  rel::ResultSet grouped = rel::group_by(
+      top_hits, {0},
+      {rel::Aggregate{rel::Aggregate::Fn::kCountDistinct, 1, "matched"}});
+  const auto required = static_cast<std::int64_t>(shredded.tops.size());
+  std::vector<ObjectId> out;
+  for (const rel::Row& row : grouped.rows) {
+    if (row[1].as_int() == required) out.push_back(row[0].as_int());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hxrc::core

@@ -1,0 +1,84 @@
+// The object query process (§4, Fig. 4).
+//
+// Queries are first "shredded" into flat criteria (one record per query
+// attribute with its required element and child-attribute counts, plus one
+// record per query element) — the paper stages these in temporary tables.
+// The pipeline is then entirely set-based:
+//
+//   1. element matching   — join each query element against elem_data via
+//                           the element-definition index, apply the value
+//                           predicate (typed numeric vs. string);
+//   2. instance counting  — group matches by attribute *instance* and keep
+//                           instances whose distinct matched-element count
+//                           equals the attribute's required count;
+//   3. sub-attribute roll-up — join satisfied child instances with the
+//                           instance inverted list to credit enclosing
+//                           instances, grouping by distinct child criteria
+//                           satisfied; repeated from the deepest query level
+//                           to the top. The loop is bounded by the *query*
+//                           depth — data recursion never enters the plan,
+//                           which is the point of the inverted list;
+//   4. object counting    — an object qualifies when it has an instance
+//                           satisfying every top-level query attribute.
+//
+// When the query has no sub-attribute criteria and every referenced
+// attribute is single-instance, the engine takes the simplified fast path
+// the paper mentions: one pass grouped directly by object id (§4).
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/partition.hpp"
+#include "core/query.hpp"
+#include "core/registry.hpp"
+#include "core/thesaurus.hpp"
+#include "rel/database.hpp"
+
+namespace hxrc::core {
+
+struct EngineOptions {
+  /// Allow the simplified single-pass plan when the query shape permits.
+  bool enable_fastpath = true;
+  /// Optional ontology: criteria whose (name, source) does not resolve to a
+  /// definition are retried through these synonyms (§3). Not owned; must
+  /// outlive the engine.
+  const Thesaurus* thesaurus = nullptr;
+};
+
+/// Diagnostics about how a query was executed (used by the E4 ablation).
+struct QueryPlanInfo {
+  bool fast_path = false;
+  std::size_t query_nodes = 0;
+  std::size_t query_elements = 0;
+  std::size_t rollup_levels = 0;
+  std::size_t candidate_rows = 0;
+};
+
+/// The shredded query criteria ("temporary tables" in Fig. 4); defined in
+/// engine.cpp.
+struct QueryShredded;
+
+class QueryEngine {
+ public:
+  QueryEngine(const Partition& partition, const DefinitionRegistry& registry,
+              const rel::Database& db, EngineOptions options = {});
+
+  /// Matching object ids, ascending. Unknown (or invisible) definitions in
+  /// the criteria yield an empty result, matching validated-catalog
+  /// semantics.
+  std::vector<ObjectId> run(const ObjectQuery& query, QueryPlanInfo* info = nullptr) const;
+
+ private:
+  bool can_fast_path(const QueryShredded& shredded) const;
+  std::vector<ObjectId> run_fast(const QueryShredded& shredded, QueryPlanInfo* info) const;
+  std::vector<ObjectId> run_general(const QueryShredded& shredded,
+                                    QueryPlanInfo* info) const;
+
+  const Partition& partition_;
+  const DefinitionRegistry& registry_;
+  const rel::Database& db_;
+  EngineOptions options_;
+};
+
+}  // namespace hxrc::core

@@ -1,0 +1,41 @@
+#include "core/ordering.hpp"
+
+namespace hxrc::core {
+
+void install_ordering(rel::Database& db, const Partition& partition) {
+  using rel::Column;
+  using rel::Row;
+  using rel::Type;
+  using rel::Value;
+
+  rel::Table& order_table = db.create_table(
+      kSchemaOrderTable,
+      rel::TableSchema{{"order_id", Type::kInt},
+                       {"tag", Type::kString},
+                       {"parent_order", Type::kInt},
+                       {"last_child", Type::kInt},
+                       {"depth", Type::kInt},
+                       {"is_attr", Type::kInt}});
+
+  rel::Table& ancestors_table = db.create_table(
+      kOrderAncestorsTable, rel::TableSchema{{"order_id", Type::kInt},
+                                             {"anc_order", Type::kInt},
+                                             {"distance", Type::kInt}});
+
+  for (const OrderedNode& node : partition.ordered_nodes()) {
+    order_table.append(Row{Value(node.order), Value(node.tag),
+                           node.parent == kNoOrder ? Value::null() : Value(node.parent),
+                           Value(node.last_child), Value(node.depth),
+                           Value(std::int64_t{node.is_attribute_root ? 1 : 0})});
+    const auto& ancestors = partition.ancestors_of(node.order);
+    for (std::size_t i = 0; i < ancestors.size(); ++i) {
+      ancestors_table.append(
+          Row{Value(node.order), Value(ancestors[i]), Value(static_cast<std::int64_t>(i + 1))});
+    }
+  }
+
+  order_table.create_hash_index("idx_order_id", {"order_id"});
+  ancestors_table.create_hash_index("idx_anc_by_node", {"order_id"});
+}
+
+}  // namespace hxrc::core

@@ -1,0 +1,27 @@
+// Materialization of the schema-level global ordering into the database.
+//
+// The paper stores the global ordering in a table ("tracking for each node
+// its order, tag, and the order of its last child") plus an inverted list
+// mapping each ordered node to its ancestors (§2, §5). Because the ordering
+// is defined at the *schema* level — legal because every repeatable or
+// recursive element is contained in a metadata attribute — both tables are
+// built once per catalog, not per document. This is the design choice
+// benchmarked against per-document ordering in experiment E6.
+#pragma once
+
+#include "core/partition.hpp"
+#include "rel/database.hpp"
+
+namespace hxrc::core {
+
+/// Table names created by install_ordering.
+inline constexpr const char* kSchemaOrderTable = "schema_order";
+inline constexpr const char* kOrderAncestorsTable = "order_ancestors";
+
+/// Creates and fills:
+///   schema_order(order_id, tag, parent_order, last_child, depth, is_attr)
+///   order_ancestors(order_id, anc_order, distance)
+/// plus the indexes the query/response pipelines probe.
+void install_ordering(rel::Database& db, const Partition& partition);
+
+}  // namespace hxrc::core

@@ -1,0 +1,305 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hxrc::core {
+
+std::string_view to_string(NodeRole role) noexcept {
+  switch (role) {
+    case NodeRole::kAncestor: return "ancestor";
+    case NodeRole::kAttributeRoot: return "attribute";
+    case NodeRole::kSubAttribute: return "sub-attribute";
+    case NodeRole::kElement: return "element";
+    case NodeRole::kAttributeElement: return "attribute-element";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string path_of(const xml::SchemaNode& node) {
+  std::vector<std::string_view> segments;
+  for (const xml::SchemaNode* n = &node; n->parent() != nullptr; n = n->parent()) {
+    segments.push_back(n->name());
+  }
+  std::string path;
+  for (auto it = segments.rbegin(); it != segments.rend(); ++it) {
+    if (!path.empty()) path.push_back('/');
+    path += *it;
+  }
+  return path;
+}
+
+/// True when any node in the subtree (excluding the root of the subtree)
+/// violates containment: repeatable, recursive, or XML-attributed nodes.
+bool subtree_needs_containment(const xml::SchemaNode& node) {
+  if (node.repeatable() || node.recursive() || !node.xml_attributes().empty()) return true;
+  for (const auto& child : node.children()) {
+    if (subtree_needs_containment(*child)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<PartitionDiagnostic> Partition::check_rules(
+    const xml::Schema& schema, const PartitionAnnotations& annotations) {
+  std::vector<PartitionDiagnostic> diagnostics;
+
+  // Resolve annotated paths.
+  std::unordered_set<const xml::SchemaNode*> roots;
+  for (const auto& annotation : annotations.attributes) {
+    const xml::SchemaNode* node = schema.find(annotation.path);
+    if (node == nullptr) {
+      diagnostics.push_back({annotation.path, "annotated path does not exist in the schema"});
+      continue;
+    }
+    if (node->parent() == nullptr) {
+      diagnostics.push_back({annotation.path, "the schema root cannot be a metadata attribute"});
+      continue;
+    }
+    roots.insert(node);
+  }
+
+  // Single attribute per root-to-leaf path (§6): roots form an antichain.
+  for (const xml::SchemaNode* root : roots) {
+    for (const xml::SchemaNode* up = root->parent(); up != nullptr; up = up->parent()) {
+      if (roots.count(up) != 0) {
+        diagnostics.push_back(
+            {path_of(*root), "attribute root is nested inside attribute root '" +
+                                 path_of(*up) + "' (only one attribute per path)"});
+      }
+    }
+  }
+
+  // Walk the schema classifying nodes; check rules 2-5.
+  struct Walker {
+    const std::unordered_set<const xml::SchemaNode*>& roots;
+    std::vector<PartitionDiagnostic>& diagnostics;
+
+    void walk(const xml::SchemaNode& node, bool inside_attribute) {
+      const bool is_root_here = roots.count(&node) != 0;
+      const bool covered = inside_attribute || is_root_here;
+
+      if (!covered) {
+        // Rule: repeatable elements must be contained within an attribute.
+        if (node.repeatable() && node.parent() != nullptr) {
+          diagnostics.push_back(
+              {path_of(node), "repeatable element is not contained in a metadata attribute"});
+        }
+        // Rule: elements with XML attribute nodes must be (in) an attribute.
+        if (!node.xml_attributes().empty()) {
+          diagnostics.push_back(
+              {path_of(node),
+               "element declares XML attributes but is not (in) a metadata attribute"});
+        }
+        // Rule: recursion must be contained within an attribute.
+        if (node.recursive()) {
+          diagnostics.push_back(
+              {path_of(node), "recursive element is not contained in a metadata attribute"});
+        }
+        // Rule: every leaf must be contained within an attribute.
+        if (node.is_leaf() && node.parent() != nullptr) {
+          diagnostics.push_back(
+              {path_of(node), "leaf element is not covered by any metadata attribute"});
+        }
+      }
+      for (const auto& child : node.children()) {
+        walk(*child, covered);
+      }
+    }
+  };
+  Walker{roots, diagnostics}.walk(schema.root(), false);
+
+  return diagnostics;
+}
+
+Partition Partition::build(const xml::Schema& schema, PartitionAnnotations annotations) {
+  std::vector<PartitionDiagnostic> diagnostics = check_rules(schema, annotations);
+  if (!diagnostics.empty()) {
+    std::string message = "schema partition violates the metadata-attribute rules:";
+    for (const auto& d : diagnostics) {
+      message += "\n  [" + d.path + "] " + d.message;
+    }
+    throw PartitionError(std::move(message), std::move(diagnostics));
+  }
+
+  Partition partition;
+  partition.schema_ = &schema;
+  partition.convention_ = annotations.convention;
+
+  // Resolve annotations to nodes.
+  std::unordered_map<const xml::SchemaNode*, const AttributeAnnotation*> root_nodes;
+  for (const auto& annotation : annotations.attributes) {
+    root_nodes.emplace(schema.find(annotation.path), &annotation);
+  }
+
+  // Pre-order walk assigning global order ids to the ordered region
+  // (ancestors + attribute roots); the walk does not descend into
+  // attributes (§2: elements within the CLOB are inherently ordered).
+  struct Builder {
+    Partition& partition;
+    const std::unordered_map<const xml::SchemaNode*, const AttributeAnnotation*>& root_nodes;
+    OrderId next = 0;
+
+    OrderId walk_ordered(const xml::SchemaNode& node, OrderId parent, std::int64_t depth) {
+      const OrderId order = next++;
+      const auto root_it = root_nodes.find(&node);
+      const bool is_root = root_it != root_nodes.end();
+
+      OrderedNode ordered;
+      ordered.order = order;
+      ordered.tag = node.name();
+      ordered.parent = parent;
+      ordered.depth = depth;
+      ordered.is_attribute_root = is_root;
+      ordered.schema_node = &node;
+      partition.ordered_.push_back(ordered);
+      partition.orders_[&node] = order;
+
+      if (is_root) {
+        const AttributeAnnotation& annotation = *root_it->second;
+        partition.roles_[&node] = node.is_leaf() ? NodeRole::kAttributeElement
+                                                 : NodeRole::kAttributeRoot;
+        AttributeRootInfo info;
+        info.path = annotation.path;
+        info.tag = node.name();
+        info.order = order;
+        info.dynamic = annotation.dynamic;
+        info.queryable = annotation.queryable;
+        info.repeatable = node.repeatable();
+        info.schema_node = &node;
+        partition.root_by_order_[order] = partition.roots_.size();
+        partition.roots_.push_back(std::move(info));
+        classify_inside(node);
+        partition.ordered_[static_cast<std::size_t>(order)].last_child = order;
+        return order;
+      }
+
+      partition.roles_[&node] = NodeRole::kAncestor;
+      OrderId last = order;
+      for (const auto& child : node.children()) {
+        last = walk_ordered(*child, order, depth + 1);
+      }
+      partition.ordered_[static_cast<std::size_t>(order)].last_child = last;
+      return last;
+    }
+
+    /// Classifies nodes inside an attribute root (not ordered).
+    void classify_inside(const xml::SchemaNode& attribute_root) {
+      for (const auto& child : attribute_root.children()) {
+        classify_subtree(*child);
+      }
+    }
+
+    void classify_subtree(const xml::SchemaNode& node) {
+      partition.roles_[&node] =
+          node.is_leaf() ? NodeRole::kElement : NodeRole::kSubAttribute;
+      for (const auto& child : node.children()) {
+        classify_subtree(*child);
+      }
+    }
+  };
+  Builder{partition, root_nodes}.walk_ordered(schema.root(), kNoOrder, 0);
+
+  // Ancestor inverted list (§5), nearest ancestor first.
+  partition.ancestors_.resize(partition.ordered_.size());
+  for (const OrderedNode& node : partition.ordered_) {
+    std::vector<OrderId>& ancestors = partition.ancestors_[static_cast<std::size_t>(node.order)];
+    for (OrderId up = node.parent; up != kNoOrder;
+         up = partition.ordered_[static_cast<std::size_t>(up)].parent) {
+      ancestors.push_back(up);
+    }
+  }
+
+  return partition;
+}
+
+NodeRole Partition::role(const xml::SchemaNode& node) const {
+  const auto it = roles_.find(&node);
+  if (it == roles_.end()) {
+    throw PartitionError("node '" + node.name() + "' is not part of this partition", {});
+  }
+  return it->second;
+}
+
+OrderId Partition::order_of(const xml::SchemaNode& node) const noexcept {
+  const auto it = orders_.find(&node);
+  return it == orders_.end() ? kNoOrder : it->second;
+}
+
+const AttributeRootInfo* Partition::root_at(OrderId order) const noexcept {
+  const auto it = root_by_order_.find(order);
+  return it == root_by_order_.end() ? nullptr : &roots_[it->second];
+}
+
+const std::vector<OrderId>& Partition::ancestors_of(OrderId order) const {
+  return ancestors_.at(static_cast<std::size_t>(order));
+}
+
+PartitionAnnotations Partition::infer(const xml::Schema& schema) {
+  PartitionAnnotations annotations;
+
+  struct Inferrer {
+    PartitionAnnotations& annotations;
+
+    void mark(const xml::SchemaNode& node, bool dynamic) {
+      AttributeAnnotation annotation;
+      annotation.path = path_of(node);
+      annotation.dynamic = dynamic;
+      annotations.attributes.push_back(std::move(annotation));
+    }
+
+    /// Returns true when the subtree was fully covered by attribute roots.
+    void walk(const xml::SchemaNode& node) {
+      for (const auto& child : node.children()) {
+        decide(*child);
+      }
+    }
+
+    void decide(const xml::SchemaNode& node) {
+      const bool hot = node.repeatable() || node.recursive() || !node.xml_attributes().empty();
+      if (hot) {
+        // The containment rules force this node inside an attribute; make it
+        // the root here (the highest legal point). Recursion marks dynamic.
+        mark(node, subtree_has_recursion(node));
+        return;
+      }
+      if (node.is_leaf()) {
+        // A stray leaf becomes an attribute-element.
+        mark(node, false);
+        return;
+      }
+      // An interior node whose children are all "calm" leaves is a concept
+      // grouping (e.g. status{progress, update}).
+      const bool all_calm_leaves = std::all_of(
+          node.children().begin(), node.children().end(), [](const auto& child) {
+            return child->is_leaf() && !child->repeatable() && !child->recursive() &&
+                   child->xml_attributes().empty();
+          });
+      if (all_calm_leaves) {
+        mark(node, false);
+        return;
+      }
+      if (subtree_needs_containment(node)) {
+        walk(node);  // stay an ancestor; descend
+        return;
+      }
+      // Calm interior subtree with mixed depth: treat as one concept.
+      mark(node, false);
+    }
+
+    static bool subtree_has_recursion(const xml::SchemaNode& node) {
+      if (node.recursive()) return true;
+      for (const auto& child : node.children()) {
+        if (subtree_has_recursion(*child)) return true;
+      }
+      return false;
+    }
+  };
+  Inferrer{annotations}.walk(schema.root());
+  return annotations;
+}
+
+}  // namespace hxrc::core

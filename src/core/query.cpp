@@ -1,0 +1,20 @@
+#include "core/query.hpp"
+
+#include <algorithm>
+
+namespace hxrc::core {
+
+std::size_t AttrQuery::depth() const noexcept {
+  std::size_t max_child = 0;
+  for (const AttrQuery& sub : sub_attributes_) {
+    max_child = std::max(max_child, sub.depth());
+  }
+  return 1 + max_child;
+}
+
+bool ObjectQuery::has_sub_attributes() const noexcept {
+  return std::any_of(attributes_.begin(), attributes_.end(),
+                     [](const AttrQuery& attr) { return !attr.sub_attributes().empty(); });
+}
+
+}  // namespace hxrc::core

@@ -1,0 +1,112 @@
+#include "core/registry.hpp"
+
+namespace hxrc::core {
+
+void DefinitionRegistry::install_structural(const Partition& partition) {
+  for (const AttributeRootInfo& root : partition.attribute_roots()) {
+    if (root.dynamic) {
+      // Dynamic roots get no structural definition at all: their content is
+      // identified by name/source values and registered dynamic
+      // definitions, not by the schema structure (§3).
+      continue;
+    }
+    const AttrDefId def = define_attribute(root.tag, /*source=*/"", AttrKind::kStructural,
+                                           kNoAttr, root.order, Visibility::kAdmin, {},
+                                           root.queryable);
+    structural_by_order_[root.order] = def;
+    if (root.schema_node->is_leaf()) {
+      // Attribute-element: the root itself carries the value.
+      define_element(root.tag, "", def, root.schema_node->leaf_type());
+      continue;
+    }
+    for (const auto& child : root.schema_node->children()) {
+      install_structural_subtree(*child, def);
+    }
+  }
+}
+
+void DefinitionRegistry::install_structural_subtree(const xml::SchemaNode& node,
+                                                    AttrDefId parent_def) {
+  if (node.is_leaf()) {
+    define_element(node.name(), "", parent_def, node.leaf_type());
+    return;
+  }
+  const AttrDefId sub = define_attribute(node.name(), "", AttrKind::kStructural, parent_def);
+  for (const auto& child : node.children()) {
+    install_structural_subtree(*child, sub);
+  }
+}
+
+AttrDefId DefinitionRegistry::define_attribute(const std::string& name,
+                                               const std::string& source, AttrKind kind,
+                                               AttrDefId parent, OrderId schema_order,
+                                               Visibility visibility,
+                                               const std::string& owner, bool queryable) {
+  // Idempotent: re-defining an identical visible definition returns it.
+  if (const AttributeDef* existing = find_attribute(name, source, parent, owner)) {
+    if (existing->visibility == visibility && existing->owner == owner) {
+      return existing->id;
+    }
+  }
+  AttributeDef def;
+  def.id = static_cast<AttrDefId>(attributes_.size());
+  def.name = name;
+  def.source = source;
+  def.kind = kind;
+  def.parent = parent;
+  def.schema_order = schema_order;
+  def.visibility = visibility;
+  def.owner = owner;
+  def.queryable = queryable;
+  attributes_.push_back(def);
+  attribute_lookup_[DefKey{name, source, parent}].push_back(def.id);
+  return def.id;
+}
+
+ElemDefId DefinitionRegistry::define_element(const std::string& name,
+                                             const std::string& source, AttrDefId attribute,
+                                             xml::LeafType type) {
+  const DefKey key{name, source, attribute};
+  const auto it = element_lookup_.find(key);
+  if (it != element_lookup_.end()) return it->second;
+  ElementDef def;
+  def.id = static_cast<ElemDefId>(elements_.size());
+  def.name = name;
+  def.source = source;
+  def.attribute = attribute;
+  def.type = type;
+  elements_.push_back(def);
+  element_lookup_.emplace(key, def.id);
+  return def.id;
+}
+
+const AttributeDef* DefinitionRegistry::find_attribute(const std::string& name,
+                                                       const std::string& source,
+                                                       AttrDefId parent,
+                                                       const std::string& user) const noexcept {
+  const auto it = attribute_lookup_.find(DefKey{name, source, parent});
+  if (it == attribute_lookup_.end()) return nullptr;
+  const AttributeDef* user_match = nullptr;
+  for (const AttrDefId id : it->second) {
+    const AttributeDef& def = attributes_[static_cast<std::size_t>(id)];
+    if (def.visibility == Visibility::kAdmin) return &def;  // admin wins
+    if (!user.empty() && def.owner == user) user_match = &def;
+  }
+  return user_match;
+}
+
+const ElementDef* DefinitionRegistry::find_element(const std::string& name,
+                                                   const std::string& source,
+                                                   AttrDefId attribute) const noexcept {
+  const auto it = element_lookup_.find(DefKey{name, source, attribute});
+  return it == element_lookup_.end() ? nullptr
+                                     : &elements_[static_cast<std::size_t>(it->second)];
+}
+
+std::optional<AttrDefId> DefinitionRegistry::structural_for_order(OrderId order) const noexcept {
+  const auto it = structural_by_order_.find(order);
+  if (it == structural_by_order_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace hxrc::core

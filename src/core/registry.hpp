@@ -1,0 +1,91 @@
+// The definition registry: metadata attribute and element definitions (§2-3).
+//
+// The catalog tracks a definition for every metadata attribute (unique id,
+// schema order, parent attribute for sub-attributes) and every metadata
+// element (unique id, owning attribute, data type). Structural definitions
+// are derived from the partitioned schema; dynamic definitions are
+// registered at administrator or user level, with user-level definitions
+// private to their owner. Shredding *validates* documents against this
+// registry: elements that do not match a definition stay CLOB-only.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/partition.hpp"
+
+namespace hxrc::core {
+
+class DefinitionRegistry {
+ public:
+  /// Registers structural attribute/sub-attribute/element definitions for
+  /// every attribute root in the partition.
+  void install_structural(const Partition& partition);
+
+  /// Registers a dynamic attribute definition (or sub-attribute when
+  /// `parent` is given). Returns the existing id when an identical
+  /// definition is already present.
+  AttrDefId define_attribute(const std::string& name, const std::string& source,
+                             AttrKind kind, AttrDefId parent = kNoAttr,
+                             OrderId schema_order = kNoOrder,
+                             Visibility visibility = Visibility::kAdmin,
+                             const std::string& owner = {}, bool queryable = true);
+
+  /// Registers an element definition under an attribute.
+  ElemDefId define_element(const std::string& name, const std::string& source,
+                           AttrDefId attribute,
+                           xml::LeafType type = xml::LeafType::kString);
+
+  /// Looks up an attribute definition visible to `user` ("" = admin scope
+  /// only). Name+source+parent identify a definition; user-level definitions
+  /// shadow nothing (admin match wins).
+  const AttributeDef* find_attribute(const std::string& name, const std::string& source,
+                                     AttrDefId parent,
+                                     const std::string& user = {}) const noexcept;
+
+  const ElementDef* find_element(const std::string& name, const std::string& source,
+                                 AttrDefId attribute) const noexcept;
+
+  const AttributeDef& attribute(AttrDefId id) const { return attributes_.at(static_cast<std::size_t>(id)); }
+  const ElementDef& element(ElemDefId id) const { return elements_.at(static_cast<std::size_t>(id)); }
+
+  std::size_t attribute_count() const noexcept { return attributes_.size(); }
+  std::size_t element_count() const noexcept { return elements_.size(); }
+
+  const std::vector<AttributeDef>& attributes() const noexcept { return attributes_; }
+  const std::vector<ElementDef>& elements() const noexcept { return elements_; }
+
+  /// Top-level structural definition for an attribute root order.
+  std::optional<AttrDefId> structural_for_order(OrderId order) const noexcept;
+
+ private:
+  struct DefKey {
+    std::string name;
+    std::string source;
+    AttrDefId parent;
+    bool operator==(const DefKey&) const = default;
+  };
+  struct DefKeyHash {
+    std::size_t operator()(const DefKey& k) const noexcept {
+      std::size_t h = std::hash<std::string>{}(k.name);
+      h ^= std::hash<std::string>{}(k.source) + 0x9e3779b9 + (h << 6) + (h >> 2);
+      h ^= std::hash<std::int64_t>{}(k.parent) + 0x9e3779b9 + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  void install_structural_subtree(const xml::SchemaNode& node, AttrDefId parent_def);
+
+  std::vector<AttributeDef> attributes_;
+  std::vector<ElementDef> elements_;
+  /// Multiple ids per key: the same name/source/parent may be defined at
+  /// admin level and privately by several users.
+  std::unordered_map<DefKey, std::vector<AttrDefId>, DefKeyHash> attribute_lookup_;
+  std::unordered_map<DefKey, ElemDefId, DefKeyHash> element_lookup_;
+  std::unordered_map<OrderId, AttrDefId> structural_by_order_;
+};
+
+}  // namespace hxrc::core

@@ -1,0 +1,251 @@
+#include "core/service.hpp"
+
+#include "util/string_util.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace hxrc::core {
+
+namespace {
+
+std::string_view op_name(CompareOp op) noexcept {
+  switch (op) {
+    case CompareOp::kEq: return "eq";
+    case CompareOp::kNe: return "ne";
+    case CompareOp::kLt: return "lt";
+    case CompareOp::kLe: return "le";
+    case CompareOp::kGt: return "gt";
+    case CompareOp::kGe: return "ge";
+  }
+  return "eq";
+}
+
+CompareOp op_from_name(std::string_view name) {
+  if (name == "eq") return CompareOp::kEq;
+  if (name == "ne") return CompareOp::kNe;
+  if (name == "lt") return CompareOp::kLt;
+  if (name == "le") return CompareOp::kLe;
+  if (name == "gt") return CompareOp::kGt;
+  if (name == "ge") return CompareOp::kGe;
+  throw ValidationError("unknown comparison operator '" + std::string(name) + "'");
+}
+
+void serialize_attr(std::string& out, const AttrQuery& attr) {
+  out += "<attribute name=\"" + xml::escape_attribute(attr.name()) + "\"";
+  if (!attr.source().empty()) {
+    out += " source=\"" + xml::escape_attribute(attr.source()) + "\"";
+  }
+  out += ">";
+  for (const ElementPredicate& pred : attr.elements()) {
+    out += "<element name=\"" + xml::escape_attribute(pred.name) + "\"";
+    if (!pred.source.empty()) {
+      out += " source=\"" + xml::escape_attribute(pred.source) + "\"";
+    }
+    if (pred.exists_only) {
+      out += " exists=\"true\"/>";
+    } else {
+      out += " op=\"" + std::string(op_name(pred.op)) + "\">";
+      out += xml::escape_text(pred.value.to_string());
+      out += "</element>";
+    }
+  }
+  for (const AttrQuery& sub : attr.sub_attributes()) {
+    serialize_attr(out, sub);
+  }
+  out += "</attribute>";
+}
+
+AttrQuery parse_attr(const xml::Node& node) {
+  const std::string* name = node.attribute("name");
+  if (name == nullptr) throw ValidationError("<attribute> missing name");
+  const std::string* source = node.attribute("source");
+  AttrQuery attr(*name, source == nullptr ? std::string{} : *source);
+
+  for (const xml::Node* child : node.child_elements()) {
+    if (child->name() == "element") {
+      const std::string* elem_name = child->attribute("name");
+      if (elem_name == nullptr) throw ValidationError("<element> missing name");
+      const std::string* elem_source = child->attribute("source");
+      const std::string src = elem_source == nullptr ? std::string{} : *elem_source;
+      if (const std::string* exists = child->attribute("exists");
+          exists != nullptr && *exists == "true") {
+        attr.require_element(*elem_name, src);
+        continue;
+      }
+      const std::string* op = child->attribute("op");
+      const std::string text = child->text_content();
+      // Values travel as text; numeric-looking values become numbers so
+      // comparisons behave identically to the in-process API.
+      rel::Value value;
+      if (const auto num = util::parse_double(text)) {
+        value = rel::Value(*num);
+      } else {
+        value = rel::Value(text);
+      }
+      attr.add_element(*elem_name, src, std::move(value),
+                       op == nullptr ? CompareOp::kEq : op_from_name(*op));
+      continue;
+    }
+    if (child->name() == "attribute") {
+      attr.add_attribute(parse_attr(*child));
+      continue;
+    }
+    throw ValidationError("unexpected <" + child->name() + "> in query criteria");
+  }
+  return attr;
+}
+
+std::string ok_response(const std::string& payload) {
+  return "<catalogResponse status=\"ok\">" + payload + "</catalogResponse>";
+}
+
+std::string error_response(const std::string& message) {
+  return "<catalogResponse status=\"error\"><message>" + xml::escape_text(message) +
+         "</message></catalogResponse>";
+}
+
+}  // namespace
+
+std::string query_to_xml(const ObjectQuery& query) {
+  std::string out = "<catalogRequest type=\"query\"";
+  if (!query.user().empty()) {
+    out += " user=\"" + xml::escape_attribute(query.user()) + "\"";
+  }
+  out += ">";
+  for (const AttrQuery& attr : query.attributes()) {
+    serialize_attr(out, attr);
+  }
+  out += "</catalogRequest>";
+  return out;
+}
+
+ObjectQuery query_from_xml(const xml::Node& request) {
+  ObjectQuery query;
+  if (const std::string* user = request.attribute("user")) {
+    query.set_user(*user);
+  }
+  for (const xml::Node* child : request.child_elements()) {
+    if (child->name() != "attribute") continue;
+    query.add_attribute(parse_attr(*child));
+  }
+  return query;
+}
+
+std::string CatalogService::handle(std::string_view request_xml) {
+  try {
+    const xml::Document doc = xml::parse(request_xml);
+    if (doc.root->name() != "catalogRequest") {
+      return error_response("expected <catalogRequest>");
+    }
+    return handle_parsed(*doc.root);
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+std::string CatalogService::handle_parsed(const xml::Node& request) {
+  const std::string* type = request.attribute("type");
+  if (type == nullptr) return error_response("<catalogRequest> missing type");
+  const std::string* user_attr = request.attribute("user");
+  const std::string user = user_attr == nullptr ? std::string{} : *user_attr;
+
+  if (*type == "ingest") {
+    const auto children = request.child_elements();
+    if (children.size() != 1) {
+      return error_response("ingest expects exactly one document");
+    }
+    const std::string* name = request.attribute("name");
+    xml::Document doc;
+    doc.root = children.front()->clone();
+    const ObjectId id =
+        catalog_.ingest(doc, name == nullptr ? "unnamed" : *name, user);
+    return ok_response("<objectID>" + std::to_string(id) + "</objectID>");
+  }
+
+  if (*type == "query" || *type == "queryIds") {
+    const ObjectQuery query = query_from_xml(request);
+    const auto ids = catalog_.query(query);
+    if (*type == "queryIds") {
+      std::string payload = "<objectIDs>";
+      for (const ObjectId id : ids) {
+        payload += "<objectID>" + std::to_string(id) + "</objectID>";
+      }
+      payload += "</objectIDs>";
+      return ok_response(payload);
+    }
+    return ok_response(catalog_.build_response(ids));
+  }
+
+  if (*type == "fetch") {
+    const std::string* id_text = request.attribute("objectID");
+    if (id_text == nullptr) return error_response("fetch requires objectID");
+    const auto id = util::parse_int(*id_text);
+    if (!id) return error_response("bad objectID");
+    const std::vector<ObjectId> ids{*id};
+    return ok_response(catalog_.build_response(ids));
+  }
+
+  if (*type == "addAttribute") {
+    const std::string* id_text = request.attribute("objectID");
+    const std::string* path = request.attribute("path");
+    const auto children = request.child_elements();
+    if (id_text == nullptr || path == nullptr || children.size() != 1) {
+      return error_response("addAttribute requires objectID, path, and one element");
+    }
+    const auto id = util::parse_int(*id_text);
+    if (!id) return error_response("bad objectID");
+    catalog_.add_attribute(*id, *path, *children.front(), user);
+    return ok_response("<added/>");
+  }
+
+  if (*type == "define") {
+    const std::string* name = request.attribute("name");
+    const std::string* source = request.attribute("source");
+    if (name == nullptr || source == nullptr) {
+      return error_response("define requires name and source");
+    }
+    std::vector<DynamicElementSpec> elements;
+    for (const xml::Node* child : request.child_elements()) {
+      if (child->name() != "element") continue;
+      const std::string* elem_name = child->attribute("name");
+      if (elem_name == nullptr) return error_response("<element> missing name");
+      DynamicElementSpec spec;
+      spec.name = *elem_name;
+      if (const std::string* elem_type = child->attribute("type")) {
+        spec.type = xml::leaf_type_from_string(*elem_type);
+      }
+      elements.push_back(std::move(spec));
+    }
+    const bool is_private = user_attr != nullptr;
+    const AttrDefId id = catalog_.define_dynamic_attribute(
+        *name, *source, elements,
+        is_private ? Visibility::kUser : Visibility::kAdmin, user);
+    return ok_response("<attributeID>" + std::to_string(id) + "</attributeID>");
+  }
+
+  if (*type == "delete") {
+    const std::string* id_text = request.attribute("objectID");
+    if (id_text == nullptr) return error_response("delete requires objectID");
+    const auto id = util::parse_int(*id_text);
+    if (!id) return error_response("bad objectID");
+    catalog_.delete_object(*id);
+    return ok_response("<deleted/>");
+  }
+
+  if (*type == "stats") {
+    const ShredStats& stats = catalog_.total_stats();
+    std::string payload = "<stats";
+    payload += " objects=\"" + std::to_string(catalog_.object_count()) + "\"";
+    payload += " attributes=\"" + std::to_string(stats.attribute_instances) + "\"";
+    payload += " elements=\"" + std::to_string(stats.element_rows) + "\"";
+    payload += " clobs=\"" + std::to_string(stats.clobs) + "\"";
+    payload += " definitions=\"" + std::to_string(catalog_.registry().attribute_count()) +
+               "\"";
+    payload += "/>";
+    return ok_response(payload);
+  }
+
+  return error_response("unknown request type '" + *type + "'");
+}
+
+}  // namespace hxrc::core

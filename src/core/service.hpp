@@ -1,0 +1,56 @@
+// The catalog service protocol: XML requests in, tagged XML responses out.
+//
+// myLEAD exposes the catalog to the grid as a service; clients exchange XML
+// messages (§5: results "are already tagged and can be returned to the
+// client"). This module implements that request/response layer, including
+// the XML serialization of metadata-attribute queries (the wire form of the
+// MyFile/MyAttr API):
+//
+//   <catalogRequest type="query" user="alice">
+//     <attribute name="grid" source="ARPS">
+//       <element name="dx" source="ARPS" op="eq">1000</element>
+//       <attribute name="grid-stretching" source="ARPS">
+//         <element name="dzmin" op="eq">100</element>
+//       </attribute>
+//     </attribute>
+//   </catalogRequest>
+//
+// Request types: ingest, query, queryIds, fetch, addAttribute, define,
+// delete, stats. Responses:
+//
+//   <catalogResponse status="ok">...payload...</catalogResponse>
+//   <catalogResponse status="error"><message>...</message></catalogResponse>
+//
+// handle() never throws: every failure becomes a status="error" response,
+// as a service endpoint must behave.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/catalog.hpp"
+#include "core/query.hpp"
+
+namespace hxrc::core {
+
+/// Serializes a query to its wire form (children of <catalogRequest>).
+std::string query_to_xml(const ObjectQuery& query);
+
+/// Parses the wire form back into a query. Throws ValidationError on
+/// malformed criteria.
+ObjectQuery query_from_xml(const xml::Node& request);
+
+class CatalogService {
+ public:
+  explicit CatalogService(MetadataCatalog& catalog) : catalog_(catalog) {}
+
+  /// Handles one serialized request; always returns a <catalogResponse>.
+  std::string handle(std::string_view request_xml);
+
+ private:
+  std::string handle_parsed(const xml::Node& request);
+
+  MetadataCatalog& catalog_;
+};
+
+}  // namespace hxrc::core

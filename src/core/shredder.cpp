@@ -1,0 +1,424 @@
+#include "core/shredder.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "util/string_util.hpp"
+#include "xml/writer.hpp"
+
+namespace hxrc::core {
+
+void install_storage(rel::Database& db) {
+  using rel::Type;
+  db.create_table(kObjectsTable, rel::TableSchema{{"object_id", Type::kInt},
+                                                  {"name", Type::kString},
+                                                  {"owner", Type::kString}});
+  db.create_table(kAttrInstancesTable, rel::TableSchema{{"object_id", Type::kInt},
+                                                        {"attr_id", Type::kInt},
+                                                        {"seq", Type::kInt},
+                                                        {"top", Type::kInt},
+                                                        {"clob_seq", Type::kInt}});
+  db.create_table(kAttrInvertedTable, rel::TableSchema{{"object_id", Type::kInt},
+                                                       {"attr_id", Type::kInt},
+                                                       {"seq", Type::kInt},
+                                                       {"anc_attr_id", Type::kInt},
+                                                       {"anc_seq", Type::kInt},
+                                                       {"distance", Type::kInt}});
+  db.create_table(kElemDataTable, rel::TableSchema{{"object_id", Type::kInt},
+                                                   {"attr_id", Type::kInt},
+                                                   {"seq", Type::kInt},
+                                                   {"elem_id", Type::kInt},
+                                                   {"elem_seq", Type::kInt},
+                                                   {"value_str", Type::kString},
+                                                   {"value_num", Type::kDouble}});
+  db.create_table(kAttrClobsTable, rel::TableSchema{{"object_id", Type::kInt},
+                                                    {"order_id", Type::kInt},
+                                                    {"clob_seq", Type::kInt},
+                                                    {"clob_id", Type::kInt}});
+}
+
+void install_storage_indexes(rel::Database& db) {
+  db.require_table(kObjectsTable).create_hash_index("idx_objects_id", {"object_id"});
+  rel::Table& instances = db.require_table(kAttrInstancesTable);
+  instances.create_hash_index("idx_inst_attr", {"attr_id"});
+  instances.create_hash_index("idx_inst_object", {"object_id"});
+  rel::Table& inverted = db.require_table(kAttrInvertedTable);
+  inverted.create_hash_index("idx_inv_child", {"object_id", "attr_id", "seq"});
+  rel::Table& elements = db.require_table(kElemDataTable);
+  elements.create_hash_index("idx_elem_def", {"elem_id"});
+  rel::Table& clobs = db.require_table(kAttrClobsTable);
+  clobs.create_hash_index("idx_clob_object", {"object_id"});
+}
+
+ShredStats& ShredStats::operator+=(const ShredStats& other) noexcept {
+  attribute_instances += other.attribute_instances;
+  sub_attribute_instances += other.sub_attribute_instances;
+  element_rows += other.element_rows;
+  clobs += other.clobs;
+  clob_bytes += other.clob_bytes;
+  unshredded_dynamic += other.unshredded_dynamic;
+  untyped_values += other.untyped_values;
+  return *this;
+}
+
+/// Per-document shredding state (same-sibling sequence counters are
+/// catalog-persistent members of the Shredder, not per-document).
+struct Shredder::DocState {
+  ObjectId object_id = 0;
+  std::string owner;
+  ShredStats stats;
+  /// Element sequence counters per attribute instance (def, seq).
+  std::map<std::pair<AttrDefId, std::int64_t>, std::int64_t> elem_seq;
+};
+
+Shredder::Shredder(const Partition& partition, DefinitionRegistry& registry,
+                   rel::Database& db, ShredOptions options)
+    : partition_(partition),
+      registry_(registry),
+      db_(db),
+      options_(options),
+      objects_(&db.require_table(kObjectsTable)),
+      instances_(&db.require_table(kAttrInstancesTable)),
+      inverted_(&db.require_table(kAttrInvertedTable)),
+      elements_(&db.require_table(kElemDataTable)),
+      clobs_(&db.require_table(kAttrClobsTable)) {}
+
+ShredStats Shredder::shred(const xml::Document& doc, ObjectId object_id,
+                           const std::string& name, const std::string& owner) {
+  if (!doc.root) throw ValidationError("empty document");
+  const xml::SchemaNode& schema_root = partition_.schema().root();
+  if (doc.root->name() != schema_root.name()) {
+    throw ValidationError("document root <" + doc.root->name() +
+                          "> does not match schema root <" + schema_root.name() + ">");
+  }
+  DocState state;
+  state.object_id = object_id;
+  state.owner = owner;
+
+  objects_->append(rel::Row{rel::Value(object_id), rel::Value(name), rel::Value(owner)});
+  walk_ordered(state, *doc.root, schema_root);
+  return state.stats;
+}
+
+ShredStats Shredder::shred_additional(const xml::Node& attribute_content,
+                                      ObjectId object_id, const AttributeRootInfo& root,
+                                      const std::string& owner) {
+  if (attribute_content.name() != root.tag) {
+    throw ValidationError("attribute content <" + attribute_content.name() +
+                          "> does not match attribute root <" + root.tag + ">");
+  }
+  DocState state;
+  state.object_id = object_id;
+  state.owner = owner;
+
+  // Same-sibling counters are persistent catalog state, so the new
+  // instance continues the object's sequences without scanning its rows.
+  if (!root.repeatable && clob_seq_[{object_id, root.order}] >= 1) {
+    throw ValidationError("attribute <" + root.tag +
+                          "> is single-instance and the object already has one");
+  }
+
+  handle_attribute(state, attribute_content, root);
+  return state.stats;
+}
+
+void Shredder::absorb_counters(const Shredder& other) {
+  for (const auto& [key, seq] : other.instance_seq_) {
+    auto& counter = instance_seq_[key];
+    counter = std::max(counter, seq);
+  }
+  for (const auto& [key, seq] : other.clob_seq_) {
+    auto& counter = clob_seq_[key];
+    counter = std::max(counter, seq);
+  }
+}
+
+void Shredder::save_counters(std::ostream& out) const {
+  out << "counters " << instance_seq_.size() << ' ' << clob_seq_.size() << '\n';
+  for (const auto& [key, seq] : instance_seq_) {
+    out << key.first << ' ' << key.second << ' ' << seq << '\n';
+  }
+  for (const auto& [key, seq] : clob_seq_) {
+    out << key.first << ' ' << key.second << ' ' << seq << '\n';
+  }
+}
+
+void Shredder::load_counters(std::istream& in) {
+  std::string tag;
+  std::size_t instances = 0;
+  std::size_t clobs = 0;
+  if (!(in >> tag >> instances >> clobs) || tag != "counters") {
+    throw ValidationError("bad counters section in catalog stream");
+  }
+  instance_seq_.clear();
+  clob_seq_.clear();
+  for (std::size_t i = 0; i < instances; ++i) {
+    ObjectId object = 0;
+    AttrDefId def = 0;
+    std::int64_t seq = 0;
+    in >> object >> def >> seq;
+    instance_seq_[{object, def}] = seq;
+  }
+  for (std::size_t i = 0; i < clobs; ++i) {
+    ObjectId object = 0;
+    OrderId order = 0;
+    std::int64_t seq = 0;
+    in >> object >> order >> seq;
+    clob_seq_[{object, order}] = seq;
+  }
+  if (!in) throw ValidationError("truncated counters section");
+}
+
+void Shredder::walk_ordered(DocState& state, const xml::Node& node,
+                            const xml::SchemaNode& schema_node) {
+  const OrderId order = partition_.order_of(schema_node);
+  if (const AttributeRootInfo* root = partition_.root_at(order)) {
+    handle_attribute(state, node, *root);
+    return;
+  }
+  // Ancestor node: descend matching children against the schema.
+  for (const xml::Node* child : node.child_elements()) {
+    const xml::SchemaNode* child_schema = schema_node.child(child->name());
+    if (child_schema == nullptr) {
+      throw ValidationError("unexpected element <" + child->name() + "> under <" +
+                            schema_node.name() + ">");
+    }
+    walk_ordered(state, *child, *child_schema);
+  }
+}
+
+void Shredder::handle_attribute(DocState& state, const xml::Node& node,
+                                const AttributeRootInfo& root) {
+  // Store the CLOB with its global order and same-sibling sequence (§3).
+  const std::int64_t clob_seq = ++clob_seq_[{state.object_id, root.order}];
+  std::string serialized = xml::write(node);
+  state.stats.clob_bytes += serialized.size();
+  ++state.stats.clobs;
+  const rel::ClobId clob_id = db_.clobs().append(std::move(serialized));
+  clobs_->append(rel::Row{rel::Value(state.object_id), rel::Value(root.order),
+                          rel::Value(clob_seq), rel::Value(clob_id)});
+
+  if (!root.queryable) return;
+  if (root.dynamic) {
+    shred_dynamic(state, node, root, clob_seq);
+  } else {
+    shred_structural(state, node, root, clob_seq);
+  }
+}
+
+std::int64_t Shredder::next_seq(DocState& state, AttrDefId def) {
+  return ++instance_seq_[{state.object_id, def}];
+}
+
+void Shredder::append_inverted(DocState& state, AttrDefId def, std::int64_t seq,
+                               const std::vector<std::pair<AttrDefId, std::int64_t>>& path) {
+  // path holds the enclosing instances from the top attribute downward; the
+  // nearest enclosing instance is at distance 1.
+  const std::int64_t n = static_cast<std::int64_t>(path.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto& [anc_def, anc_seq] = path[static_cast<std::size_t>(i)];
+    inverted_->append(rel::Row{rel::Value(state.object_id), rel::Value(def), rel::Value(seq),
+                               rel::Value(anc_def), rel::Value(anc_seq),
+                               rel::Value(n - i)});
+  }
+}
+
+void Shredder::append_element_row(DocState& state, AttrDefId attr, std::int64_t seq,
+                                  const ElementDef& elem, std::int64_t elem_seq,
+                                  const std::string& raw_value) {
+  // value_num mirrors any value that parses as a number, so predicates can
+  // compare numerically exactly when both operands are numeric (the shared
+  // comparison semantics; see baselines/dom_matcher.cpp). The declared type
+  // is used only to flag validation failures.
+  rel::Value numeric = rel::Value::null();
+  if (const auto v = util::parse_double(raw_value)) {
+    numeric = rel::Value(*v);
+  }
+  if ((elem.type == xml::LeafType::kInt && !util::parse_int(raw_value)) ||
+      (elem.type == xml::LeafType::kDouble && numeric.is_null())) {
+    ++state.stats.untyped_values;
+  }
+  elements_->append(rel::Row{rel::Value(state.object_id), rel::Value(attr), rel::Value(seq),
+                             rel::Value(elem.id), rel::Value(elem_seq),
+                             rel::Value(raw_value), std::move(numeric)});
+  ++state.stats.element_rows;
+}
+
+void Shredder::shred_structural(DocState& state, const xml::Node& node,
+                                const AttributeRootInfo& root, std::int64_t clob_seq) {
+  const auto def_opt = registry_.structural_for_order(root.order);
+  if (!def_opt) return;  // not installed -> treated as non-queryable
+  const AttrDefId def = *def_opt;
+  const std::int64_t seq = next_seq(state, def);
+  instances_->append(rel::Row{rel::Value(state.object_id), rel::Value(def), rel::Value(seq),
+                              rel::Value(std::int64_t{1}), rel::Value(clob_seq)});
+  ++state.stats.attribute_instances;
+
+  std::vector<std::pair<AttrDefId, std::int64_t>> path{{def, seq}};
+  shred_structural_children(state, node, *root.schema_node, def, seq, path);
+}
+
+void Shredder::shred_structural_children(
+    DocState& state, const xml::Node& node, const xml::SchemaNode& schema_node,
+    AttrDefId def, std::int64_t seq,
+    std::vector<std::pair<AttrDefId, std::int64_t>>& path) {
+  std::int64_t elem_seq = 0;
+
+  // Attribute-element: the node itself carries the value.
+  if (schema_node.is_leaf()) {
+    if (const ElementDef* elem = registry_.find_element(schema_node.name(), "", def)) {
+      append_element_row(state, def, seq, *elem, ++elem_seq, node.text_content());
+    }
+    return;
+  }
+
+  for (const xml::Node* child : node.child_elements()) {
+    const xml::SchemaNode* child_schema = schema_node.child(child->name());
+    if (child_schema == nullptr) {
+      throw ValidationError("unexpected element <" + child->name() + "> inside attribute <" +
+                            schema_node.name() + ">");
+    }
+    if (child_schema->is_leaf()) {
+      const ElementDef* elem = registry_.find_element(child->name(), "", def);
+      if (elem == nullptr) {
+        throw ValidationError("no element definition for <" + child->name() + "> in <" +
+                              schema_node.name() + ">");
+      }
+      append_element_row(state, def, seq, *elem, ++elem_seq, child->text_content());
+      continue;
+    }
+    // Structural sub-attribute.
+    const AttributeDef* sub = registry_.find_attribute(child->name(), "", def);
+    if (sub == nullptr) {
+      throw ValidationError("no sub-attribute definition for <" + child->name() + ">");
+    }
+    const std::int64_t sub_seq = next_seq(state, sub->id);
+    instances_->append(rel::Row{rel::Value(state.object_id), rel::Value(sub->id),
+                                rel::Value(sub_seq), rel::Value(std::int64_t{0}),
+                                rel::Value::null()});
+    ++state.stats.sub_attribute_instances;
+    append_inverted(state, sub->id, sub_seq, path);
+    path.emplace_back(sub->id, sub_seq);
+    shred_structural_children(state, *child, *child_schema, sub->id, sub_seq, path);
+    path.pop_back();
+  }
+}
+
+void Shredder::shred_dynamic(DocState& state, const xml::Node& node,
+                             const AttributeRootInfo& root, std::int64_t clob_seq) {
+  const DynamicConvention& c = partition_.convention();
+
+  // Identity comes from values, not tags (§3): enttypl/enttypds in LEAD.
+  const xml::Node* container = node.first_child(c.def_container);
+  if (container == nullptr) {
+    ++state.stats.unshredded_dynamic;
+    return;
+  }
+  const std::string name = container->child_text(c.def_name);
+  const std::string source = container->child_text(c.def_source);
+  if (name.empty()) {
+    ++state.stats.unshredded_dynamic;
+    return;
+  }
+
+  // Hold the id, not the pointer: auto-definition below may grow the
+  // registry's definition vector and invalidate definition references.
+  AttrDefId def_id = kNoAttr;
+  if (const AttributeDef* def = registry_.find_attribute(name, source, kNoAttr, state.owner)) {
+    def_id = def->id;
+  } else {
+    if (!options_.auto_define_dynamic) {
+      // Validation failed: keep the CLOB, skip the query tables (§3).
+      ++state.stats.unshredded_dynamic;
+      return;
+    }
+    def_id = registry_.define_attribute(
+        name, source, AttrKind::kDynamic, kNoAttr, root.order,
+        options_.auto_define_visibility,
+        options_.auto_define_visibility == Visibility::kUser ? state.owner : std::string{});
+  }
+
+  const std::int64_t seq = next_seq(state, def_id);
+  instances_->append(rel::Row{rel::Value(state.object_id), rel::Value(def_id),
+                              rel::Value(seq), rel::Value(std::int64_t{1}),
+                              rel::Value(clob_seq)});
+  ++state.stats.attribute_instances;
+
+  std::vector<std::pair<AttrDefId, std::int64_t>> path{{def_id, seq}};
+  for (const xml::Node* item : node.children_named(c.item_tag)) {
+    shred_dynamic_item(state, *item, def_id, path, state.owner);
+  }
+}
+
+void Shredder::shred_dynamic_item(DocState& state, const xml::Node& item,
+                                  AttrDefId parent_def,
+                                  std::vector<std::pair<AttrDefId, std::int64_t>>& path,
+                                  const std::string& owner) {
+  const DynamicConvention& c = partition_.convention();
+  const std::string name = item.child_text(c.item_name);
+  const std::string source = item.child_text(c.item_source);
+  if (name.empty()) {
+    ++state.stats.unshredded_dynamic;
+    return;
+  }
+
+  const std::vector<const xml::Node*> sub_items = item.children_named(c.item_tag);
+  const bool is_sub_attribute = !sub_items.empty();
+
+  if (is_sub_attribute) {
+    // Hold the id, not a pointer — recursive auto-definition may reallocate
+    // the registry's definition vector.
+    AttrDefId sub_id = kNoAttr;
+    if (const AttributeDef* sub = registry_.find_attribute(name, source, parent_def, owner)) {
+      sub_id = sub->id;
+    } else {
+      if (!options_.auto_define_dynamic) {
+        ++state.stats.unshredded_dynamic;
+        return;
+      }
+      sub_id = registry_.define_attribute(
+          name, source, AttrKind::kDynamic, parent_def, kNoOrder,
+          options_.auto_define_visibility,
+          options_.auto_define_visibility == Visibility::kUser ? owner : std::string{});
+    }
+    const std::int64_t sub_seq = next_seq(state, sub_id);
+    instances_->append(rel::Row{rel::Value(state.object_id), rel::Value(sub_id),
+                                rel::Value(sub_seq), rel::Value(std::int64_t{0}),
+                                rel::Value::null()});
+    ++state.stats.sub_attribute_instances;
+    append_inverted(state, sub_id, sub_seq, path);
+    path.emplace_back(sub_id, sub_seq);
+    for (const xml::Node* sub_item : sub_items) {
+      shred_dynamic_item(state, *sub_item, sub_id, path, owner);
+    }
+    path.pop_back();
+    return;
+  }
+
+  // Metadata element: value carried by the item_value child.
+  const std::string raw_value = item.child_text(c.item_value);
+  const ElementDef* elem = registry_.find_element(name, source, parent_def);
+  if (elem == nullptr) {
+    if (!options_.auto_define_dynamic) {
+      ++state.stats.unshredded_dynamic;
+      return;
+    }
+    // Infer the value type from the first observed value.
+    xml::LeafType type = xml::LeafType::kString;
+    if (util::parse_int(raw_value)) {
+      type = xml::LeafType::kInt;
+    } else if (util::parse_double(raw_value)) {
+      type = xml::LeafType::kDouble;
+    }
+    const ElemDefId id = registry_.define_element(name, source, parent_def, type);
+    elem = &registry_.element(id);
+  }
+  const auto& [attr_def, attr_seq] = path.back();
+  // Element sequence: local order within this attribute instance.
+  const std::int64_t elem_seq = ++state.elem_seq[{attr_def, attr_seq}];
+  append_element_row(state, attr_def, attr_seq, *elem, elem_seq, raw_value);
+}
+
+}  // namespace hxrc::core

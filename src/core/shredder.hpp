@@ -1,0 +1,128 @@
+// Document shredding under the hybrid approach (§3).
+//
+// Each metadata attribute instance in an ingested document is stored BOTH
+// ways: serialized to a CLOB (keyed by the attribute root's global order and
+// a same-sibling clob sequence) for response building, and shredded into the
+// attribute-instance / element / inverted-list tables for querying.
+//
+// Structural attributes resolve definitions by element tag; dynamic
+// attributes resolve by the name/source *values* carried in the document
+// (LEAD: enttypl/enttypds for the attribute, attrlabl/attrdefs for items).
+// Dynamic content that matches no registered definition stays CLOB-only —
+// the validation behaviour the paper requires — unless auto-definition is
+// enabled.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/model.hpp"
+#include "core/partition.hpp"
+#include "core/registry.hpp"
+#include "core/storage.hpp"
+#include "xml/dom.hpp"
+
+namespace hxrc::core {
+
+class ValidationError : public std::runtime_error {
+ public:
+  explicit ValidationError(const std::string& message) : std::runtime_error(message) {}
+};
+
+struct ShredOptions {
+  /// Register unseen dynamic attribute/element definitions on the fly
+  /// instead of leaving them CLOB-only.
+  bool auto_define_dynamic = false;
+  /// Visibility of auto-defined definitions (kUser makes them private to
+  /// the ingesting owner).
+  Visibility auto_define_visibility = Visibility::kAdmin;
+};
+
+struct ShredStats {
+  std::size_t attribute_instances = 0;   // top-level instances shredded
+  std::size_t sub_attribute_instances = 0;
+  std::size_t element_rows = 0;
+  std::size_t clobs = 0;
+  std::size_t clob_bytes = 0;
+  std::size_t unshredded_dynamic = 0;    // CLOB-only dynamic content
+  std::size_t untyped_values = 0;        // values that failed typed parsing
+
+  ShredStats& operator+=(const ShredStats& other) noexcept;
+};
+
+class Shredder {
+ public:
+  /// The registry is mutated only when auto_define_dynamic is set.
+  Shredder(const Partition& partition, DefinitionRegistry& registry, rel::Database& db,
+           ShredOptions options = {});
+
+  /// Shreds one document as object `object_id` owned by `owner`.
+  /// Throws ValidationError when the document does not conform to the
+  /// schema's ordered region.
+  ShredStats shred(const xml::Document& doc, ObjectId object_id,
+                   const std::string& name, const std::string& owner);
+
+  /// Inserts one additional attribute instance into an existing object
+  /// ("as metadata attributes were inserted later", §5). Same-sibling
+  /// sequence counters continue from the object's stored instances, so the
+  /// new CLOB lands after its existing siblings in rebuilt responses.
+  ShredStats shred_additional(const xml::Node& attribute_content, ObjectId object_id,
+                              const AttributeRootInfo& root, const std::string& owner);
+
+  /// Imports another shredder's same-sibling counters (used when merging
+  /// parallel staging shredders, so later shred_additional calls continue
+  /// the right sequences).
+  void absorb_counters(const Shredder& other);
+
+  /// Persistence of the same-sibling counters (catalog save/restore).
+  void save_counters(std::ostream& out) const;
+  void load_counters(std::istream& in);
+
+ private:
+  struct DocState;
+
+  void walk_ordered(DocState& state, const xml::Node& node,
+                    const xml::SchemaNode& schema_node);
+  void handle_attribute(DocState& state, const xml::Node& node,
+                        const AttributeRootInfo& root);
+  void shred_structural(DocState& state, const xml::Node& node,
+                        const AttributeRootInfo& root, std::int64_t clob_seq);
+  void shred_structural_children(DocState& state, const xml::Node& node,
+                                 const xml::SchemaNode& schema_node, AttrDefId def,
+                                 std::int64_t seq,
+                                 std::vector<std::pair<AttrDefId, std::int64_t>>& path);
+  void shred_dynamic(DocState& state, const xml::Node& node, const AttributeRootInfo& root,
+                     std::int64_t clob_seq);
+  void shred_dynamic_item(DocState& state, const xml::Node& item, AttrDefId parent_def,
+                          std::vector<std::pair<AttrDefId, std::int64_t>>& path,
+                          const std::string& owner);
+
+  void append_element_row(DocState& state, AttrDefId attr, std::int64_t seq,
+                          const ElementDef& elem, std::int64_t elem_seq,
+                          const std::string& raw_value);
+  std::int64_t next_seq(DocState& state, AttrDefId def);
+  void append_inverted(DocState& state, AttrDefId def, std::int64_t seq,
+                       const std::vector<std::pair<AttrDefId, std::int64_t>>& path);
+
+  const Partition& partition_;
+  DefinitionRegistry& registry_;
+  rel::Database& db_;
+  ShredOptions options_;
+  rel::Table* objects_;
+  rel::Table* instances_;
+  rel::Table* inverted_;
+  rel::Table* elements_;
+  rel::Table* clobs_;
+
+  /// Persistent same-sibling counters (the catalog's "sequence table"):
+  /// instance sequence per (object, definition) and CLOB sequence per
+  /// (object, attribute-root order). Kept in the shredder so later inserts
+  /// (shred_additional) continue an object's sequences in O(log n).
+  std::map<std::pair<ObjectId, AttrDefId>, std::int64_t> instance_seq_;
+  std::map<std::pair<ObjectId, OrderId>, std::int64_t> clob_seq_;
+};
+
+}  // namespace hxrc::core

@@ -1,0 +1,80 @@
+// Ontology-backed name resolution (§3).
+//
+// "By validating dynamic metadata attributes on insert, the catalog
+//  provides a consistent, but dynamic set of definitions for query purposes
+//  that could also be connected to an ontology for enhanced search
+//  capabilities."
+//
+// The Thesaurus maps alias (name, source) pairs onto canonical definition
+// identities. The query engine consults it when a criterion does not
+// resolve directly, so scientists can query with community vocabulary
+// ("horizontal-resolution") and hit model-specific definitions ("dx"/ARPS).
+// Aliases apply to attribute and element names alike.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hxrc::core {
+
+class Thesaurus {
+ public:
+  struct Term {
+    std::string name;
+    std::string source;
+    bool operator==(const Term&) const = default;
+  };
+
+  /// Declares `alias` as a synonym for `canonical`. Later declarations for
+  /// the same alias overwrite earlier ones.
+  void add_synonym(Term alias, Term canonical) {
+    synonyms_[std::move(alias)] = std::move(canonical);
+  }
+
+  void add_synonym(std::string alias_name, std::string alias_source,
+                   std::string canonical_name, std::string canonical_source) {
+    add_synonym(Term{std::move(alias_name), std::move(alias_source)},
+                Term{std::move(canonical_name), std::move(canonical_source)});
+  }
+
+  /// Canonical term for an alias; transitive chains are followed (bounded
+  /// to guard against accidental cycles). nullopt when unknown.
+  std::optional<Term> resolve(const std::string& name, const std::string& source) const {
+    Term current{name, source};
+    std::optional<Term> found;
+    for (int hops = 0; hops < 8; ++hops) {
+      const auto it = synonyms_.find(current);
+      if (it == synonyms_.end()) break;
+      found = it->second;
+      current = it->second;
+    }
+    return found;
+  }
+
+  std::size_t size() const noexcept { return synonyms_.size(); }
+  bool empty() const noexcept { return synonyms_.empty(); }
+
+  /// All (alias, canonical) pairs (unordered); used by persistence.
+  std::vector<std::pair<Term, Term>> items() const {
+    std::vector<std::pair<Term, Term>> out;
+    out.reserve(synonyms_.size());
+    for (const auto& [alias, canonical] : synonyms_) out.emplace_back(alias, canonical);
+    return out;
+  }
+
+ private:
+  struct TermHash {
+    std::size_t operator()(const Term& term) const noexcept {
+      std::size_t h = std::hash<std::string>{}(term.name);
+      h ^= std::hash<std::string>{}(term.source) + 0x9e3779b9 + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  std::unordered_map<Term, Term, TermHash> synonyms_;
+};
+
+}  // namespace hxrc::core

@@ -1,0 +1,55 @@
+// Character-large-object storage.
+//
+// The hybrid approach stores one CLOB per metadata attribute instance; the
+// pure-CLOB and DB2/Oracle-style baselines store one per document. CLOBs are
+// immutable once appended, matching the catalog's insert-and-query workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hxrc::rel {
+
+using ClobId = std::int64_t;
+
+class ClobStore {
+ public:
+  /// Stores a CLOB and returns its id (ids are dense, starting at 0).
+  ClobId append(std::string content) {
+    clobs_.push_back(std::move(content));
+    bytes_ += clobs_.back().size();
+    return static_cast<ClobId>(clobs_.size() - 1);
+  }
+
+  const std::string& get(ClobId id) const { return clobs_.at(static_cast<std::size_t>(id)); }
+
+  std::size_t count() const noexcept { return clobs_.size(); }
+
+  /// Total payload bytes (excluding vector overhead).
+  std::size_t payload_bytes() const noexcept { return bytes_; }
+
+  /// Moves every CLOB of `other` into this store (ids continue densely),
+  /// leaving `other` empty. Returns the id offset applied to `other`'s ids.
+  ClobId absorb(ClobStore& other) {
+    const auto offset = static_cast<ClobId>(clobs_.size());
+    clobs_.reserve(clobs_.size() + other.clobs_.size());
+    for (std::string& clob : other.clobs_) {
+      bytes_ += clob.size();
+      clobs_.push_back(std::move(clob));
+    }
+    other.clear();
+    return offset;
+  }
+
+  void clear() noexcept {
+    clobs_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  std::vector<std::string> clobs_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace hxrc::rel

@@ -1,0 +1,57 @@
+// The database: named tables, a CLOB store, and a SQL entry point.
+//
+// This is the "RDBMS" substrate the paper assumes. The hybrid catalog keeps
+// its shredded-attribute tables, ordering tables, inverted lists, and
+// per-attribute CLOBs in one Database instance.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "rel/clob_store.hpp"
+#include "rel/ops.hpp"
+#include "rel/table.hpp"
+
+namespace hxrc::rel {
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Creates a table; throws TypeError if the name is taken.
+  Table& create_table(const std::string& name, TableSchema schema);
+
+  /// nullptr when absent.
+  Table* table(std::string_view name) noexcept;
+  const Table* table(std::string_view name) const noexcept;
+
+  /// Throws TypeError when absent.
+  Table& require_table(std::string_view name);
+  const Table& require_table(std::string_view name) const;
+
+  bool drop_table(std::string_view name);
+
+  std::vector<std::string> table_names() const;
+
+  ClobStore& clobs() noexcept { return clobs_; }
+  const ClobStore& clobs() const noexcept { return clobs_; }
+
+  /// Parses and executes one SQL statement. DDL/DML return an empty result
+  /// (INSERT reports the row count in a single-cell result).
+  ResultSet execute(std::string_view sql);
+
+  /// Approximate total footprint: all tables + CLOB store (experiment E10).
+  std::size_t approx_bytes() const noexcept;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+  ClobStore clobs_;
+};
+
+}  // namespace hxrc::rel

@@ -1,0 +1,97 @@
+// Secondary indexes over table rows.
+//
+// Two physical forms: a hash index for equality probes (the common case in
+// the Fig. 4 pipeline: attribute-definition and object-ID lookups) and an
+// ordered index supporting range scans (element-value range predicates,
+// global-order scans in the response builder).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rel/value.hpp"
+
+namespace hxrc::rel {
+
+using RowId = std::size_t;
+
+class Index {
+ public:
+  Index(std::string name, std::vector<std::size_t> key_columns)
+      : name_(std::move(name)), key_columns_(std::move(key_columns)) {}
+  virtual ~Index() = default;
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<std::size_t>& key_columns() const noexcept { return key_columns_; }
+
+  Key extract_key(const Row& row) const {
+    Key key;
+    key.parts.reserve(key_columns_.size());
+    for (const std::size_t c : key_columns_) key.parts.push_back(row[c]);
+    return key;
+  }
+
+  virtual void insert(const Row& row, RowId id) = 0;
+  virtual std::vector<RowId> lookup(const Key& key) const = 0;
+  virtual std::size_t entry_count() const noexcept = 0;
+
+ private:
+  std::string name_;
+  std::vector<std::size_t> key_columns_;
+};
+
+class HashIndex final : public Index {
+ public:
+  using Index::Index;
+
+  void insert(const Row& row, RowId id) override {
+    map_.emplace(extract_key(row), id);
+  }
+
+  std::vector<RowId> lookup(const Key& key) const override {
+    std::vector<RowId> out;
+    auto [lo, hi] = map_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+    return out;
+  }
+
+  std::size_t entry_count() const noexcept override { return map_.size(); }
+
+ private:
+  std::unordered_multimap<Key, RowId, KeyHash> map_;
+};
+
+class OrderedIndex final : public Index {
+ public:
+  using Index::Index;
+
+  void insert(const Row& row, RowId id) override {
+    map_.emplace(extract_key(row), id);
+  }
+
+  std::vector<RowId> lookup(const Key& key) const override {
+    std::vector<RowId> out;
+    auto [lo, hi] = map_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+    return out;
+  }
+
+  /// Rows with lo <= key <= hi (inclusive bounds on the full composite key).
+  std::vector<RowId> range(const Key& lo, const Key& hi) const {
+    std::vector<RowId> out;
+    for (auto it = map_.lower_bound(lo); it != map_.end() && !(hi < it->first); ++it) {
+      out.push_back(it->second);
+    }
+    return out;
+  }
+
+  std::size_t entry_count() const noexcept override { return map_.size(); }
+
+ private:
+  std::multimap<Key, RowId> map_;
+};
+
+}  // namespace hxrc::rel

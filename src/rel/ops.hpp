@@ -1,0 +1,104 @@
+// Materialized relational operators.
+//
+// The hybrid query engine (Fig. 4) and the SQL executor are both built from
+// these primitives. Operators consume and produce ResultSets (schema +
+// rows); tables enter a pipeline through scan() or an index probe. All
+// operators are set-based, mirroring the paper's insistence that both the
+// object query and the response construction run as set operations inside
+// the database.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rel/expr.hpp"
+#include "rel/table.hpp"
+
+namespace hxrc::rel {
+
+/// A materialized intermediate result.
+struct ResultSet {
+  TableSchema schema;
+  std::vector<Row> rows;
+
+  std::size_t size() const noexcept { return rows.size(); }
+  bool empty() const noexcept { return rows.empty(); }
+
+  /// Column position by name; throws TypeError when absent.
+  std::size_t column(std::string_view name) const { return schema.require(name); }
+
+  /// Renders an aligned ASCII table (examples and debugging).
+  std::string pretty() const;
+};
+
+/// Full scan with optional predicate.
+ResultSet scan(const Table& table, const ExprPtr& predicate = nullptr);
+
+/// Index probe: all rows matching the key, as a ResultSet.
+ResultSet index_scan(const Table& table, const Index& index, const Key& key);
+
+/// Keeps rows satisfying the predicate.
+ResultSet filter(ResultSet input, const Expr& predicate);
+
+/// Keeps the named columns, in the given order.
+ResultSet project(const ResultSet& input, const std::vector<std::string>& columns);
+
+/// Computed projection: each output column is an expression over the input.
+ResultSet project_exprs(const ResultSet& input,
+                        const std::vector<std::pair<ExprPtr, Column>>& outputs);
+
+enum class JoinType { kInner, kLeftOuter };
+
+/// Hash equi-join on positional key columns. Output schema is left columns
+/// followed by right columns (right columns are prefixed with `right_prefix`
+/// when a name collision would result).
+ResultSet hash_join(const ResultSet& left, const std::vector<std::size_t>& left_keys,
+                    const ResultSet& right, const std::vector<std::size_t>& right_keys,
+                    JoinType type = JoinType::kInner,
+                    const std::string& right_prefix = "r_");
+
+/// Convenience: equi-join by column names.
+ResultSet hash_join_named(const ResultSet& left, const std::vector<std::string>& left_keys,
+                          const ResultSet& right, const std::vector<std::string>& right_keys,
+                          JoinType type = JoinType::kInner,
+                          const std::string& right_prefix = "r_");
+
+/// Join left rows against a table through one of its indexes: for each left
+/// row, probe index with values of `left_key_columns`; emit left ++ table row.
+ResultSet index_join(const ResultSet& left, const std::vector<std::size_t>& left_key_columns,
+                     const Table& table, const Index& index,
+                     const std::string& right_prefix = "r_");
+
+/// Aggregate functions for group_by.
+struct Aggregate {
+  enum class Fn { kCount, kCountDistinct, kSum, kMin, kMax };
+  Fn fn = Fn::kCount;
+  /// Input column; ignored for kCount.
+  std::size_t column = 0;
+  /// Output column name.
+  std::string name = "agg";
+};
+
+/// Hash group-by. Output schema: key columns (names preserved) followed by
+/// one column per aggregate. With no key columns, produces a single row
+/// (global aggregate), even over empty input.
+ResultSet group_by(const ResultSet& input, const std::vector<std::size_t>& key_columns,
+                   const std::vector<Aggregate>& aggregates);
+
+/// Stable sort by (column, descending?) pairs.
+ResultSet sort_by(ResultSet input, const std::vector<std::pair<std::size_t, bool>>& keys);
+
+/// Removes duplicate rows (full-row comparison).
+ResultSet distinct(ResultSet input);
+
+/// Removes rows whose projection on `columns` duplicates an earlier row.
+ResultSet distinct_on(const ResultSet& input, const std::vector<std::size_t>& columns);
+
+ResultSet limit(ResultSet input, std::size_t n);
+
+/// Set helpers used by tests.
+ResultSet union_all(ResultSet a, const ResultSet& b);
+
+}  // namespace hxrc::rel

@@ -1,0 +1,140 @@
+#include "rel/serialize.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+namespace hxrc::rel {
+
+namespace {
+
+void write_bytes(std::ostream& out, const std::string& bytes) {
+  out << bytes.size() << ' ';
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out << '\n';
+}
+
+std::string read_bytes(std::istream& in) {
+  std::size_t length = 0;
+  if (!(in >> length)) throw SerializeError("expected a byte-length");
+  in.get();  // the single separator space
+  std::string bytes(length, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(length));
+  if (static_cast<std::size_t>(in.gcount()) != length) {
+    throw SerializeError("truncated byte payload");
+  }
+  return bytes;
+}
+
+void write_value(std::ostream& out, const Value& value) {
+  switch (value.type()) {
+    case Type::kNull:
+      out << "N\n";
+      break;
+    case Type::kInt:
+      out << "I " << value.as_int() << '\n';
+      break;
+    case Type::kDouble: {
+      char buf[32];
+      const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value.as_double());
+      (void)ec;
+      out << "D " << std::string_view(buf, static_cast<std::size_t>(ptr - buf)) << '\n';
+      break;
+    }
+    case Type::kString:
+      out << "S ";
+      out << value.as_string().size() << ' ';
+      out.write(value.as_string().data(),
+                static_cast<std::streamsize>(value.as_string().size()));
+      out << '\n';
+      break;
+  }
+}
+
+Value read_value(std::istream& in) {
+  std::string tag;
+  if (!(in >> tag)) throw SerializeError("expected a value tag");
+  if (tag == "N") return Value::null();
+  if (tag == "I") {
+    std::int64_t v = 0;
+    if (!(in >> v)) throw SerializeError("bad integer value");
+    return Value(v);
+  }
+  if (tag == "D") {
+    double v = 0.0;
+    if (!(in >> v)) throw SerializeError("bad double value");
+    return Value(v);
+  }
+  if (tag == "S") return Value(read_bytes(in));
+  throw SerializeError("unknown value tag '" + tag + "'");
+}
+
+}  // namespace
+
+void save_database(const Database& db, std::ostream& out) {
+  out << "HXRCDB 1\n";
+
+  out << "clobs " << db.clobs().count() << '\n';
+  for (std::size_t c = 0; c < db.clobs().count(); ++c) {
+    write_bytes(out, db.clobs().get(static_cast<ClobId>(c)));
+  }
+
+  for (const std::string& name : db.table_names()) {
+    const Table& table = *db.table(name);
+    out << "table ";
+    write_bytes(out, name);
+    out << table.schema().size() << ' ' << table.row_count() << '\n';
+    for (const Row& row : table.rows()) {
+      for (const Value& value : row) write_value(out, value);
+    }
+  }
+  out << "end\n";
+  if (!out) throw SerializeError("write failed");
+}
+
+void load_database_into(Database& db, std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "HXRCDB" || version != 1) {
+    throw SerializeError("not an HXRCDB version-1 stream");
+  }
+
+  std::string token;
+  if (!(in >> token) || token != "clobs") throw SerializeError("expected clobs section");
+  std::size_t clob_count = 0;
+  in >> clob_count;
+  db.clobs().clear();
+  for (std::size_t c = 0; c < clob_count; ++c) {
+    db.clobs().append(read_bytes(in));
+  }
+
+  // Truncate every existing table; the stream refills the ones it has.
+  for (const std::string& name : db.table_names()) {
+    db.require_table(name).truncate();
+  }
+
+  while (in >> token) {
+    if (token == "end") return;
+    if (token != "table") throw SerializeError("expected a table section, got '" + token + "'");
+    const std::string name = read_bytes(in);
+    std::size_t cols = 0;
+    std::size_t rows = 0;
+    if (!(in >> cols >> rows)) throw SerializeError("bad table header");
+    Table* table = db.table(name);
+    if (table == nullptr) {
+      throw SerializeError("stream contains unknown table '" + name + "'");
+    }
+    if (table->schema().size() != cols) {
+      throw SerializeError("arity mismatch for table '" + name + "'");
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      Row row;
+      row.reserve(cols);
+      for (std::size_t c = 0; c < cols; ++c) row.push_back(read_value(in));
+      table->append(std::move(row));
+    }
+  }
+  throw SerializeError("missing end marker");
+}
+
+}  // namespace hxrc::rel

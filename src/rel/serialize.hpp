@@ -1,0 +1,41 @@
+// Database serialization: a simple, debuggable text format with
+// length-prefixed strings (safe against embedded newlines/quotes).
+//
+// Layout:
+//   HXRCDB 1
+//   clobs <count>
+//   <len> <bytes...>            (one per CLOB, byte-exact)
+//   table <name-len> <name> <cols> <rows>
+//   ... per row: one value per token:
+//       N            NULL
+//       I <int>
+//       D <shortest-round-trip double>
+//       S <len> <bytes...>
+//   end
+//
+// save_database writes every table (alphabetical) plus the CLOB store;
+// index definitions are NOT serialized — load_database_into refills the
+// target database's existing tables (created by the application with their
+// indexes), so indexes rebuild on load.
+#pragma once
+
+#include <iosfwd>
+
+#include "rel/database.hpp"
+
+namespace hxrc::rel {
+
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Writes the database (tables + CLOB store) to a stream.
+void save_database(const Database& db, std::ostream& out);
+
+/// Restores into an existing database whose tables were already created
+/// (schemas must match by name/arity; extra tables in `db` that are absent
+/// from the stream are truncated). Existing rows and CLOBs are discarded.
+void load_database_into(Database& db, std::istream& in);
+
+}  // namespace hxrc::rel

@@ -1,0 +1,38 @@
+// SQL tokenizer.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rel/value.hpp"
+
+namespace hxrc::rel::sql {
+
+class SqlError : public std::runtime_error {
+ public:
+  explicit SqlError(const std::string& message) : std::runtime_error(message) {}
+};
+
+struct Token {
+  enum class Kind { kIdent, kKeyword, kInt, kDouble, kString, kPunct, kEnd };
+
+  Kind kind = Kind::kEnd;
+  std::string text;       // identifier (original case), punct, or string body
+  std::string upper;      // uppercased text for keyword matching
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+
+  bool is_keyword(std::string_view kw) const noexcept {
+    return kind == Kind::kKeyword && upper == kw;
+  }
+  bool is_punct(std::string_view p) const noexcept {
+    return kind == Kind::kPunct && text == p;
+  }
+};
+
+/// Tokenizes a statement; throws SqlError on bad input.
+std::vector<Token> tokenize(std::string_view input);
+
+}  // namespace hxrc::rel::sql

@@ -1,0 +1,15 @@
+// Recursive-descent parser for the SQL subset (see ast.hpp for the grammar).
+#pragma once
+
+#include <string_view>
+
+#include "rel/sql/ast.hpp"
+#include "rel/sql/lexer.hpp"
+
+namespace hxrc::rel::sql {
+
+/// Parses a single statement (a trailing ';' is allowed).
+/// Throws SqlError on syntax errors.
+Statement parse_statement(std::string_view input);
+
+}  // namespace hxrc::rel::sql

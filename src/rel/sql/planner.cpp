@@ -1,0 +1,444 @@
+#include "rel/sql/planner.hpp"
+
+#include <unordered_map>
+
+#include "rel/database.hpp"
+#include "rel/sql/lexer.hpp"
+
+namespace hxrc::rel::sql {
+
+namespace {
+
+/// One resolvable column: (table alias, column name) -> position in the
+/// current intermediate row.
+struct Binding {
+  std::string alias;
+  std::string column;
+  std::size_t position;
+  Type type;
+};
+
+class Bindings {
+ public:
+  void add(const std::string& alias, const TableSchema& schema, std::size_t offset) {
+    for (std::size_t i = 0; i < schema.size(); ++i) {
+      entries_.push_back(
+          Binding{alias, schema.column(i).name, offset + i, schema.column(i).type});
+    }
+  }
+
+  const std::vector<Binding>& entries() const noexcept { return entries_; }
+
+  std::size_t width() const noexcept { return entries_.size(); }
+
+  /// Resolves a (possibly qualified) column reference.
+  const Binding& resolve(const std::string& table, const std::string& column) const {
+    const Binding* found = nullptr;
+    for (const auto& binding : entries_) {
+      if (!table.empty() && binding.alias != table) continue;
+      if (binding.column != column) continue;
+      if (found != nullptr) {
+        throw SqlError("ambiguous column reference '" +
+                       (table.empty() ? column : table + "." + column) + "'");
+      }
+      found = &binding;
+    }
+    if (found == nullptr) {
+      throw SqlError("unknown column '" + (table.empty() ? column : table + "." + column) +
+                     "'");
+    }
+    return *found;
+  }
+
+  /// True when the reference resolves here (used for join-side detection).
+  bool resolves(const std::string& table, const std::string& column) const noexcept {
+    for (const auto& binding : entries_) {
+      if ((table.empty() || binding.alias == table) && binding.column == column) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<Binding> entries_;
+};
+
+/// Resolves an AST expression to an executable Expr over the current row
+/// layout. Aggregates are rejected here (they are handled by the grouped
+/// path, which replaces them with column references first).
+ExprPtr resolve_expr(const AstExpr& ast, const Bindings& bindings) {
+  switch (ast.kind) {
+    case AstExpr::Kind::kColumnRef: {
+      const Binding& binding = bindings.resolve(ast.table, ast.column);
+      return col(binding.position, binding.alias + "." + binding.column);
+    }
+    case AstExpr::Kind::kLiteral:
+      return lit(ast.literal);
+    case AstExpr::Kind::kBinary:
+      return binary(ast.op, resolve_expr(*ast.lhs, bindings),
+                    resolve_expr(*ast.rhs, bindings));
+    case AstExpr::Kind::kNot:
+      return not_(resolve_expr(*ast.rhs, bindings));
+    case AstExpr::Kind::kIsNull: {
+      ExprPtr inner = is_null(resolve_expr(*ast.rhs, bindings));
+      return ast.negated ? not_(std::move(inner)) : std::move(inner);
+    }
+    case AstExpr::Kind::kLike: {
+      ExprPtr inner = like(resolve_expr(*ast.rhs, bindings), ast.literal.as_string());
+      return ast.negated ? not_(std::move(inner)) : std::move(inner);
+    }
+    case AstExpr::Kind::kIn: {
+      ExprPtr operand = resolve_expr(*ast.rhs, bindings);
+      std::vector<ExprPtr> terms;
+      terms.reserve(ast.in_list.size());
+      for (const Value& value : ast.in_list) {
+        terms.push_back(eq(operand, lit(value)));
+      }
+      ExprPtr any = terms.empty() ? lit(Value(std::int64_t{0})) : terms.front();
+      for (std::size_t i = 1; i < terms.size(); ++i) {
+        any = or_(std::move(any), std::move(terms[i]));
+      }
+      return ast.negated ? not_(std::move(any)) : std::move(any);
+    }
+    case AstExpr::Kind::kAggregate:
+      throw SqlError("aggregate used outside of a grouped context");
+  }
+  throw SqlError("unreachable expression kind");
+}
+
+/// Collects the conjuncts of an AND tree.
+void collect_conjuncts(const AstExpr& ast, std::vector<const AstExpr*>& out) {
+  if (ast.kind == AstExpr::Kind::kBinary && ast.op == BinOp::kAnd) {
+    collect_conjuncts(*ast.lhs, out);
+    collect_conjuncts(*ast.rhs, out);
+    return;
+  }
+  out.push_back(&ast);
+}
+
+/// Collects aggregate nodes in evaluation order (select list first, then
+/// HAVING, then ORDER BY).
+void collect_aggregates(const AstExpr& ast, std::vector<const AstExpr*>& out) {
+  if (ast.kind == AstExpr::Kind::kAggregate) {
+    out.push_back(&ast);
+    return;
+  }
+  if (ast.lhs) collect_aggregates(*ast.lhs, out);
+  if (ast.rhs) collect_aggregates(*ast.rhs, out);
+  if (ast.agg_arg) collect_aggregates(*ast.agg_arg, out);
+}
+
+struct GroupContext {
+  /// Original row position of each group key -> position in grouped output.
+  std::unordered_map<std::size_t, std::size_t> key_position;
+  /// Aggregate AST node -> position in grouped output.
+  std::unordered_map<const AstExpr*, std::size_t> agg_position;
+  const Bindings* pre_group_bindings = nullptr;
+};
+
+/// Resolves an expression over the *grouped* result: aggregates become
+/// column refs, column refs must be group keys.
+ExprPtr resolve_grouped(const AstExpr& ast, const GroupContext& ctx) {
+  switch (ast.kind) {
+    case AstExpr::Kind::kAggregate: {
+      const auto it = ctx.agg_position.find(&ast);
+      if (it == ctx.agg_position.end()) throw SqlError("unregistered aggregate");
+      return col(it->second, "agg");
+    }
+    case AstExpr::Kind::kColumnRef: {
+      const Binding& binding = ctx.pre_group_bindings->resolve(ast.table, ast.column);
+      const auto it = ctx.key_position.find(binding.position);
+      if (it == ctx.key_position.end()) {
+        throw SqlError("column '" + ast.column + "' is neither aggregated nor in GROUP BY");
+      }
+      return col(it->second, binding.alias + "." + binding.column);
+    }
+    case AstExpr::Kind::kLiteral:
+      return lit(ast.literal);
+    case AstExpr::Kind::kBinary:
+      return binary(ast.op, resolve_grouped(*ast.lhs, ctx), resolve_grouped(*ast.rhs, ctx));
+    case AstExpr::Kind::kNot:
+      return not_(resolve_grouped(*ast.rhs, ctx));
+    case AstExpr::Kind::kIsNull: {
+      ExprPtr inner = is_null(resolve_grouped(*ast.rhs, ctx));
+      return ast.negated ? not_(std::move(inner)) : std::move(inner);
+    }
+    case AstExpr::Kind::kLike: {
+      ExprPtr inner = like(resolve_grouped(*ast.rhs, ctx), ast.literal.as_string());
+      return ast.negated ? not_(std::move(inner)) : std::move(inner);
+    }
+    case AstExpr::Kind::kIn: {
+      ExprPtr operand = resolve_grouped(*ast.rhs, ctx);
+      ExprPtr any = lit(Value(std::int64_t{0}));
+      for (const Value& value : ast.in_list) {
+        any = or_(std::move(any), eq(operand, lit(value)));
+      }
+      return ast.negated ? not_(std::move(any)) : std::move(any);
+    }
+  }
+  throw SqlError("unreachable expression kind");
+}
+
+std::string output_name(const SelectItem& item, std::size_t ordinal) {
+  if (item.alias) return *item.alias;
+  if (item.expr && item.expr->kind == AstExpr::Kind::kColumnRef) return item.expr->column;
+  return "col" + std::to_string(ordinal + 1);
+}
+
+/// ORDER BY may reference select-list aliases; returns the aliased item's
+/// expression when `expr` is a bare reference to one, else `expr` itself.
+const AstExpr& dealias(const AstExpr& expr, const std::vector<SelectItem>& items) {
+  if (expr.kind != AstExpr::Kind::kColumnRef || !expr.table.empty()) return expr;
+  for (const SelectItem& item : items) {
+    if (!item.star && item.alias && *item.alias == expr.column) return *item.expr;
+  }
+  return expr;
+}
+
+}  // namespace
+
+ResultSet execute_select(const Database& db, const SelectStmt& stmt) {
+  // ---- FROM ----
+  const Table& base = [&]() -> const Table& {
+    const Table* t = db.table(stmt.from.name);
+    if (t == nullptr) throw SqlError("unknown table '" + stmt.from.name + "'");
+    return *t;
+  }();
+  ResultSet current = scan(base);
+  Bindings bindings;
+  bindings.add(stmt.from.alias, base.schema(), 0);
+
+  // ---- JOINs ----
+  for (const JoinClause& join : stmt.joins) {
+    const Table* right_table = db.table(join.table.name);
+    if (right_table == nullptr) throw SqlError("unknown table '" + join.table.name + "'");
+    ResultSet right = scan(*right_table);
+    Bindings right_bindings;
+    right_bindings.add(join.table.alias, right_table->schema(), 0);
+
+    // Split ON into equi-key pairs and residual predicates.
+    std::vector<const AstExpr*> conjuncts;
+    collect_conjuncts(*join.on, conjuncts);
+    std::vector<std::size_t> left_keys;
+    std::vector<std::size_t> right_keys;
+    std::vector<const AstExpr*> residual;
+    for (const AstExpr* conjunct : conjuncts) {
+      const bool is_col_eq = conjunct->kind == AstExpr::Kind::kBinary &&
+                             conjunct->op == BinOp::kEq &&
+                             conjunct->lhs->kind == AstExpr::Kind::kColumnRef &&
+                             conjunct->rhs->kind == AstExpr::Kind::kColumnRef;
+      if (is_col_eq) {
+        const AstExpr& a = *conjunct->lhs;
+        const AstExpr& b = *conjunct->rhs;
+        const bool a_left = bindings.resolves(a.table, a.column);
+        const bool b_left = bindings.resolves(b.table, b.column);
+        const bool a_right = right_bindings.resolves(a.table, a.column);
+        const bool b_right = right_bindings.resolves(b.table, b.column);
+        if (a_left && b_right && !(a_right && !a.table.empty())) {
+          left_keys.push_back(bindings.resolve(a.table, a.column).position);
+          right_keys.push_back(right_bindings.resolve(b.table, b.column).position);
+          continue;
+        }
+        if (b_left && a_right) {
+          left_keys.push_back(bindings.resolve(b.table, b.column).position);
+          right_keys.push_back(right_bindings.resolve(a.table, a.column).position);
+          continue;
+        }
+      }
+      residual.push_back(conjunct);
+    }
+
+    if (join.left_outer && !residual.empty()) {
+      throw SqlError("LEFT JOIN requires an equi-join ON condition");
+    }
+
+    const std::size_t left_width = bindings.width();
+    current = hash_join(current, left_keys, right, right_keys,
+                        join.left_outer ? JoinType::kLeftOuter : JoinType::kInner);
+    bindings.add(join.table.alias, right_table->schema(), left_width);
+
+    if (!residual.empty()) {
+      std::vector<ExprPtr> terms;
+      terms.reserve(residual.size());
+      for (const AstExpr* conjunct : residual) {
+        terms.push_back(resolve_expr(*conjunct, bindings));
+      }
+      current = filter(std::move(current), *conjunction(std::move(terms)));
+    }
+  }
+
+  // ---- WHERE ----
+  if (stmt.where) {
+    current = filter(std::move(current), *resolve_expr(*stmt.where, bindings));
+  }
+
+  // ---- aggregation? ----
+  std::vector<const AstExpr*> aggregates;
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr) collect_aggregates(*item.expr, aggregates);
+  }
+  if (stmt.having) collect_aggregates(*stmt.having, aggregates);
+  for (const OrderItem& item : stmt.order_by) {
+    collect_aggregates(*item.expr, aggregates);
+  }
+  const bool grouped = !stmt.group_by.empty() || !aggregates.empty();
+
+  ResultSet output;
+  if (grouped) {
+    // Resolve group keys (must be column references).
+    std::vector<std::size_t> key_columns;
+    for (const AstExprPtr& key : stmt.group_by) {
+      if (key->kind != AstExpr::Kind::kColumnRef) {
+        throw SqlError("GROUP BY supports column references only");
+      }
+      key_columns.push_back(bindings.resolve(key->table, key->column).position);
+    }
+
+    // Materialize aggregate arguments as extra columns when they are not
+    // plain column references.
+    std::vector<Aggregate> specs;
+    specs.reserve(aggregates.size());
+    ResultSet extended = std::move(current);
+    for (std::size_t a = 0; a < aggregates.size(); ++a) {
+      const AstExpr& agg = *aggregates[a];
+      Aggregate spec;
+      spec.fn = agg.agg_fn;
+      spec.name = "agg" + std::to_string(a);
+      if (agg.agg_star) {
+        spec.column = 0;
+      } else if (agg.agg_arg->kind == AstExpr::Kind::kColumnRef) {
+        spec.column =
+            bindings.resolve(agg.agg_arg->table, agg.agg_arg->column).position;
+      } else {
+        ExprPtr arg_expr = resolve_expr(*agg.agg_arg, bindings);
+        const std::size_t new_col = extended.schema.size();
+        extended.schema.add(Column{spec.name + "_arg", Type::kDouble});
+        for (Row& row : extended.rows) row.push_back(arg_expr->eval(row));
+        spec.column = new_col;
+      }
+      specs.push_back(std::move(spec));
+    }
+
+    ResultSet groupedResult = group_by(extended, key_columns, specs);
+
+    GroupContext ctx;
+    ctx.pre_group_bindings = &bindings;
+    for (std::size_t i = 0; i < key_columns.size(); ++i) {
+      ctx.key_position[key_columns[i]] = i;
+    }
+    for (std::size_t a = 0; a < aggregates.size(); ++a) {
+      ctx.agg_position[aggregates[a]] = key_columns.size() + a;
+    }
+
+    if (stmt.having) {
+      groupedResult = filter(std::move(groupedResult), *resolve_grouped(*stmt.having, ctx));
+    }
+
+    // Projection over the grouped result.
+    std::vector<std::pair<ExprPtr, Column>> outputs;
+    for (std::size_t i = 0; i < stmt.items.size(); ++i) {
+      const SelectItem& item = stmt.items[i];
+      if (item.star) throw SqlError("SELECT * cannot be combined with GROUP BY");
+      ExprPtr expr = resolve_grouped(*item.expr, ctx);
+      Type type = Type::kString;
+      if (item.expr->kind == AstExpr::Kind::kAggregate ||
+          item.expr->kind == AstExpr::Kind::kBinary) {
+        type = Type::kDouble;
+      } else if (item.expr->kind == AstExpr::Kind::kColumnRef) {
+        const auto pos = ctx.key_position.at(
+            bindings.resolve(item.expr->table, item.expr->column).position);
+        type = groupedResult.schema.column(pos).type;
+      }
+      if (item.expr->kind == AstExpr::Kind::kAggregate &&
+          (item.expr->agg_fn == Aggregate::Fn::kCount ||
+           item.expr->agg_fn == Aggregate::Fn::kCountDistinct)) {
+        type = Type::kInt;
+      }
+      outputs.emplace_back(std::move(expr), Column{output_name(item, i), type});
+    }
+
+    // ORDER BY is resolved over the grouped result, pre-projection;
+    // select-list aliases are honored.
+    std::vector<std::pair<ExprPtr, bool>> order_exprs;
+    for (const OrderItem& item : stmt.order_by) {
+      order_exprs.emplace_back(resolve_grouped(dealias(*item.expr, stmt.items), ctx),
+                               item.descending);
+    }
+    if (!order_exprs.empty()) {
+      // Materialize sort keys, sort, then drop them.
+      ResultSet keyed = groupedResult;
+      std::vector<std::pair<std::size_t, bool>> keys;
+      for (const auto& [expr, desc] : order_exprs) {
+        const std::size_t pos = keyed.schema.size();
+        keyed.schema.add(Column{"sortkey", Type::kDouble});
+        for (std::size_t r = 0; r < keyed.rows.size(); ++r) {
+          keyed.rows[r].push_back(expr->eval(groupedResult.rows[r]));
+        }
+        keys.emplace_back(pos, desc);
+      }
+      keyed = sort_by(std::move(keyed), keys);
+      for (Row& row : keyed.rows) row.resize(groupedResult.schema.size());
+      keyed.schema = groupedResult.schema;
+      groupedResult = std::move(keyed);
+    }
+
+    output = project_exprs(groupedResult, outputs);
+  } else {
+    // Plain projection.
+    std::vector<std::pair<ExprPtr, Column>> outputs;
+    for (std::size_t i = 0; i < stmt.items.size(); ++i) {
+      const SelectItem& item = stmt.items[i];
+      if (item.star) {
+        for (const Binding& binding : bindings.entries()) {
+          outputs.emplace_back(col(binding.position, binding.column),
+                               Column{binding.column, binding.type});
+        }
+        continue;
+      }
+      ExprPtr expr = resolve_expr(*item.expr, bindings);
+      Type type = Type::kString;
+      if (item.expr->kind == AstExpr::Kind::kColumnRef) {
+        type = bindings.resolve(item.expr->table, item.expr->column).type;
+      } else if (item.expr->kind == AstExpr::Kind::kLiteral) {
+        type = item.expr->literal.type();
+      } else {
+        type = Type::kDouble;
+      }
+      outputs.emplace_back(std::move(expr), Column{output_name(item, i), type});
+    }
+
+    // ORDER BY over the *input* bindings, applied before projection.
+    if (!stmt.order_by.empty()) {
+      std::vector<std::pair<std::size_t, bool>> keys;
+      ResultSet keyed = std::move(current);
+      const std::size_t base_width = keyed.schema.size();
+      std::size_t extra = 0;
+      for (const OrderItem& item : stmt.order_by) {
+        ExprPtr expr = resolve_expr(dealias(*item.expr, stmt.items), bindings);
+        keyed.schema.add(Column{"sortkey", Type::kDouble});
+        for (Row& row : keyed.rows) {
+          Row probe(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(base_width));
+          row.push_back(expr->eval(probe));
+        }
+        keys.emplace_back(base_width + extra, item.descending);
+        ++extra;
+      }
+      keyed = sort_by(std::move(keyed), keys);
+      for (Row& row : keyed.rows) row.resize(base_width);
+      current = std::move(keyed);
+      // Schema columns beyond base width were dropped with the rows.
+      TableSchema trimmed;
+      for (std::size_t c = 0; c < base_width; ++c) trimmed.add(Column{
+          std::string("c") + std::to_string(c), Type::kString});
+      // The projection below indexes by position, so names are irrelevant.
+      current.schema = trimmed;
+    }
+
+    output = project_exprs(current, outputs);
+  }
+
+  if (stmt.distinct) output = distinct(std::move(output));
+  if (stmt.limit) output = limit(std::move(output), *stmt.limit);
+  return output;
+}
+
+}  // namespace hxrc::rel::sql

@@ -1,0 +1,21 @@
+// Name resolution, planning, and execution for the SQL subset.
+//
+// Planning is deliberately simple: FROM/JOIN build a left-deep pipeline of
+// hash joins (equi-conditions are detected in ON clauses; anything else
+// falls back to a filtered cross product), WHERE filters, GROUP BY hashes,
+// HAVING filters, then projection / DISTINCT / ORDER BY / LIMIT.
+#pragma once
+
+#include "rel/ops.hpp"
+#include "rel/sql/ast.hpp"
+
+namespace hxrc::rel {
+class Database;
+}  // namespace hxrc::rel
+
+namespace hxrc::rel::sql {
+
+/// Executes a SELECT against the database's tables.
+ResultSet execute_select(const Database& db, const SelectStmt& stmt);
+
+}  // namespace hxrc::rel::sql

@@ -1,0 +1,127 @@
+#include "rel/table.hpp"
+
+namespace hxrc::rel {
+
+void Table::validate(const Row& row) const {
+  if (row.size() != schema_.size()) {
+    throw TypeError("table '" + name_ + "': row arity " + std::to_string(row.size()) +
+                    " != schema arity " + std::to_string(schema_.size()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (!type_compatible(schema_.column(i).type, row[i])) {
+      throw TypeError("table '" + name_ + "': column '" + schema_.column(i).name +
+                      "' expects " + std::string(to_string(schema_.column(i).type)) +
+                      ", got " + std::string(to_string(row[i].type())));
+    }
+  }
+}
+
+RowId Table::append(Row row) {
+  validate(row);
+  return append_unchecked(std::move(row));
+}
+
+RowId Table::append_unchecked(Row row) {
+  const RowId id = rows_.size();
+  rows_.push_back(std::move(row));
+  for (const auto& index : indexes_) {
+    index->insert(rows_.back(), id);
+  }
+  return id;
+}
+
+void Table::merge_from(const Table& other) {
+  if (other.schema().size() != schema_.size()) {
+    throw TypeError("merge_from: arity mismatch between '" + name_ + "' and '" +
+                    other.name() + "'");
+  }
+  rows_.reserve(rows_.size() + other.row_count());
+  for (const Row& row : other.rows()) {
+    append_unchecked(row);
+  }
+}
+
+void Table::merge_move_from(Table& other) {
+  if (other.schema().size() != schema_.size()) {
+    throw TypeError("merge_move_from: arity mismatch between '" + name_ + "' and '" +
+                    other.name() + "'");
+  }
+  rows_.reserve(rows_.size() + other.row_count());
+  for (Row& row : other.rows_) {
+    append_unchecked(std::move(row));
+  }
+  other.truncate();
+}
+
+void Table::truncate() {
+  rows_.clear();
+  // Rebuild empty indexes with the same definitions.
+  std::vector<std::unique_ptr<Index>> rebuilt;
+  rebuilt.reserve(indexes_.size());
+  for (const auto& old : indexes_) {
+    if (dynamic_cast<const HashIndex*>(old.get()) != nullptr) {
+      rebuilt.push_back(std::make_unique<HashIndex>(old->name(), old->key_columns()));
+    } else {
+      rebuilt.push_back(std::make_unique<OrderedIndex>(old->name(), old->key_columns()));
+    }
+  }
+  indexes_ = std::move(rebuilt);
+}
+
+template <typename IndexT>
+const IndexT* Table::create_index(const std::string& index_name,
+                                  const std::vector<std::string>& column_names) {
+  std::vector<std::size_t> key_columns;
+  key_columns.reserve(column_names.size());
+  for (const auto& column : column_names) {
+    key_columns.push_back(schema_.require(column));
+  }
+  auto index = std::make_unique<IndexT>(index_name, std::move(key_columns));
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    index->insert(rows_[id], id);
+  }
+  const IndexT* raw = index.get();
+  indexes_.push_back(std::move(index));
+  return raw;
+}
+
+const HashIndex* Table::create_hash_index(const std::string& index_name,
+                                          const std::vector<std::string>& column_names) {
+  return create_index<HashIndex>(index_name, column_names);
+}
+
+const OrderedIndex* Table::create_ordered_index(
+    const std::string& index_name, const std::vector<std::string>& column_names) {
+  return create_index<OrderedIndex>(index_name, column_names);
+}
+
+const Index* Table::index(std::string_view index_name) const noexcept {
+  for (const auto& index : indexes_) {
+    if (index->name() == index_name) return index.get();
+  }
+  return nullptr;
+}
+
+const Index* Table::index_on(const std::vector<std::size_t>& columns) const noexcept {
+  for (const auto& index : indexes_) {
+    if (index->key_columns() == columns) return index.get();
+  }
+  return nullptr;
+}
+
+std::size_t Table::approx_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const Row& row : rows_) {
+    bytes += sizeof(Row) + row.capacity() * sizeof(Value);
+    for (const Value& value : row) {
+      if (value.type() == Type::kString) bytes += value.as_string().capacity();
+    }
+  }
+  // Index entries: key copies + row id.
+  for (const auto& index : indexes_) {
+    bytes += index->entry_count() * (sizeof(RowId) + index->key_columns().size() * sizeof(Value));
+  }
+  return bytes;
+}
+
+}  // namespace hxrc::rel

@@ -1,0 +1,78 @@
+// Row-store table with optional secondary indexes.
+//
+// Tables are append-only (plus truncate), matching a metadata catalog's
+// insert-and-query workload. Concurrency contract: concurrent reads are
+// safe; writes require external serialization. The parallel-ingest path in
+// core shreds into per-thread staging tables and merges, so the hot path
+// never takes a lock.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rel/index.hpp"
+#include "rel/value.hpp"
+
+namespace hxrc::rel {
+
+class Table {
+ public:
+  Table(std::string name, TableSchema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  const TableSchema& schema() const noexcept { return schema_; }
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  const Row& row(RowId id) const { return rows_.at(id); }
+  const std::vector<Row>& rows() const noexcept { return rows_; }
+
+  /// Validates arity and types, appends, updates indexes; returns the row id.
+  RowId append(Row row);
+
+  /// Appends without per-value type checks (used by bulk merge of staged
+  /// rows that were validated at staging time).
+  RowId append_unchecked(Row row);
+
+  /// Appends every row of `other` (schemas must have equal arity).
+  void merge_from(const Table& other);
+
+  /// Move-merges: like merge_from but steals the rows, leaving `other`
+  /// empty. Used when draining parallel staging tables.
+  void merge_move_from(Table& other);
+
+  /// Removes all rows and clears indexes.
+  void truncate();
+
+  /// Creates an index over the named columns; returns a stable pointer.
+  /// Existing rows are back-filled.
+  const HashIndex* create_hash_index(const std::string& index_name,
+                                     const std::vector<std::string>& column_names);
+  const OrderedIndex* create_ordered_index(const std::string& index_name,
+                                           const std::vector<std::string>& column_names);
+
+  /// Index by name; nullptr when absent.
+  const Index* index(std::string_view index_name) const noexcept;
+
+  /// First index (of any kind) whose key columns are exactly `columns`
+  /// (ordered); nullptr when none exists.
+  const Index* index_on(const std::vector<std::size_t>& columns) const noexcept;
+
+  const std::vector<std::unique_ptr<Index>>& indexes() const noexcept { return indexes_; }
+
+  /// Approximate heap footprint in bytes (storage experiment E10).
+  std::size_t approx_bytes() const noexcept;
+
+ private:
+  void validate(const Row& row) const;
+  template <typename IndexT>
+  const IndexT* create_index(const std::string& index_name,
+                             const std::vector<std::string>& column_names);
+
+  std::string name_;
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<std::unique_ptr<Index>> indexes_;
+};
+
+}  // namespace hxrc::rel

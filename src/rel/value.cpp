@@ -1,0 +1,113 @@
+#include "rel/value.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <functional>
+
+namespace hxrc::rel {
+
+std::string_view to_string(Type type) noexcept {
+  switch (type) {
+    case Type::kNull: return "NULL";
+    case Type::kInt: return "INT";
+    case Type::kDouble: return "DOUBLE";
+    case Type::kString: return "STRING";
+  }
+  return "NULL";
+}
+
+std::int64_t Value::as_int() const {
+  if (const auto* v = std::get_if<std::int64_t>(&data_)) return *v;
+  throw TypeError("value is not an INT (got " + std::string(rel::to_string(type())) + ")");
+}
+
+double Value::as_double() const {
+  if (const auto* v = std::get_if<double>(&data_)) return *v;
+  if (const auto* v = std::get_if<std::int64_t>(&data_)) return static_cast<double>(*v);
+  throw TypeError("value is not numeric (got " + std::string(rel::to_string(type())) + ")");
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* v = std::get_if<std::string>(&data_)) return *v;
+  throw TypeError("value is not a STRING (got " + std::string(rel::to_string(type())) + ")");
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case Type::kNull: return "NULL";
+    case Type::kInt: return std::to_string(std::get<std::int64_t>(data_));
+    case Type::kDouble: {
+      char buf[32];
+      const auto [ptr, ec] =
+          std::to_chars(buf, buf + sizeof buf, std::get<double>(data_));
+      (void)ec;
+      return std::string(buf, ptr);
+    }
+    case Type::kString: return std::get<std::string>(data_);
+  }
+  return "NULL";
+}
+
+int Value::compare(const Value& other) const noexcept {
+  const Type a = type();
+  const Type b = other.type();
+  // NULLs sort first.
+  if (a == Type::kNull || b == Type::kNull) {
+    return (a == Type::kNull && b == Type::kNull) ? 0 : (a == Type::kNull ? -1 : 1);
+  }
+  const bool a_num = a != Type::kString;
+  const bool b_num = b != Type::kString;
+  if (a_num && b_num) {
+    // Exact integer compare when both are ints; else double compare.
+    if (a == Type::kInt && b == Type::kInt) {
+      const auto x = std::get<std::int64_t>(data_);
+      const auto y = std::get<std::int64_t>(other.data_);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = as_double();
+    const double y = other.as_double();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a_num != b_num) return a_num ? -1 : 1;  // numerics before strings
+  const int c = std::get<std::string>(data_).compare(std::get<std::string>(other.data_));
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+std::size_t Value::hash() const noexcept {
+  switch (type()) {
+    case Type::kNull: return 0x6eed0e9da4d94a4fULL;
+    case Type::kInt: {
+      // Hash ints and integral doubles identically so mixed-type equi-joins
+      // agree with compare().
+      return std::hash<double>{}(static_cast<double>(std::get<std::int64_t>(data_)));
+    }
+    case Type::kDouble: return std::hash<double>{}(std::get<double>(data_));
+    case Type::kString: return std::hash<std::string>{}(std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+std::optional<std::size_t> TableSchema::index_of(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t TableSchema::require(std::string_view name) const {
+  if (const auto i = index_of(name)) return *i;
+  throw TypeError("unknown column '" + std::string(name) + "'");
+}
+
+bool type_compatible(Type type, const Value& value) noexcept {
+  if (value.is_null()) return true;
+  switch (type) {
+    case Type::kNull: return false;
+    case Type::kInt: return value.type() == Type::kInt;
+    case Type::kDouble: return value.is_numeric();
+    case Type::kString: return value.type() == Type::kString;
+  }
+  return false;
+}
+
+}  // namespace hxrc::rel

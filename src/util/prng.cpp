@@ -1,0 +1,70 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+
+namespace hxrc::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Prng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Prng::uniform(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Lemire-style rejection-free bounded draw is overkill here; modulo bias is
+  // negligible for workload synthesis but we still mask down via widening.
+  const unsigned __int128 wide = static_cast<unsigned __int128>(next()) * range;
+  return lo + static_cast<std::int64_t>(wide >> 64);
+}
+
+double Prng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Prng::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Prng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::string Prng::identifier(std::size_t length) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[uniform(0, 25)]);
+  }
+  return out;
+}
+
+}  // namespace hxrc::util

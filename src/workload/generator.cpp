@@ -1,0 +1,194 @@
+#include "workload/generator.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace hxrc::workload {
+
+namespace {
+
+// CF conventions standard names (the paper's Fig. 3 uses this vocabulary).
+constexpr const char* kCfNames[] = {
+    "convective_precipitation_amount",
+    "convective_precipitation_flux",
+    "air_pressure_at_cloud_base",
+    "air_pressure_at_cloud_top",
+    "air_temperature",
+    "air_potential_temperature",
+    "atmosphere_boundary_layer_thickness",
+    "cloud_area_fraction",
+    "dew_point_temperature",
+    "eastward_wind",
+    "northward_wind",
+    "upward_air_velocity",
+    "geopotential_height",
+    "relative_humidity",
+    "specific_humidity",
+    "surface_air_pressure",
+    "surface_temperature",
+    "tendency_of_air_temperature",
+    "wind_speed_of_gust",
+    "precipitation_flux",
+    "snowfall_amount",
+    "soil_temperature",
+    "surface_downwelling_shortwave_flux",
+    "surface_upward_sensible_heat_flux",
+};
+
+constexpr const char* kModels[] = {"ARPS", "WRF"};
+
+// Dynamic attribute (namelist group) names used by the forecast models.
+constexpr const char* kGroups[] = {"grid", "initialization", "microphysics",
+                                   "radiation", "surface_physics", "nudging"};
+
+// Model parameter names (ARPS/WRF namelist vocabulary).
+constexpr const char* kParams[] = {
+    "dx",        "dy",        "dz",       "dzmin",     "dtbig",    "dtsml",
+    "nx",        "ny",        "nz",       "strhopt",   "zrefsfc",  "dlayer1",
+    "dlayer2",   "strhtune",  "zflat",    "ctrlat",    "ctrlon",   "trulat1",
+    "trulat2",   "trulon",    "sclfct",   "mapproj",   "tstop",    "thermdiff",
+};
+
+// Sub-attribute group names inside dynamic attributes.
+constexpr const char* kSubGroups[] = {"grid-stretching", "damping", "advection",
+                                      "boundary", "filtering"};
+
+constexpr const char* kProgress[] = {"Complete", "In work", "Planned"};
+constexpr const char* kUpdate[] = {"Continually", "As needed", "None planned"};
+constexpr const char* kOrigins[] = {"LEAD", "CASA", "Unidata", "NCSA"};
+
+}  // namespace
+
+std::span<const char* const> cf_standard_names() { return kCfNames; }
+std::span<const char* const> model_names() { return kModels; }
+std::span<const char* const> grid_group_names() { return kGroups; }
+std::span<const char* const> parameter_names() { return kParams; }
+
+double parameter_value(std::string_view param, int v) {
+  // A stable per-parameter base scaled by the value index, so queries can
+  // target "value k of parameter p" and know exactly which documents match.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : param) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  const double base = static_cast<double>(100 + (h % 900));
+  return base * (1.0 + static_cast<double>(v));
+}
+
+DocumentGenerator::DocumentGenerator(GeneratorConfig config) : config_(config) {}
+
+std::vector<xml::Document> DocumentGenerator::corpus(std::size_t n) {
+  std::vector<xml::Document> docs;
+  docs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) docs.push_back(generate(i));
+  return docs;
+}
+
+xml::Document DocumentGenerator::generate(std::uint64_t index) {
+  util::Prng rng(config_.seed ^ (index * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+
+  xml::Document doc(xml::Node::element("LEADresource"));
+  doc.root->add_element("resourceID", "lead-" + std::to_string(index));
+  xml::Node* data = doc.root->add_element("data");
+  if (config_.include_idinfo) add_idinfo(rng, *data, index);
+  if (config_.include_geospatial) add_geospatial(rng, *data);
+  return doc;
+}
+
+void DocumentGenerator::add_idinfo(util::Prng& rng, xml::Node& data, std::uint64_t index) {
+  xml::Node* idinfo = data.add_element("idinfo");
+
+  xml::Node* citation = idinfo->add_element("citation");
+  citation->add_element("origin", rng.pick(std::span<const char* const>(kOrigins)));
+  citation->add_element("pubdate",
+                        "2006-0" + std::to_string(1 + rng.uniform(0, 8)) + "-" +
+                            (rng.chance(0.5) ? "15" : "01"));
+  citation->add_element("title", "Forecast run " + std::to_string(index));
+
+  xml::Node* status = idinfo->add_element("status");
+  status->add_element("progress", rng.pick(std::span<const char* const>(kProgress)));
+  status->add_element("update", rng.pick(std::span<const char* const>(kUpdate)));
+
+  idinfo->add_element("timeperd", "2006-06-0" + std::to_string(1 + rng.uniform(0, 8)));
+
+  xml::Node* keywords = idinfo->add_element("keywords");
+  const int themes = static_cast<int>(rng.uniform(config_.themes_min, config_.themes_max));
+  for (int t = 0; t < themes; ++t) {
+    xml::Node* theme = keywords->add_element("theme");
+    theme->add_element("themekt", "CF NetCDF");
+    const int keys =
+        static_cast<int>(rng.uniform(config_.theme_keys_min, config_.theme_keys_max));
+    for (int k = 0; k < keys; ++k) {
+      theme->add_element("themekey", rng.pick(cf_standard_names()));
+    }
+  }
+  if (rng.chance(0.6)) {
+    xml::Node* place = keywords->add_element("place");
+    place->add_element("placekt", "GNIS");
+    place->add_element("placekey", rng.chance(0.5) ? "Oklahoma" : "Indiana");
+  }
+
+  if (rng.chance(0.5)) idinfo->add_element("accconst", "None");
+  if (rng.chance(0.5)) idinfo->add_element("useconst", "Research only");
+}
+
+void DocumentGenerator::add_geospatial(util::Prng& rng, xml::Node& data) {
+  xml::Node* geospatial = data.add_element("geospatial");
+
+  if (rng.chance(0.8)) {
+    xml::Node* spdom = geospatial->add_element("spdom");
+    spdom->add_element("bounding", "-103.0 33.6 -94.4 37.0");
+    if (rng.chance(0.3)) spdom->add_element("dsgpoly", "convex");
+  }
+  if (rng.chance(0.4)) geospatial->add_element("vertdom", "0 20000");
+
+  xml::Node* eainfo = geospatial->add_element("eainfo");
+  const int detaileds =
+      static_cast<int>(rng.uniform(config_.detailed_min, config_.detailed_max));
+  for (int d = 0; d < detaileds; ++d) {
+    add_detailed(rng, *eainfo);
+  }
+  if (rng.chance(0.3)) {
+    xml::Node* overview = eainfo->add_element("overview");
+    overview->add_element("eaover", "model output fields");
+    overview->add_element("eadetcit", "ARPS User Guide");
+  }
+}
+
+void DocumentGenerator::add_detailed(util::Prng& rng, xml::Node& eainfo) {
+  xml::Node* detailed = eainfo.add_element("detailed");
+  const char* model = rng.pick(model_names());
+  const char* group = rng.pick(grid_group_names());
+
+  xml::Node* enttyp = detailed->add_element("enttyp");
+  enttyp->add_element("enttypl", group);
+  enttyp->add_element("enttypds", model);
+
+  const int params = static_cast<int>(rng.uniform(config_.params_min, config_.params_max));
+  add_dynamic_items(rng, *detailed, model, params, 0);
+}
+
+void DocumentGenerator::add_dynamic_items(util::Prng& rng, xml::Node& parent,
+                                          const std::string& model, int count, int depth) {
+  for (int i = 0; i < count; ++i) {
+    const bool nest = depth < config_.max_nesting && rng.chance(config_.sub_attr_probability);
+    xml::Node* item = parent.add_element("attr");
+    if (nest) {
+      item->add_element("attrlabl",
+                        rng.pick(std::span<const char* const>(kSubGroups)));
+      item->add_element("attrdefs", model);
+      const int children = static_cast<int>(rng.uniform(1, 3));
+      add_dynamic_items(rng, *item, model, children, depth + 1);
+    } else {
+      const char* param = rng.pick(parameter_names());
+      const int v = static_cast<int>(rng.uniform(0, config_.value_cardinality - 1));
+      char buf[32];
+      const auto [ptr, ec] =
+          std::to_chars(buf, buf + sizeof buf, parameter_value(param, v));
+      (void)ec;
+      item->add_element("attrlabl", param);
+      item->add_element("attrdefs", model);
+      item->add_element("attrv", std::string(buf, ptr));
+    }
+  }
+}
+
+}  // namespace hxrc::workload

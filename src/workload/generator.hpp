@@ -1,0 +1,84 @@
+// Deterministic LEAD-document corpus generator.
+//
+// The paper's testbed data (LEAD forecast metadata with ARPS/WRF namelist
+// parameters) is not available, so the generator synthesizes documents that
+// exercise the same code paths: multi-instance theme keywords drawn from
+// real CF conventions standard names, FGDC identification boilerplate, and
+// dynamic <detailed> attributes with the real ARPS/WRF parameter names,
+// nested sub-attributes, and numeric values with controllable spread (the
+// selectivity knob for experiment E8).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/prng.hpp"
+#include "xml/dom.hpp"
+
+namespace hxrc::workload {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+
+  // keywords
+  int themes_min = 1;
+  int themes_max = 3;
+  int theme_keys_min = 1;
+  int theme_keys_max = 4;
+
+  // dynamic attributes
+  int detailed_min = 1;
+  int detailed_max = 2;
+  int params_min = 3;
+  int params_max = 8;
+  /// Probability that a parameter is a nested sub-attribute group instead
+  /// of a scalar element.
+  double sub_attr_probability = 0.25;
+  /// Maximum sub-attribute nesting depth below a dynamic attribute root.
+  int max_nesting = 2;
+
+  /// Numeric parameter values are drawn from `value_cardinality` distinct
+  /// values per parameter; lower cardinality = higher query selectivity.
+  int value_cardinality = 16;
+
+  /// Include the optional identification attributes (citation, status, ...).
+  bool include_idinfo = true;
+  bool include_geospatial = true;
+};
+
+/// Vocabulary pools (exposed so the query generator draws from the same
+/// distributions).
+std::span<const char* const> cf_standard_names();
+std::span<const char* const> model_names();           // {"ARPS", "WRF"}
+std::span<const char* const> grid_group_names();      // dynamic attribute names
+std::span<const char* const> parameter_names();       // dx, dzmin, ...
+
+/// Deterministic parameter value: the v-th value of parameter `param`
+/// (v in [0, value_cardinality)).
+double parameter_value(std::string_view param, int v);
+
+class DocumentGenerator {
+ public:
+  explicit DocumentGenerator(GeneratorConfig config = {});
+
+  /// Generates the i-th document; same (seed, i) => same document.
+  xml::Document generate(std::uint64_t index);
+
+  /// Generates documents [0, n).
+  std::vector<xml::Document> corpus(std::size_t n);
+
+  const GeneratorConfig& config() const noexcept { return config_; }
+
+ private:
+  void add_idinfo(util::Prng& rng, xml::Node& data, std::uint64_t index);
+  void add_geospatial(util::Prng& rng, xml::Node& data);
+  void add_detailed(util::Prng& rng, xml::Node& eainfo);
+  void add_dynamic_items(util::Prng& rng, xml::Node& parent, const std::string& model,
+                         int count, int depth);
+
+  GeneratorConfig config_;
+};
+
+}  // namespace hxrc::workload

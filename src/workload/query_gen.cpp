@@ -1,0 +1,118 @@
+#include "workload/query_gen.hpp"
+
+namespace hxrc::workload {
+
+using core::AttrQuery;
+using core::CompareOp;
+using core::ObjectQuery;
+
+ObjectQuery paper_example_query(double dx, double dzmin) {
+  ObjectQuery query;
+  AttrQuery grid("grid", "ARPS");
+  grid.add_element("dx", "ARPS", rel::Value(dx), CompareOp::kEq);
+  AttrQuery stretching("grid-stretching", "ARPS");
+  stretching.add_element("dzmin", rel::Value(dzmin), CompareOp::kEq);
+  grid.add_attribute(std::move(stretching));
+  query.add_attribute(std::move(grid));
+  return query;
+}
+
+ObjectQuery theme_keyword_query(const std::string& keyword) {
+  ObjectQuery query;
+  AttrQuery theme("theme");
+  theme.add_element("themekey", rel::Value(keyword), CompareOp::kEq);
+  query.add_attribute(std::move(theme));
+  return query;
+}
+
+ObjectQuery dynamic_param_query(const std::string& group, const std::string& model,
+                                const std::string& param, double value,
+                                core::CompareOp op) {
+  ObjectQuery query;
+  AttrQuery attr(group, model);
+  attr.add_element(param, model, rel::Value(value), op);
+  query.add_attribute(std::move(attr));
+  return query;
+}
+
+QueryGenerator::QueryGenerator(QueryGenConfig config) : config_(config) {}
+
+ObjectQuery QueryGenerator::generate(std::uint64_t index) {
+  util::Prng rng(config_.seed ^ (index * 0x9e3779b97f4a7c15ULL + 17));
+  ObjectQuery query;
+  const int attrs = static_cast<int>(rng.uniform(1, config_.attrs_max));
+  for (int a = 0; a < attrs; ++a) {
+    if (rng.chance(config_.dynamic_probability)) {
+      query.add_attribute(random_dynamic(rng, /*allow_sub=*/true));
+    } else {
+      query.add_attribute(random_structural(rng));
+    }
+  }
+  return query;
+}
+
+AttrQuery QueryGenerator::random_structural(util::Prng& rng) {
+  switch (rng.uniform(0, 3)) {
+    case 0: {
+      AttrQuery theme("theme");
+      theme.add_element("themekey", rel::Value(rng.pick(cf_standard_names())),
+                        CompareOp::kEq);
+      if (rng.chance(0.3)) {
+        theme.add_element("themekt", rel::Value("CF NetCDF"), CompareOp::kEq);
+      }
+      return theme;
+    }
+    case 1: {
+      AttrQuery status("status");
+      status.add_element("progress", rel::Value(rng.chance(0.5) ? "Complete" : "In work"),
+                         CompareOp::kEq);
+      return status;
+    }
+    case 2: {
+      AttrQuery place("place");
+      place.add_element("placekey", rel::Value(rng.chance(0.5) ? "Oklahoma" : "Indiana"),
+                        CompareOp::kEq);
+      return place;
+    }
+    default: {
+      AttrQuery citation("citation");
+      citation.add_element("origin",
+                           rel::Value(rng.chance(0.5) ? "LEAD" : "Unidata"),
+                           CompareOp::kEq);
+      return citation;
+    }
+  }
+}
+
+AttrQuery QueryGenerator::random_dynamic(util::Prng& rng, bool allow_sub) {
+  const char* model = rng.pick(model_names());
+  AttrQuery attr(rng.pick(grid_group_names()), model);
+
+  const int elems = static_cast<int>(rng.uniform(0, config_.elems_max));
+  static constexpr CompareOp kOps[] = {CompareOp::kEq, CompareOp::kLe, CompareOp::kGe,
+                                       CompareOp::kLt, CompareOp::kGt};
+  for (int e = 0; e < elems; ++e) {
+    const char* param = rng.pick(parameter_names());
+    const int v = static_cast<int>(rng.uniform(0, config_.value_cardinality - 1));
+    attr.add_element(param, model, rel::Value(parameter_value(param, v)),
+                     kOps[rng.uniform(0, 4)]);
+  }
+  if (allow_sub && rng.chance(config_.sub_attr_probability)) {
+    static constexpr const char* kSubGroups[] = {"grid-stretching", "damping", "advection",
+                                                 "boundary", "filtering"};
+    AttrQuery sub(kSubGroups[rng.uniform(0, 4)], model);
+    const char* param = rng.pick(parameter_names());
+    const int v = static_cast<int>(rng.uniform(0, config_.value_cardinality - 1));
+    sub.add_element(param, model, rel::Value(parameter_value(param, v)),
+                    kOps[rng.uniform(0, 4)]);
+    attr.add_attribute(std::move(sub));
+  }
+  if (attr.elements().empty() && attr.sub_attributes().empty()) {
+    // Never emit a completely empty criterion; require the group to exist
+    // with at least one known parameter.
+    attr.require_element(rng.pick(parameter_names()), model);
+  }
+  return attr;
+}
+
+}  // namespace hxrc::workload

@@ -1,0 +1,57 @@
+// Query workload generation.
+//
+// Produces metadata-attribute queries drawn from the same vocabulary as the
+// document generator, so match probabilities are controllable: canned query
+// shapes for the benches (theme keyword lookups, dynamic parameter
+// predicates, the paper's §4 grid/grid-stretching example) and random
+// queries for the cross-backend property tests.
+#pragma once
+
+#include "core/query.hpp"
+#include "util/prng.hpp"
+#include "workload/generator.hpp"
+
+namespace hxrc::workload {
+
+/// The paper's §4 example: objects with grid dx = <dx> that also have
+/// grid-stretching with dzmin = <dzmin> (both from model ARPS).
+core::ObjectQuery paper_example_query(double dx = 1000.0, double dzmin = 100.0);
+
+/// Single structural criterion: objects carrying a theme keyword.
+core::ObjectQuery theme_keyword_query(const std::string& keyword);
+
+/// Single dynamic criterion: group/model with parameter `param` = value v.
+core::ObjectQuery dynamic_param_query(const std::string& group, const std::string& model,
+                                      const std::string& param, double value,
+                                      core::CompareOp op = core::CompareOp::kEq);
+
+struct QueryGenConfig {
+  std::uint64_t seed = 1234;
+  /// Probability a generated attribute criterion is dynamic.
+  double dynamic_probability = 0.5;
+  /// Probability a dynamic criterion nests a sub-attribute.
+  double sub_attr_probability = 0.3;
+  /// Max element predicates per attribute criterion.
+  int elems_max = 2;
+  /// Max top-level attribute criteria per query.
+  int attrs_max = 2;
+  /// Value cardinality must match the document generator's for meaningful
+  /// selectivities.
+  int value_cardinality = 16;
+};
+
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(QueryGenConfig config = {});
+
+  /// Deterministic i-th random query.
+  core::ObjectQuery generate(std::uint64_t index);
+
+ private:
+  core::AttrQuery random_structural(util::Prng& rng);
+  core::AttrQuery random_dynamic(util::Prng& rng, bool allow_sub);
+
+  QueryGenConfig config_;
+};
+
+}  // namespace hxrc::workload

@@ -1,0 +1,76 @@
+#include "xml/canonical.hpp"
+
+#include <algorithm>
+
+#include "util/string_util.hpp"
+#include "xml/writer.hpp"
+
+namespace hxrc::xml {
+
+namespace {
+
+/// Collapses internal whitespace runs to single spaces after trimming.
+std::string collapse_whitespace(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_space = false;
+  for (char c : util::trim(text)) {
+    const bool space = (c == ' ' || c == '\t' || c == '\n' || c == '\r');
+    if (space) {
+      in_space = true;
+    } else {
+      if (in_space && !out.empty()) out.push_back(' ');
+      in_space = false;
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void canonicalize(std::string& out, const Node& node) {
+  if (node.is_text()) {
+    const std::string collapsed = collapse_whitespace(node.value());
+    if (!collapsed.empty()) out += escape_text(collapsed);
+    return;
+  }
+  out.push_back('<');
+  out += node.name();
+  std::vector<Attribute> attrs = node.attributes();
+  std::sort(attrs.begin(), attrs.end(),
+            [](const Attribute& a, const Attribute& b) { return a.name < b.name; });
+  for (const auto& attr : attrs) {
+    out.push_back(' ');
+    out += attr.name;
+    out += "=\"";
+    out += escape_attribute(attr.value);
+    out.push_back('"');
+  }
+  out.push_back('>');
+  for (const auto& child : node.children()) {
+    canonicalize(out, *child);
+  }
+  append_close_tag(out, node.name());
+}
+
+}  // namespace
+
+std::string canonical(const Node& node) {
+  std::string out;
+  canonicalize(out, node);
+  return out;
+}
+
+std::string canonical(const Document& doc) {
+  if (!doc.root) return {};
+  return canonical(*doc.root);
+}
+
+bool semantically_equal(const Node& a, const Node& b) {
+  return canonical(a) == canonical(b);
+}
+
+bool semantically_equal(const Document& a, const Document& b) {
+  return canonical(a) == canonical(b);
+}
+
+}  // namespace hxrc::xml

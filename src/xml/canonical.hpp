@@ -1,0 +1,26 @@
+// Canonical form for semantic document comparison in tests.
+//
+// Two documents are considered semantically equal for catalog purposes when
+// their canonical strings match: attributes sorted by name, text content
+// trimmed and whitespace-collapsed, whitespace-only text dropped. Sibling
+// *order* is preserved (the paper's response builder guarantees schema
+// order), so canonicalization does not sort elements.
+#pragma once
+
+#include <string>
+
+#include "xml/dom.hpp"
+
+namespace hxrc::xml {
+
+/// Canonical serialization of a subtree.
+std::string canonical(const Node& node);
+
+/// Canonical serialization of a document ("" for an empty document).
+std::string canonical(const Document& doc);
+
+/// Semantic equality via canonical forms.
+bool semantically_equal(const Node& a, const Node& b);
+bool semantically_equal(const Document& a, const Document& b);
+
+}  // namespace hxrc::xml

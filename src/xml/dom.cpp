@@ -1,0 +1,119 @@
+#include "xml/dom.hpp"
+
+#include "util/string_util.hpp"
+
+namespace hxrc::xml {
+
+NodePtr Node::element(std::string name) {
+  auto node = NodePtr(new Node(Kind::kElement));
+  node->name_ = std::move(name);
+  return node;
+}
+
+NodePtr Node::text(std::string value) {
+  auto node = NodePtr(new Node(Kind::kText));
+  node->value_ = std::move(value);
+  return node;
+}
+
+void Node::add_attribute(std::string name, std::string value) {
+  attributes_.push_back(Attribute{std::move(name), std::move(value)});
+}
+
+const std::string* Node::attribute(std::string_view name) const noexcept {
+  for (const auto& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+Node* Node::add_child(NodePtr child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Node* Node::add_element(std::string name) {
+  return add_child(Node::element(std::move(name)));
+}
+
+Node* Node::add_element(std::string name, std::string text_content) {
+  Node* el = add_element(std::move(name));
+  el->add_text(std::move(text_content));
+  return el;
+}
+
+Node* Node::add_text(std::string text_content) {
+  return add_child(Node::text(std::move(text_content)));
+}
+
+const Node* Node::first_child(std::string_view tag) const noexcept {
+  for (const auto& child : children_) {
+    if (child->is_element() && child->name_ == tag) return child.get();
+  }
+  return nullptr;
+}
+
+Node* Node::first_child(std::string_view tag) noexcept {
+  return const_cast<Node*>(static_cast<const Node*>(this)->first_child(tag));
+}
+
+std::vector<const Node*> Node::children_named(std::string_view tag) const {
+  std::vector<const Node*> out;
+  for (const auto& child : children_) {
+    if (child->is_element() && child->name_ == tag) out.push_back(child.get());
+  }
+  return out;
+}
+
+std::vector<const Node*> Node::child_elements() const {
+  std::vector<const Node*> out;
+  out.reserve(children_.size());
+  for (const auto& child : children_) {
+    if (child->is_element()) out.push_back(child.get());
+  }
+  return out;
+}
+
+std::string Node::text_content() const {
+  std::string out;
+  for (const auto& child : children_) {
+    if (child->is_text()) out += child->value_;
+  }
+  return std::string(util::trim(out));
+}
+
+std::string Node::child_text(std::string_view tag) const {
+  const Node* child = first_child(tag);
+  return child ? child->text_content() : std::string{};
+}
+
+bool Node::is_leaf_element() const noexcept {
+  if (!is_element()) return false;
+  for (const auto& child : children_) {
+    if (child->is_element()) return false;
+  }
+  return true;
+}
+
+NodePtr Node::clone() const {
+  NodePtr copy(new Node(kind_));
+  copy->name_ = name_;
+  copy->value_ = value_;
+  copy->attributes_ = attributes_;
+  copy->children_.reserve(children_.size());
+  for (const auto& child : children_) {
+    copy->add_child(child->clone());
+  }
+  return copy;
+}
+
+std::size_t Node::subtree_element_count() const noexcept {
+  std::size_t count = is_element() ? 1 : 0;
+  for (const auto& child : children_) {
+    count += child->subtree_element_count();
+  }
+  return count;
+}
+
+}  // namespace hxrc::xml

@@ -1,0 +1,110 @@
+// Minimal XML document object model.
+//
+// The catalog ingests schema-based metadata documents, so the DOM only needs
+// elements, attributes, and character data (comments and processing
+// instructions are discarded at parse time). Nodes own their children via
+// unique_ptr and keep a non-owning parent pointer for upward navigation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hxrc::xml {
+
+class Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// A single XML attribute (name="value").
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// An element or text node.
+class Node {
+ public:
+  enum class Kind { kElement, kText };
+
+  static NodePtr element(std::string name);
+  static NodePtr text(std::string value);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_element() const noexcept { return kind_ == Kind::kElement; }
+  bool is_text() const noexcept { return kind_ == Kind::kText; }
+
+  /// Element tag name; empty for text nodes.
+  const std::string& name() const noexcept { return name_; }
+
+  /// Character data; empty for element nodes.
+  const std::string& value() const noexcept { return value_; }
+  void set_value(std::string v) { value_ = std::move(v); }
+
+  const std::vector<Attribute>& attributes() const noexcept { return attributes_; }
+  void add_attribute(std::string name, std::string value);
+  /// Returns nullptr when the attribute is absent.
+  const std::string* attribute(std::string_view name) const noexcept;
+
+  const std::vector<NodePtr>& children() const noexcept { return children_; }
+  Node* parent() const noexcept { return parent_; }
+
+  /// Appends a child and returns a stable pointer to it.
+  Node* add_child(NodePtr child);
+  /// Convenience: appends <name>text</name> and returns the new element.
+  Node* add_element(std::string name);
+  Node* add_element(std::string name, std::string text_content);
+  /// Appends a text child.
+  Node* add_text(std::string text_content);
+
+  /// First child element with the given tag, or nullptr.
+  const Node* first_child(std::string_view tag) const noexcept;
+  Node* first_child(std::string_view tag) noexcept;
+
+  /// All child elements with the given tag.
+  std::vector<const Node*> children_named(std::string_view tag) const;
+
+  /// All child elements (skipping text nodes).
+  std::vector<const Node*> child_elements() const;
+
+  /// Concatenated text of direct text children, whitespace-trimmed.
+  std::string text_content() const;
+
+  /// Text content of the first child element with the given tag ("" if none).
+  std::string child_text(std::string_view tag) const;
+
+  /// True when the element has no element children (only text, if anything).
+  bool is_leaf_element() const noexcept;
+
+  /// Deep copy of this subtree (parent of the copy is null).
+  NodePtr clone() const;
+
+  /// Number of element nodes in this subtree (including this one).
+  std::size_t subtree_element_count() const noexcept;
+
+ private:
+  explicit Node(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string name_;
+  std::string value_;
+  std::vector<Attribute> attributes_;
+  std::vector<NodePtr> children_;
+  Node* parent_ = nullptr;
+};
+
+/// An XML document: a single root element.
+struct Document {
+  NodePtr root;
+
+  Document() = default;
+  explicit Document(NodePtr r) : root(std::move(r)) {}
+
+  Document clone() const {
+    Document d;
+    if (root) d.root = root->clone();
+    return d;
+  }
+};
+
+}  // namespace hxrc::xml

@@ -1,0 +1,267 @@
+#include "xml/matcher.hpp"
+
+#include <cctype>
+
+#include "util/string_util.hpp"
+
+namespace hxrc::xml {
+
+bool compare_values(std::string_view lhs, CompareOp op, std::string_view rhs) noexcept {
+  const auto lhs_num = util::parse_double(lhs);
+  const auto rhs_num = util::parse_double(rhs);
+  int cmp;
+  if (lhs_num && rhs_num) {
+    cmp = (*lhs_num < *rhs_num) ? -1 : (*lhs_num > *rhs_num) ? 1 : 0;
+  } else {
+    cmp = lhs.compare(rhs);
+    cmp = (cmp < 0) ? -1 : (cmp > 0) ? 1 : 0;
+  }
+  switch (op) {
+    case CompareOp::kEq: return cmp == 0;
+    case CompareOp::kNe: return cmp != 0;
+    case CompareOp::kLt: return cmp < 0;
+    case CompareOp::kLe: return cmp <= 0;
+    case CompareOp::kGt: return cmp > 0;
+    case CompareOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+namespace {
+
+class PathParser {
+ public:
+  explicit PathParser(std::string_view input) : input_(input) {}
+
+  struct ParsedPredicate {
+    std::vector<std::string> relative_path;
+    bool has_comparison = false;
+    CompareOp op = CompareOp::kEq;
+    std::string literal;
+  };
+
+  struct ParsedStep {
+    std::string name;
+    bool descendant = false;
+    std::vector<ParsedPredicate> predicates;
+  };
+
+  std::vector<ParsedStep> parse() {
+    std::vector<ParsedStep> steps;
+    bool next_descendant = false;
+    if (consume("//")) {
+      next_descendant = true;
+    } else {
+      consume("/");
+    }
+    for (;;) {
+      ParsedStep step;
+      step.descendant = next_descendant;
+      step.name = parse_name_or_star();
+      while (!at_end() && peek() == '[') {
+        step.predicates.push_back(parse_predicate());
+      }
+      steps.push_back(std::move(step));
+      if (at_end()) break;
+      if (consume("//")) {
+        next_descendant = true;
+      } else if (consume("/")) {
+        next_descendant = false;
+      } else {
+        fail("unexpected character");
+      }
+    }
+    if (steps.empty()) fail("empty path");
+    return steps;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw PathError(message + " in path '" + std::string(input_) + "' at offset " +
+                    std::to_string(pos_));
+  }
+
+  bool at_end() const noexcept { return pos_ >= input_.size(); }
+  char peek() const { return input_[pos_]; }
+
+  bool consume(std::string_view token) noexcept {
+    if (input_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void skip_space() noexcept {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  static bool is_name_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == '.' ||
+           c == ':';
+  }
+
+  std::string parse_name_or_star() {
+    if (at_end()) fail("expected a step name");
+    if (peek() == '*') {
+      ++pos_;
+      return "*";
+    }
+    const std::size_t start = pos_;
+    while (!at_end() && is_name_char(peek())) ++pos_;
+    if (pos_ == start) fail("expected a step name");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  ParsedPredicate parse_predicate() {
+    ParsedPredicate pred;
+    if (!consume("[")) fail("expected '['");
+    skip_space();
+    if (consume(".")) {
+      // self text; relative_path stays empty
+    } else {
+      pred.relative_path.push_back(parse_name_or_star());
+      while (consume("/")) pred.relative_path.push_back(parse_name_or_star());
+    }
+    skip_space();
+    if (!at_end() && peek() != ']') {
+      pred.has_comparison = true;
+      pred.op = parse_op();
+      skip_space();
+      pred.literal = parse_literal();
+      skip_space();
+    }
+    if (!consume("]")) fail("expected ']'");
+    return pred;
+  }
+
+  CompareOp parse_op() {
+    if (consume("!=")) return CompareOp::kNe;
+    if (consume("<=")) return CompareOp::kLe;
+    if (consume(">=")) return CompareOp::kGe;
+    if (consume("=")) return CompareOp::kEq;
+    if (consume("<")) return CompareOp::kLt;
+    if (consume(">")) return CompareOp::kGt;
+    fail("expected a comparison operator");
+  }
+
+  std::string parse_literal() {
+    if (at_end()) fail("expected a literal");
+    const char c = peek();
+    if (c == '\'' || c == '"') {
+      ++pos_;
+      const std::size_t start = pos_;
+      while (!at_end() && peek() != c) ++pos_;
+      if (at_end()) fail("unterminated string literal");
+      std::string value(input_.substr(start, pos_ - start));
+      ++pos_;
+      return value;
+    }
+    const std::size_t start = pos_;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '.' ||
+                         peek() == '-' || peek() == '+' || peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a literal");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+void collect_children(const Node& node, std::string_view name,
+                      std::vector<const Node*>& out) {
+  for (const auto& child : node.children()) {
+    if (child->is_element() && (name == "*" || child->name() == name)) {
+      out.push_back(child.get());
+    }
+  }
+}
+
+void collect_descendants(const Node& node, std::string_view name,
+                         std::vector<const Node*>& out) {
+  for (const auto& child : node.children()) {
+    if (!child->is_element()) continue;
+    if (name == "*" || child->name() == name) out.push_back(child.get());
+    collect_descendants(*child, name, out);
+  }
+}
+
+}  // namespace
+
+Path Path::compile(std::string_view expression) {
+  PathParser parser(expression);
+  Path path;
+  path.expression_ = std::string(expression);
+  for (auto& parsed : parser.parse()) {
+    Step step;
+    step.name = std::move(parsed.name);
+    step.descendant = parsed.descendant;
+    for (auto& p : parsed.predicates) {
+      Predicate pred;
+      pred.relative_path = std::move(p.relative_path);
+      pred.has_comparison = p.has_comparison;
+      pred.op = p.op;
+      pred.literal = std::move(p.literal);
+      step.predicates.push_back(std::move(pred));
+    }
+    path.steps_.push_back(std::move(step));
+  }
+  return path;
+}
+
+bool Path::matches_predicates(const Node& node, const Step& step) const {
+  for (const auto& pred : step.predicates) {
+    // Resolve the relative path to candidate target nodes.
+    std::vector<const Node*> targets{&node};
+    for (const auto& segment : pred.relative_path) {
+      std::vector<const Node*> next;
+      for (const Node* t : targets) collect_children(*t, segment, next);
+      targets = std::move(next);
+      if (targets.empty()) break;
+    }
+    bool satisfied = false;
+    for (const Node* t : targets) {
+      if (!pred.has_comparison ||
+          compare_values(t->text_content(), pred.op, pred.literal)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::vector<const Node*> Path::select(const Node& context) const {
+  std::vector<const Node*> current{&context};
+  for (const auto& step : steps_) {
+    std::vector<const Node*> next;
+    for (const Node* node : current) {
+      std::vector<const Node*> candidates;
+      if (step.descendant) {
+        collect_descendants(*node, step.name, candidates);
+      } else {
+        collect_children(*node, step.name, candidates);
+      }
+      for (const Node* candidate : candidates) {
+        if (matches_predicates(*candidate, step)) next.push_back(candidate);
+      }
+    }
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+const Node* Path::select_first(const Node& context) const {
+  auto all = select(context);
+  return all.empty() ? nullptr : all.front();
+}
+
+std::vector<const Node*> select(const Node& context, std::string_view expression) {
+  return Path::compile(expression).select(context);
+}
+
+}  // namespace hxrc::xml

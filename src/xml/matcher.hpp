@@ -1,0 +1,83 @@
+// A small XPath-like selector over the DOM.
+//
+// Used by the pure-CLOB baseline (which must evaluate queries by scanning
+// and matching parsed documents, Xindice-style) and by tests as an
+// independent oracle for the hybrid query engine.
+//
+// Grammar (subset of XPath 1.0 abbreviated syntax):
+//   path      := ('//')? step (('/' | '//') step)*
+//   step      := (NAME | '*') predicate*
+//   predicate := '[' expr ']'
+//   expr      := relpath (op literal)?        -- existence or comparison
+//   relpath   := '.' | NAME ('/' NAME)*       -- text() of the target
+//   op        := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   literal   := 'single' | "double" | number
+//
+// Comparisons are numeric when both operands parse as doubles, otherwise
+// lexicographic on the raw strings.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.hpp"
+
+namespace hxrc::xml {
+
+class PathError : public std::runtime_error {
+ public:
+  explicit PathError(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Comparison operators shared with the catalog query model.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Three-valued comparison used across the code base: numeric when both
+/// sides parse as numbers, else string comparison.
+bool compare_values(std::string_view lhs, CompareOp op, std::string_view rhs) noexcept;
+
+/// A compiled path expression.
+class Path {
+ public:
+  /// Compiles the expression; throws PathError on syntax errors.
+  static Path compile(std::string_view expression);
+
+  /// All element nodes selected from the given context element.
+  /// The context node itself is the starting point: the first step matches
+  /// its children (or all descendants after '//').
+  std::vector<const Node*> select(const Node& context) const;
+
+  /// Convenience: first match or nullptr.
+  const Node* select_first(const Node& context) const;
+
+  /// Convenience: true when at least one node matches.
+  bool exists(const Node& context) const { return select_first(context) != nullptr; }
+
+  const std::string& expression() const noexcept { return expression_; }
+
+ private:
+  struct Predicate {
+    std::vector<std::string> relative_path;  // empty means '.' (self)
+    bool has_comparison = false;
+    CompareOp op = CompareOp::kEq;
+    std::string literal;
+  };
+
+  struct Step {
+    std::string name;  // "*" matches any element
+    bool descendant = false;  // reached via '//'
+    std::vector<Predicate> predicates;
+  };
+
+  bool matches_predicates(const Node& node, const Step& step) const;
+
+  std::string expression_;
+  std::vector<Step> steps_;
+};
+
+/// One-shot helper: compile and select.
+std::vector<const Node*> select(const Node& context, std::string_view expression);
+
+}  // namespace hxrc::xml

@@ -1,0 +1,295 @@
+#include "xml/parser.hpp"
+
+#include <cctype>
+
+#include "util/string_util.hpp"
+
+namespace hxrc::xml {
+
+ParseError::ParseError(std::string message, std::size_t line, std::size_t column)
+    : std::runtime_error(message + " at line " + std::to_string(line) + ", column " +
+                         std::to_string(column)),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+bool is_name_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool is_name_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' || c == '-' ||
+         c == '.';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Document parse_document() {
+    skip_prolog();
+    Document doc(parse_element());
+    skip_misc();
+    if (!at_end()) fail("trailing content after root element");
+    return doc;
+  }
+
+  NodePtr parse_fragment_root() {
+    skip_misc();
+    NodePtr root = parse_element();
+    skip_misc();
+    if (!at_end()) fail("trailing content after fragment");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < input_.size(); ++i) {
+      if (input_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw ParseError(message, line, column);
+  }
+
+  bool at_end() const noexcept { return pos_ >= input_.size(); }
+
+  char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return input_[pos_];
+  }
+
+  char peek_at(std::size_t offset) const noexcept {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+
+  char advance() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  bool consume(std::string_view token) noexcept {
+    if (input_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void expect(std::string_view token) {
+    if (!consume(token)) fail("expected '" + std::string(token) + "'");
+  }
+
+  void skip_space() noexcept {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(input_[pos_]))) ++pos_;
+  }
+
+  /// Skips whitespace, comments, and processing instructions.
+  void skip_misc() {
+    for (;;) {
+      skip_space();
+      if (consume("<!--")) {
+        const auto end = input_.find("-->", pos_);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+      } else if (pos_ + 1 < input_.size() && input_[pos_] == '<' && input_[pos_ + 1] == '?') {
+        const auto end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) fail("unterminated processing instruction");
+        pos_ = end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog() {
+    skip_misc();
+    if (consume("<!DOCTYPE")) {
+      // Skip to the matching '>' (internal subsets are not supported).
+      int depth = 1;
+      while (depth > 0) {
+        char c = advance();
+        if (c == '<') ++depth;
+        if (c == '>') --depth;
+      }
+      skip_misc();
+    }
+  }
+
+  std::string parse_name() {
+    if (at_end() || !is_name_start(peek())) fail("expected a name");
+    const std::size_t start = pos_;
+    ++pos_;
+    while (!at_end() && is_name_char(input_[pos_])) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  /// Decodes entity and character references in raw character data.
+  std::string decode_text(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const auto semi = raw.find(';', i);
+      if (semi == std::string_view::npos) fail("unterminated entity reference");
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (!entity.empty() && entity[0] == '#') {
+        long code = 0;
+        try {
+          code = (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X'))
+                     ? std::stol(std::string(entity.substr(2)), nullptr, 16)
+                     : std::stol(std::string(entity.substr(1)), nullptr, 10);
+        } catch (const std::exception&) {
+          fail("bad character reference");
+        }
+        append_utf8(out, static_cast<std::uint32_t>(code));
+      } else {
+        fail("unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  std::string parse_attribute_value() {
+    const char quote = advance();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    const std::size_t start = pos_;
+    while (peek() != quote) {
+      if (peek() == '<') fail("'<' not allowed in attribute value");
+      ++pos_;
+    }
+    std::string value = decode_text(input_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  NodePtr parse_element() {
+    expect("<");
+    NodePtr node = Node::element(parse_name());
+    // Attributes.
+    for (;;) {
+      skip_space();
+      if (consume("/>")) return node;
+      if (consume(">")) break;
+      std::string attr_name = parse_name();
+      skip_space();
+      expect("=");
+      skip_space();
+      node->add_attribute(std::move(attr_name), parse_attribute_value());
+    }
+    // Content.
+    parse_content(*node);
+    // parse_content consumed '</'; close tag name follows.
+    const std::string close_name = parse_name();
+    if (close_name != node->name()) {
+      fail("mismatched close tag '</" + close_name + ">' for <" + node->name() + ">");
+    }
+    skip_space();
+    expect(">");
+    return node;
+  }
+
+  void parse_content(Node& parent) {
+    std::string pending_text;
+    auto flush_text = [&] {
+      if (pending_text.empty()) return;
+      if (options_.keep_whitespace_text || !util::is_blank(pending_text)) {
+        parent.add_text(decode_text(pending_text));
+      }
+      pending_text.clear();
+    };
+
+    for (;;) {
+      if (at_end()) fail("unterminated element <" + parent.name() + ">");
+      if (peek() == '<') {
+        if (consume("</")) {
+          flush_text();
+          return;
+        }
+        if (consume("<!--")) {
+          const auto end = input_.find("-->", pos_);
+          if (end == std::string_view::npos) fail("unterminated comment");
+          pos_ = end + 3;
+          continue;
+        }
+        if (consume("<![CDATA[")) {
+          const auto end = input_.find("]]>", pos_);
+          if (end == std::string_view::npos) fail("unterminated CDATA section");
+          // CDATA content is literal: bypass entity decoding.
+          flush_text();
+          parent.add_text(std::string(input_.substr(pos_, end - pos_)));
+          pos_ = end + 3;
+          continue;
+        }
+        if (peek_at(1) == '?') {
+          const auto end = input_.find("?>", pos_);
+          if (end == std::string_view::npos) fail("unterminated processing instruction");
+          pos_ = end + 2;
+          continue;
+        }
+        flush_text();
+        parent.add_child(parse_element());
+      } else {
+        pending_text.push_back(advance());
+      }
+    }
+  }
+
+  std::string_view input_;
+  ParseOptions options_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Document parse(std::string_view input, const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.parse_document();
+}
+
+NodePtr parse_fragment(std::string_view input, const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.parse_fragment_root();
+}
+
+}  // namespace hxrc::xml

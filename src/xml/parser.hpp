@@ -1,0 +1,43 @@
+// Recursive-descent XML parser.
+//
+// Supports the subset of XML 1.0 a grid metadata catalog exchanges: elements,
+// attributes (single or double quoted), character data, CDATA sections,
+// comments, processing instructions, the XML declaration, and the five
+// predefined entities plus numeric character references. DTDs and namespaces
+// are out of scope (the LEAD schema uses none).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "xml/dom.hpp"
+
+namespace hxrc::xml {
+
+/// Thrown on malformed input; carries 1-based line/column of the error.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, std::size_t line, std::size_t column);
+
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+struct ParseOptions {
+  /// When false (default), text nodes that are entirely whitespace are
+  /// dropped — metadata documents are data-centric, not document-centric.
+  bool keep_whitespace_text = false;
+};
+
+/// Parses a complete document; throws ParseError on malformed input.
+Document parse(std::string_view input, const ParseOptions& options = {});
+
+/// Parses a single element fragment (no declaration required).
+NodePtr parse_fragment(std::string_view input, const ParseOptions& options = {});
+
+}  // namespace hxrc::xml

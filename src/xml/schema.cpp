@@ -1,0 +1,161 @@
+#include "xml/schema.hpp"
+
+#include "util/string_util.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace hxrc::xml {
+
+std::string_view to_string(LeafType type) noexcept {
+  switch (type) {
+    case LeafType::kNone: return "none";
+    case LeafType::kString: return "string";
+    case LeafType::kInt: return "int";
+    case LeafType::kDouble: return "double";
+    case LeafType::kDate: return "date";
+  }
+  return "none";
+}
+
+LeafType leaf_type_from_string(std::string_view s) {
+  if (s == "none") return LeafType::kNone;
+  if (s == "string") return LeafType::kString;
+  if (s == "int") return LeafType::kInt;
+  if (s == "double") return LeafType::kDouble;
+  if (s == "date") return LeafType::kDate;
+  throw SchemaError("unknown leaf type '" + std::string(s) + "'");
+}
+
+SchemaNode& SchemaNode::add_child(std::string name) {
+  if (child(name) != nullptr) {
+    throw SchemaError("duplicate child declaration '" + name + "' under '" + name_ + "'");
+  }
+  auto node = std::make_unique<SchemaNode>(std::move(name));
+  node->parent_ = this;
+  children_.push_back(std::move(node));
+  return *children_.back();
+}
+
+const SchemaNode* SchemaNode::child(std::string_view name) const noexcept {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::size_t SchemaNode::depth() const noexcept {
+  std::size_t d = 0;
+  for (const SchemaNode* p = parent_; p != nullptr; p = p->parent_) ++d;
+  return d;
+}
+
+const SchemaNode* Schema::find(std::string_view path) const noexcept {
+  const SchemaNode* node = root_.get();
+  if (path.empty()) return node;
+  for (const auto segment : util::split(path, '/')) {
+    node = node->child(segment);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+namespace {
+
+std::size_t count_nodes(const SchemaNode& node) {
+  std::size_t count = 1;
+  for (const auto& child : node.children()) count += count_nodes(*child);
+  return count;
+}
+
+void visit_preorder(const SchemaNode& node,
+                    const std::function<void(const SchemaNode&)>& fn) {
+  fn(node);
+  for (const auto& child : node.children()) visit_preorder(*child, fn);
+}
+
+void load_children(const Node& decl, SchemaNode& target) {
+  for (const Node* child : decl.child_elements()) {
+    if (child->name() == "attribute") {
+      const std::string* attr_name = child->attribute("name");
+      if (attr_name == nullptr) throw SchemaError("<attribute> missing name");
+      const std::string* use = child->attribute("use");
+      target.declare_xml_attribute(*attr_name, use != nullptr && *use == "required");
+      continue;
+    }
+    if (child->name() == "convention") continue;  // annotated-schema extension
+    if (child->name() != "element") {
+      throw SchemaError("unexpected declaration <" + child->name() + ">");
+    }
+    const std::string* name = child->attribute("name");
+    if (name == nullptr) throw SchemaError("<element> missing name");
+    SchemaNode& node = target.add_child(*name);
+    if (const std::string* type = child->attribute("type")) {
+      node.set_leaf_type(leaf_type_from_string(*type));
+    }
+    if (const std::string* max_occurs = child->attribute("maxOccurs")) {
+      node.set_repeatable(*max_occurs == "unbounded");
+    }
+    if (const std::string* min_occurs = child->attribute("minOccurs")) {
+      node.set_optional(*min_occurs == "0");
+    }
+    if (const std::string* recursive = child->attribute("recursive")) {
+      node.set_recursive(*recursive == "true");
+    }
+    load_children(*child, node);
+    if (node.is_leaf() && node.leaf_type() == LeafType::kNone) {
+      node.set_leaf_type(LeafType::kString);
+    }
+  }
+}
+
+void save_node(Node& parent, const SchemaNode& node) {
+  Node* decl = parent.add_element("element");
+  decl->add_attribute("name", node.name());
+  if (node.leaf_type() != LeafType::kNone) {
+    decl->add_attribute("type", std::string(to_string(node.leaf_type())));
+  }
+  if (node.repeatable()) decl->add_attribute("maxOccurs", "unbounded");
+  decl->add_attribute("minOccurs", node.optional() ? "0" : "1");
+  if (node.recursive()) decl->add_attribute("recursive", "true");
+  for (const auto& attr : node.xml_attributes()) {
+    Node* attr_decl = decl->add_element("attribute");
+    attr_decl->add_attribute("name", attr.name);
+    attr_decl->add_attribute("use", attr.required ? "required" : "optional");
+  }
+  for (const auto& child : node.children()) save_node(*decl, *child);
+}
+
+}  // namespace
+
+std::size_t Schema::node_count() const noexcept { return count_nodes(*root_); }
+
+void Schema::visit(const std::function<void(const SchemaNode&)>& fn) const {
+  visit_preorder(*root_, fn);
+}
+
+Schema load_schema(std::string_view xml_text) {
+  Document doc = parse(xml_text);
+  if (doc.root->name() != "schema") {
+    throw SchemaError("expected <schema> root, found <" + doc.root->name() + ">");
+  }
+  const std::string* root_name = doc.root->attribute("root");
+  if (root_name == nullptr) throw SchemaError("<schema> missing root attribute");
+  Schema schema(*root_name);
+  schema.root().set_optional(false);
+  load_children(*doc.root, schema.root());
+  return schema;
+}
+
+std::string save_schema(const Schema& schema) {
+  NodePtr root = Node::element("schema");
+  root->add_attribute("root", schema.root().name());
+  for (const auto& attr : schema.root().xml_attributes()) {
+    Node* attr_decl = root->add_element("attribute");
+    attr_decl->add_attribute("name", attr.name);
+    attr_decl->add_attribute("use", attr.required ? "required" : "optional");
+  }
+  for (const auto& child : schema.root().children()) save_node(*root, *child);
+  return write(*root, WriteOptions{.declaration = false, .indent = 2});
+}
+
+}  // namespace hxrc::xml

@@ -1,0 +1,127 @@
+#include "xml/writer.hpp"
+
+namespace hxrc::xml {
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_attribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\n': out += "&#10;"; break;
+      case '\t': out += "&#9;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void append_open_tag(std::string& out, std::string_view name,
+                     const std::vector<Attribute>& attributes) {
+  out.push_back('<');
+  out += name;
+  for (const auto& attr : attributes) {
+    out.push_back(' ');
+    out += attr.name;
+    out += "=\"";
+    out += escape_attribute(attr.value);
+    out.push_back('"');
+  }
+  out.push_back('>');
+}
+
+void append_close_tag(std::string& out, std::string_view name) {
+  out += "</";
+  out += name;
+  out.push_back('>');
+}
+
+namespace {
+
+void write_node(std::string& out, const Node& node, const WriteOptions& options, int depth) {
+  if (node.is_text()) {
+    out += escape_text(node.value());
+    return;
+  }
+  const bool pretty = options.indent > 0;
+  auto indent = [&](int d) {
+    if (pretty) out.append(static_cast<std::size_t>(d) * options.indent, ' ');
+  };
+
+  indent(depth);
+  if (node.children().empty()) {
+    out.push_back('<');
+    out += node.name();
+    for (const auto& attr : node.attributes()) {
+      out.push_back(' ');
+      out += attr.name;
+      out += "=\"";
+      out += escape_attribute(attr.value);
+      out.push_back('"');
+    }
+    out += "/>";
+    if (pretty) out.push_back('\n');
+    return;
+  }
+
+  append_open_tag(out, node.name(), node.attributes());
+
+  // Mixed or text-only content is written inline; element-only content is
+  // written one child per line when pretty-printing.
+  bool has_element_child = false;
+  for (const auto& child : node.children()) {
+    if (child->is_element()) has_element_child = true;
+  }
+  const bool inline_content = !has_element_child;
+
+  if (pretty && !inline_content) out.push_back('\n');
+  for (const auto& child : node.children()) {
+    if (inline_content) {
+      write_node(out, *child, WriteOptions{.declaration = false, .indent = 0}, 0);
+    } else {
+      if (child->is_text()) {
+        // Whitespace-insignificant mixed content: emit inline without indent.
+        out += escape_text(child->value());
+      } else {
+        write_node(out, *child, options, depth + 1);
+      }
+    }
+  }
+  if (pretty && !inline_content) indent(depth);
+  append_close_tag(out, node.name());
+  if (pretty) out.push_back('\n');
+}
+
+}  // namespace
+
+std::string write(const Node& node, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  if (options.declaration && options.indent > 0) out.push_back('\n');
+  write_node(out, node, options, 0);
+  return out;
+}
+
+std::string write(const Document& doc, const WriteOptions& options) {
+  if (!doc.root) return {};
+  return write(*doc.root, options);
+}
+
+}  // namespace hxrc::xml

@@ -1,0 +1,37 @@
+// XML serialization with correct escaping.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "xml/dom.hpp"
+
+namespace hxrc::xml {
+
+struct WriteOptions {
+  /// Emit the <?xml ...?> declaration before the root element.
+  bool declaration = false;
+  /// Pretty-print with this many spaces per depth level; 0 = compact.
+  int indent = 0;
+};
+
+/// Escapes character data for element content (&, <, >).
+std::string escape_text(std::string_view text);
+
+/// Escapes character data for a double-quoted attribute value.
+std::string escape_attribute(std::string_view text);
+
+/// Serializes a subtree.
+std::string write(const Node& node, const WriteOptions& options = {});
+
+/// Serializes a whole document.
+std::string write(const Document& doc, const WriteOptions& options = {});
+
+/// Appends the opening tag of an element (attributes included) to out.
+/// Exposed separately because the hybrid response builder emits tags from
+/// the relational global-ordering table without materializing a DOM.
+void append_open_tag(std::string& out, std::string_view name,
+                     const std::vector<Attribute>& attributes);
+void append_close_tag(std::string& out, std::string_view name);
+
+}  // namespace hxrc::xml

@@ -1,0 +1,201 @@
+// The four storage backends: basic behaviour and cross-backend agreement on
+// canned queries and reconstruction.
+#include <gtest/gtest.h>
+
+#include "baselines/backend.hpp"
+#include "baselines/dom_matcher.hpp"
+#include "baselines/edge_backend.hpp"
+#include "baselines/inlining_backend.hpp"
+#include "workload/generator.hpp"
+#include "workload/lead_schema.hpp"
+#include "workload/query_gen.hpp"
+#include "xml/canonical.hpp"
+#include "xml/parser.hpp"
+
+namespace hxrc::baselines {
+namespace {
+
+constexpr BackendKind kAllKinds[] = {BackendKind::kHybrid, BackendKind::kInlining,
+                                     BackendKind::kEdge, BackendKind::kClob};
+
+class BackendFixture {
+ public:
+  BackendFixture()
+      : schema_(workload::lead_schema()),
+        partition_(core::Partition::build(schema_, workload::lead_annotations())) {}
+
+  const core::Partition& partition() const { return partition_; }
+
+ private:
+  xml::Schema schema_;
+  core::Partition partition_;
+};
+
+class BackendTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  BackendTest() : backend_(make_backend(GetParam(), fixture_.partition())) {}
+
+  BackendFixture fixture_;
+  std::unique_ptr<MetadataBackend> backend_;
+};
+
+TEST_P(BackendTest, IngestAssignsDenseIds) {
+  const xml::Document doc = xml::parse(workload::fig3_document());
+  EXPECT_EQ(backend_->ingest(doc, "u"), 0);
+  EXPECT_EQ(backend_->ingest(doc, "u"), 1);
+  EXPECT_EQ(backend_->object_count(), 2u);
+}
+
+TEST_P(BackendTest, PaperExampleQuery) {
+  const xml::Document doc = xml::parse(workload::fig3_document());
+  backend_->ingest(doc, "u");
+  const auto hits = backend_->query(workload::paper_example_query());
+  ASSERT_EQ(hits.size(), 1u) << backend_->name();
+  EXPECT_EQ(hits[0], 0);
+  EXPECT_TRUE(backend_->query(workload::paper_example_query(1000.0, 999.0)).empty());
+}
+
+TEST_P(BackendTest, ThemeQuery) {
+  const xml::Document doc = xml::parse(workload::fig3_document());
+  backend_->ingest(doc, "u");
+  EXPECT_EQ(backend_->query(
+                    workload::theme_keyword_query("convective_precipitation_flux"))
+                .size(),
+            1u)
+      << backend_->name();
+  EXPECT_TRUE(
+      backend_->query(workload::theme_keyword_query("not_a_keyword")).empty());
+}
+
+TEST_P(BackendTest, ReconstructionIsSemanticallyFaithful) {
+  const xml::Document doc = xml::parse(workload::fig3_document());
+  const auto id = backend_->ingest(doc, "u");
+  const std::string rebuilt = backend_->reconstruct(id);
+  ASSERT_FALSE(rebuilt.empty());
+  EXPECT_EQ(xml::canonical(doc), xml::canonical(xml::parse(rebuilt)))
+      << backend_->name();
+}
+
+TEST_P(BackendTest, StorageBytesGrowWithIngest) {
+  const xml::Document doc = xml::parse(workload::fig3_document());
+  const std::size_t before = backend_->storage_bytes();
+  backend_->ingest(doc, "u");
+  EXPECT_GT(backend_->storage_bytes(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendTest, ::testing::ValuesIn(kAllKinds),
+                         [](const ::testing::TestParamInfo<BackendKind>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(DomMatcherTest, MatchesPaperExample) {
+  BackendFixture fixture;
+  const DomMatcher matcher(fixture.partition());
+  const xml::Document doc = xml::parse(workload::fig3_document());
+  EXPECT_TRUE(matcher.matches(doc, workload::paper_example_query()));
+  EXPECT_FALSE(matcher.matches(doc, workload::paper_example_query(2000.0)));
+
+  // Element vs sub-attribute distinction: "grid-stretching" is a
+  // sub-attribute; a query treating it as an element must not match.
+  core::ObjectQuery as_element;
+  core::AttrQuery grid("grid", "ARPS");
+  grid.add_element("grid-stretching", "ARPS", rel::Value("x"), core::CompareOp::kEq);
+  as_element.add_attribute(std::move(grid));
+  EXPECT_FALSE(matcher.matches(doc, as_element));
+}
+
+TEST(DomMatcherTest, StructuralSourceMustBeEmpty) {
+  BackendFixture fixture;
+  const DomMatcher matcher(fixture.partition());
+  const xml::Document doc = xml::parse(workload::fig3_document());
+  core::ObjectQuery query;
+  query.add_attribute(core::AttrQuery("theme", "bogus-source"));
+  EXPECT_FALSE(matcher.matches(doc, query));
+}
+
+TEST(EdgeBackendTest, CountsProbes) {
+  BackendFixture fixture;
+  EdgeBackend backend(fixture.partition());
+  backend.ingest(xml::parse(workload::fig3_document()), "u");
+  backend.query(workload::paper_example_query());
+  EXPECT_GT(backend.last_query_probes(), 5u);  // self-join work happened
+}
+
+TEST(InliningBackendTest, DerivesFragmentTables) {
+  BackendFixture fixture;
+  InliningBackend backend(fixture.partition());
+  // Root + theme + themekey + place/stratum/temporal keys + detailed + attr
+  // + overview: at least 8 fragment tables.
+  EXPECT_GE(backend.fragment_count(), 8u);
+}
+
+TEST(InliningBackendTest, InlinedColumnQueryWorks) {
+  BackendFixture fixture;
+  InliningBackend backend(fixture.partition());
+  backend.ingest(
+      xml::parse("<LEADresource><resourceID>r</resourceID><data><idinfo>"
+                 "<status><progress>Complete</progress><update>None planned</update>"
+                 "</status></idinfo></data></LEADresource>"),
+      "u");
+  core::ObjectQuery query;
+  core::AttrQuery status("status");
+  status.add_element("progress", rel::Value("Complete"), core::CompareOp::kEq);
+  query.add_attribute(std::move(status));
+  EXPECT_EQ(backend.query(query).size(), 1u);
+
+  core::ObjectQuery miss;
+  core::AttrQuery status2("status");
+  status2.add_element("progress", rel::Value("Planned"), core::CompareOp::kEq);
+  miss.add_attribute(std::move(status2));
+  EXPECT_TRUE(backend.query(miss).empty());
+}
+
+TEST(CrossBackend, CannedQueriesAgreeOnGeneratedCorpus) {
+  BackendFixture fixture;
+  workload::DocumentGenerator generator;
+  const auto docs = generator.corpus(40);
+
+  std::vector<std::unique_ptr<MetadataBackend>> backends;
+  for (const BackendKind kind : kAllKinds) {
+    backends.push_back(make_backend(kind, fixture.partition()));
+    for (const auto& doc : docs) backends.back()->ingest(doc, "u");
+  }
+
+  std::vector<core::ObjectQuery> queries;
+  queries.push_back(workload::theme_keyword_query("air_temperature"));
+  queries.push_back(workload::theme_keyword_query("eastward_wind"));
+  queries.push_back(workload::dynamic_param_query(
+      "grid", "ARPS", "dx", workload::parameter_value("dx", 0)));
+  queries.push_back(workload::dynamic_param_query(
+      "microphysics", "WRF", "dtbig", workload::parameter_value("dtbig", 1),
+      core::CompareOp::kGe));
+  queries.push_back(workload::paper_example_query());
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = backends[0]->query(queries[q]);
+    for (std::size_t b = 1; b < backends.size(); ++b) {
+      EXPECT_EQ(backends[b]->query(queries[q]), expected)
+          << "query " << q << ": " << backends[b]->name() << " vs "
+          << backends[0]->name();
+    }
+  }
+}
+
+TEST(CrossBackend, ReconstructionAgreesOnGeneratedCorpus) {
+  BackendFixture fixture;
+  workload::DocumentGenerator generator;
+  const auto docs = generator.corpus(10);
+
+  for (const BackendKind kind : kAllKinds) {
+    const auto backend = make_backend(kind, fixture.partition());
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      const auto id = backend->ingest(docs[i], "u");
+      const std::string rebuilt = backend->reconstruct(id);
+      EXPECT_EQ(xml::canonical(docs[i]), xml::canonical(xml::parse(rebuilt)))
+          << backend->name() << " doc " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hxrc::baselines

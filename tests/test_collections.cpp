@@ -1,0 +1,117 @@
+// Collections (aggregations) and containment-scoped context queries (§1/§7).
+#include <gtest/gtest.h>
+
+#include "core/catalog.hpp"
+#include "workload/generator.hpp"
+#include "workload/lead_schema.hpp"
+#include "workload/query_gen.hpp"
+
+namespace hxrc::core {
+namespace {
+
+CatalogConfig auto_define_config() {
+  CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  return config;
+}
+
+class CollectionsTest : public ::testing::Test {
+ protected:
+  CollectionsTest()
+      : schema_(workload::lead_schema()),
+        catalog_(schema_, workload::lead_annotations(), auto_define_config()) {
+    workload::DocumentGenerator generator;
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      ids_.push_back(catalog_.ingest(generator.generate(i), "d", "alice"));
+    }
+    experiment_ = catalog_.create_collection("may20-experiment", "alice");
+    ensemble_a_ = catalog_.create_collection("ensemble-a", "alice", experiment_);
+    ensemble_b_ = catalog_.create_collection("ensemble-b", "alice", experiment_);
+    for (std::size_t i = 0; i < 4; ++i) catalog_.add_to_collection(ensemble_a_, ids_[i]);
+    for (std::size_t i = 4; i < 8; ++i) catalog_.add_to_collection(ensemble_b_, ids_[i]);
+    catalog_.add_to_collection(experiment_, ids_[8]);  // direct member
+  }
+
+  xml::Schema schema_;
+  MetadataCatalog catalog_;
+  std::vector<ObjectId> ids_;
+  CollectionId experiment_ = kNoCollection;
+  CollectionId ensemble_a_ = kNoCollection;
+  CollectionId ensemble_b_ = kNoCollection;
+};
+
+TEST_F(CollectionsTest, DirectMembers) {
+  const auto members = catalog_.collection_members(ensemble_a_, /*recursive=*/false);
+  EXPECT_EQ(members, std::vector<ObjectId>(ids_.begin(), ids_.begin() + 4));
+}
+
+TEST_F(CollectionsTest, RecursiveMembersIncludeNestedCollections) {
+  const auto members = catalog_.collection_members(experiment_, /*recursive=*/true);
+  EXPECT_EQ(members.size(), 9u);  // 4 + 4 + 1
+  const auto direct = catalog_.collection_members(experiment_, /*recursive=*/false);
+  EXPECT_EQ(direct, std::vector<ObjectId>{ids_[8]});
+}
+
+TEST_F(CollectionsTest, ChildCollections) {
+  const auto children = catalog_.child_collections(experiment_);
+  EXPECT_EQ(children, (std::vector<CollectionId>{ensemble_a_, ensemble_b_}));
+  EXPECT_TRUE(catalog_.child_collections(ensemble_a_).empty());
+}
+
+TEST_F(CollectionsTest, MembershipIsIdempotent) {
+  catalog_.add_to_collection(ensemble_a_, ids_[0]);
+  catalog_.add_to_collection(ensemble_a_, ids_[0]);
+  EXPECT_EQ(catalog_.collection_members(ensemble_a_, false).size(), 4u);
+}
+
+TEST_F(CollectionsTest, ObjectsMayBelongToSeveralCollections) {
+  catalog_.add_to_collection(ensemble_b_, ids_[0]);
+  const auto members = catalog_.collection_members(ensemble_b_, false);
+  EXPECT_EQ(members.size(), 5u);
+  // The recursive experiment view deduplicates.
+  EXPECT_EQ(catalog_.collection_members(experiment_, true).size(), 9u);
+}
+
+TEST_F(CollectionsTest, QueryInCollectionScopesResults) {
+  // Global query vs the same query scoped to ensemble-a.
+  const ObjectQuery query = workload::theme_keyword_query("air_temperature");
+  const auto global = catalog_.query(query);
+  const auto scoped = catalog_.query_in_collection(ensemble_a_, query, false);
+  for (const ObjectId id : scoped) {
+    EXPECT_LT(id, static_cast<ObjectId>(4));
+    EXPECT_TRUE(std::find(global.begin(), global.end(), id) != global.end());
+  }
+  // Scoped results are exactly global ∩ members.
+  std::vector<ObjectId> expected;
+  for (const ObjectId id : global) {
+    if (id < 4) expected.push_back(id);
+  }
+  EXPECT_EQ(scoped, expected);
+}
+
+TEST_F(CollectionsTest, RecursiveContextQuery) {
+  const ObjectQuery query = workload::theme_keyword_query("air_temperature");
+  const auto global = catalog_.query(query);
+  const auto scoped = catalog_.query_in_collection(experiment_, query, true);
+  std::vector<ObjectId> expected;
+  for (const ObjectId id : global) {
+    if (id < 9) expected.push_back(id);
+  }
+  EXPECT_EQ(scoped, expected);
+}
+
+TEST_F(CollectionsTest, InvalidIdsAreRejected) {
+  EXPECT_THROW(catalog_.add_to_collection(999, ids_[0]), ValidationError);
+  EXPECT_THROW(catalog_.create_collection("x", "alice", 999), ValidationError);
+}
+
+TEST_F(CollectionsTest, EmptyCollection) {
+  const CollectionId empty = catalog_.create_collection("empty", "alice");
+  EXPECT_TRUE(catalog_.collection_members(empty, true).empty());
+  EXPECT_TRUE(
+      catalog_.query_in_collection(empty, workload::theme_keyword_query("x"), true)
+          .empty());
+}
+
+}  // namespace
+}  // namespace hxrc::core

@@ -1,0 +1,282 @@
+// The Fig. 4 object query process: the paper's §4 example, fast path,
+// multi-instance semantics, ranges, and visibility.
+#include <gtest/gtest.h>
+
+#include "core/catalog.hpp"
+#include "workload/generator.hpp"
+#include "workload/lead_schema.hpp"
+#include "workload/query_gen.hpp"
+
+namespace hxrc {
+namespace {
+
+using core::AttrQuery;
+using core::CompareOp;
+using core::MetadataCatalog;
+using core::ObjectQuery;
+
+core::CatalogConfig auto_define_config() {
+  core::CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  return config;
+}
+
+class EngineFig3 : public ::testing::Test {
+ protected:
+  EngineFig3()
+      : schema_(workload::lead_schema()),
+        catalog_(schema_, workload::lead_annotations(), auto_define_config()) {
+    fig3_ = catalog_.ingest_xml(workload::fig3_document(), "fig3", "alice");
+
+    // A near-miss document: same structure, different dzmin.
+    std::string other = workload::fig3_document();
+    const auto pos = other.find("<attrv>100.000</attrv>");
+    EXPECT_NE(pos, std::string::npos);
+    other.replace(pos, std::string("<attrv>100.000</attrv>").size(),
+                  "<attrv>250.000</attrv>");
+    near_miss_ = catalog_.ingest_xml(other, "near-miss", "alice");
+  }
+
+  xml::Schema schema_;
+  MetadataCatalog catalog_;
+  core::ObjectId fig3_ = -1;
+  core::ObjectId near_miss_ = -1;
+};
+
+TEST_F(EngineFig3, PaperExampleQueryMatchesFig3Only) {
+  // §4: dx = 1000 AND grid-stretching/dzmin = 100.
+  const auto ids = catalog_.query(workload::paper_example_query());
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], fig3_);
+}
+
+TEST_F(EngineFig3, SubAttributePredicateDiscriminates) {
+  // dzmin = 250 matches only the near-miss document.
+  const auto ids = catalog_.query(workload::paper_example_query(1000.0, 250.0));
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], near_miss_);
+}
+
+TEST_F(EngineFig3, TopLevelElementOnlyQuery) {
+  ObjectQuery query;
+  AttrQuery grid("grid", "ARPS");
+  grid.add_element("dx", "ARPS", rel::Value(1000.0), CompareOp::kEq);
+  query.add_attribute(std::move(grid));
+  const auto ids = catalog_.query(query);
+  EXPECT_EQ(ids.size(), 2u);  // both documents carry dx = 1000
+}
+
+TEST_F(EngineFig3, RangePredicates) {
+  ObjectQuery query;
+  AttrQuery grid("grid", "ARPS");
+  AttrQuery stretching("grid-stretching", "ARPS");
+  stretching.add_element("dzmin", rel::Value(200.0), CompareOp::kGt);
+  grid.add_attribute(std::move(stretching));
+  query.add_attribute(std::move(grid));
+  const auto ids = catalog_.query(query);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], near_miss_);
+}
+
+TEST_F(EngineFig3, StructuralThemeQuery) {
+  const auto ids =
+      catalog_.query(workload::theme_keyword_query("air_pressure_at_cloud_base"));
+  EXPECT_EQ(ids.size(), 2u);
+  const auto none = catalog_.query(workload::theme_keyword_query("no_such_keyword"));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(EngineFig3, MultipleInstancesWithinOneObject) {
+  // Criteria spread across the two theme instances of one document: each
+  // instance must satisfy its own criterion (two separate attribute
+  // criteria), which an object-level count alone would conflate.
+  ObjectQuery query;
+  AttrQuery theme1("theme");
+  theme1.add_element("themekey", rel::Value("convective_precipitation_amount"),
+                     CompareOp::kEq);
+  AttrQuery theme2("theme");
+  theme2.add_element("themekey", rel::Value("air_pressure_at_cloud_base"), CompareOp::kEq);
+  query.add_attribute(std::move(theme1));
+  query.add_attribute(std::move(theme2));
+  EXPECT_EQ(catalog_.query(query).size(), 2u);
+
+  // Both criteria within ONE instance: no single theme holds both keywords.
+  ObjectQuery conjunct;
+  AttrQuery theme("theme");
+  theme.add_element("themekey", rel::Value("convective_precipitation_amount"),
+                    CompareOp::kEq);
+  theme.add_element("themekey", rel::Value("air_pressure_at_cloud_base"), CompareOp::kEq);
+  conjunct.add_attribute(std::move(theme));
+  EXPECT_TRUE(catalog_.query(conjunct).empty());
+
+  // ...but two keywords of the SAME instance do match.
+  ObjectQuery same;
+  AttrQuery theme_same("theme");
+  theme_same.add_element("themekey", rel::Value("convective_precipitation_amount"),
+                         CompareOp::kEq);
+  theme_same.add_element("themekey", rel::Value("convective_precipitation_flux"),
+                         CompareOp::kEq);
+  same.add_attribute(std::move(theme_same));
+  EXPECT_EQ(catalog_.query(same).size(), 2u);
+}
+
+TEST_F(EngineFig3, UnknownDefinitionYieldsEmpty) {
+  ObjectQuery query;
+  query.add_attribute(AttrQuery("nonexistent", "ARPS"));
+  EXPECT_TRUE(catalog_.query(query).empty());
+}
+
+TEST_F(EngineFig3, ExistenceOnlyCriteria) {
+  ObjectQuery query;
+  AttrQuery grid("grid", "ARPS");
+  grid.require_element("dz", "ARPS");
+  query.add_attribute(std::move(grid));
+  EXPECT_EQ(catalog_.query(query).size(), 2u);
+}
+
+TEST_F(EngineFig3, AttributeExistenceWithoutElements) {
+  // An attribute criterion with no element predicates requires only that an
+  // instance of the definition exists.
+  ObjectQuery query;
+  query.add_attribute(AttrQuery("grid", "ARPS"));
+  EXPECT_EQ(catalog_.query(query).size(), 2u);
+}
+
+TEST_F(EngineFig3, FastPathUsedForSingleInstanceStructural) {
+  ObjectQuery query;
+  AttrQuery status("status");
+  status.require_element("progress");
+  query.add_attribute(std::move(status));
+  core::QueryPlanInfo info;
+  catalog_.query(query, &info);
+  EXPECT_TRUE(info.fast_path);
+
+  // Repeatable (theme) and dynamic (grid) criteria must NOT take it.
+  core::QueryPlanInfo info2;
+  catalog_.query(workload::theme_keyword_query("air_temperature"), &info2);
+  EXPECT_FALSE(info2.fast_path);
+  core::QueryPlanInfo info3;
+  catalog_.query(workload::paper_example_query(), &info3);
+  EXPECT_FALSE(info3.fast_path);
+}
+
+TEST_F(EngineFig3, FastPathAndGeneralPathAgree) {
+  core::CatalogConfig no_fast = auto_define_config();
+  no_fast.engine.enable_fastpath = false;
+  xml::Schema schema2 = workload::lead_schema();
+  MetadataCatalog slow(schema2, workload::lead_annotations(), no_fast);
+  slow.ingest_xml(workload::fig3_document(), "fig3", "alice");
+
+  ObjectQuery query;
+  AttrQuery citation("citation");
+  citation.add_element("title", rel::Value("Forecast run 0"), CompareOp::kNe);
+  query.add_attribute(std::move(citation));
+
+  // Fig. 3 has no citation: both paths must return empty.
+  core::QueryPlanInfo fast_info;
+  core::QueryPlanInfo slow_info;
+  // (catalog_ holds fig3 + near-miss; slow holds just fig3 — compare shapes
+  // on the common document set via a fresh fast catalog.)
+  xml::Schema schema3 = workload::lead_schema();
+  MetadataCatalog fast(schema3, workload::lead_annotations(), auto_define_config());
+  fast.ingest_xml(workload::fig3_document(), "fig3", "alice");
+  EXPECT_EQ(fast.query(query, &fast_info), slow.query(query, &slow_info));
+  EXPECT_TRUE(fast_info.fast_path);
+  EXPECT_FALSE(slow_info.fast_path);
+}
+
+TEST(EngineDeepNesting, ThreeLevelSubAttributeRollup) {
+  // grid > damping > filtering > cutoff: the rollup loop must run once per
+  // query level, deepest first.
+  xml::Schema schema = workload::lead_schema();
+  core::CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  MetadataCatalog catalog(schema, workload::lead_annotations(), config);
+
+  auto doc_with_cutoff = [](const char* cutoff) {
+    return std::string(
+               "<LEADresource><resourceID>r</resourceID><data><geospatial><eainfo>"
+               "<detailed><enttyp><enttypl>grid</enttypl><enttypds>ARPS</enttypds>"
+               "</enttyp>"
+               "<attr><attrlabl>damping</attrlabl><attrdefs>ARPS</attrdefs>"
+               "<attr><attrlabl>filtering</attrlabl><attrdefs>ARPS</attrdefs>"
+               "<attr><attrlabl>cutoff</attrlabl><attrdefs>ARPS</attrdefs><attrv>") +
+           cutoff +
+           "</attrv></attr></attr></attr>"
+           "</detailed></eainfo></geospatial></data></LEADresource>";
+  };
+  const auto hit = catalog.ingest_xml(doc_with_cutoff("5"), "hit", "u");
+  catalog.ingest_xml(doc_with_cutoff("9"), "miss", "u");
+
+  ObjectQuery query;
+  AttrQuery grid("grid", "ARPS");
+  AttrQuery damping("damping", "ARPS");
+  AttrQuery filtering("filtering", "ARPS");
+  filtering.add_element("cutoff", "ARPS", rel::Value(5.0), CompareOp::kEq);
+  damping.add_attribute(std::move(filtering));
+  grid.add_attribute(std::move(damping));
+  query.add_attribute(std::move(grid));
+
+  core::QueryPlanInfo info;
+  const auto ids = catalog.query(query, &info);
+  EXPECT_EQ(ids, std::vector<core::ObjectId>{hit});
+  EXPECT_EQ(info.rollup_levels, 2u);
+  EXPECT_FALSE(info.fast_path);
+
+  // Skipping the middle level must NOT match (definitions nest strictly).
+  ObjectQuery skip_middle;
+  AttrQuery grid2("grid", "ARPS");
+  AttrQuery filtering2("filtering", "ARPS");
+  filtering2.add_element("cutoff", "ARPS", rel::Value(5.0), CompareOp::kEq);
+  grid2.add_attribute(std::move(filtering2));
+  skip_middle.add_attribute(std::move(grid2));
+  EXPECT_TRUE(catalog.query(skip_middle).empty());
+}
+
+TEST(EngineVisibility, PrivateDefinitionsRequireTheOwner) {
+  xml::Schema schema = workload::lead_schema();
+  core::CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  config.shred.auto_define_visibility = core::Visibility::kUser;
+  MetadataCatalog catalog(schema, workload::lead_annotations(), config);
+  catalog.ingest_xml(workload::fig3_document(), "fig3", "alice");
+
+  core::ObjectQuery query = workload::paper_example_query();
+  EXPECT_TRUE(catalog.query(query).empty());  // anonymous: invisible
+
+  query.set_user("alice");
+  EXPECT_EQ(catalog.query(query).size(), 1u);
+
+  query.set_user("bob");
+  EXPECT_TRUE(catalog.query(query).empty());
+}
+
+TEST(EngineConjunction, MixedStructuralAndDynamicCriteria) {
+  xml::Schema schema = workload::lead_schema();
+  core::CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  MetadataCatalog catalog(schema, workload::lead_annotations(), config);
+  catalog.ingest_xml(workload::fig3_document(), "fig3", "alice");
+
+  core::ObjectQuery query;
+  core::AttrQuery theme("theme");
+  theme.add_element("themekt", rel::Value("CF NetCDF"), CompareOp::kEq);
+  query.add_attribute(std::move(theme));
+  core::AttrQuery grid("grid", "ARPS");
+  grid.add_element("dx", "ARPS", rel::Value(1000.0), CompareOp::kEq);
+  query.add_attribute(std::move(grid));
+  EXPECT_EQ(catalog.query(query).size(), 1u);
+
+  // Make one criterion fail: the conjunction must fail.
+  core::ObjectQuery failing;
+  core::AttrQuery theme2("theme");
+  theme2.add_element("themekt", rel::Value("GCMD"), CompareOp::kEq);
+  failing.add_attribute(std::move(theme2));
+  core::AttrQuery grid2("grid", "ARPS");
+  grid2.add_element("dx", "ARPS", rel::Value(1000.0), CompareOp::kEq);
+  failing.add_attribute(std::move(grid2));
+  EXPECT_TRUE(catalog.query(failing).empty());
+}
+
+}  // namespace
+}  // namespace hxrc

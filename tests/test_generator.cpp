@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/catalog.hpp"
+#include "workload/generator.hpp"
+#include "workload/lead_schema.hpp"
+#include "xml/canonical.hpp"
+#include "xml/writer.hpp"
+
+namespace hxrc::workload {
+namespace {
+
+TEST(Generator, DeterministicPerSeedAndIndex) {
+  DocumentGenerator a;
+  DocumentGenerator b;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(xml::canonical(a.generate(i)), xml::canonical(b.generate(i)));
+  }
+}
+
+TEST(Generator, DifferentIndicesDiffer) {
+  DocumentGenerator generator;
+  EXPECT_NE(xml::canonical(generator.generate(0)), xml::canonical(generator.generate(1)));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig config_a;
+  GeneratorConfig config_b;
+  config_b.seed = 43;
+  DocumentGenerator a(config_a);
+  DocumentGenerator b(config_b);
+  EXPECT_NE(xml::canonical(a.generate(0)), xml::canonical(b.generate(0)));
+}
+
+TEST(Generator, DocumentsConformToSchema) {
+  // Every generated document must ingest without validation errors.
+  xml::Schema schema = lead_schema();
+  core::CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  core::MetadataCatalog catalog(schema, lead_annotations(), config);
+  DocumentGenerator generator;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_NO_THROW(catalog.ingest(generator.generate(i), "d", "u")) << "doc " << i;
+  }
+  EXPECT_EQ(catalog.total_stats().unshredded_dynamic, 0u);
+}
+
+TEST(Generator, RespectsThemeBounds) {
+  GeneratorConfig config;
+  config.themes_min = 2;
+  config.themes_max = 2;
+  config.theme_keys_min = 3;
+  config.theme_keys_max = 3;
+  DocumentGenerator generator(config);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const xml::Document doc = generator.generate(i);
+    const auto themes = xml::select(*doc.root, "data/idinfo/keywords/theme");
+    EXPECT_EQ(themes.size(), 2u);
+    for (const xml::Node* theme : themes) {
+      EXPECT_EQ(theme->children_named("themekey").size(), 3u);
+    }
+  }
+}
+
+TEST(Generator, CorpusSizeAndDeterminism) {
+  DocumentGenerator generator;
+  const auto docs = generator.corpus(5);
+  ASSERT_EQ(docs.size(), 5u);
+  EXPECT_EQ(xml::canonical(docs[3]), xml::canonical(generator.generate(3)));
+}
+
+TEST(Generator, ParameterValuesAreStable) {
+  EXPECT_DOUBLE_EQ(parameter_value("dx", 0), parameter_value("dx", 0));
+  EXPECT_NE(parameter_value("dx", 0), parameter_value("dx", 1));
+  EXPECT_NE(parameter_value("dx", 0), parameter_value("dz", 0));
+}
+
+TEST(Generator, NestingBoundIsRespected) {
+  GeneratorConfig config;
+  config.sub_attr_probability = 1.0;  // always nest when allowed
+  config.max_nesting = 2;
+  DocumentGenerator generator(config);
+  const xml::Document doc = generator.generate(0);
+  // No attr chain deeper than max_nesting + 1 levels of <attr>.
+  const auto check = [&](auto&& self, const xml::Node& node, int depth) -> void {
+    EXPECT_LE(depth, 3);
+    for (const xml::Node* child : node.children_named("attr")) {
+      self(self, *child, depth + 1);
+    }
+  };
+  for (const xml::Node* detailed :
+       xml::select(*doc.root, "data/geospatial/eainfo/detailed")) {
+    for (const xml::Node* item : detailed->children_named("attr")) {
+      check(check, *item, 1);
+    }
+  }
+}
+
+TEST(Generator, PoolsAreExposed) {
+  EXPECT_FALSE(cf_standard_names().empty());
+  EXPECT_EQ(model_names().size(), 2u);
+  EXPECT_FALSE(grid_group_names().empty());
+  EXPECT_FALSE(parameter_names().empty());
+}
+
+}  // namespace
+}  // namespace hxrc::workload

@@ -1,0 +1,188 @@
+// Schema partitioning: the five §2 rules, the global ordering, and the
+// ancestor inverted list.
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "workload/lead_schema.hpp"
+
+namespace hxrc {
+namespace {
+
+using core::AttributeAnnotation;
+using core::Partition;
+using core::PartitionAnnotations;
+using core::PartitionError;
+
+TEST(Partition, LeadAnnotationsSatisfyRules) {
+  const xml::Schema schema = workload::lead_schema();
+  const auto diagnostics = Partition::check_rules(schema, workload::lead_annotations());
+  for (const auto& d : diagnostics) {
+    ADD_FAILURE() << d.path << ": " << d.message;
+  }
+}
+
+TEST(Partition, BuildsOrderedRegion) {
+  const xml::Schema schema = workload::lead_schema();
+  const Partition partition = Partition::build(schema, workload::lead_annotations());
+
+  // Root is order 0 and an ancestor.
+  const auto& ordered = partition.ordered_nodes();
+  ASSERT_FALSE(ordered.empty());
+  EXPECT_EQ(ordered[0].tag, "LEADresource");
+  EXPECT_EQ(ordered[0].order, 0);
+  EXPECT_FALSE(ordered[0].is_attribute_root);
+  // Root's last child is the maximum order.
+  EXPECT_EQ(ordered[0].last_child, static_cast<core::OrderId>(ordered.size() - 1));
+
+  // Orders are dense pre-order ids.
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    EXPECT_EQ(ordered[i].order, static_cast<core::OrderId>(i));
+    if (ordered[i].parent != core::kNoOrder) {
+      EXPECT_LT(ordered[i].parent, ordered[i].order);
+    }
+    EXPECT_GE(ordered[i].last_child, ordered[i].order);
+  }
+
+  // Attribute roots close immediately (last_child == own order, §2).
+  for (const auto& root : partition.attribute_roots()) {
+    EXPECT_EQ(ordered[static_cast<std::size_t>(root.order)].last_child, root.order)
+        << root.path;
+  }
+
+  // 14 annotated attribute roots.
+  EXPECT_EQ(partition.attribute_roots().size(), 14u);
+}
+
+TEST(Partition, OrderingStopsAtAttributeRoots) {
+  const xml::Schema schema = workload::lead_schema();
+  const Partition partition = Partition::build(schema, workload::lead_annotations());
+
+  // theme is ordered; themekt (inside the attribute) is not.
+  const xml::SchemaNode* theme = schema.find("data/idinfo/keywords/theme");
+  ASSERT_NE(theme, nullptr);
+  EXPECT_NE(partition.order_of(*theme), core::kNoOrder);
+  const xml::SchemaNode* themekt = schema.find("data/idinfo/keywords/theme/themekt");
+  ASSERT_NE(themekt, nullptr);
+  EXPECT_EQ(partition.order_of(*themekt), core::kNoOrder);
+  EXPECT_EQ(partition.role(*themekt), core::NodeRole::kElement);
+}
+
+TEST(Partition, AncestorInvertedListIsNearestFirst) {
+  const xml::Schema schema = workload::lead_schema();
+  const Partition partition = Partition::build(schema, workload::lead_annotations());
+
+  const xml::SchemaNode* theme = schema.find("data/idinfo/keywords/theme");
+  const core::OrderId theme_order = partition.order_of(*theme);
+  const auto& ancestors = partition.ancestors_of(theme_order);
+  // LEADresource > data > idinfo > keywords > theme: 4 ancestors.
+  ASSERT_EQ(ancestors.size(), 4u);
+  EXPECT_EQ(partition.ordered_nodes()[static_cast<std::size_t>(ancestors[0])].tag,
+            "keywords");
+  EXPECT_EQ(partition.ordered_nodes()[static_cast<std::size_t>(ancestors[3])].tag,
+            "LEADresource");
+}
+
+TEST(Partition, RolesAreAssigned) {
+  const xml::Schema schema = workload::lead_schema();
+  const Partition partition = Partition::build(schema, workload::lead_annotations());
+
+  EXPECT_EQ(partition.role(schema.root()), core::NodeRole::kAncestor);
+  EXPECT_EQ(partition.role(*schema.find("data/idinfo")), core::NodeRole::kAncestor);
+  EXPECT_EQ(partition.role(*schema.find("data/idinfo/status")),
+            core::NodeRole::kAttributeRoot);
+  EXPECT_EQ(partition.role(*schema.find("resourceID")),
+            core::NodeRole::kAttributeElement);
+  EXPECT_EQ(partition.role(*schema.find("data/geospatial/eainfo/detailed/attr")),
+            core::NodeRole::kSubAttribute);
+  EXPECT_EQ(partition.role(*schema.find("data/geospatial/eainfo/detailed/attr/attrlabl")),
+            core::NodeRole::kElement);
+}
+
+TEST(PartitionRules, UncoveredRepeatableElementIsRejected) {
+  xml::Schema schema("root");
+  schema.root().add_child("item").set_repeatable(true).set_leaf_type(xml::LeafType::kString);
+  PartitionAnnotations annotations;  // no attribute covers "item"
+  const auto diagnostics = Partition::check_rules(schema, annotations);
+  EXPECT_FALSE(diagnostics.empty());
+  EXPECT_THROW(Partition::build(schema, annotations), PartitionError);
+}
+
+TEST(PartitionRules, UncoveredLeafIsRejected) {
+  xml::Schema schema("root");
+  schema.root().add_child("group").add_child("leaf");
+  PartitionAnnotations annotations;
+  const auto diagnostics = Partition::check_rules(schema, annotations);
+  ASSERT_FALSE(diagnostics.empty());
+  EXPECT_NE(diagnostics.front().message.find("leaf"), std::string::npos);
+}
+
+TEST(PartitionRules, NestedAttributeRootsAreRejected) {
+  xml::Schema schema("root");
+  auto& group = schema.root().add_child("group");
+  group.add_child("inner").add_child("leaf");
+  PartitionAnnotations annotations;
+  annotations.attributes.push_back(AttributeAnnotation{"group", false, true});
+  annotations.attributes.push_back(AttributeAnnotation{"group/inner", false, true});
+  const auto diagnostics = Partition::check_rules(schema, annotations);
+  EXPECT_FALSE(diagnostics.empty());
+}
+
+TEST(PartitionRules, RecursionOutsideAttributeIsRejected) {
+  xml::Schema schema("root");
+  auto& rec = schema.root().add_child("rec");
+  rec.set_recursive(true);
+  rec.add_child("leaf");
+  PartitionAnnotations annotations;  // rec not annotated
+  const auto diagnostics = Partition::check_rules(schema, annotations);
+  EXPECT_FALSE(diagnostics.empty());
+}
+
+TEST(PartitionRules, XmlAttributeNodeOutsideAttributeIsRejected) {
+  xml::Schema schema("root");
+  auto& holder = schema.root().add_child("holder");
+  holder.declare_xml_attribute("unit");
+  holder.add_child("leaf");
+  PartitionAnnotations annotations;
+  const auto diagnostics = Partition::check_rules(schema, annotations);
+  EXPECT_FALSE(diagnostics.empty());
+}
+
+TEST(PartitionRules, UnknownAnnotatedPathIsDiagnosed) {
+  const xml::Schema schema = workload::lead_schema();
+  PartitionAnnotations annotations = workload::lead_annotations();
+  annotations.attributes.push_back(AttributeAnnotation{"data/nope", false, true});
+  const auto diagnostics = Partition::check_rules(schema, annotations);
+  ASSERT_FALSE(diagnostics.empty());
+}
+
+TEST(PartitionRules, SchemaRootCannotBeAttribute) {
+  xml::Schema schema("root");
+  schema.root().add_child("leaf");
+  PartitionAnnotations annotations;
+  annotations.attributes.push_back(AttributeAnnotation{"", false, true});
+  const auto diagnostics = Partition::check_rules(schema, annotations);
+  EXPECT_FALSE(diagnostics.empty());
+}
+
+TEST(PartitionInfer, InferredLeadAnnotationSatisfiesRules) {
+  const xml::Schema schema = workload::lead_schema();
+  const PartitionAnnotations inferred = Partition::infer(schema);
+  const auto diagnostics = Partition::check_rules(schema, inferred);
+  for (const auto& d : diagnostics) {
+    ADD_FAILURE() << d.path << ": " << d.message;
+  }
+  // The recursive detailed subtree must have been marked dynamic.
+  bool found_dynamic = false;
+  for (const auto& annotation : inferred.attributes) {
+    if (annotation.dynamic) found_dynamic = true;
+  }
+  EXPECT_TRUE(found_dynamic);
+}
+
+TEST(PartitionInfer, InferredPartitionBuilds) {
+  const xml::Schema schema = workload::lead_schema();
+  EXPECT_NO_THROW(Partition::build(schema, Partition::infer(schema)));
+}
+
+}  // namespace
+}  // namespace hxrc

@@ -1,0 +1,119 @@
+// Projected responses (return only the requested attributes) and object
+// deletion (tombstones: unqueryable, unfetchable, persisted).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/catalog.hpp"
+#include "workload/lead_schema.hpp"
+#include "workload/query_gen.hpp"
+#include "xml/parser.hpp"
+
+namespace hxrc::core {
+namespace {
+
+CatalogConfig auto_define_config() {
+  CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  return config;
+}
+
+class ProjectionTest : public ::testing::Test {
+ protected:
+  ProjectionTest()
+      : schema_(workload::lead_schema()),
+        catalog_(schema_, workload::lead_annotations(), auto_define_config()) {
+    id_ = catalog_.ingest_xml(workload::fig3_document(), "fig3", "alice");
+  }
+
+  xml::Schema schema_;
+  MetadataCatalog catalog_;
+  ObjectId id_ = -1;
+};
+
+TEST_F(ProjectionTest, ProjectedResponseContainsOnlyRequestedAttributes) {
+  const std::vector<ObjectId> ids{id_};
+  const std::string response =
+      catalog_.build_response(ids, {"data/idinfo/keywords/theme"});
+  const xml::Document doc = xml::parse(response);
+  const xml::Node* result = doc.root->first_child("result");
+  ASSERT_NE(result, nullptr);
+
+  // Themes (and their required ancestors) present; detailed and resourceID
+  // absent.
+  const auto themes = xml::select(*result, "LEADresource/data/idinfo/keywords/theme");
+  EXPECT_EQ(themes.size(), 2u);
+  EXPECT_TRUE(xml::select(*result, "//detailed").empty());
+  EXPECT_TRUE(xml::select(*result, "//resourceID").empty());
+  EXPECT_TRUE(xml::select(*result, "//geospatial").empty());
+}
+
+TEST_F(ProjectionTest, ProjectionWithMultiplePaths) {
+  const std::vector<ObjectId> ids{id_};
+  const std::string response = catalog_.build_response(
+      ids, {"resourceID", "data/geospatial/eainfo/detailed"});
+  const xml::Document doc = xml::parse(response);
+  const xml::Node* result = doc.root->first_child("result");
+  EXPECT_FALSE(xml::select(*result, "//resourceID").empty());
+  EXPECT_FALSE(xml::select(*result, "//detailed").empty());
+  EXPECT_TRUE(xml::select(*result, "//theme").empty());
+}
+
+TEST_F(ProjectionTest, ProjectionOfAbsentAttributeYieldsEmptyResult) {
+  const std::vector<ObjectId> ids{id_};
+  // Fig. 3 has no citation.
+  const std::string response =
+      catalog_.build_response(ids, {"data/idinfo/citation"});
+  const xml::Document doc = xml::parse(response);
+  const xml::Node* result = doc.root->first_child("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->children().empty());
+}
+
+TEST_F(ProjectionTest, UnknownProjectionPathThrows) {
+  const std::vector<ObjectId> ids{id_};
+  EXPECT_THROW(catalog_.build_response(ids, {"data/nope"}), ValidationError);
+}
+
+TEST_F(ProjectionTest, DeleteHidesFromQueriesAndFetch) {
+  ASSERT_EQ(catalog_.query(workload::paper_example_query()).size(), 1u);
+  catalog_.delete_object(id_);
+  EXPECT_TRUE(catalog_.query(workload::paper_example_query()).empty());
+  EXPECT_THROW(catalog_.fetch(id_), ValidationError);
+  EXPECT_TRUE(catalog_.is_deleted(id_));
+
+  // Responses silently skip deleted objects.
+  const std::vector<ObjectId> ids{id_};
+  const xml::Document doc = xml::parse(catalog_.build_response(ids));
+  EXPECT_TRUE(doc.root->children_named("result").empty());
+}
+
+TEST_F(ProjectionTest, DeleteValidatesIds) {
+  EXPECT_THROW(catalog_.delete_object(-1), ValidationError);
+  EXPECT_THROW(catalog_.delete_object(999), ValidationError);
+}
+
+TEST_F(ProjectionTest, OtherObjectsUnaffectedByDelete) {
+  const ObjectId other = catalog_.ingest_xml(workload::fig3_document(), "b", "alice");
+  catalog_.delete_object(id_);
+  const auto hits = catalog_.query(workload::paper_example_query());
+  EXPECT_EQ(hits, std::vector<ObjectId>{other});
+  EXPECT_NO_THROW(catalog_.fetch(other));
+}
+
+TEST_F(ProjectionTest, TombstonesSurvivePersistence) {
+  catalog_.ingest_xml(workload::fig3_document(), "b", "alice");
+  catalog_.delete_object(id_);
+
+  std::stringstream stream;
+  catalog_.save(stream);
+
+  xml::Schema schema2 = workload::lead_schema();
+  MetadataCatalog restored(schema2, workload::lead_annotations(), auto_define_config());
+  restored.restore(stream);
+  EXPECT_TRUE(restored.is_deleted(id_));
+  EXPECT_EQ(restored.query(workload::paper_example_query()).size(), 1u);
+}
+
+}  // namespace
+}  // namespace hxrc::core

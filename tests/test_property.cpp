@@ -1,0 +1,150 @@
+// Property tests: for random corpora and random queries, all four backends
+// return identical object-id sets, and every set matches the DOM oracle.
+#include <gtest/gtest.h>
+
+#include "baselines/backend.hpp"
+#include "baselines/dom_matcher.hpp"
+#include "core/catalog.hpp"
+#include "workload/generator.hpp"
+#include "workload/lead_schema.hpp"
+#include "workload/query_gen.hpp"
+#include "xml/canonical.hpp"
+#include "xml/parser.hpp"
+
+namespace hxrc::baselines {
+namespace {
+
+struct PropertyCase {
+  std::uint64_t corpus_seed;
+  std::size_t corpus_size;
+  std::uint64_t query_seed;
+  std::size_t query_count;
+  double sub_attr_probability;
+};
+
+class BackendEquivalence : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(BackendEquivalence, AllBackendsMatchTheOracle) {
+  const PropertyCase param = GetParam();
+
+  workload::GeneratorConfig gen_config;
+  gen_config.seed = param.corpus_seed;
+  gen_config.sub_attr_probability = param.sub_attr_probability;
+  workload::DocumentGenerator generator(gen_config);
+  const auto docs = generator.corpus(param.corpus_size);
+
+  xml::Schema schema = workload::lead_schema();
+  const core::Partition partition =
+      core::Partition::build(schema, workload::lead_annotations());
+  const DomMatcher oracle(partition);
+
+  std::vector<std::unique_ptr<MetadataBackend>> backends;
+  for (const BackendKind kind : {BackendKind::kHybrid, BackendKind::kInlining,
+                                 BackendKind::kEdge, BackendKind::kClob}) {
+    backends.push_back(make_backend(kind, partition));
+    for (const auto& doc : docs) backends.back()->ingest(doc, "u");
+  }
+
+  workload::QueryGenConfig query_config;
+  query_config.seed = param.query_seed;
+  query_config.sub_attr_probability = param.sub_attr_probability;
+  workload::QueryGenerator queries(query_config);
+
+  for (std::uint64_t q = 0; q < param.query_count; ++q) {
+    const core::ObjectQuery query = queries.generate(q);
+
+    // Oracle: evaluate the DOM matcher over the raw documents.
+    std::vector<core::ObjectId> expected;
+    for (std::size_t d = 0; d < docs.size(); ++d) {
+      if (oracle.matches(docs[d], query)) {
+        expected.push_back(static_cast<core::ObjectId>(d));
+      }
+    }
+
+    for (const auto& backend : backends) {
+      EXPECT_EQ(backend->query(query), expected)
+          << backend->name() << " disagrees with the oracle on query " << q
+          << " (corpus seed " << param.corpus_seed << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BackendEquivalence,
+    ::testing::Values(PropertyCase{1, 30, 100, 25, 0.25},
+                      PropertyCase{2, 50, 200, 25, 0.0},   // no nesting
+                      PropertyCase{3, 40, 300, 25, 0.6},   // heavy nesting
+                      PropertyCase{4, 60, 400, 25, 0.25},
+                      PropertyCase{5, 20, 500, 40, 0.4}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return "case" + std::to_string(info.param.corpus_seed);
+    });
+
+class RoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripProperty, HybridRoundTripsRandomDocuments) {
+  workload::GeneratorConfig config;
+  config.seed = GetParam();
+  config.sub_attr_probability = 0.5;
+  config.max_nesting = 3;
+  workload::DocumentGenerator generator(config);
+
+  xml::Schema schema = workload::lead_schema();
+  const core::Partition partition =
+      core::Partition::build(schema, workload::lead_annotations());
+  const auto backend = make_backend(BackendKind::kHybrid, partition);
+
+  for (std::uint64_t i = 0; i < 15; ++i) {
+    const xml::Document doc = generator.generate(i);
+    const auto id = backend->ingest(doc, "u");
+    const std::string rebuilt = backend->reconstruct(id);
+    ASSERT_EQ(xml::canonical(doc), xml::canonical(xml::parse(rebuilt)))
+        << "seed " << GetParam() << " doc " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+class FastpathEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FastpathEquivalence, FastAndGeneralPlansAgree) {
+  workload::GeneratorConfig gen_config;
+  gen_config.seed = GetParam();
+  workload::DocumentGenerator generator(gen_config);
+  const auto docs = generator.corpus(40);
+
+  xml::Schema schema_fast = workload::lead_schema();
+  xml::Schema schema_slow = workload::lead_schema();
+  core::CatalogConfig fast_config;
+  fast_config.shred.auto_define_dynamic = true;
+  core::CatalogConfig slow_config = fast_config;
+  slow_config.engine.enable_fastpath = false;
+  core::MetadataCatalog fast(schema_fast, workload::lead_annotations(), fast_config);
+  core::MetadataCatalog slow(schema_slow, workload::lead_annotations(), slow_config);
+  for (const auto& doc : docs) {
+    fast.ingest(doc, "d", "u");
+    slow.ingest(doc, "d", "u");
+  }
+
+  workload::QueryGenConfig query_config;
+  query_config.seed = GetParam() * 31 + 7;
+  query_config.dynamic_probability = 0.3;  // favor structural (fastpath) shapes
+  workload::QueryGenerator queries(query_config);
+  std::size_t fast_hits = 0;
+  for (std::uint64_t q = 0; q < 30; ++q) {
+    const core::ObjectQuery query = queries.generate(q);
+    core::QueryPlanInfo fast_info;
+    core::QueryPlanInfo slow_info;
+    EXPECT_EQ(fast.query(query, &fast_info), slow.query(query, &slow_info))
+        << "seed " << GetParam() << " query " << q;
+    EXPECT_FALSE(slow_info.fast_path);
+    if (fast_info.fast_path) ++fast_hits;
+  }
+  EXPECT_GT(fast_hits, 0u);  // the sweep must actually exercise the fast path
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastpathEquivalence, ::testing::Values(7, 8, 9));
+
+}  // namespace
+}  // namespace hxrc::baselines

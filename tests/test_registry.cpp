@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "workload/lead_schema.hpp"
+
+namespace hxrc::core {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest()
+      : schema_(workload::lead_schema()),
+        partition_(Partition::build(schema_, workload::lead_annotations())) {
+    registry_.install_structural(partition_);
+  }
+
+  xml::Schema schema_;
+  Partition partition_;
+  DefinitionRegistry registry_;
+};
+
+TEST_F(RegistryTest, InstallsStructuralAttributeDefinitions) {
+  const AttributeDef* theme = registry_.find_attribute("theme", "", kNoAttr);
+  ASSERT_NE(theme, nullptr);
+  EXPECT_EQ(theme->kind, AttrKind::kStructural);
+  EXPECT_NE(theme->schema_order, kNoOrder);
+
+  // Elements under theme.
+  const ElementDef* themekt = registry_.find_element("themekt", "", theme->id);
+  ASSERT_NE(themekt, nullptr);
+  EXPECT_EQ(themekt->attribute, theme->id);
+  EXPECT_NE(registry_.find_element("themekey", "", theme->id), nullptr);
+}
+
+TEST_F(RegistryTest, AttributeElementGetsSelfNamedElement) {
+  const AttributeDef* rid = registry_.find_attribute("resourceID", "", kNoAttr);
+  ASSERT_NE(rid, nullptr);
+  EXPECT_NE(registry_.find_element("resourceID", "", rid->id), nullptr);
+}
+
+TEST_F(RegistryTest, DynamicRootHasNoStructuralDefinitions) {
+  // "detailed" is dynamic: neither it nor its enttyp/attr structure is
+  // registered structurally — its identity comes from document values (§3).
+  EXPECT_EQ(registry_.find_attribute("detailed", "", kNoAttr), nullptr);
+}
+
+TEST_F(RegistryTest, StructuralForOrderMapsNonDynamicRoots) {
+  for (const AttributeRootInfo& root : partition_.attribute_roots()) {
+    const auto def = registry_.structural_for_order(root.order);
+    if (root.dynamic) {
+      EXPECT_FALSE(def.has_value()) << root.path;
+      continue;
+    }
+    ASSERT_TRUE(def.has_value()) << root.path;
+    EXPECT_EQ(registry_.attribute(*def).name, root.tag);
+  }
+  EXPECT_FALSE(registry_.structural_for_order(9999).has_value());
+}
+
+TEST_F(RegistryTest, DefineAttributeIsIdempotent) {
+  const AttrDefId a = registry_.define_attribute("grid", "ARPS", AttrKind::kDynamic);
+  const AttrDefId b = registry_.define_attribute("grid", "ARPS", AttrKind::kDynamic);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(RegistryTest, NameAndSourceDisambiguateModels) {
+  // §3: ARPS and WRF may define parameters with the same name.
+  const AttrDefId arps = registry_.define_attribute("grid", "ARPS", AttrKind::kDynamic);
+  const AttrDefId wrf = registry_.define_attribute("grid", "WRF", AttrKind::kDynamic);
+  EXPECT_NE(arps, wrf);
+  EXPECT_EQ(registry_.find_attribute("grid", "ARPS", kNoAttr)->id, arps);
+  EXPECT_EQ(registry_.find_attribute("grid", "WRF", kNoAttr)->id, wrf);
+}
+
+TEST_F(RegistryTest, SubAttributesAreScopedByParent) {
+  const AttrDefId grid = registry_.define_attribute("grid", "ARPS", AttrKind::kDynamic);
+  const AttrDefId micro = registry_.define_attribute("microphysics", "ARPS", AttrKind::kDynamic);
+  const AttrDefId sub_grid =
+      registry_.define_attribute("damping", "ARPS", AttrKind::kDynamic, grid);
+  const AttrDefId sub_micro =
+      registry_.define_attribute("damping", "ARPS", AttrKind::kDynamic, micro);
+  EXPECT_NE(sub_grid, sub_micro);
+  EXPECT_EQ(registry_.find_attribute("damping", "ARPS", grid)->id, sub_grid);
+}
+
+TEST_F(RegistryTest, UserVisibilityScoping) {
+  registry_.define_attribute("private-attr", "ARPS", AttrKind::kDynamic, kNoAttr, kNoOrder,
+                             Visibility::kUser, "alice");
+  EXPECT_EQ(registry_.find_attribute("private-attr", "ARPS", kNoAttr), nullptr);
+  EXPECT_EQ(registry_.find_attribute("private-attr", "ARPS", kNoAttr, "bob"), nullptr);
+  const AttributeDef* def = registry_.find_attribute("private-attr", "ARPS", kNoAttr, "alice");
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->owner, "alice");
+}
+
+TEST_F(RegistryTest, AdminDefinitionWinsOverUserDefinition) {
+  registry_.define_attribute("shared", "ARPS", AttrKind::kDynamic, kNoAttr, kNoOrder,
+                             Visibility::kUser, "alice");
+  const AttrDefId admin = registry_.define_attribute("shared", "ARPS", AttrKind::kDynamic);
+  const AttributeDef* found = registry_.find_attribute("shared", "ARPS", kNoAttr, "alice");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id, admin);
+}
+
+TEST_F(RegistryTest, ElementDefinitionsAreIdempotent) {
+  const AttrDefId grid = registry_.define_attribute("grid", "ARPS", AttrKind::kDynamic);
+  const ElemDefId a = registry_.define_element("dx", "ARPS", grid, xml::LeafType::kDouble);
+  const ElemDefId b = registry_.define_element("dx", "ARPS", grid);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry_.element(a).type, xml::LeafType::kDouble);
+}
+
+TEST_F(RegistryTest, CountsTrackDefinitions) {
+  const std::size_t attrs_before = registry_.attribute_count();
+  const std::size_t elems_before = registry_.element_count();
+  const AttrDefId grid = registry_.define_attribute("grid", "ARPS", AttrKind::kDynamic);
+  registry_.define_element("dx", "ARPS", grid);
+  EXPECT_EQ(registry_.attribute_count(), attrs_before + 1);
+  EXPECT_EQ(registry_.element_count(), elems_before + 1);
+}
+
+}  // namespace
+}  // namespace hxrc::core

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rel/ops.hpp"
+
+namespace hxrc::rel {
+namespace {
+
+Table people() {
+  Table t("people", TableSchema{{"id", Type::kInt},
+                                {"name", Type::kString},
+                                {"dept", Type::kInt},
+                                {"salary", Type::kDouble}});
+  t.append(Row{Value(std::int64_t{1}), Value("ann"), Value(std::int64_t{10}), Value(100.0)});
+  t.append(Row{Value(std::int64_t{2}), Value("bob"), Value(std::int64_t{10}), Value(80.0)});
+  t.append(Row{Value(std::int64_t{3}), Value("cid"), Value(std::int64_t{20}), Value(120.0)});
+  t.append(Row{Value(std::int64_t{4}), Value("dee"), Value(std::int64_t{20}), Value(90.0)});
+  t.append(Row{Value(std::int64_t{5}), Value("eve"), Value::null(), Value(70.0)});
+  return t;
+}
+
+Table departments() {
+  Table t("depts", TableSchema{{"dept_id", Type::kInt}, {"dept_name", Type::kString}});
+  t.append(Row{Value(std::int64_t{10}), Value("storms")});
+  t.append(Row{Value(std::int64_t{20}), Value("grids")});
+  t.append(Row{Value(std::int64_t{30}), Value("empty")});
+  return t;
+}
+
+TEST(Ops, ScanAll) {
+  const Table t = people();
+  EXPECT_EQ(scan(t).size(), 5u);
+}
+
+TEST(Ops, ScanWithPredicate) {
+  const Table t = people();
+  const auto result = scan(t, gt(col(3), lit(Value(90.0))));
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(Ops, FilterKeepsMatching) {
+  const Table t = people();
+  ResultSet all = scan(t);
+  const ResultSet young = filter(std::move(all), *le(col(0), lit(Value(std::int64_t{2}))));
+  EXPECT_EQ(young.size(), 2u);
+}
+
+TEST(Ops, ProjectByName) {
+  const Table t = people();
+  const ResultSet result = project(scan(t), {"name", "id"});
+  EXPECT_EQ(result.schema.size(), 2u);
+  EXPECT_EQ(result.schema.column(0).name, "name");
+  EXPECT_EQ(result.rows[0][0].as_string(), "ann");
+  EXPECT_EQ(result.rows[0][1].as_int(), 1);
+  EXPECT_THROW(project(scan(t), {"missing"}), TypeError);
+}
+
+TEST(Ops, ProjectExprsComputes) {
+  const Table t = people();
+  const ResultSet result = project_exprs(
+      scan(t), {{binary(BinOp::kMul, col(3), lit(Value(2.0))), Column{"double_salary", Type::kDouble}}});
+  EXPECT_DOUBLE_EQ(result.rows[0][0].as_double(), 200.0);
+}
+
+TEST(Ops, InnerHashJoin) {
+  const ResultSet joined =
+      hash_join_named(scan(people()), {"dept"}, scan(departments()), {"dept_id"});
+  EXPECT_EQ(joined.size(), 4u);  // eve's NULL dept joins nothing
+  const std::size_t dept_name = joined.column("dept_name");
+  for (const Row& row : joined.rows) {
+    EXPECT_FALSE(row[dept_name].is_null());
+  }
+}
+
+TEST(Ops, LeftOuterJoinPadsWithNulls) {
+  const ResultSet joined = hash_join_named(scan(people()), {"dept"}, scan(departments()),
+                                           {"dept_id"}, JoinType::kLeftOuter);
+  EXPECT_EQ(joined.size(), 5u);
+  const std::size_t dept_name = joined.column("dept_name");
+  std::size_t nulls = 0;
+  for (const Row& row : joined.rows) {
+    if (row[dept_name].is_null()) ++nulls;
+  }
+  EXPECT_EQ(nulls, 1u);  // eve
+}
+
+TEST(Ops, JoinRenamesCollidingColumns) {
+  const ResultSet left = scan(people());
+  const ResultSet joined = hash_join(left, {0}, left, {0});
+  EXPECT_EQ(joined.schema.size(), 8u);
+  EXPECT_NO_THROW(joined.column("r_id"));
+}
+
+TEST(Ops, EmptyKeyJoinIsCrossProduct) {
+  const ResultSet joined = hash_join(scan(departments()), {}, scan(departments()), {});
+  EXPECT_EQ(joined.size(), 9u);
+}
+
+TEST(Ops, IndexJoinProbesIndex) {
+  Table d = departments();
+  d.create_hash_index("by_id", {"dept_id"});
+  const ResultSet joined =
+      index_join(scan(people()), {2}, d, *d.index("by_id"));
+  EXPECT_EQ(joined.size(), 4u);
+}
+
+TEST(Ops, GroupByCountsAndAggregates) {
+  const ResultSet grouped =
+      group_by(scan(people()), {2},
+               {Aggregate{Aggregate::Fn::kCount, 0, "n"},
+                Aggregate{Aggregate::Fn::kSum, 3, "total"},
+                Aggregate{Aggregate::Fn::kMin, 3, "lo"},
+                Aggregate{Aggregate::Fn::kMax, 3, "hi"}});
+  EXPECT_EQ(grouped.size(), 3u);  // 10, 20, NULL
+  for (const Row& row : grouped.rows) {
+    if (!row[0].is_null() && row[0].as_int() == 10) {
+      EXPECT_EQ(row[1].as_int(), 2);
+      EXPECT_DOUBLE_EQ(row[2].as_double(), 180.0);
+      EXPECT_DOUBLE_EQ(row[3].as_double(), 80.0);
+      EXPECT_DOUBLE_EQ(row[4].as_double(), 100.0);
+    }
+  }
+}
+
+TEST(Ops, GroupByCountDistinct) {
+  ResultSet input;
+  input.schema = TableSchema{{"k", Type::kInt}, {"v", Type::kString}};
+  input.rows = {Row{Value(std::int64_t{1}), Value("a")},
+                Row{Value(std::int64_t{1}), Value("a")},
+                Row{Value(std::int64_t{1}), Value("b")},
+                Row{Value(std::int64_t{2}), Value("a")}};
+  const ResultSet grouped = group_by(
+      input, {0}, {Aggregate{Aggregate::Fn::kCountDistinct, 1, "distinct_v"}});
+  for (const Row& row : grouped.rows) {
+    if (row[0].as_int() == 1) EXPECT_EQ(row[1].as_int(), 2);
+    if (row[0].as_int() == 2) EXPECT_EQ(row[1].as_int(), 1);
+  }
+}
+
+TEST(Ops, GlobalAggregateOverEmptyInputYieldsOneRow) {
+  ResultSet empty;
+  empty.schema = TableSchema{{"x", Type::kInt}};
+  const ResultSet grouped =
+      group_by(empty, {}, {Aggregate{Aggregate::Fn::kCount, 0, "n"}});
+  ASSERT_EQ(grouped.size(), 1u);
+  EXPECT_EQ(grouped.rows[0][0].as_int(), 0);
+}
+
+TEST(Ops, AggregatesIgnoreNullInputs) {
+  const ResultSet grouped = group_by(
+      scan(people()), {}, {Aggregate{Aggregate::Fn::kCountDistinct, 2, "depts"}});
+  EXPECT_EQ(grouped.rows[0][0].as_int(), 2);  // NULL dept not counted
+}
+
+TEST(Ops, SortByMultipleKeys) {
+  ResultSet sorted = sort_by(scan(people()), {{2, false}, {3, true}});
+  // NULL dept first, then dept 10 by salary desc, then dept 20.
+  EXPECT_TRUE(sorted.rows[0][2].is_null());
+  EXPECT_EQ(sorted.rows[1][1].as_string(), "ann");
+  EXPECT_EQ(sorted.rows[2][1].as_string(), "bob");
+  EXPECT_EQ(sorted.rows[3][1].as_string(), "cid");
+}
+
+TEST(Ops, DistinctRemovesDuplicates) {
+  ResultSet input;
+  input.schema = TableSchema{{"x", Type::kInt}};
+  input.rows = {Row{Value(std::int64_t{1})}, Row{Value(std::int64_t{1})},
+                Row{Value(std::int64_t{2})}};
+  EXPECT_EQ(distinct(std::move(input)).size(), 2u);
+}
+
+TEST(Ops, DistinctOnSubsetKeepsFirst) {
+  const ResultSet result = distinct_on(scan(people()), {2});
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST(Ops, LimitTruncates) {
+  EXPECT_EQ(limit(scan(people()), 2).size(), 2u);
+  EXPECT_EQ(limit(scan(people()), 100).size(), 5u);
+}
+
+TEST(Ops, UnionAll) {
+  const ResultSet u = union_all(scan(departments()), scan(departments()));
+  EXPECT_EQ(u.size(), 6u);
+}
+
+TEST(Ops, IndexScan) {
+  Table d = departments();
+  d.create_hash_index("by_id", {"dept_id"});
+  const ResultSet result = index_scan(d, *d.index("by_id"), Key{{Value(std::int64_t{10})}});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.rows[0][1].as_string(), "storms");
+}
+
+TEST(Ops, PrettyRendersHeaderAndRows) {
+  const std::string text = scan(departments()).pretty();
+  EXPECT_NE(text.find("dept_name"), std::string::npos);
+  EXPECT_NE(text.find("storms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hxrc::rel

@@ -1,0 +1,114 @@
+// §5 response construction: set-based tag generation from the global
+// ordering, round-trip fidelity, ordering of multi-instance attributes.
+#include <gtest/gtest.h>
+
+#include "core/catalog.hpp"
+#include "core/response.hpp"
+#include "workload/generator.hpp"
+#include "workload/lead_schema.hpp"
+#include "xml/canonical.hpp"
+#include "xml/parser.hpp"
+
+namespace hxrc {
+namespace {
+
+core::CatalogConfig auto_define_config() {
+  core::CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  return config;
+}
+
+TEST(Response, Fig3RoundTripsSemantically) {
+  xml::Schema schema = workload::lead_schema();
+  core::MetadataCatalog catalog(schema, workload::lead_annotations(),
+                                auto_define_config());
+  const auto id = catalog.ingest_xml(workload::fig3_document(), "fig3", "alice");
+
+  const xml::Document original = xml::parse(workload::fig3_document());
+  const xml::Document rebuilt = catalog.fetch(id);
+  EXPECT_EQ(xml::canonical(original), xml::canonical(rebuilt));
+}
+
+TEST(Response, PreservesSameSiblingOrderOfThemes) {
+  xml::Schema schema = workload::lead_schema();
+  core::MetadataCatalog catalog(schema, workload::lead_annotations(),
+                                auto_define_config());
+  const auto id = catalog.ingest_xml(workload::fig3_document(), "fig3", "alice");
+
+  const xml::Document rebuilt = catalog.fetch(id);
+  const auto themes = xml::select(*rebuilt.root, "data/idinfo/keywords/theme");
+  ASSERT_EQ(themes.size(), 2u);
+  EXPECT_EQ(themes[0]->children_named("themekey")[0]->text_content(),
+            "convective_precipitation_amount");
+  EXPECT_EQ(themes[1]->children_named("themekey")[0]->text_content(),
+            "air_pressure_at_cloud_base");
+}
+
+TEST(Response, AbsentOptionalAttributesEmitNoAncestorTags) {
+  xml::Schema schema = workload::lead_schema();
+  core::MetadataCatalog catalog(schema, workload::lead_annotations(),
+                                auto_define_config());
+  // Document with only a resourceID: no idinfo/geospatial ancestors needed.
+  const auto id = catalog.ingest_xml(
+      "<LEADresource><resourceID>x</resourceID></LEADresource>", "tiny", "alice");
+  const core::ResponseBuilder builder(catalog.partition(), catalog.database());
+  const std::string text = builder.build_document(id);
+  EXPECT_EQ(text.find("<idinfo>"), std::string::npos);
+  EXPECT_EQ(text.find("<geospatial>"), std::string::npos);
+  EXPECT_NE(text.find("<resourceID>x</resourceID>"), std::string::npos);
+  EXPECT_NE(text.find("<LEADresource>"), std::string::npos);
+}
+
+TEST(Response, MultiObjectResponseWrapsResults) {
+  xml::Schema schema = workload::lead_schema();
+  core::MetadataCatalog catalog(schema, workload::lead_annotations(),
+                                auto_define_config());
+  const auto a = catalog.ingest_xml(workload::fig3_document(), "a", "alice");
+  const auto b = catalog.ingest_xml(workload::fig3_document(), "b", "alice");
+
+  const std::vector<core::ObjectId> ids{a, b};
+  const std::string response = catalog.build_response(ids);
+  const xml::Document doc = xml::parse(response);
+  EXPECT_EQ(doc.root->name(), "results");
+  const auto results = doc.root->children_named("result");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(*results[0]->attribute("objectID"), std::to_string(a));
+  EXPECT_EQ(*results[1]->attribute("objectID"), std::to_string(b));
+}
+
+TEST(Response, GeneratedCorpusRoundTrips) {
+  xml::Schema schema = workload::lead_schema();
+  core::MetadataCatalog catalog(schema, workload::lead_annotations(),
+                                auto_define_config());
+  workload::DocumentGenerator generator;
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    const xml::Document doc = generator.generate(i);
+    const auto id = catalog.ingest(doc, "doc-" + std::to_string(i), "alice");
+    const xml::Document rebuilt = catalog.fetch(id);
+    ASSERT_EQ(xml::canonical(doc), xml::canonical(rebuilt)) << "document " << i;
+  }
+}
+
+TEST(Response, UnknownObjectReconstructsAsEmptyRoot) {
+  xml::Schema schema = workload::lead_schema();
+  core::MetadataCatalog catalog(schema, workload::lead_annotations(),
+                                auto_define_config());
+  const xml::Document doc = catalog.fetch(12345);
+  ASSERT_TRUE(doc.root != nullptr);
+  EXPECT_EQ(doc.root->name(), "LEADresource");
+  EXPECT_TRUE(doc.root->children().empty());
+}
+
+TEST(Response, UnshreddedDynamicContentIsStillReturned) {
+  // Without auto-define the dynamic content is CLOB-only — the response
+  // must still contain it verbatim (§3: "still stored as a CLOB").
+  xml::Schema schema = workload::lead_schema();
+  core::MetadataCatalog catalog(schema, workload::lead_annotations());
+  const auto id = catalog.ingest_xml(workload::fig3_document(), "fig3", "alice");
+  const xml::Document original = xml::parse(workload::fig3_document());
+  const xml::Document rebuilt = catalog.fetch(id);
+  EXPECT_EQ(xml::canonical(original), xml::canonical(rebuilt));
+}
+
+}  // namespace
+}  // namespace hxrc

@@ -1,0 +1,172 @@
+// Persistence: database serialization round-trips and whole-catalog
+// save/restore (queries, responses, definitions, and sequences survive).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/catalog.hpp"
+#include "rel/serialize.hpp"
+#include "workload/generator.hpp"
+#include "workload/lead_schema.hpp"
+#include "workload/query_gen.hpp"
+#include "xml/canonical.hpp"
+
+namespace hxrc {
+namespace {
+
+TEST(DatabaseSerialize, RoundTripsTablesAndClobs) {
+  rel::Database db;
+  rel::Table& t = db.create_table(
+      "t", rel::TableSchema{{"i", rel::Type::kInt},
+                            {"d", rel::Type::kDouble},
+                            {"s", rel::Type::kString}});
+  t.create_hash_index("by_i", {"i"});
+  t.append(rel::Row{rel::Value(std::int64_t{1}), rel::Value(2.5),
+                    rel::Value("hello world")});
+  t.append(rel::Row{rel::Value::null(), rel::Value::null(),
+                    rel::Value("with\nnewline and 'quotes'")});
+  db.clobs().append("<clob>payload</clob>");
+  db.clobs().append(std::string("\0binary-ish\n", 12));
+
+  std::stringstream stream;
+  rel::save_database(db, stream);
+
+  rel::Database loaded;
+  rel::Table& lt = loaded.create_table(
+      "t", rel::TableSchema{{"i", rel::Type::kInt},
+                            {"d", rel::Type::kDouble},
+                            {"s", rel::Type::kString}});
+  lt.create_hash_index("by_i", {"i"});
+  rel::load_database_into(loaded, stream);
+
+  ASSERT_EQ(lt.row_count(), 2u);
+  EXPECT_EQ(lt.row(0)[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(lt.row(0)[1].as_double(), 2.5);
+  EXPECT_EQ(lt.row(0)[2].as_string(), "hello world");
+  EXPECT_TRUE(lt.row(1)[0].is_null());
+  EXPECT_EQ(lt.row(1)[2].as_string(), "with\nnewline and 'quotes'");
+  // Index was rebuilt on load.
+  EXPECT_EQ(lt.index("by_i")->lookup(rel::Key{{rel::Value(std::int64_t{1})}}).size(), 1u);
+  ASSERT_EQ(loaded.clobs().count(), 2u);
+  EXPECT_EQ(loaded.clobs().get(0), "<clob>payload</clob>");
+  EXPECT_EQ(loaded.clobs().get(1), std::string("\0binary-ish\n", 12));
+}
+
+TEST(DatabaseSerialize, LoadClearsExistingRows) {
+  rel::Database db;
+  db.create_table("t", rel::TableSchema{{"x", rel::Type::kInt}});
+  std::stringstream stream;
+  rel::save_database(db, stream);  // empty table
+
+  rel::Database target;
+  rel::Table& t = target.create_table("t", rel::TableSchema{{"x", rel::Type::kInt}});
+  t.append(rel::Row{rel::Value(std::int64_t{9})});
+  rel::load_database_into(target, stream);
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(DatabaseSerialize, RejectsGarbage) {
+  rel::Database db;
+  std::stringstream bad("NOTADB 1\n");
+  EXPECT_THROW(rel::load_database_into(db, bad), rel::SerializeError);
+  std::stringstream truncated("HXRCDB 1\nclobs 2\n3 abc\n");
+  EXPECT_THROW(rel::load_database_into(db, truncated), rel::SerializeError);
+  std::stringstream unknown_table("HXRCDB 1\nclobs 0\ntable 1 z 1 0\nend\n");
+  EXPECT_THROW(rel::load_database_into(db, unknown_table), rel::SerializeError);
+}
+
+core::CatalogConfig auto_define_config() {
+  core::CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  return config;
+}
+
+TEST(CatalogPersistence, FullSaveRestoreRoundTrip) {
+  xml::Schema schema = workload::lead_schema();
+  core::MetadataCatalog original(schema, workload::lead_annotations(),
+                                 auto_define_config());
+  workload::DocumentGenerator generator;
+  const auto docs = generator.corpus(40);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    original.ingest(docs[i], "d" + std::to_string(i), "alice");
+  }
+  const core::CollectionId experiment = original.create_collection("exp", "alice");
+  original.add_to_collection(experiment, 3);
+  original.add_to_collection(experiment, 7);
+  original.thesaurus().add_synonym("spacing", "", "dx", "ARPS");
+
+  std::stringstream stream;
+  original.save(stream);
+
+  xml::Schema schema2 = workload::lead_schema();
+  core::MetadataCatalog restored(schema2, workload::lead_annotations(),
+                                 auto_define_config());
+  restored.restore(stream);
+
+  // Same definitions.
+  EXPECT_EQ(restored.registry().attribute_count(), original.registry().attribute_count());
+  EXPECT_EQ(restored.registry().element_count(), original.registry().element_count());
+
+  // Same query results.
+  workload::QueryGenerator queries;
+  for (std::uint64_t q = 0; q < 20; ++q) {
+    const core::ObjectQuery query = queries.generate(q);
+    EXPECT_EQ(restored.query(query), original.query(query)) << "query " << q;
+  }
+
+  // Same reconstructed documents.
+  for (std::size_t i = 0; i < docs.size(); i += 9) {
+    EXPECT_EQ(xml::canonical(docs[i]),
+              xml::canonical(restored.fetch(static_cast<core::ObjectId>(i))));
+  }
+
+  // Collections and thesaurus survived.
+  EXPECT_EQ(restored.collection_members(experiment, true),
+            (std::vector<core::ObjectId>{3, 7}));
+  EXPECT_TRUE(restored.thesaurus().resolve("spacing", "").has_value());
+}
+
+TEST(CatalogPersistence, IngestContinuesAfterRestore) {
+  xml::Schema schema = workload::lead_schema();
+  core::MetadataCatalog original(schema, workload::lead_annotations(),
+                                 auto_define_config());
+  const auto id = original.ingest_xml(workload::fig3_document(), "fig3", "alice");
+
+  std::stringstream stream;
+  original.save(stream);
+
+  xml::Schema schema2 = workload::lead_schema();
+  core::MetadataCatalog restored(schema2, workload::lead_annotations(),
+                                 auto_define_config());
+  restored.restore(stream);
+
+  // New objects get fresh ids; late inserts continue the right sequences.
+  const auto next = restored.ingest_xml(workload::fig3_document(), "again", "alice");
+  EXPECT_EQ(next, id + 1);
+  restored.add_attribute_xml(
+      id, "data/idinfo/keywords/theme",
+      "<theme><themekt>CF NetCDF</themekt><themekey>air_temperature</themekey></theme>");
+  const xml::Document doc = restored.fetch(id);
+  const auto themes = xml::select(*doc.root, "data/idinfo/keywords/theme");
+  ASSERT_EQ(themes.size(), 3u);
+  EXPECT_EQ(themes[2]->child_text("themekey"), "air_temperature");
+}
+
+TEST(CatalogPersistence, RestoreRequiresFreshCatalogAndMatchingSchema) {
+  xml::Schema schema = workload::lead_schema();
+  core::MetadataCatalog original(schema, workload::lead_annotations(),
+                                 auto_define_config());
+  original.ingest_xml(workload::fig3_document(), "fig3", "alice");
+  std::stringstream stream;
+  original.save(stream);
+
+  // A catalog that already auto-defined dynamic attributes cannot restore.
+  xml::Schema schema2 = workload::lead_schema();
+  core::MetadataCatalog dirty(schema2, workload::lead_annotations(),
+                              auto_define_config());
+  dirty.ingest_xml(workload::fig3_document(), "other", "bob");
+  EXPECT_THROW(dirty.restore(stream), core::ValidationError);
+}
+
+}  // namespace
+}  // namespace hxrc

@@ -1,0 +1,96 @@
+// Ontology-backed query resolution (§3: definitions "could also be
+// connected to an ontology for enhanced search capabilities").
+#include <gtest/gtest.h>
+
+#include "core/catalog.hpp"
+#include "core/thesaurus.hpp"
+#include "workload/lead_schema.hpp"
+#include "workload/query_gen.hpp"
+
+namespace hxrc::core {
+namespace {
+
+TEST(Thesaurus, ResolvesSynonymsAndChains) {
+  Thesaurus thesaurus;
+  thesaurus.add_synonym("horizontal-resolution", "CF", "dx", "ARPS");
+  thesaurus.add_synonym("grid-spacing", "", "horizontal-resolution", "CF");
+
+  const auto direct = thesaurus.resolve("horizontal-resolution", "CF");
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->name, "dx");
+  EXPECT_EQ(direct->source, "ARPS");
+
+  // Transitive chain: grid-spacing -> horizontal-resolution -> dx.
+  const auto chained = thesaurus.resolve("grid-spacing", "");
+  ASSERT_TRUE(chained.has_value());
+  EXPECT_EQ(chained->name, "dx");
+
+  EXPECT_FALSE(thesaurus.resolve("unknown", "").has_value());
+}
+
+TEST(Thesaurus, CyclesTerminate) {
+  Thesaurus thesaurus;
+  thesaurus.add_synonym("a", "", "b", "");
+  thesaurus.add_synonym("b", "", "a", "");
+  const auto resolved = thesaurus.resolve("a", "");
+  ASSERT_TRUE(resolved.has_value());  // bounded walk, no hang
+}
+
+class OntologyQuery : public ::testing::Test {
+ protected:
+  OntologyQuery()
+      : schema_(workload::lead_schema()),
+        catalog_(schema_, workload::lead_annotations(), [] {
+          CatalogConfig config;
+          config.shred.auto_define_dynamic = true;
+          return config;
+        }()) {
+    id_ = catalog_.ingest_xml(workload::fig3_document(), "fig3", "alice");
+  }
+
+  xml::Schema schema_;
+  MetadataCatalog catalog_;
+  ObjectId id_ = -1;
+};
+
+TEST_F(OntologyQuery, ElementSynonymResolvesInQueries) {
+  // "horizontal-resolution" is not a registered element; with a synonym it
+  // resolves to grid/ARPS's dx.
+  ObjectQuery query;
+  AttrQuery grid("grid", "ARPS");
+  grid.add_element("horizontal-resolution", "CF", rel::Value(1000.0), CompareOp::kEq);
+  query.add_attribute(std::move(grid));
+
+  EXPECT_TRUE(catalog_.query(query).empty());  // no synonym yet
+  catalog_.thesaurus().add_synonym("horizontal-resolution", "CF", "dx", "ARPS");
+  EXPECT_EQ(catalog_.query(query), std::vector<ObjectId>{id_});
+}
+
+TEST_F(OntologyQuery, AttributeSynonymResolvesInQueries) {
+  catalog_.thesaurus().add_synonym("model-grid", "community", "grid", "ARPS");
+  ObjectQuery query;
+  AttrQuery grid("model-grid", "community");
+  grid.add_element("dx", "ARPS", rel::Value(1000.0), CompareOp::kEq);
+  query.add_attribute(std::move(grid));
+  EXPECT_EQ(catalog_.query(query), std::vector<ObjectId>{id_});
+}
+
+TEST_F(OntologyQuery, DirectDefinitionsWinOverSynonyms) {
+  // A synonym must not shadow an exact definition.
+  catalog_.thesaurus().add_synonym("grid", "ARPS", "dz", "ARPS");  // nonsense mapping
+  EXPECT_EQ(catalog_.query(workload::paper_example_query()).size(), 1u);
+}
+
+TEST_F(OntologyQuery, SynonymInsideSubAttribute) {
+  catalog_.thesaurus().add_synonym("min-vertical-spacing", "CF", "dzmin", "ARPS");
+  ObjectQuery query;
+  AttrQuery grid("grid", "ARPS");
+  AttrQuery stretching("grid-stretching", "ARPS");
+  stretching.add_element("min-vertical-spacing", "CF", rel::Value(100.0), CompareOp::kEq);
+  grid.add_attribute(std::move(stretching));
+  query.add_attribute(std::move(grid));
+  EXPECT_EQ(catalog_.query(query), std::vector<ObjectId>{id_});
+}
+
+}  // namespace
+}  // namespace hxrc::core

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "xml/canonical.hpp"
+#include "xml/parser.hpp"
+
+namespace hxrc::xml {
+namespace {
+
+TEST(Canonical, AttributesAreSorted) {
+  const Document a = parse(R"(<x b="2" a="1"/>)");
+  const Document b = parse(R"(<x a="1" b="2"/>)");
+  EXPECT_TRUE(semantically_equal(a, b));
+}
+
+TEST(Canonical, WhitespaceIsCollapsed) {
+  const Document a = parse("<x>  hello   world </x>");
+  const Document b = parse("<x>hello world</x>");
+  EXPECT_TRUE(semantically_equal(a, b));
+}
+
+TEST(Canonical, ElementOrderMatters) {
+  const Document a = parse("<x><a/><b/></x>");
+  const Document b = parse("<x><b/><a/></x>");
+  EXPECT_FALSE(semantically_equal(a, b));
+}
+
+TEST(Canonical, ValuesMatter) {
+  const Document a = parse("<x><a>1</a></x>");
+  const Document b = parse("<x><a>2</a></x>");
+  EXPECT_FALSE(semantically_equal(a, b));
+}
+
+TEST(Canonical, AttributeValuesMatter) {
+  const Document a = parse(R"(<x a="1"/>)");
+  const Document b = parse(R"(<x a="2"/>)");
+  EXPECT_FALSE(semantically_equal(a, b));
+}
+
+TEST(Canonical, PrettyPrintedEqualsCompact) {
+  const Document a = parse("<x>\n  <a>v</a>\n  <b>\n    <c>w</c>\n  </b>\n</x>");
+  const Document b = parse("<x><a>v</a><b><c>w</c></b></x>");
+  EXPECT_TRUE(semantically_equal(a, b));
+}
+
+TEST(Canonical, EmptyDocument) {
+  Document empty;
+  EXPECT_EQ(canonical(empty), "");
+}
+
+TEST(Canonical, EscapesSpecialCharacters) {
+  const Document doc = parse("<x>&lt;tag&gt;</x>");
+  EXPECT_EQ(canonical(doc), "<x>&lt;tag&gt;</x>");
+}
+
+}  // namespace
+}  // namespace hxrc::xml

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "xml/matcher.hpp"
+#include "xml/parser.hpp"
+
+namespace hxrc::xml {
+namespace {
+
+const char* kDoc = R"(<root>
+  <items>
+    <item kind="a"><name>first</name><price>10</price></item>
+    <item kind="b"><name>second</name><price>25</price></item>
+    <item kind="a"><name>third</name><price>7.5</price></item>
+  </items>
+  <meta><owner>alice</owner></meta>
+</root>)";
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  MatcherTest() : doc_(parse(kDoc)) {}
+  Document doc_;
+};
+
+TEST_F(MatcherTest, ChildSteps) {
+  EXPECT_EQ(select(*doc_.root, "items/item").size(), 3u);
+  EXPECT_EQ(select(*doc_.root, "meta/owner").size(), 1u);
+  EXPECT_TRUE(select(*doc_.root, "nope").empty());
+}
+
+TEST_F(MatcherTest, DescendantAxis) {
+  EXPECT_EQ(select(*doc_.root, "//item").size(), 3u);
+  EXPECT_EQ(select(*doc_.root, "//name").size(), 3u);
+  EXPECT_EQ(select(*doc_.root, "items//price").size(), 3u);
+}
+
+TEST_F(MatcherTest, Wildcard) {
+  EXPECT_EQ(select(*doc_.root, "items/*").size(), 3u);
+  EXPECT_EQ(select(*doc_.root, "*/item").size(), 3u);
+}
+
+TEST_F(MatcherTest, EqualityPredicate) {
+  const auto hits = select(*doc_.root, "items/item[name='second']");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->child_text("price"), "25");
+}
+
+TEST_F(MatcherTest, NumericComparisonPredicates) {
+  EXPECT_EQ(select(*doc_.root, "items/item[price>9]").size(), 2u);
+  EXPECT_EQ(select(*doc_.root, "items/item[price<=10]").size(), 2u);
+  EXPECT_EQ(select(*doc_.root, "items/item[price!=25]").size(), 2u);
+  EXPECT_EQ(select(*doc_.root, "items/item[price=7.5]").size(), 1u);
+}
+
+TEST_F(MatcherTest, ExistencePredicate) {
+  EXPECT_EQ(select(*doc_.root, "items/item[price]").size(), 3u);
+  EXPECT_TRUE(select(*doc_.root, "items/item[discount]").empty());
+}
+
+TEST_F(MatcherTest, MultiplePredicatesAreConjunctive) {
+  EXPECT_EQ(select(*doc_.root, "items/item[price>5][price<20]").size(), 2u);
+}
+
+TEST_F(MatcherTest, SelfTextPredicate) {
+  EXPECT_EQ(select(*doc_.root, "items/item/name[.='first']").size(), 1u);
+}
+
+TEST_F(MatcherTest, NestedPathPredicate) {
+  const Document doc = parse("<r><a><b><c>5</c></b></a><a><b><c>9</c></b></a></r>");
+  EXPECT_EQ(select(*doc.root, "a[b/c>7]").size(), 1u);
+}
+
+TEST_F(MatcherTest, SelectFirstAndExists) {
+  const Path path = Path::compile("items/item[price>9]");
+  EXPECT_NE(path.select_first(*doc_.root), nullptr);
+  EXPECT_TRUE(path.exists(*doc_.root));
+  EXPECT_FALSE(Path::compile("zzz").exists(*doc_.root));
+}
+
+TEST_F(MatcherTest, SyntaxErrorsThrow) {
+  EXPECT_THROW(Path::compile(""), PathError);
+  EXPECT_THROW(Path::compile("a[unclosed"), PathError);
+  EXPECT_THROW(Path::compile("a[b=]"), PathError);
+  EXPECT_THROW(Path::compile("a//"), PathError);
+}
+
+TEST(CompareValues, NumericWhenBothParse) {
+  EXPECT_TRUE(compare_values("100.000", CompareOp::kEq, "100"));
+  EXPECT_TRUE(compare_values("9", CompareOp::kLt, "10"));
+  EXPECT_TRUE(compare_values("1e3", CompareOp::kEq, "1000"));
+  EXPECT_FALSE(compare_values("9", CompareOp::kGt, "10"));
+}
+
+TEST(CompareValues, LexicographicOtherwise) {
+  // As strings, "9" > "10" lexicographically.
+  EXPECT_TRUE(compare_values("9", CompareOp::kGt, "10x"));
+  EXPECT_TRUE(compare_values("abc", CompareOp::kEq, "abc"));
+  EXPECT_TRUE(compare_values("abc", CompareOp::kLt, "abd"));
+  EXPECT_FALSE(compare_values("100", CompareOp::kEq, "abc"));
+}
+
+TEST(CompareValues, AllOperators) {
+  EXPECT_TRUE(compare_values("5", CompareOp::kLe, "5"));
+  EXPECT_TRUE(compare_values("5", CompareOp::kGe, "5"));
+  EXPECT_TRUE(compare_values("5", CompareOp::kNe, "6"));
+  EXPECT_FALSE(compare_values("5", CompareOp::kNe, "5.0"));
+}
+
+}  // namespace
+}  // namespace hxrc::xml

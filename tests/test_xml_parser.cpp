@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace hxrc::xml {
+namespace {
+
+TEST(Parser, SimpleElementTree) {
+  const Document doc = parse("<a><b>hello</b><c/></a>");
+  ASSERT_TRUE(doc.root != nullptr);
+  EXPECT_EQ(doc.root->name(), "a");
+  ASSERT_EQ(doc.root->child_elements().size(), 2u);
+  EXPECT_EQ(doc.root->child_text("b"), "hello");
+  EXPECT_TRUE(doc.root->first_child("c")->children().empty());
+}
+
+TEST(Parser, Attributes) {
+  const Document doc = parse(R"(<a x="1" y='two'><b z="a&amp;b"/></a>)");
+  EXPECT_EQ(*doc.root->attribute("x"), "1");
+  EXPECT_EQ(*doc.root->attribute("y"), "two");
+  EXPECT_EQ(*doc.root->first_child("b")->attribute("z"), "a&b");
+  EXPECT_EQ(doc.root->attribute("missing"), nullptr);
+}
+
+TEST(Parser, EntitiesAndCharRefs) {
+  const Document doc = parse("<a>&lt;x&gt; &amp; &quot;q&quot; &apos;s&apos; &#65;&#x42;</a>");
+  EXPECT_EQ(doc.root->text_content(), "<x> & \"q\" 's' AB");
+}
+
+TEST(Parser, CdataIsLiteral) {
+  const Document doc = parse("<a><![CDATA[<not-a-tag> & raw]]></a>");
+  EXPECT_EQ(doc.root->text_content(), "<not-a-tag> & raw");
+}
+
+TEST(Parser, CommentsAndPisAreSkipped) {
+  const Document doc =
+      parse("<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><b/><?pi data?></a>");
+  EXPECT_EQ(doc.root->name(), "a");
+  EXPECT_EQ(doc.root->child_elements().size(), 1u);
+}
+
+TEST(Parser, DoctypeIsSkipped) {
+  const Document doc = parse("<!DOCTYPE a><a/>");
+  EXPECT_EQ(doc.root->name(), "a");
+}
+
+TEST(Parser, WhitespaceTextDroppedByDefault) {
+  const Document doc = parse("<a>\n  <b>x</b>\n</a>");
+  // Only the element child; whitespace runs are not text nodes.
+  EXPECT_EQ(doc.root->children().size(), 1u);
+
+  ParseOptions keep;
+  keep.keep_whitespace_text = true;
+  const Document kept = parse("<a>\n  <b>x</b>\n</a>", keep);
+  EXPECT_EQ(kept.root->children().size(), 3u);
+}
+
+TEST(Parser, MismatchedCloseTagThrows) {
+  EXPECT_THROW(parse("<a><b></a></b>"), ParseError);
+}
+
+TEST(Parser, UnterminatedElementThrows) {
+  EXPECT_THROW(parse("<a><b>"), ParseError);
+}
+
+TEST(Parser, TrailingContentThrows) {
+  EXPECT_THROW(parse("<a/><b/>"), ParseError);
+}
+
+TEST(Parser, BadEntityThrows) {
+  EXPECT_THROW(parse("<a>&nope;</a>"), ParseError);
+  EXPECT_THROW(parse("<a>&unterminated</a>"), ParseError);
+}
+
+TEST(Parser, ErrorCarriesLineAndColumn) {
+  try {
+    parse("<a>\n<b>\n</c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_GT(e.column(), 0u);
+  }
+}
+
+TEST(Parser, FragmentParsing) {
+  const NodePtr node = parse_fragment("<theme><themekt>CF</themekt></theme>");
+  EXPECT_EQ(node->name(), "theme");
+  EXPECT_EQ(node->child_text("themekt"), "CF");
+}
+
+TEST(Parser, DeeplyNested) {
+  std::string text;
+  constexpr int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) text += "<d>";
+  text += "x";
+  for (int i = 0; i < kDepth; ++i) text += "</d>";
+  const Document doc = parse(text);
+  const Node* node = doc.root.get();
+  int depth = 1;
+  while (node->first_child("d") != nullptr) {
+    node = node->first_child("d");
+    ++depth;
+  }
+  EXPECT_EQ(depth, kDepth);
+  EXPECT_EQ(node->text_content(), "x");
+}
+
+TEST(Parser, RoundTripThroughWriter) {
+  const std::string text =
+      R"(<a x="1"><b>text &amp; more</b><c><d>1</d><d>2</d></c></a>)";
+  const Document doc = parse(text);
+  EXPECT_EQ(write(doc), text);
+}
+
+TEST(Dom, CloneIsDeepAndIndependent) {
+  const Document doc = parse("<a><b k=\"v\">x</b></a>");
+  const NodePtr copy = doc.root->clone();
+  EXPECT_EQ(write(*copy), write(*doc.root));
+  EXPECT_EQ(copy->parent(), nullptr);
+}
+
+TEST(Dom, SubtreeElementCount) {
+  const Document doc = parse("<a><b>x</b><c><d/></c></a>");
+  EXPECT_EQ(doc.root->subtree_element_count(), 4u);
+}
+
+TEST(Dom, ChildrenNamed) {
+  const Document doc = parse("<a><k>1</k><j/><k>2</k></a>");
+  const auto ks = doc.root->children_named("k");
+  ASSERT_EQ(ks.size(), 2u);
+  EXPECT_EQ(ks[0]->text_content(), "1");
+  EXPECT_EQ(ks[1]->text_content(), "2");
+}
+
+TEST(Dom, TextContentTrimsAndConcatenates) {
+  ParseOptions keep;
+  keep.keep_whitespace_text = true;
+  const Document doc = parse("<a>  hello\n  world  </a>", keep);
+  EXPECT_EQ(doc.root->text_content(), "hello\n  world");
+}
+
+}  // namespace
+}  // namespace hxrc::xml

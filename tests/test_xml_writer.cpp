@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace hxrc::xml {
+namespace {
+
+TEST(Escape, TextEscapesMarkup) {
+  EXPECT_EQ(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+  EXPECT_EQ(escape_text("plain"), "plain");
+}
+
+TEST(Escape, AttributeEscapesQuotes) {
+  EXPECT_EQ(escape_attribute("say \"hi\" & go"), "say &quot;hi&quot; &amp; go");
+  EXPECT_EQ(escape_attribute("tab\there"), "tab&#9;here");
+}
+
+TEST(Writer, EmptyElementSelfCloses) {
+  const NodePtr node = Node::element("empty");
+  EXPECT_EQ(write(*node), "<empty/>");
+}
+
+TEST(Writer, AttributesAreRendered) {
+  NodePtr node = Node::element("a");
+  node->add_attribute("k", "v<1>");
+  node->add_text("t");
+  EXPECT_EQ(write(*node), R"(<a k="v&lt;1&gt;">t</a>)");
+}
+
+TEST(Writer, DeclarationOption) {
+  const NodePtr node = Node::element("a");
+  WriteOptions options;
+  options.declaration = true;
+  EXPECT_EQ(write(*node, options), "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+}
+
+TEST(Writer, PrettyPrintIndents) {
+  const Document doc = parse("<a><b>x</b><c><d>y</d></c></a>");
+  WriteOptions options;
+  options.indent = 2;
+  const std::string out = write(doc, options);
+  EXPECT_NE(out.find("\n  <b>x</b>\n"), std::string::npos);
+  EXPECT_NE(out.find("\n    <d>y</d>\n"), std::string::npos);
+  // Pretty output re-parses to the same document.
+  const Document again = parse(out);
+  EXPECT_EQ(write(again), write(doc));
+}
+
+TEST(Writer, RoundTripSpecialCharacters) {
+  NodePtr node = Node::element("a");
+  node->add_text("5 < 6 && \"x\"");
+  const Document doc = parse(write(*node));
+  EXPECT_EQ(doc.root->text_content(), "5 < 6 && \"x\"");
+}
+
+TEST(Writer, OpenCloseTagHelpers) {
+  std::string out;
+  append_open_tag(out, "tag", {Attribute{"a", "1"}});
+  out += "body";
+  append_close_tag(out, "tag");
+  EXPECT_EQ(out, R"(<tag a="1">body</tag>)");
+}
+
+}  // namespace
+}  // namespace hxrc::xml
