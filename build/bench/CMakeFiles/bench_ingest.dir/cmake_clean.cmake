@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ingest.dir/bench_ingest.cpp.o"
+  "CMakeFiles/bench_ingest.dir/bench_ingest.cpp.o.d"
+  "bench_ingest"
+  "bench_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

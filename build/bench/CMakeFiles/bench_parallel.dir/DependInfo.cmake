@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel.cpp" "bench/CMakeFiles/bench_parallel.dir/bench_parallel.cpp.o" "gcc" "bench/CMakeFiles/bench_parallel.dir/bench_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hxrc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxrc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxrc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxrc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxrc_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel.dir/bench_parallel.cpp.o"
+  "CMakeFiles/bench_parallel.dir/bench_parallel.cpp.o.d"
+  "bench_parallel"
+  "bench_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_fastpath.dir/bench_query_fastpath.cpp.o"
+  "CMakeFiles/bench_query_fastpath.dir/bench_query_fastpath.cpp.o.d"
+  "bench_query_fastpath"
+  "bench_query_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selectivity.dir/bench_selectivity.cpp.o"
+  "CMakeFiles/bench_selectivity.dir/bench_selectivity.cpp.o.d"
+  "bench_selectivity"
+  "bench_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shred.dir/bench_shred.cpp.o"
+  "CMakeFiles/bench_shred.dir/bench_shred.cpp.o.d"
+  "bench_shred"
+  "bench_shred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_shell.dir/catalog_shell.cpp.o"
+  "CMakeFiles/catalog_shell.dir/catalog_shell.cpp.o.d"
+  "catalog_shell"
+  "catalog_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

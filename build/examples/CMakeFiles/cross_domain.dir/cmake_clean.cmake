@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_domain.dir/cross_domain.cpp.o"
+  "CMakeFiles/cross_domain.dir/cross_domain.cpp.o.d"
+  "cross_domain"
+  "cross_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

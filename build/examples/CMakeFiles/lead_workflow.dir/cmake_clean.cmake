@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lead_workflow.dir/lead_workflow.cpp.o"
+  "CMakeFiles/lead_workflow.dir/lead_workflow.cpp.o.d"
+  "lead_workflow"
+  "lead_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lead_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

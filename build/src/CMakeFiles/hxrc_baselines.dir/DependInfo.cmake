@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/backend.cpp" "src/CMakeFiles/hxrc_baselines.dir/baselines/backend.cpp.o" "gcc" "src/CMakeFiles/hxrc_baselines.dir/baselines/backend.cpp.o.d"
+  "/root/repo/src/baselines/clob_backend.cpp" "src/CMakeFiles/hxrc_baselines.dir/baselines/clob_backend.cpp.o" "gcc" "src/CMakeFiles/hxrc_baselines.dir/baselines/clob_backend.cpp.o.d"
+  "/root/repo/src/baselines/dom_matcher.cpp" "src/CMakeFiles/hxrc_baselines.dir/baselines/dom_matcher.cpp.o" "gcc" "src/CMakeFiles/hxrc_baselines.dir/baselines/dom_matcher.cpp.o.d"
+  "/root/repo/src/baselines/edge_backend.cpp" "src/CMakeFiles/hxrc_baselines.dir/baselines/edge_backend.cpp.o" "gcc" "src/CMakeFiles/hxrc_baselines.dir/baselines/edge_backend.cpp.o.d"
+  "/root/repo/src/baselines/hybrid_backend.cpp" "src/CMakeFiles/hxrc_baselines.dir/baselines/hybrid_backend.cpp.o" "gcc" "src/CMakeFiles/hxrc_baselines.dir/baselines/hybrid_backend.cpp.o.d"
+  "/root/repo/src/baselines/inlining_backend.cpp" "src/CMakeFiles/hxrc_baselines.dir/baselines/inlining_backend.cpp.o" "gcc" "src/CMakeFiles/hxrc_baselines.dir/baselines/inlining_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hxrc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxrc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxrc_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

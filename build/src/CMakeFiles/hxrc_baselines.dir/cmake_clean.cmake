@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hxrc_baselines.dir/baselines/backend.cpp.o"
+  "CMakeFiles/hxrc_baselines.dir/baselines/backend.cpp.o.d"
+  "CMakeFiles/hxrc_baselines.dir/baselines/clob_backend.cpp.o"
+  "CMakeFiles/hxrc_baselines.dir/baselines/clob_backend.cpp.o.d"
+  "CMakeFiles/hxrc_baselines.dir/baselines/dom_matcher.cpp.o"
+  "CMakeFiles/hxrc_baselines.dir/baselines/dom_matcher.cpp.o.d"
+  "CMakeFiles/hxrc_baselines.dir/baselines/edge_backend.cpp.o"
+  "CMakeFiles/hxrc_baselines.dir/baselines/edge_backend.cpp.o.d"
+  "CMakeFiles/hxrc_baselines.dir/baselines/hybrid_backend.cpp.o"
+  "CMakeFiles/hxrc_baselines.dir/baselines/hybrid_backend.cpp.o.d"
+  "CMakeFiles/hxrc_baselines.dir/baselines/inlining_backend.cpp.o"
+  "CMakeFiles/hxrc_baselines.dir/baselines/inlining_backend.cpp.o.d"
+  "libhxrc_baselines.a"
+  "libhxrc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hxrc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annotated_schema.cpp" "src/CMakeFiles/hxrc_core.dir/core/annotated_schema.cpp.o" "gcc" "src/CMakeFiles/hxrc_core.dir/core/annotated_schema.cpp.o.d"
+  "/root/repo/src/core/browse.cpp" "src/CMakeFiles/hxrc_core.dir/core/browse.cpp.o" "gcc" "src/CMakeFiles/hxrc_core.dir/core/browse.cpp.o.d"
+  "/root/repo/src/core/catalog.cpp" "src/CMakeFiles/hxrc_core.dir/core/catalog.cpp.o" "gcc" "src/CMakeFiles/hxrc_core.dir/core/catalog.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/hxrc_core.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/hxrc_core.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/ordering.cpp" "src/CMakeFiles/hxrc_core.dir/core/ordering.cpp.o" "gcc" "src/CMakeFiles/hxrc_core.dir/core/ordering.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/hxrc_core.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/hxrc_core.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/path_query.cpp" "src/CMakeFiles/hxrc_core.dir/core/path_query.cpp.o" "gcc" "src/CMakeFiles/hxrc_core.dir/core/path_query.cpp.o.d"
+  "/root/repo/src/core/query.cpp" "src/CMakeFiles/hxrc_core.dir/core/query.cpp.o" "gcc" "src/CMakeFiles/hxrc_core.dir/core/query.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/hxrc_core.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/hxrc_core.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/response.cpp" "src/CMakeFiles/hxrc_core.dir/core/response.cpp.o" "gcc" "src/CMakeFiles/hxrc_core.dir/core/response.cpp.o.d"
+  "/root/repo/src/core/service.cpp" "src/CMakeFiles/hxrc_core.dir/core/service.cpp.o" "gcc" "src/CMakeFiles/hxrc_core.dir/core/service.cpp.o.d"
+  "/root/repo/src/core/shredder.cpp" "src/CMakeFiles/hxrc_core.dir/core/shredder.cpp.o" "gcc" "src/CMakeFiles/hxrc_core.dir/core/shredder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hxrc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxrc_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hxrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hxrc_core.dir/core/annotated_schema.cpp.o"
+  "CMakeFiles/hxrc_core.dir/core/annotated_schema.cpp.o.d"
+  "CMakeFiles/hxrc_core.dir/core/browse.cpp.o"
+  "CMakeFiles/hxrc_core.dir/core/browse.cpp.o.d"
+  "CMakeFiles/hxrc_core.dir/core/catalog.cpp.o"
+  "CMakeFiles/hxrc_core.dir/core/catalog.cpp.o.d"
+  "CMakeFiles/hxrc_core.dir/core/engine.cpp.o"
+  "CMakeFiles/hxrc_core.dir/core/engine.cpp.o.d"
+  "CMakeFiles/hxrc_core.dir/core/ordering.cpp.o"
+  "CMakeFiles/hxrc_core.dir/core/ordering.cpp.o.d"
+  "CMakeFiles/hxrc_core.dir/core/partition.cpp.o"
+  "CMakeFiles/hxrc_core.dir/core/partition.cpp.o.d"
+  "CMakeFiles/hxrc_core.dir/core/path_query.cpp.o"
+  "CMakeFiles/hxrc_core.dir/core/path_query.cpp.o.d"
+  "CMakeFiles/hxrc_core.dir/core/query.cpp.o"
+  "CMakeFiles/hxrc_core.dir/core/query.cpp.o.d"
+  "CMakeFiles/hxrc_core.dir/core/registry.cpp.o"
+  "CMakeFiles/hxrc_core.dir/core/registry.cpp.o.d"
+  "CMakeFiles/hxrc_core.dir/core/response.cpp.o"
+  "CMakeFiles/hxrc_core.dir/core/response.cpp.o.d"
+  "CMakeFiles/hxrc_core.dir/core/service.cpp.o"
+  "CMakeFiles/hxrc_core.dir/core/service.cpp.o.d"
+  "CMakeFiles/hxrc_core.dir/core/shredder.cpp.o"
+  "CMakeFiles/hxrc_core.dir/core/shredder.cpp.o.d"
+  "libhxrc_core.a"
+  "libhxrc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hxrc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

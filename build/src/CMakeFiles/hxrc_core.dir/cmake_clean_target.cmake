@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhxrc_core.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rel/database.cpp" "src/CMakeFiles/hxrc_rel.dir/rel/database.cpp.o" "gcc" "src/CMakeFiles/hxrc_rel.dir/rel/database.cpp.o.d"
+  "/root/repo/src/rel/expr.cpp" "src/CMakeFiles/hxrc_rel.dir/rel/expr.cpp.o" "gcc" "src/CMakeFiles/hxrc_rel.dir/rel/expr.cpp.o.d"
+  "/root/repo/src/rel/ops.cpp" "src/CMakeFiles/hxrc_rel.dir/rel/ops.cpp.o" "gcc" "src/CMakeFiles/hxrc_rel.dir/rel/ops.cpp.o.d"
+  "/root/repo/src/rel/serialize.cpp" "src/CMakeFiles/hxrc_rel.dir/rel/serialize.cpp.o" "gcc" "src/CMakeFiles/hxrc_rel.dir/rel/serialize.cpp.o.d"
+  "/root/repo/src/rel/sql/lexer.cpp" "src/CMakeFiles/hxrc_rel.dir/rel/sql/lexer.cpp.o" "gcc" "src/CMakeFiles/hxrc_rel.dir/rel/sql/lexer.cpp.o.d"
+  "/root/repo/src/rel/sql/parser.cpp" "src/CMakeFiles/hxrc_rel.dir/rel/sql/parser.cpp.o" "gcc" "src/CMakeFiles/hxrc_rel.dir/rel/sql/parser.cpp.o.d"
+  "/root/repo/src/rel/sql/planner.cpp" "src/CMakeFiles/hxrc_rel.dir/rel/sql/planner.cpp.o" "gcc" "src/CMakeFiles/hxrc_rel.dir/rel/sql/planner.cpp.o.d"
+  "/root/repo/src/rel/table.cpp" "src/CMakeFiles/hxrc_rel.dir/rel/table.cpp.o" "gcc" "src/CMakeFiles/hxrc_rel.dir/rel/table.cpp.o.d"
+  "/root/repo/src/rel/value.cpp" "src/CMakeFiles/hxrc_rel.dir/rel/value.cpp.o" "gcc" "src/CMakeFiles/hxrc_rel.dir/rel/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hxrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

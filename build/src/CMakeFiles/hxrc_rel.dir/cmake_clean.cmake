@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hxrc_rel.dir/rel/database.cpp.o"
+  "CMakeFiles/hxrc_rel.dir/rel/database.cpp.o.d"
+  "CMakeFiles/hxrc_rel.dir/rel/expr.cpp.o"
+  "CMakeFiles/hxrc_rel.dir/rel/expr.cpp.o.d"
+  "CMakeFiles/hxrc_rel.dir/rel/ops.cpp.o"
+  "CMakeFiles/hxrc_rel.dir/rel/ops.cpp.o.d"
+  "CMakeFiles/hxrc_rel.dir/rel/serialize.cpp.o"
+  "CMakeFiles/hxrc_rel.dir/rel/serialize.cpp.o.d"
+  "CMakeFiles/hxrc_rel.dir/rel/sql/lexer.cpp.o"
+  "CMakeFiles/hxrc_rel.dir/rel/sql/lexer.cpp.o.d"
+  "CMakeFiles/hxrc_rel.dir/rel/sql/parser.cpp.o"
+  "CMakeFiles/hxrc_rel.dir/rel/sql/parser.cpp.o.d"
+  "CMakeFiles/hxrc_rel.dir/rel/sql/planner.cpp.o"
+  "CMakeFiles/hxrc_rel.dir/rel/sql/planner.cpp.o.d"
+  "CMakeFiles/hxrc_rel.dir/rel/table.cpp.o"
+  "CMakeFiles/hxrc_rel.dir/rel/table.cpp.o.d"
+  "CMakeFiles/hxrc_rel.dir/rel/value.cpp.o"
+  "CMakeFiles/hxrc_rel.dir/rel/value.cpp.o.d"
+  "libhxrc_rel.a"
+  "libhxrc_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hxrc_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

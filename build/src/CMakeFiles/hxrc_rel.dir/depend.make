@@ -1,0 +1,2 @@
+# Empty dependencies file for hxrc_rel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/prng.cpp" "src/CMakeFiles/hxrc_util.dir/util/prng.cpp.o" "gcc" "src/CMakeFiles/hxrc_util.dir/util/prng.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "src/CMakeFiles/hxrc_util.dir/util/string_util.cpp.o" "gcc" "src/CMakeFiles/hxrc_util.dir/util/string_util.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/hxrc_util.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/hxrc_util.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

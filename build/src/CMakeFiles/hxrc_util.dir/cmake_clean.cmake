@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hxrc_util.dir/util/prng.cpp.o"
+  "CMakeFiles/hxrc_util.dir/util/prng.cpp.o.d"
+  "CMakeFiles/hxrc_util.dir/util/string_util.cpp.o"
+  "CMakeFiles/hxrc_util.dir/util/string_util.cpp.o.d"
+  "CMakeFiles/hxrc_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/hxrc_util.dir/util/thread_pool.cpp.o.d"
+  "libhxrc_util.a"
+  "libhxrc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hxrc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hxrc_workload.dir/workload/generator.cpp.o"
+  "CMakeFiles/hxrc_workload.dir/workload/generator.cpp.o.d"
+  "CMakeFiles/hxrc_workload.dir/workload/lead_schema.cpp.o"
+  "CMakeFiles/hxrc_workload.dir/workload/lead_schema.cpp.o.d"
+  "CMakeFiles/hxrc_workload.dir/workload/namelist.cpp.o"
+  "CMakeFiles/hxrc_workload.dir/workload/namelist.cpp.o.d"
+  "CMakeFiles/hxrc_workload.dir/workload/query_gen.cpp.o"
+  "CMakeFiles/hxrc_workload.dir/workload/query_gen.cpp.o.d"
+  "libhxrc_workload.a"
+  "libhxrc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hxrc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

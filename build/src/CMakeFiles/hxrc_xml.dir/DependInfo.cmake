@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/canonical.cpp" "src/CMakeFiles/hxrc_xml.dir/xml/canonical.cpp.o" "gcc" "src/CMakeFiles/hxrc_xml.dir/xml/canonical.cpp.o.d"
+  "/root/repo/src/xml/dom.cpp" "src/CMakeFiles/hxrc_xml.dir/xml/dom.cpp.o" "gcc" "src/CMakeFiles/hxrc_xml.dir/xml/dom.cpp.o.d"
+  "/root/repo/src/xml/matcher.cpp" "src/CMakeFiles/hxrc_xml.dir/xml/matcher.cpp.o" "gcc" "src/CMakeFiles/hxrc_xml.dir/xml/matcher.cpp.o.d"
+  "/root/repo/src/xml/parser.cpp" "src/CMakeFiles/hxrc_xml.dir/xml/parser.cpp.o" "gcc" "src/CMakeFiles/hxrc_xml.dir/xml/parser.cpp.o.d"
+  "/root/repo/src/xml/schema.cpp" "src/CMakeFiles/hxrc_xml.dir/xml/schema.cpp.o" "gcc" "src/CMakeFiles/hxrc_xml.dir/xml/schema.cpp.o.d"
+  "/root/repo/src/xml/writer.cpp" "src/CMakeFiles/hxrc_xml.dir/xml/writer.cpp.o" "gcc" "src/CMakeFiles/hxrc_xml.dir/xml/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hxrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hxrc_xml.dir/xml/canonical.cpp.o"
+  "CMakeFiles/hxrc_xml.dir/xml/canonical.cpp.o.d"
+  "CMakeFiles/hxrc_xml.dir/xml/dom.cpp.o"
+  "CMakeFiles/hxrc_xml.dir/xml/dom.cpp.o.d"
+  "CMakeFiles/hxrc_xml.dir/xml/matcher.cpp.o"
+  "CMakeFiles/hxrc_xml.dir/xml/matcher.cpp.o.d"
+  "CMakeFiles/hxrc_xml.dir/xml/parser.cpp.o"
+  "CMakeFiles/hxrc_xml.dir/xml/parser.cpp.o.d"
+  "CMakeFiles/hxrc_xml.dir/xml/schema.cpp.o"
+  "CMakeFiles/hxrc_xml.dir/xml/schema.cpp.o.d"
+  "CMakeFiles/hxrc_xml.dir/xml/writer.cpp.o"
+  "CMakeFiles/hxrc_xml.dir/xml/writer.cpp.o.d"
+  "libhxrc_xml.a"
+  "libhxrc_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hxrc_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhxrc_xml.a"
+)

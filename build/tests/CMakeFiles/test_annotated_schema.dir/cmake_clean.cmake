@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_annotated_schema.dir/test_annotated_schema.cpp.o"
+  "CMakeFiles/test_annotated_schema.dir/test_annotated_schema.cpp.o.d"
+  "test_annotated_schema"
+  "test_annotated_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_annotated_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

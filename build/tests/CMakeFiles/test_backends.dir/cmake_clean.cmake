@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backends.dir/test_backends.cpp.o"
+  "CMakeFiles/test_backends.dir/test_backends.cpp.o.d"
+  "test_backends"
+  "test_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_browse.dir/test_browse.cpp.o"
+  "CMakeFiles/test_browse.dir/test_browse.cpp.o.d"
+  "test_browse"
+  "test_browse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_browse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

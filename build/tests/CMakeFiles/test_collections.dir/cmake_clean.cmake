@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collections.dir/test_collections.cpp.o"
+  "CMakeFiles/test_collections.dir/test_collections.cpp.o.d"
+  "test_collections"
+  "test_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_namelist.dir/test_namelist.cpp.o"
+  "CMakeFiles/test_namelist.dir/test_namelist.cpp.o.d"
+  "test_namelist"
+  "test_namelist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_namelist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_projection_delete.dir/test_projection_delete.cpp.o"
+  "CMakeFiles/test_projection_delete.dir/test_projection_delete.cpp.o.d"
+  "test_projection_delete"
+  "test_projection_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_projection_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rel_expr.dir/test_rel_expr.cpp.o"
+  "CMakeFiles/test_rel_expr.dir/test_rel_expr.cpp.o.d"
+  "test_rel_expr"
+  "test_rel_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rel_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

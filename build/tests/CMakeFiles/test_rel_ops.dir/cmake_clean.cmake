@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rel_ops.dir/test_rel_ops.cpp.o"
+  "CMakeFiles/test_rel_ops.dir/test_rel_ops.cpp.o.d"
+  "test_rel_ops"
+  "test_rel_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rel_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rel_sql.dir/test_rel_sql.cpp.o"
+  "CMakeFiles/test_rel_sql.dir/test_rel_sql.cpp.o.d"
+  "test_rel_sql"
+  "test_rel_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rel_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rel_table.dir/test_rel_table.cpp.o"
+  "CMakeFiles/test_rel_table.dir/test_rel_table.cpp.o.d"
+  "test_rel_table"
+  "test_rel_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rel_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rel_value.dir/test_rel_value.cpp.o"
+  "CMakeFiles/test_rel_value.dir/test_rel_value.cpp.o.d"
+  "test_rel_value"
+  "test_rel_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rel_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_response.dir/test_response.cpp.o"
+  "CMakeFiles/test_response.dir/test_response.cpp.o.d"
+  "test_response"
+  "test_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shredder.dir/test_shredder.cpp.o"
+  "CMakeFiles/test_shredder.dir/test_shredder.cpp.o.d"
+  "test_shredder"
+  "test_shredder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shredder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

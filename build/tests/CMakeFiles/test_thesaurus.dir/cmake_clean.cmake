@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thesaurus.dir/test_thesaurus.cpp.o"
+  "CMakeFiles/test_thesaurus.dir/test_thesaurus.cpp.o.d"
+  "test_thesaurus"
+  "test_thesaurus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thesaurus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update.dir/test_update.cpp.o"
+  "CMakeFiles/test_update.dir/test_update.cpp.o.d"
+  "test_update"
+  "test_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

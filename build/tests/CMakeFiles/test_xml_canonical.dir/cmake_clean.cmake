@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml_canonical.dir/test_xml_canonical.cpp.o"
+  "CMakeFiles/test_xml_canonical.dir/test_xml_canonical.cpp.o.d"
+  "test_xml_canonical"
+  "test_xml_canonical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml_canonical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

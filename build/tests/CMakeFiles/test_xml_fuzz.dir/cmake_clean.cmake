@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml_fuzz.dir/test_xml_fuzz.cpp.o"
+  "CMakeFiles/test_xml_fuzz.dir/test_xml_fuzz.cpp.o.d"
+  "test_xml_fuzz"
+  "test_xml_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml_matcher.dir/test_xml_matcher.cpp.o"
+  "CMakeFiles/test_xml_matcher.dir/test_xml_matcher.cpp.o.d"
+  "test_xml_matcher"
+  "test_xml_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml_schema.dir/test_xml_schema.cpp.o"
+  "CMakeFiles/test_xml_schema.dir/test_xml_schema.cpp.o.d"
+  "test_xml_schema"
+  "test_xml_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml_writer.dir/test_xml_writer.cpp.o"
+  "CMakeFiles/test_xml_writer.dir/test_xml_writer.cpp.o.d"
+  "test_xml_writer"
+  "test_xml_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
