@@ -6,8 +6,13 @@
 // benchmark arguments.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
+#include <fstream>
 #include <map>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "baselines/backend.hpp"
@@ -96,6 +101,97 @@ inline core::CatalogConfig auto_define_config() {
   core::CatalogConfig config;
   config.shred.auto_define_dynamic = true;
   return config;
+}
+
+/// Display reporter that mirrors the normal console output and also collects
+/// one record per run, written as a JSON array when the run finishes. Used
+/// as the *display* reporter so no --benchmark_out flag is required.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    benchmark::ConsoleReporter::ReportRuns(report);
+    for (const Run& run : report) {
+      if (run.error_occurred) continue;
+      records_.push_back(Record{run.benchmark_name(), corpus_size(run.benchmark_name()),
+                                run.GetAdjustedRealTime()});
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    std::ofstream out(path_);
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << "  {\"name\": \"" << escaped(r.name) << "\", \"corpus_size\": " << r.corpus_size
+          << ", \"micros\": " << r.micros << (i + 1 < records_.size() ? "},\n" : "}\n");
+    }
+    out << "]\n";
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    long corpus_size;
+    double micros;  // benches register with kMicrosecond
+  };
+
+  /// Trailing "/N" benchmark argument, 0 when the name carries none.
+  static long corpus_size(const std::string& name) {
+    const std::size_t slash = name.rfind('/');
+    if (slash == std::string::npos) return 0;
+    const std::string_view tail = std::string_view(name).substr(slash + 1);
+    long size = 0;
+    for (const char c : tail) {
+      if (c < '0' || c > '9') return 0;
+      size = size * 10 + (c - '0');
+    }
+    return size;
+  }
+
+  static std::string escaped(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<Record> records_;
+};
+
+/// Shared bench main body: strips `--json[=path]` from argv (default path is
+/// per-bench), then runs the registered benchmarks, teeing results into the
+/// JSON file when requested.
+inline int run_benchmarks(int argc, char** argv, const char* default_json_path) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json_path = default_json_path;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    JsonTeeReporter reporter(std::move(json_path));
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace hxrc::benchx

@@ -98,8 +98,5 @@ int main(int argc, char** argv) {
   }
   benchmark::RegisterBenchmark("E3/PathTranslate", translate_bench)
       ->Unit(benchmark::kMicrosecond);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return hxrc::benchx::run_benchmarks(argc, argv, "BENCH_query.json");
 }

@@ -71,8 +71,5 @@ int main(int argc, char** argv) {
           ->Unit(benchmark::kMicrosecond);
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return hxrc::benchx::run_benchmarks(argc, argv, "BENCH_fastpath.json");
 }

@@ -10,6 +10,68 @@ namespace hxrc::core {
 
 namespace {
 
+/// One compiled element criterion, evaluated in place against elem_data
+/// rows (no Expr tree, no Value temporaries): numeric compare when both
+/// operands are numeric, string compare against the criterion text
+/// otherwise — the shared comparison semantics used across the code base.
+struct CompiledPred {
+  bool exists_only = false;
+  CompareOp op = CompareOp::kEq;
+  bool numeric_rhs = false;
+  double rhs_num = 0.0;
+  std::string rhs_text;
+
+  static CompiledPred compile(const ElementPredicate& pred) {
+    CompiledPred out;
+    out.exists_only = pred.exists_only;
+    if (pred.exists_only) return out;
+    out.op = pred.op;
+    out.rhs_text = pred.value.to_string();
+    if (const auto num = util::parse_double(out.rhs_text)) {
+      out.numeric_rhs = true;
+      out.rhs_num = *num;
+    }
+    return out;
+  }
+
+  static bool apply(CompareOp op, int cmp) noexcept {
+    switch (op) {
+      case CompareOp::kEq: return cmp == 0;
+      case CompareOp::kNe: return cmp != 0;
+      case CompareOp::kLt: return cmp < 0;
+      case CompareOp::kLe: return cmp <= 0;
+      case CompareOp::kGt: return cmp > 0;
+      case CompareOp::kGe: return cmp >= 0;
+    }
+    return cmp == 0;
+  }
+
+  bool matches(const rel::Row& row, std::size_t str_col, std::size_t num_col) const {
+    if (exists_only) return true;
+    if (numeric_rhs) {
+      // Numeric criterion: numeric compare when the stored value is
+      // numeric (value_num mirrors every value that parses as a number).
+      const rel::Value& num = row[num_col];
+      if (!num.is_null()) {
+        const double lhs = num.as_double();
+        return apply(op, lhs < rhs_num ? -1 : (lhs > rhs_num ? 1 : 0));
+      }
+    }
+    // String comparison; a NULL stored value matches nothing (SQL NULL).
+    const rel::Value& str = row[str_col];
+    if (str.is_null()) return false;
+    const int cmp = str.as_string_view().compare(rhs_text);
+    return apply(op, cmp < 0 ? -1 : (cmp > 0 ? 1 : 0));
+  }
+};
+
+/// One resolved element criterion of a query node.
+struct ElementCriterion {
+  std::size_t qe_id = 0;
+  const ElementDef* def = nullptr;
+  CompiledPred pred;
+};
+
 /// One shredded query-attribute criterion (a "temp table" row, Fig. 4).
 struct QueryNode {
   std::size_t qa_id = 0;
@@ -17,15 +79,44 @@ struct QueryNode {
   std::size_t parent = SIZE_MAX;  // SIZE_MAX = top-level
   std::size_t depth = 0;          // 0 = top-level
   AttrDefId def = kNoAttr;
-  /// (qe_id, predicate, resolved element definition).
-  std::vector<std::tuple<std::size_t, const ElementPredicate*, const ElementDef*>> elements;
+  std::vector<ElementCriterion> elements;
   std::vector<std::size_t> children;  // qa_ids
 };
+
+/// An attribute-instance reference: the pipeline's working currency. Stages
+/// exchange sorted-unique vectors of these instead of materialized rows.
+struct InstRef {
+  std::int64_t object = 0;
+  std::int64_t seq = 0;
+
+  friend bool operator==(InstRef a, InstRef b) noexcept {
+    return a.object == b.object && a.seq == b.seq;
+  }
+  friend bool operator<(InstRef a, InstRef b) noexcept {
+    return a.object != b.object ? a.object < b.object : a.seq < b.seq;
+  }
+};
+
+template <typename T>
+void sort_unique(std::vector<T>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// a := a ∩ b; both sorted-unique.
+template <typename T>
+void intersect_into(std::vector<T>& a, const std::vector<T>& b, std::vector<T>& scratch) {
+  scratch.clear();
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(scratch));
+  a.swap(scratch);
+}
 
 /// Loose element lookup: exact (name, source) first, then a unique match by
 /// name alone — the paper's MyAttr.addElement("dzmin", 100, EQ) omits the
 /// source when it is unambiguous within the attribute — then the ontology's
-/// synonyms (§3).
+/// synonyms (§3). Both fallbacks are hash probes against the registry's
+/// name-keyed multimaps.
 const ElementDef* find_element_loose(const DefinitionRegistry& registry,
                                      const std::string& name, const std::string& source,
                                      AttrDefId attribute, const Thesaurus* thesaurus) {
@@ -33,17 +124,9 @@ const ElementDef* find_element_loose(const DefinitionRegistry& registry,
     return exact;
   }
   if (source.empty()) {
-    const ElementDef* unique = nullptr;
-    for (const ElementDef& def : registry.elements()) {
-      if (def.attribute == attribute && def.name == name) {
-        if (unique != nullptr) {
-          unique = nullptr;  // ambiguous
-          break;
-        }
-        unique = &def;
-      }
+    if (const ElementDef* unique = registry.find_element_any_source(name, attribute)) {
+      return unique;
     }
-    if (unique != nullptr) return unique;
   }
   if (thesaurus != nullptr) {
     if (const auto canonical = thesaurus->resolve(name, source)) {
@@ -65,17 +148,10 @@ const AttributeDef* find_attribute_loose(const DefinitionRegistry& registry,
     return exact;
   }
   if (source.empty()) {
-    const AttributeDef* unique = nullptr;
-    for (const AttributeDef& def : registry.attributes()) {
-      if (def.parent != parent || def.name != name) continue;
-      if (def.visibility == Visibility::kUser && def.owner != user) continue;
-      if (unique != nullptr) {
-        unique = nullptr;  // ambiguous across sources
-        break;
-      }
-      unique = &def;
+    if (const AttributeDef* unique =
+            registry.find_attribute_any_source(name, parent, user)) {
+      return unique;
     }
-    if (unique != nullptr) return unique;
   }
   if (thesaurus != nullptr) {
     if (const auto canonical = thesaurus->resolve(name, source)) {
@@ -83,45 +159,6 @@ const AttributeDef* find_attribute_loose(const DefinitionRegistry& registry,
     }
   }
   return nullptr;
-}
-
-/// Builds the value predicate over elem_data rows using the shared
-/// comparison semantics: numeric when both operands are numeric (value_num
-/// mirrors every value that parses as a number), string otherwise.
-rel::ExprPtr predicate_expr(const rel::ResultSet& elem_rows, const ElementPredicate& pred,
-                            const ElementDef& def) {
-  (void)def;
-  if (pred.exists_only) return rel::lit(rel::Value(std::int64_t{1}));
-
-  const std::size_t value_str = elem_rows.column("value_str");
-  const std::size_t value_num = elem_rows.column("value_num");
-
-  rel::BinOp op;
-  switch (pred.op) {
-    case CompareOp::kEq: op = rel::BinOp::kEq; break;
-    case CompareOp::kNe: op = rel::BinOp::kNe; break;
-    case CompareOp::kLt: op = rel::BinOp::kLt; break;
-    case CompareOp::kLe: op = rel::BinOp::kLe; break;
-    case CompareOp::kGt: op = rel::BinOp::kGt; break;
-    case CompareOp::kGe: op = rel::BinOp::kGe; break;
-    default: op = rel::BinOp::kEq; break;
-  }
-
-  const std::string rhs_text = pred.value.to_string();
-  const auto rhs_num = util::parse_double(rhs_text);
-  if (!rhs_num) {
-    // Non-numeric criterion: always a string comparison.
-    return rel::binary(op, rel::col(value_str, "value_str"), rel::lit(rel::Value(rhs_text)));
-  }
-  // Numeric criterion: numeric compare when the stored value is numeric,
-  // string compare against the criterion text otherwise.
-  return rel::or_(
-      rel::and_(rel::not_(rel::is_null(rel::col(value_num, "value_num"))),
-                rel::binary(op, rel::col(value_num, "value_num"),
-                            rel::lit(rel::Value(*rhs_num)))),
-      rel::and_(rel::is_null(rel::col(value_num, "value_num")),
-                rel::binary(op, rel::col(value_str, "value_str"),
-                            rel::lit(rel::Value(rhs_text)))));
 }
 
 }  // namespace
@@ -161,13 +198,15 @@ void shred_attr(const DefinitionRegistry& registry, const Thesaurus* thesaurus,
   }
   node.def = def->id;
 
+  node.elements.reserve(attr.elements().size());
   for (const ElementPredicate& pred : attr.elements()) {
     const ElementDef* elem =
         find_element_loose(registry, pred.name, pred.source, def->id, thesaurus);
     if (elem == nullptr) {
       out.resolved = false;
     } else {
-      node.elements.emplace_back(out.element_count, &pred, elem);
+      node.elements.push_back(
+          ElementCriterion{out.element_count, elem, CompiledPred::compile(pred)});
     }
     ++out.element_count;
   }
@@ -181,6 +220,197 @@ void shred_attr(const DefinitionRegistry& registry, const Thesaurus* thesaurus,
     shred_attr(registry, thesaurus, user, sub, my_index, depth + 1, out);
   }
 }
+
+/// Shared state of one pipeline run: resolved tables/indexes/columns, the
+/// plan counters, and scratch buffers reused across every probe and
+/// intersection (allocation discipline: steady-state queries allocate only
+/// for result vectors that survive the stage).
+struct Pipeline {
+  const rel::Table& elem_data;
+  const rel::Index& elem_index;
+  const rel::Table& instances;
+  const rel::Index& inst_index;
+  const rel::Table* inverted = nullptr;
+  const rel::Index* inv_index = nullptr;
+
+  std::size_t elem_obj_col = 0;
+  std::size_t elem_seq_col = 0;
+  std::size_t str_col = 0;
+  std::size_t num_col = 0;
+  std::size_t inst_obj_col = 0;
+  std::size_t inst_seq_col = 0;
+  std::size_t inv_anc_attr_col = 0;
+  std::size_t inv_anc_seq_col = 0;
+
+  bool ordered = true;  // apply cardinality ordering
+  QueryPlanInfo* info = nullptr;
+
+  std::vector<rel::RowId> probe_scratch;
+  std::vector<InstRef> inst_scratch;
+  std::vector<ObjectId> obj_scratch;
+
+  Pipeline(const rel::Database& db, bool ordered_, QueryPlanInfo* info_)
+      : elem_data(db.require_table(kElemDataTable)),
+        elem_index(*elem_data.index("idx_elem_def")),
+        instances(db.require_table(kAttrInstancesTable)),
+        inst_index(*instances.index("idx_inst_attr")),
+        ordered(ordered_),
+        info(info_) {
+    elem_obj_col = elem_data.schema().require("object_id");
+    elem_seq_col = elem_data.schema().require("seq");
+    str_col = elem_data.schema().require("value_str");
+    num_col = elem_data.schema().require("value_num");
+    inst_obj_col = instances.schema().require("object_id");
+    inst_seq_col = instances.schema().require("seq");
+  }
+
+  void with_inverted(const rel::Database& db) {
+    inverted = &db.require_table(kAttrInvertedTable);
+    inv_index = inverted->index("idx_inv_child");
+    inv_anc_attr_col = inverted->schema().require("anc_attr_id");
+    inv_anc_seq_col = inverted->schema().require("anc_seq");
+  }
+
+  void count_probe() {
+    if (info != nullptr) ++info->index_probes;
+  }
+  void count_scanned(std::size_t n = 1) {
+    if (info != nullptr) info->rows_scanned += n;
+  }
+  void count_candidates(std::size_t n) {
+    if (info != nullptr) info->candidate_rows += n;
+  }
+  void count_materialized(std::size_t n) {
+    if (info != nullptr) info->rows_materialized += n;
+  }
+
+  /// Cheap per-criterion cardinality estimates (index bucket sizes).
+  std::size_t element_estimate(const ElementCriterion& ec) const {
+    return elem_index.bucket_size(rel::Key{{rel::Value(ec.def->id)}});
+  }
+  std::size_t instance_estimate(AttrDefId def) const {
+    return inst_index.bucket_size(rel::Key{{rel::Value(def)}});
+  }
+  /// Estimate for a whole node from its direct criteria only.
+  std::size_t node_estimate(const QueryNode& node) const {
+    if (node.elements.empty()) return instance_estimate(node.def);
+    std::size_t best = SIZE_MAX;
+    for (const ElementCriterion& ec : node.elements) {
+      best = std::min(best, element_estimate(ec));
+    }
+    return best;
+  }
+
+  /// Index order of `items` by ascending estimate (or identity when
+  /// cardinality ordering is disabled).
+  template <typename Items, typename Estimator>
+  std::vector<std::size_t> evaluation_order(const Items& items, Estimator est) const {
+    std::vector<std::size_t> order(items.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    if (ordered && order.size() > 1) {
+      std::vector<std::size_t> cost(items.size());
+      for (std::size_t i = 0; i < items.size(); ++i) cost[i] = est(items[i]);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) { return cost[a] < cost[b]; });
+    }
+    return order;
+  }
+
+  /// Instances of `node` satisfying all its direct element criteria —
+  /// criteria evaluated in cardinality order, intersecting incrementally
+  /// with early exit on empty. Returns a sorted-unique InstRef vector.
+  std::vector<InstRef> element_stage(const QueryNode& node) {
+    std::vector<InstRef> current;
+    if (node.elements.empty()) {
+      // Existence of the attribute itself: all instances are candidates.
+      count_probe();
+      rel::for_each_match(instances, inst_index, rel::Key{{rel::Value(node.def)}},
+                          probe_scratch, [&](const rel::Row& row, rel::RowId) {
+                            count_scanned();
+                            current.push_back(InstRef{row[inst_obj_col].as_int(),
+                                                      row[inst_seq_col].as_int()});
+                          });
+      count_candidates(current.size());
+      sort_unique(current);
+      return current;
+    }
+
+    const std::vector<std::size_t> order = evaluation_order(
+        node.elements, [&](const ElementCriterion& ec) { return element_estimate(ec); });
+    bool first = true;
+    for (const std::size_t i : order) {
+      const ElementCriterion& ec = node.elements[i];
+      if (!first && current.empty()) break;  // early exit: conjunction failed
+      std::vector<InstRef>& out = first ? current : inst_scratch;
+      out.clear();
+      std::size_t matched = 0;
+      count_probe();
+      rel::for_each_match(
+          elem_data, elem_index, rel::Key{{rel::Value(ec.def->id)}}, probe_scratch,
+          [&](const rel::Row& row, rel::RowId) {
+            count_scanned();
+            if (!ec.pred.matches(row, str_col, num_col)) return;
+            ++matched;
+            const InstRef ref{row[elem_obj_col].as_int(), row[elem_seq_col].as_int()};
+            if (first || std::binary_search(current.begin(), current.end(), ref)) {
+              out.push_back(ref);
+            }
+          });
+      count_candidates(matched);
+      sort_unique(out);
+      if (!first) current.swap(inst_scratch);
+      first = false;
+    }
+    return current;
+  }
+
+  /// Ancestor instances of `parent_def` credited by the satisfied child
+  /// instances through the inverted list (distance >= 1: sub-attribute
+  /// criteria match at any depth below the parent; the data side needs no
+  /// recursion). Sorted-unique.
+  std::vector<InstRef> credited_ancestors(const std::vector<InstRef>& child_sat,
+                                          AttrDefId child_def, AttrDefId parent_def) {
+    std::vector<InstRef> credited;
+    for (const InstRef inst : child_sat) {
+      count_probe();
+      rel::for_each_match(
+          *inverted, *inv_index,
+          rel::Key{{rel::Value(inst.object), rel::Value(child_def), rel::Value(inst.seq)}},
+          probe_scratch, [&](const rel::Row& row, rel::RowId) {
+            count_scanned();
+            if (row[inv_anc_attr_col].as_int() != parent_def) return;
+            credited.push_back(InstRef{inst.object, row[inv_anc_seq_col].as_int()});
+          });
+    }
+    sort_unique(credited);
+    return credited;
+  }
+
+  /// Instances of `node` satisfying its element criteria AND every child
+  /// subtree (deepest-first via recursion). Children are evaluated in
+  /// cardinality order with early exit.
+  std::vector<InstRef> eval_node(const QueryShredded& shredded, const QueryNode& node) {
+    std::vector<InstRef> own = element_stage(node);
+    if (own.empty() || node.children.empty()) {
+      count_materialized(own.size());
+      return own;
+    }
+    const std::vector<std::size_t> order = evaluation_order(
+        node.children,
+        [&](std::size_t child) { return node_estimate(shredded.nodes[child]); });
+    for (const std::size_t i : order) {
+      const QueryNode& child = shredded.nodes[node.children[i]];
+      const std::vector<InstRef> child_sat = eval_node(shredded, child);
+      if (child_sat.empty()) return {};
+      const std::vector<InstRef> credited =
+          credited_ancestors(child_sat, child.def, node.def);
+      intersect_into(own, credited, inst_scratch);
+      if (own.empty()) return {};
+    }
+    count_materialized(own.size());
+    return own;
+  }
+};
 
 }  // namespace
 
@@ -221,196 +451,115 @@ std::vector<ObjectId> QueryEngine::run(const ObjectQuery& query,
 std::vector<ObjectId> QueryEngine::run_fast(const QueryShredded& shredded,
                                             QueryPlanInfo* info) const {
   if (info != nullptr) info->fast_path = true;
+  Pipeline p(db_, !options_.force_query_order, info);
 
-  const rel::Table& elem_data = db_.require_table(kElemDataTable);
-  const rel::Index* elem_index = elem_data.index("idx_elem_def");
-  const rel::Table& instances = db_.require_table(kAttrInstancesTable);
-  const rel::Index* inst_index = instances.index("idx_inst_attr");
-
-  // One pass: every criterion contributes (object_id, criterion_id) rows;
-  // an object qualifies when it satisfied all criteria.
-  rel::ResultSet hits;
-  hits.schema = rel::TableSchema{{"object_id", rel::Type::kInt},
-                                 {"criterion", rel::Type::kInt}};
-  std::int64_t criterion = 0;
-  std::int64_t total = 0;
+  // One flat criterion list: element predicates plus attribute-existence
+  // criteria. Every criterion contributes a set of object ids; the result
+  // is their intersection, built smallest-estimated-set first so later
+  // (larger) probes only test membership — and are skipped entirely once
+  // the running intersection is empty.
+  struct FastCriterion {
+    const QueryNode* node = nullptr;      // attribute existence
+    const ElementCriterion* elem = nullptr;  // or element predicate
+  };
+  std::vector<FastCriterion> criteria;
   for (const QueryNode& node : shredded.nodes) {
     if (node.elements.empty()) {
-      // Existence of the attribute itself.
-      rel::ResultSet inst = rel::index_scan(instances, *inst_index,
-                                            rel::Key{{rel::Value(node.def)}});
-      const std::size_t object_col = inst.column("object_id");
-      const std::int64_t this_criterion = criterion++;
-      ++total;
-      for (const rel::Row& row : inst.rows) {
-        hits.rows.push_back(rel::Row{row[object_col], rel::Value(this_criterion)});
-      }
-      continue;
-    }
-    for (const auto& [qe_id, pred, elem] : node.elements) {
-      (void)qe_id;
-      rel::ResultSet rows = rel::index_scan(elem_data, *elem_index,
-                                            rel::Key{{rel::Value(elem->id)}});
-      rows = rel::filter(std::move(rows), *predicate_expr(rows, *pred, *elem));
-      const std::size_t object_col = rows.column("object_id");
-      const std::int64_t this_criterion = criterion++;
-      ++total;
-      for (const rel::Row& row : rows.rows) {
-        hits.rows.push_back(rel::Row{row[object_col], rel::Value(this_criterion)});
+      criteria.push_back(FastCriterion{&node, nullptr});
+    } else {
+      for (const ElementCriterion& ec : node.elements) {
+        criteria.push_back(FastCriterion{nullptr, &ec});
       }
     }
   }
-  if (info != nullptr) info->candidate_rows = hits.rows.size();
 
-  rel::ResultSet grouped = rel::group_by(
-      hits, {0},
-      {rel::Aggregate{rel::Aggregate::Fn::kCountDistinct, 1, "matched"}});
-  std::vector<ObjectId> out;
-  for (const rel::Row& row : grouped.rows) {
-    if (row[1].as_int() == total) out.push_back(row[0].as_int());
+  const std::vector<std::size_t> order =
+      p.evaluation_order(criteria, [&](const FastCriterion& c) {
+        return c.elem != nullptr ? p.element_estimate(*c.elem)
+                                 : p.instance_estimate(c.node->def);
+      });
+
+  std::vector<ObjectId> current;
+  std::vector<ObjectId> next;
+  bool first = true;
+  for (const std::size_t i : order) {
+    const FastCriterion& c = criteria[i];
+    if (!first && current.empty()) break;  // early exit: conjunction failed
+    std::vector<ObjectId>& out = first ? current : next;
+    out.clear();
+    std::size_t matched = 0;
+    p.count_probe();
+    const auto consider = [&](ObjectId object) {
+      ++matched;
+      if (first || std::binary_search(current.begin(), current.end(), object)) {
+        out.push_back(object);
+      }
+    };
+    if (c.elem != nullptr) {
+      rel::for_each_match(p.elem_data, p.elem_index,
+                          rel::Key{{rel::Value(c.elem->def->id)}}, p.probe_scratch,
+                          [&](const rel::Row& row, rel::RowId) {
+                            p.count_scanned();
+                            if (c.elem->pred.matches(row, p.str_col, p.num_col)) {
+                              consider(row[p.elem_obj_col].as_int());
+                            }
+                          });
+    } else {
+      rel::for_each_match(p.instances, p.inst_index,
+                          rel::Key{{rel::Value(c.node->def)}}, p.probe_scratch,
+                          [&](const rel::Row& row, rel::RowId) {
+                            p.count_scanned();
+                            consider(row[p.inst_obj_col].as_int());
+                          });
+    }
+    p.count_candidates(matched);
+    sort_unique(out);
+    if (!first) current.swap(next);
+    first = false;
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  p.count_materialized(current.size());
+  return current;  // sorted ascending by construction
 }
 
 std::vector<ObjectId> QueryEngine::run_general(const QueryShredded& shredded,
                                                QueryPlanInfo* info) const {
-  const rel::Table& elem_data = db_.require_table(kElemDataTable);
-  const rel::Index* elem_index = elem_data.index("idx_elem_def");
-  const rel::Table& instances = db_.require_table(kAttrInstancesTable);
-  const rel::Index* inst_index = instances.index("idx_inst_attr");
-  const rel::Table& inverted = db_.require_table(kAttrInvertedTable);
+  Pipeline p(db_, !options_.force_query_order, info);
+  p.with_inverted(db_);
 
-  // ---- Stages 1-2: candidate instances per query node ----
-  // sat[qa] holds (object_id, seq) of instances satisfying the node's
-  // *direct element* criteria (sub-attribute roll-up comes after).
-  std::vector<rel::ResultSet> sat(shredded.nodes.size());
-  std::size_t candidate_rows = 0;
+  // Evaluate one top-level subtree at a time (element criteria, then the
+  // deepest-first sub-attribute roll-up via recursion), most selective
+  // subtree first, intersecting object-id sets with early exit — an object
+  // qualifies when it has a satisfying instance of every top-level
+  // criterion.
+  const std::vector<std::size_t> order = p.evaluation_order(
+      shredded.tops, [&](std::size_t top) { return p.node_estimate(shredded.nodes[top]); });
 
-  const rel::TableSchema instance_schema{{"object_id", rel::Type::kInt},
-                                         {"seq", rel::Type::kInt}};
-  for (const QueryNode& node : shredded.nodes) {
-    if (node.elements.empty()) {
-      // All instances of the definition are candidates.
-      rel::ResultSet inst = rel::index_scan(instances, *inst_index,
-                                            rel::Key{{rel::Value(node.def)}});
-      sat[node.qa_id] = rel::project(inst, {"object_id", "seq"});
-      candidate_rows += sat[node.qa_id].rows.size();
-      continue;
-    }
-    // (object_id, seq, qe) matches, then count distinct qe per instance.
-    rel::ResultSet matches;
-    matches.schema = rel::TableSchema{{"object_id", rel::Type::kInt},
-                                      {"seq", rel::Type::kInt},
-                                      {"qe", rel::Type::kInt}};
-    for (const auto& [qe_id, pred, elem] : node.elements) {
-      rel::ResultSet rows = rel::index_scan(elem_data, *elem_index,
-                                            rel::Key{{rel::Value(elem->id)}});
-      rows = rel::filter(std::move(rows), *predicate_expr(rows, *pred, *elem));
-      const std::size_t object_col = rows.column("object_id");
-      const std::size_t seq_col = rows.column("seq");
-      for (const rel::Row& row : rows.rows) {
-        matches.rows.push_back(rel::Row{row[object_col], row[seq_col],
-                                        rel::Value(static_cast<std::int64_t>(qe_id))});
+  std::vector<ObjectId> current;
+  bool first = true;
+  for (const std::size_t t : order) {
+    const std::vector<InstRef> sat = p.eval_node(shredded, shredded.nodes[t]);
+    if (sat.empty()) return {};
+    std::vector<ObjectId>& objects = p.obj_scratch;
+    objects.clear();
+    for (const InstRef inst : sat) {
+      if (objects.empty() || objects.back() != inst.object) {
+        objects.push_back(inst.object);  // sat is sorted by (object, seq)
       }
     }
-    candidate_rows += matches.rows.size();
-    rel::ResultSet grouped = rel::group_by(
-        matches, {0, 1},
-        {rel::Aggregate{rel::Aggregate::Fn::kCountDistinct, 2, "matched"}});
-    const auto required = static_cast<std::int64_t>(node.elements.size());
-    rel::ResultSet satisfied;
-    satisfied.schema = instance_schema;
-    for (const rel::Row& row : grouped.rows) {
-      if (row[2].as_int() == required) {
-        satisfied.rows.push_back(rel::Row{row[0], row[1]});
-      }
+    if (first) {
+      current = objects;
+      first = false;
+    } else {
+      std::vector<ObjectId> merged;
+      merged.reserve(std::min(current.size(), objects.size()));
+      std::set_intersection(current.begin(), current.end(), objects.begin(),
+                            objects.end(), std::back_inserter(merged));
+      current.swap(merged);
     }
-    sat[node.qa_id] = std::move(satisfied);
+    if (current.empty()) return {};
   }
-  if (info != nullptr) info->candidate_rows = candidate_rows;
-
-  // ---- Stage 3: roll sub-attribute criteria up, deepest level first ----
-  for (std::size_t depth = shredded.max_depth; depth-- > 0;) {
-    for (const QueryNode& node : shredded.nodes) {
-      if (node.depth != depth || node.children.empty()) continue;
-      if (sat[node.qa_id].empty()) continue;
-
-      // child_hits: (object_id, anc_seq, qc) — each satisfied child
-      // instance credits every enclosing instance of this node's def via
-      // the inverted list (distance >= 1: sub-attribute criteria match at
-      // any depth below the parent; the data side needs no recursion).
-      rel::ResultSet child_hits;
-      child_hits.schema = rel::TableSchema{{"object_id", rel::Type::kInt},
-                                           {"anc_seq", rel::Type::kInt},
-                                           {"qc", rel::Type::kInt}};
-      bool child_failed = false;
-      for (const std::size_t child_id : node.children) {
-        const QueryNode& child = shredded.nodes[child_id];
-        if (sat[child_id].empty()) {
-          child_failed = true;
-          break;
-        }
-        // Join satisfied child instances with the inverted list.
-        rel::ResultSet augmented = sat[child_id];
-        // add the child's definition id as a join column
-        augmented.schema.add(rel::Column{"attr_id", rel::Type::kInt});
-        for (rel::Row& row : augmented.rows) row.push_back(rel::Value(child.def));
-        const rel::Index* inv_index = inverted.index("idx_inv_child");
-        rel::ResultSet joined =
-            rel::index_join(augmented, {0, 2, 1}, inverted, *inv_index);
-        const std::size_t anc_attr = joined.column("anc_attr_id");
-        const std::size_t anc_seq = joined.column("anc_seq");
-        const std::size_t object_col = 0;  // from the left side
-        for (const rel::Row& row : joined.rows) {
-          if (row[anc_attr].as_int() != node.def) continue;
-          child_hits.rows.push_back(
-              rel::Row{row[object_col], row[anc_seq],
-                       rel::Value(static_cast<std::int64_t>(child_id))});
-        }
-      }
-      if (child_failed) {
-        sat[node.qa_id].rows.clear();
-        continue;
-      }
-
-      // Keep candidates credited by every child criterion.
-      rel::ResultSet credited = rel::group_by(
-          child_hits, {0, 1},
-          {rel::Aggregate{rel::Aggregate::Fn::kCountDistinct, 2, "matched"}});
-      const auto required = static_cast<std::int64_t>(node.children.size());
-      rel::ResultSet full;
-      full.schema = instance_schema;
-      for (const rel::Row& row : credited.rows) {
-        if (row[2].as_int() == required) full.rows.push_back(rel::Row{row[0], row[1]});
-      }
-      // Intersect with the node's own element-satisfied instances.
-      sat[node.qa_id] =
-          rel::distinct(rel::hash_join(sat[node.qa_id], {0, 1}, full, {0, 1}));
-      sat[node.qa_id] = rel::project(sat[node.qa_id], {"object_id", "seq"});
-    }
-  }
-
-  // ---- Stage 4: object-level counting over top-level criteria ----
-  rel::ResultSet top_hits;
-  top_hits.schema = rel::TableSchema{{"object_id", rel::Type::kInt},
-                                     {"qa", rel::Type::kInt}};
-  for (const std::size_t top : shredded.tops) {
-    for (const rel::Row& row : sat[top].rows) {
-      top_hits.rows.push_back(
-          rel::Row{row[0], rel::Value(static_cast<std::int64_t>(top))});
-    }
-  }
-  rel::ResultSet grouped = rel::group_by(
-      top_hits, {0},
-      {rel::Aggregate{rel::Aggregate::Fn::kCountDistinct, 1, "matched"}});
-  const auto required = static_cast<std::int64_t>(shredded.tops.size());
-  std::vector<ObjectId> out;
-  for (const rel::Row& row : grouped.rows) {
-    if (row[1].as_int() == required) out.push_back(row[0].as_int());
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  p.count_materialized(current.size());
+  return current;  // sorted ascending by construction
 }
 
 }  // namespace hxrc::core

@@ -40,19 +40,36 @@ namespace hxrc::core {
 struct EngineOptions {
   /// Allow the simplified single-pass plan when the query shape permits.
   bool enable_fastpath = true;
+  /// Evaluate criteria in the order the query states them instead of by
+  /// estimated selectivity. Disables the cardinality-ordered pipeline's
+  /// reordering (results are identical either way; property tests
+  /// cross-check the two orders against the DOM oracle).
+  bool force_query_order = false;
   /// Optional ontology: criteria whose (name, source) does not resolve to a
   /// definition are retried through these synonyms (§3). Not owned; must
   /// outlive the engine.
   const Thesaurus* thesaurus = nullptr;
 };
 
-/// Diagnostics about how a query was executed (used by the E4 ablation).
+/// Diagnostics about how a query was executed (used by the E4 ablation and
+/// the pipeline-observability tests).
 struct QueryPlanInfo {
   bool fast_path = false;
   std::size_t query_nodes = 0;
   std::size_t query_elements = 0;
   std::size_t rollup_levels = 0;
+  /// Rows that satisfied an element criterion (pre-intersection). With
+  /// early exit this reflects work actually done, not the full match set.
   std::size_t candidate_rows = 0;
+  /// Base-table rows visited by index probes (bucket rows the pipeline
+  /// evaluated in place — never copied).
+  std::size_t rows_scanned = 0;
+  /// Index lookups issued.
+  std::size_t index_probes = 0;
+  /// Rows copied out of the pipeline: retained candidate-instance refs
+  /// plus the final object ids. The non-materializing pipeline keeps this
+  /// a small fraction of rows_scanned.
+  std::size_t rows_materialized = 0;
 };
 
 /// The shredded query criteria ("temporary tables" in Fig. 4); defined in

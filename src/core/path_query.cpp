@@ -198,10 +198,9 @@ void translate_structural_preds(const std::vector<Pred>& preds, const std::strin
         continue;
       }
       // Multi-step or predicated step: build nested sub-attribute criteria.
-      AttrQuery* current = &out;
-      std::vector<AttrQuery> stack;
       // Walk all steps but the last as sub-attributes.
       std::vector<AttrQuery> subs;
+      subs.reserve(term.rel.size());
       for (std::size_t i = 0; i + 1 < term.rel.size(); ++i) {
         AttrQuery sub(term.rel[i].name);
         translate_structural_preds(term.rel[i].preds, term.rel[i].name, sub);
@@ -236,21 +235,9 @@ void translate_structural_preds(const std::vector<Pred>& preds, const std::strin
       for (std::size_t i = subs.size(); i-- > 1;) {
         subs[i - 1].add_attribute(std::move(subs[i]));
       }
-      current->add_attribute(std::move(subs[0]));
-      (void)stack;
+      out.add_attribute(std::move(subs[0]));
     }
   }
-}
-
-/// Classification of a dynamic item predicate: does it contain nested
-/// item_tag predicates (making it a sub-attribute)?
-bool has_nested_items(const RelStep& item, const std::string& item_tag) {
-  for (const Pred& pred : item.preds) {
-    for (const Term& term : pred.terms) {
-      if (!term.rel.empty() && term.rel[0].name == item_tag) return true;
-    }
-  }
-  return false;
 }
 
 /// Translates the predicates of one dynamic item (an <attr> step) into an

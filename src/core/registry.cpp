@@ -60,6 +60,7 @@ AttrDefId DefinitionRegistry::define_attribute(const std::string& name,
   def.queryable = queryable;
   attributes_.push_back(def);
   attribute_lookup_[DefKey{name, source, parent}].push_back(def.id);
+  attribute_by_name_.emplace(DefKey{name, "", parent}, def.id);
   return def.id;
 }
 
@@ -77,6 +78,7 @@ ElemDefId DefinitionRegistry::define_element(const std::string& name,
   def.type = type;
   elements_.push_back(def);
   element_lookup_.emplace(key, def.id);
+  element_by_name_.emplace(DefKey{name, "", attribute}, def.id);
   return def.id;
 }
 
@@ -101,6 +103,30 @@ const ElementDef* DefinitionRegistry::find_element(const std::string& name,
   const auto it = element_lookup_.find(DefKey{name, source, attribute});
   return it == element_lookup_.end() ? nullptr
                                      : &elements_[static_cast<std::size_t>(it->second)];
+}
+
+const ElementDef* DefinitionRegistry::find_element_any_source(
+    const std::string& name, AttrDefId attribute) const noexcept {
+  const auto [lo, hi] = element_by_name_.equal_range(DefKey{name, "", attribute});
+  const ElementDef* unique = nullptr;
+  for (auto it = lo; it != hi; ++it) {
+    if (unique != nullptr) return nullptr;  // ambiguous across sources
+    unique = &elements_[static_cast<std::size_t>(it->second)];
+  }
+  return unique;
+}
+
+const AttributeDef* DefinitionRegistry::find_attribute_any_source(
+    const std::string& name, AttrDefId parent, const std::string& user) const noexcept {
+  const auto [lo, hi] = attribute_by_name_.equal_range(DefKey{name, "", parent});
+  const AttributeDef* unique = nullptr;
+  for (auto it = lo; it != hi; ++it) {
+    const AttributeDef& def = attributes_[static_cast<std::size_t>(it->second)];
+    if (def.visibility == Visibility::kUser && def.owner != user) continue;
+    if (unique != nullptr) return nullptr;  // ambiguous across sources
+    unique = &def;
+  }
+  return unique;
 }
 
 std::optional<AttrDefId> DefinitionRegistry::structural_for_order(OrderId order) const noexcept {

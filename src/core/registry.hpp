@@ -49,6 +49,18 @@ class DefinitionRegistry {
   const ElementDef* find_element(const std::string& name, const std::string& source,
                                  AttrDefId attribute) const noexcept;
 
+  /// The unique element named `name` under `attribute` regardless of
+  /// source; nullptr when absent or ambiguous across sources. Backed by a
+  /// name-keyed multimap so the engine's loose lookups (queries omitting
+  /// the source, §4) cost one hash probe instead of an O(registry) scan.
+  const ElementDef* find_element_any_source(const std::string& name,
+                                            AttrDefId attribute) const noexcept;
+
+  /// The unique attribute named `name` under `parent` among definitions
+  /// visible to `user`; nullptr when absent or ambiguous across sources.
+  const AttributeDef* find_attribute_any_source(const std::string& name, AttrDefId parent,
+                                                const std::string& user) const noexcept;
+
   const AttributeDef& attribute(AttrDefId id) const { return attributes_.at(static_cast<std::size_t>(id)); }
   const ElementDef& element(ElemDefId id) const { return elements_.at(static_cast<std::size_t>(id)); }
 
@@ -85,6 +97,10 @@ class DefinitionRegistry {
   /// admin level and privately by several users.
   std::unordered_map<DefKey, std::vector<AttrDefId>, DefKeyHash> attribute_lookup_;
   std::unordered_map<DefKey, ElemDefId, DefKeyHash> element_lookup_;
+  /// Name-only secondary lookups (keyed with source = "", all sources
+  /// bucketed together) backing the *_any_source loose lookups.
+  std::unordered_multimap<DefKey, AttrDefId, DefKeyHash> attribute_by_name_;
+  std::unordered_multimap<DefKey, ElemDefId, DefKeyHash> element_by_name_;
   std::unordered_map<OrderId, AttrDefId> structural_by_order_;
 };
 

@@ -4,10 +4,18 @@
 // the Fig. 4 pipeline: attribute-definition and object-ID lookups) and an
 // ordered index supporting range scans (element-value range predicates,
 // global-order scans in the response builder).
+//
+// The probe API is append-to-out (`lookup_into`): hot paths reuse one
+// scratch vector across thousands of probes instead of allocating a fresh
+// std::vector per lookup. `bucket_size` exposes per-key entry counts as a
+// cheap cardinality estimate so the query engine can order criteria by
+// selectivity before touching any row.
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,8 +43,30 @@ class Index {
   }
 
   virtual void insert(const Row& row, RowId id) = 0;
-  virtual std::vector<RowId> lookup(const Key& key) const = 0;
+
+  /// Appends every row id under `key` to `out` (does not clear it). Hot
+  /// paths pass a reused scratch vector; no allocation happens when the
+  /// scratch capacity suffices.
+  virtual void lookup_into(const Key& key, std::vector<RowId>& out) const = 0;
+
+  /// Number of entries under `key` — a cheap cardinality estimate (no row
+  /// access, no predicate evaluation) used to order criteria by estimated
+  /// selectivity.
+  virtual std::size_t bucket_size(const Key& key) const noexcept = 0;
+
   virtual std::size_t entry_count() const noexcept = 0;
+
+  /// An empty index of the same physical kind over the same key columns
+  /// (used by Table::truncate to rebuild definitions without RTTI probing).
+  virtual std::unique_ptr<Index> make_empty() const = 0;
+
+  /// Convenience wrapper; allocates per probe, so hot paths should prefer
+  /// lookup_into with a reused scratch vector.
+  std::vector<RowId> lookup(const Key& key) const {
+    std::vector<RowId> out;
+    lookup_into(key, out);
+    return out;
+  }
 
  private:
   std::string name_;
@@ -51,14 +81,21 @@ class HashIndex final : public Index {
     map_.emplace(extract_key(row), id);
   }
 
-  std::vector<RowId> lookup(const Key& key) const override {
-    std::vector<RowId> out;
+  void lookup_into(const Key& key, std::vector<RowId>& out) const override {
     auto [lo, hi] = map_.equal_range(key);
     for (auto it = lo; it != hi; ++it) out.push_back(it->second);
-    return out;
+  }
+
+  std::size_t bucket_size(const Key& key) const noexcept override {
+    auto [lo, hi] = map_.equal_range(key);
+    return static_cast<std::size_t>(std::distance(lo, hi));
   }
 
   std::size_t entry_count() const noexcept override { return map_.size(); }
+
+  std::unique_ptr<Index> make_empty() const override {
+    return std::make_unique<HashIndex>(name(), key_columns());
+  }
 
  private:
   std::unordered_multimap<Key, RowId, KeyHash> map_;
@@ -72,23 +109,35 @@ class OrderedIndex final : public Index {
     map_.emplace(extract_key(row), id);
   }
 
-  std::vector<RowId> lookup(const Key& key) const override {
-    std::vector<RowId> out;
+  void lookup_into(const Key& key, std::vector<RowId>& out) const override {
     auto [lo, hi] = map_.equal_range(key);
     for (auto it = lo; it != hi; ++it) out.push_back(it->second);
-    return out;
+  }
+
+  std::size_t bucket_size(const Key& key) const noexcept override {
+    auto [lo, hi] = map_.equal_range(key);
+    return static_cast<std::size_t>(std::distance(lo, hi));
   }
 
   /// Rows with lo <= key <= hi (inclusive bounds on the full composite key).
   std::vector<RowId> range(const Key& lo, const Key& hi) const {
     std::vector<RowId> out;
-    for (auto it = map_.lower_bound(lo); it != map_.end() && !(hi < it->first); ++it) {
-      out.push_back(it->second);
-    }
+    range_into(lo, hi, out);
     return out;
   }
 
+  /// Append-to-out form of range().
+  void range_into(const Key& lo, const Key& hi, std::vector<RowId>& out) const {
+    for (auto it = map_.lower_bound(lo); it != map_.end() && !(hi < it->first); ++it) {
+      out.push_back(it->second);
+    }
+  }
+
   std::size_t entry_count() const noexcept override { return map_.size(); }
+
+  std::unique_ptr<Index> make_empty() const override {
+    return std::make_unique<OrderedIndex>(name(), key_columns());
+  }
 
  private:
   std::multimap<Key, RowId> map_;

@@ -58,9 +58,38 @@ ResultSet scan(const Table& table, const ExprPtr& predicate) {
 ResultSet index_scan(const Table& table, const Index& index, const Key& key) {
   ResultSet out;
   out.schema = table.schema();
-  for (const RowId id : index.lookup(key)) {
-    out.rows.push_back(table.row(id));
+  std::vector<RowId> ids;
+  index.lookup_into(key, ids);
+  out.rows.reserve(ids.size());
+  for (const RowId id : ids) {
+    out.rows.push_back(table.row_unchecked(id));
   }
+  return out;
+}
+
+void index_scan_ids(const Index& index, const Key& key, std::vector<RowId>& out) {
+  index.lookup_into(key, out);
+}
+
+std::vector<RowId> index_scan_ids(const Index& index, const Key& key) {
+  std::vector<RowId> out;
+  index.lookup_into(key, out);
+  return out;
+}
+
+void filter_ids(const Table& table, const Expr& predicate, std::vector<RowId>& ids) {
+  std::size_t kept = 0;
+  for (const RowId id : ids) {
+    if (predicate.eval_bool(table.row_unchecked(id))) ids[kept++] = id;
+  }
+  ids.resize(kept);
+}
+
+ResultSet materialize(const Table& table, const std::vector<RowId>& ids) {
+  ResultSet out;
+  out.schema = table.schema();
+  out.rows.reserve(ids.size());
+  for (const RowId id : ids) out.rows.push_back(table.row(id));
   return out;
 }
 
@@ -199,12 +228,15 @@ ResultSet index_join(const ResultSet& left, const std::vector<std::size_t>& left
                      const std::string& right_prefix) {
   ResultSet out;
   out.schema = joined_schema(left.schema, table.schema(), right_prefix);
+  std::vector<RowId> scratch;
   for (const Row& lrow : left.rows) {
     const Key key = key_of(lrow, left_key_columns);
     if (key_has_null(key)) continue;
-    for (const RowId id : index.lookup(key)) {
+    scratch.clear();
+    index.lookup_into(key, scratch);
+    for (const RowId id : scratch) {
       Row combined = lrow;
-      const Row& rrow = table.row(id);
+      const Row& rrow = table.row_unchecked(id);
       combined.insert(combined.end(), rrow.begin(), rrow.end());
       out.rows.push_back(std::move(combined));
     }

@@ -39,6 +39,38 @@ ResultSet scan(const Table& table, const ExprPtr& predicate = nullptr);
 /// Index probe: all rows matching the key, as a ResultSet.
 ResultSet index_scan(const Table& table, const Index& index, const Key& key);
 
+// ---- Non-materializing pipeline primitives ----
+//
+// These operate on RowId vectors over a base table instead of copying rows
+// into ResultSets. A pipeline stage probes an index (index_scan_ids),
+// narrows in place (filter_ids / for_each_match evaluating predicates
+// against the base-table row), and copies rows out at most once, at the end
+// (materialize). The Fig. 4 query engine is built on these.
+
+/// Index probe returning row ids; the append-to-out form reuses `out`'s
+/// capacity across probes (ids are appended, `out` is not cleared).
+void index_scan_ids(const Index& index, const Key& key, std::vector<RowId>& out);
+std::vector<RowId> index_scan_ids(const Index& index, const Key& key);
+
+/// Keeps the ids whose base-table row satisfies the predicate. In-place and
+/// order-stable; no row is copied.
+void filter_ids(const Table& table, const Expr& predicate, std::vector<RowId>& ids);
+
+/// Copies the identified base-table rows into a ResultSet — the single
+/// materialization point at the end of a non-materializing stage.
+ResultSet materialize(const Table& table, const std::vector<RowId>& ids);
+
+/// Visits every base-table row under `key` without copying: `visit` is
+/// called as visit(row, id). `scratch` is cleared and reused for the probe,
+/// so a caller-owned vector amortizes allocations across calls.
+template <typename Visitor>
+void for_each_match(const Table& table, const Index& index, const Key& key,
+                    std::vector<RowId>& scratch, Visitor&& visit) {
+  scratch.clear();
+  index.lookup_into(key, scratch);
+  for (const RowId id : scratch) visit(table.row_unchecked(id), id);
+}
+
 /// Keeps rows satisfying the predicate.
 ResultSet filter(ResultSet input, const Expr& predicate);
 

@@ -55,15 +55,12 @@ void Table::merge_move_from(Table& other) {
 
 void Table::truncate() {
   rows_.clear();
+  rows_.shrink_to_fit();
   // Rebuild empty indexes with the same definitions.
   std::vector<std::unique_ptr<Index>> rebuilt;
   rebuilt.reserve(indexes_.size());
   for (const auto& old : indexes_) {
-    if (dynamic_cast<const HashIndex*>(old.get()) != nullptr) {
-      rebuilt.push_back(std::make_unique<HashIndex>(old->name(), old->key_columns()));
-    } else {
-      rebuilt.push_back(std::make_unique<OrderedIndex>(old->name(), old->key_columns()));
-    }
+    rebuilt.push_back(old->make_empty());
   }
   indexes_ = std::move(rebuilt);
 }

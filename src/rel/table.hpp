@@ -25,6 +25,9 @@ class Table {
   const TableSchema& schema() const noexcept { return schema_; }
   std::size_t row_count() const noexcept { return rows_.size(); }
   const Row& row(RowId id) const { return rows_.at(id); }
+  /// Unchecked row access for hot loops iterating ids an index just
+  /// produced (ids from this table's own indexes are always in range).
+  const Row& row_unchecked(RowId id) const noexcept { return rows_[id]; }
   const std::vector<Row>& rows() const noexcept { return rows_; }
 
   /// Validates arity and types, appends, updates indexes; returns the row id.

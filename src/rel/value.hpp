@@ -57,6 +57,12 @@ class Value {
   double as_double() const;  // accepts kInt too (widening)
   const std::string& as_string() const;
 
+  /// Zero-copy view of a string value; throws TypeError on mismatch. Used
+  /// by in-place predicate evaluation over base-table rows, where the
+  /// engine compares against the stored string without constructing
+  /// temporary Values.
+  std::string_view as_string_view() const { return as_string(); }
+
   /// Human-readable rendering (NULL prints as "NULL").
   std::string to_string() const;
 

@@ -233,6 +233,70 @@ TEST(EngineDeepNesting, ThreeLevelSubAttributeRollup) {
   EXPECT_TRUE(catalog.query(skip_middle).empty());
 }
 
+TEST_F(EngineFig3, PlanCountersObservePipelineWork) {
+  // Fast path: one probe per criterion, bucket rows evaluated in place, and
+  // only the final object ids copied out of the pipeline.
+  ObjectQuery query;
+  AttrQuery res("resourceID");
+  res.require_element("resourceID");
+  query.add_attribute(std::move(res));
+  core::QueryPlanInfo info;
+  const auto ids = catalog_.query(query, &info);
+  EXPECT_TRUE(info.fast_path);
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(info.index_probes, 1u);
+  EXPECT_EQ(info.rows_scanned, 2u);  // one resourceID row per document
+  EXPECT_EQ(info.candidate_rows, 2u);
+  EXPECT_EQ(info.rows_materialized, ids.size());
+
+  // General path: rows copied out stay bounded by the retained candidate
+  // instances plus the result, never the rows visited.
+  core::QueryPlanInfo theme_info;
+  const auto theme_ids =
+      catalog_.query(workload::theme_keyword_query("air_pressure_at_cloud_base"),
+                     &theme_info);
+  EXPECT_FALSE(theme_info.fast_path);
+  EXPECT_EQ(theme_ids.size(), 2u);
+  EXPECT_GE(theme_info.index_probes, 1u);
+  EXPECT_GT(theme_info.rows_scanned, 0u);
+  EXPECT_GE(theme_info.rows_materialized, theme_ids.size());
+  EXPECT_LE(theme_info.rows_materialized, theme_info.rows_scanned + theme_ids.size());
+}
+
+TEST_F(EngineFig3, EmptyIntersectionStopsProbing) {
+  // dx = 9999 matches nothing; once the running candidate set is empty the
+  // remaining criterion is never probed (early exit in the ordered
+  // conjunction).
+  ObjectQuery query;
+  AttrQuery grid("grid", "ARPS");
+  grid.add_element("dx", "ARPS", rel::Value(9999.0), CompareOp::kEq);
+  grid.add_element("dz", "ARPS", rel::Value(500.0), CompareOp::kEq);
+  query.add_attribute(std::move(grid));
+  core::QueryPlanInfo info;
+  EXPECT_TRUE(catalog_.query(query, &info).empty());
+  EXPECT_EQ(info.index_probes, 1u);
+  EXPECT_EQ(info.candidate_rows, 0u);
+  EXPECT_EQ(info.rows_materialized, 0u);
+}
+
+TEST_F(EngineFig3, ForcedQueryOrderMatchesDefaultPipeline) {
+  core::CatalogConfig forced = auto_define_config();
+  forced.engine.force_query_order = true;
+  xml::Schema schema = workload::lead_schema();
+  MetadataCatalog ordered(schema, workload::lead_annotations(), forced);
+  ordered.ingest_xml(workload::fig3_document(), "fig3", "alice");
+
+  xml::Schema schema2 = workload::lead_schema();
+  MetadataCatalog reordered(schema2, workload::lead_annotations(), auto_define_config());
+  reordered.ingest_xml(workload::fig3_document(), "fig3", "alice");
+
+  for (const auto& query :
+       {workload::paper_example_query(),
+        workload::theme_keyword_query("air_pressure_at_cloud_base")}) {
+    EXPECT_EQ(ordered.query(query), reordered.query(query));
+  }
+}
+
 TEST(EngineVisibility, PrivateDefinitionsRequireTheOwner) {
   xml::Schema schema = workload::lead_schema();
   core::CatalogConfig config;

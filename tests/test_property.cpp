@@ -146,5 +146,63 @@ TEST_P(FastpathEquivalence, FastAndGeneralPlansAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FastpathEquivalence, ::testing::Values(7, 8, 9));
 
+class OrderingEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderingEquivalence, SelectivityOrderingPreservesResults) {
+  // The cardinality-ordered pipeline (criteria evaluated most-selective
+  // first, with early exit) must return byte-identical object-id sets to
+  // the stated-query-order pipeline, and both must match the DOM oracle.
+  workload::GeneratorConfig gen_config;
+  gen_config.seed = GetParam();
+  gen_config.sub_attr_probability = 0.35;
+  workload::DocumentGenerator generator(gen_config);
+  const auto docs = generator.corpus(35);
+
+  xml::Schema schema = workload::lead_schema();
+  const core::Partition partition =
+      core::Partition::build(schema, workload::lead_annotations());
+  const DomMatcher oracle(partition);
+
+  xml::Schema schema_ordered = workload::lead_schema();
+  xml::Schema schema_stated = workload::lead_schema();
+  core::CatalogConfig ordered_config;
+  ordered_config.shred.auto_define_dynamic = true;
+  core::CatalogConfig stated_config = ordered_config;
+  stated_config.engine.force_query_order = true;
+  core::MetadataCatalog ordered(schema_ordered, workload::lead_annotations(),
+                                ordered_config);
+  core::MetadataCatalog stated(schema_stated, workload::lead_annotations(),
+                               stated_config);
+  for (const auto& doc : docs) {
+    ordered.ingest(doc, "d", "u");
+    stated.ingest(doc, "d", "u");
+  }
+
+  workload::QueryGenConfig query_config;
+  query_config.seed = GetParam() * 17 + 3;
+  query_config.sub_attr_probability = 0.35;
+  workload::QueryGenerator queries(query_config);
+  for (std::uint64_t q = 0; q < 30; ++q) {
+    const core::ObjectQuery query = queries.generate(q);
+
+    std::vector<core::ObjectId> expected;
+    for (std::size_t d = 0; d < docs.size(); ++d) {
+      if (oracle.matches(docs[d], query)) {
+        expected.push_back(static_cast<core::ObjectId>(d));
+      }
+    }
+
+    EXPECT_EQ(ordered.query(query), expected)
+        << "selectivity-ordered pipeline disagrees with the oracle on query " << q
+        << " (seed " << GetParam() << ")";
+    EXPECT_EQ(stated.query(query), expected)
+        << "query-order pipeline disagrees with the oracle on query " << q
+        << " (seed " << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderingEquivalence,
+                         ::testing::Values(13, 14, 15, 16));
+
 }  // namespace
 }  // namespace hxrc::baselines

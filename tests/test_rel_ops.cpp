@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "rel/ops.hpp"
@@ -191,6 +192,55 @@ TEST(Ops, IndexScan) {
   const ResultSet result = index_scan(d, *d.index("by_id"), Key{{Value(std::int64_t{10})}});
   ASSERT_EQ(result.size(), 1u);
   EXPECT_EQ(result.rows[0][1].as_string(), "storms");
+}
+
+TEST(Ops, IndexScanIdsAndMaterialize) {
+  Table t = people();
+  t.create_hash_index("by_dept", {"dept"});
+  std::vector<RowId> ids = index_scan_ids(*t.index("by_dept"), Key{{Value(std::int64_t{20})}});
+  ASSERT_EQ(ids.size(), 2u);
+
+  // Narrow in place, then copy rows only once at the end of the stage.
+  filter_ids(t, *gt(col(3), lit(Value(100.0))), ids);
+  ASSERT_EQ(ids.size(), 1u);
+  const ResultSet result = materialize(t, ids);
+  EXPECT_EQ(result.schema.size(), t.schema().size());
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.rows[0][1].as_string(), "cid");
+}
+
+TEST(Ops, FilterIdsTreatsNullAsFalse) {
+  Table t = people();
+  std::vector<RowId> ids;
+  for (RowId id = 0; id < t.row_count(); ++id) ids.push_back(id);
+  filter_ids(t, *eq(col(2), lit(Value(std::int64_t{10}))), ids);
+  EXPECT_EQ(ids.size(), 2u);  // eve's NULL dept is dropped, not matched
+}
+
+TEST(Ops, ForEachMatchVisitsBucketWithoutCopying) {
+  Table t = people();
+  t.create_hash_index("by_dept", {"dept"});
+  std::vector<RowId> scratch;
+  std::vector<std::string> names;
+  for_each_match(t, *t.index("by_dept"), Key{{Value(std::int64_t{10})}}, scratch,
+                 [&](const Row& row, RowId) { names.push_back(row[1].as_string()); });
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"ann", "bob"}));
+
+  // The scratch buffer is reused: a second probe does not grow the result.
+  names.clear();
+  for_each_match(t, *t.index("by_dept"), Key{{Value(std::int64_t{30})}}, scratch,
+                 [&](const Row&, RowId) { names.emplace_back(); });
+  EXPECT_TRUE(names.empty());
+}
+
+TEST(Ops, IndexBucketSizeEstimatesCardinality) {
+  Table t = people();
+  t.create_hash_index("by_dept", {"dept"});
+  t.create_ordered_index("by_id", {"id"});
+  EXPECT_EQ(t.index("by_dept")->bucket_size(Key{{Value(std::int64_t{10})}}), 2u);
+  EXPECT_EQ(t.index("by_dept")->bucket_size(Key{{Value(std::int64_t{99})}}), 0u);
+  EXPECT_EQ(t.index("by_id")->bucket_size(Key{{Value(std::int64_t{3})}}), 1u);
 }
 
 TEST(Ops, PrettyRendersHeaderAndRows) {
