@@ -114,8 +114,14 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
     benchmark::ConsoleReporter::ReportRuns(report);
     for (const Run& run : report) {
       if (run.error_occurred) continue;
-      records_.push_back(Record{run.benchmark_name(), corpus_size(run.benchmark_name()),
-                                run.GetAdjustedRealTime()});
+      Record record{run.benchmark_name(), corpus_size(run.benchmark_name()),
+                    run.GetAdjustedRealTime(), {}};
+      // User counters arrive already finalized (rates divided by elapsed
+      // time), so they can be dumped verbatim.
+      for (const auto& [name, counter] : run.counters) {
+        record.counters.emplace_back(name, static_cast<double>(counter));
+      }
+      records_.push_back(std::move(record));
     }
   }
 
@@ -126,7 +132,11 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       out << "  {\"name\": \"" << escaped(r.name) << "\", \"corpus_size\": " << r.corpus_size
-          << ", \"micros\": " << r.micros << (i + 1 < records_.size() ? "},\n" : "}\n");
+          << ", \"micros\": " << r.micros;
+      for (const auto& [name, value] : r.counters) {
+        out << ", \"" << escaped(name) << "\": " << value;
+      }
+      out << (i + 1 < records_.size() ? "},\n" : "}\n");
     }
     out << "]\n";
   }
@@ -136,6 +146,7 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
     std::string name;
     long corpus_size;
     double micros;  // benches register with kMicrosecond
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   /// Trailing "/N" benchmark argument, 0 when the name carries none.

@@ -1,4 +1,4 @@
-// E9 — concurrent catalog operation (hpc-parallel substrate).
+// E9/E11 — concurrent catalog operation (hpc-parallel substrate).
 //
 // ParallelIngest: documents are shredded into per-thread staging databases
 // and merged once (no locks on the hot path); expectation: near-linear
@@ -6,9 +6,23 @@
 // ConcurrentQuery: read-only query throughput with T worker threads over a
 // shared catalog; expectation: near-linear (tables are immutable during
 // reads).
+// MixedReadWrite (E11): the service scenario the shared-lock catalog
+// exists for — ONE background writer continuously ingesting while T
+// closed-loop reader clients each run query → think → query against the
+// same catalog. Clients model remote grid users (AMGA-style multi-client
+// measurement): each carries a fixed think time (network RTT + client
+// processing) between requests, so aggregate throughput grows with the
+// number of in-flight clients until the server saturates. Under the old
+// single-client catalog this benchmark cannot run at all (readers racing a
+// writer corrupt state); under the shared_mutex discipline query
+// throughput must keep scaling while the writer holds brief exclusive
+// sections. Run with `--json=BENCH_concurrent.json --benchmark_filter=E11`
+// to emit the committed results.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "util/thread_pool.hpp"
@@ -62,6 +76,71 @@ void concurrent_query_bench(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(total), benchmark::Counter::kIsRate);
 }
 
+// ---- E11: mixed read/write over the shared-lock catalog ----
+
+/// Per-client think time: the gap a remote grid client spends off the
+/// catalog between requests (network round trip + client-side processing).
+constexpr auto kClientThink = std::chrono::milliseconds(5);
+/// Writer pacing: steady metadata arrival, not a tight ingest spin.
+constexpr auto kWriterGap = std::chrono::milliseconds(2);
+constexpr std::size_t kPreload = 500;
+constexpr int kQueriesPerClientPerIter = 16;
+
+void mixed_read_write_bench(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  static xml::Schema schema = workload::lead_schema();
+  const auto& docs = benchx::corpus(kPreload + 200);
+
+  core::MetadataCatalog catalog(schema, workload::lead_annotations(),
+                                benchx::auto_define_config());
+  for (std::size_t i = 0; i < kPreload; ++i) {
+    catalog.ingest(docs[i], "preload", "bench");
+  }
+
+  workload::QueryGenerator generator;
+  std::vector<core::ObjectQuery> queries;
+  for (std::uint64_t q = 0; q < 32; ++q) queries.push_back(generator.generate(q));
+
+  // Background writer: ingests for the whole lifetime of the benchmark
+  // run, cycling through the spare corpus tail. Every ingest takes the
+  // exclusive lock and bumps the catalog epoch.
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> writes{0};
+  std::thread writer([&] {
+    std::size_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      catalog.ingest(docs[kPreload + (i++ % 200)], "live", "writer");
+      writes.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(kWriterGap);
+    }
+  });
+
+  util::ThreadPool pool(clients);
+  std::size_t total_queries = 0;
+  std::atomic<std::size_t> total_hits{0};
+  for (auto _ : state) {
+    util::parallel_for(pool, 0, clients, [&](std::size_t c) {
+      for (int i = 0; i < kQueriesPerClientPerIter; ++i) {
+        const auto& q =
+            queries[(c * kQueriesPerClientPerIter + static_cast<std::size_t>(i)) %
+                    queries.size()];
+        total_hits.fetch_add(catalog.query(q).size(), std::memory_order_relaxed);
+        std::this_thread::sleep_for(kClientThink);
+      }
+    });
+    total_queries += clients * kQueriesPerClientPerIter;
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  benchmark::DoNotOptimize(total_hits.load());
+  state.counters["queries/s"] = benchmark::Counter(static_cast<double>(total_queries),
+                                                   benchmark::Counter::kIsRate);
+  state.counters["writes"] = benchmark::Counter(static_cast<double>(writes.load()));
+  state.counters["catalog_version"] =
+      benchmark::Counter(static_cast<double>(catalog.version()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,9 +155,10 @@ int main(int argc, char** argv) {
         ->Unit(benchmark::kMillisecond)
         ->MeasureProcessCPUTime()
         ->UseRealTime();
+    benchmark::RegisterBenchmark("E11/MixedReadWrite/clients", mixed_read_write_bench)
+        ->Arg(threads)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return hxrc::benchx::run_benchmarks(argc, argv, "BENCH_concurrent.json");
 }

@@ -10,6 +10,7 @@
 namespace hxrc::core {
 
 std::vector<AttributeSummary> CatalogBrowser::attributes(const std::string& user) const {
+  const auto lock = catalog_.read_lock();
   const DefinitionRegistry& registry = catalog_.registry();
   const rel::Table& instances = catalog_.database().require_table(kAttrInstancesTable);
 
@@ -41,6 +42,7 @@ std::vector<AttributeSummary> CatalogBrowser::attributes(const std::string& user
 }
 
 std::vector<ElementSummary> CatalogBrowser::elements(AttrDefId attribute) const {
+  const auto lock = catalog_.read_lock();
   const DefinitionRegistry& registry = catalog_.registry();
   const rel::Table& elem_data = catalog_.database().require_table(kElemDataTable);
   const rel::Index* by_def = elem_data.index("idx_elem_def");
@@ -70,6 +72,7 @@ std::vector<ElementSummary> CatalogBrowser::elements(AttrDefId attribute) const 
 
 std::vector<ValueCount> CatalogBrowser::top_values(ElemDefId element,
                                                    std::size_t limit) const {
+  const auto lock = catalog_.read_lock();
   const rel::Table& elem_data = catalog_.database().require_table(kElemDataTable);
   const rel::Index* by_def = elem_data.index("idx_elem_def");
   const std::size_t value_col = elem_data.schema().require("value_str");
@@ -96,6 +99,11 @@ std::vector<ObjectId> CatalogBrowser::query_sorted(const ObjectQuery& q,
                                                    std::size_t limit) const {
   std::vector<ObjectId> hits = catalog_.query(q);
   if (hits.empty()) return hits;
+
+  // Lock taken only after catalog_.query returns — its shared lock is not
+  // recursive. Hits stay valid across the gap (ids are stable; tombstoned
+  // objects merely stop sorting by a fresh key).
+  const auto lock = catalog_.read_lock();
 
   // Resolve the sort element definition (invisible/unknown: keep id order).
   const DefinitionRegistry& registry = catalog_.registry();

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <istream>
 #include <mutex>
 #include <ostream>
+#include <shared_mutex>
 
 #include "core/ordering.hpp"
 #include "core/storage.hpp"
@@ -44,21 +46,26 @@ MetadataCatalog::MetadataCatalog(const xml::Schema& schema,
 
 ObjectId MetadataCatalog::ingest(const xml::Document& doc, const std::string& name,
                                  const std::string& owner) {
-  const ObjectId id = next_object_++;
+  std::unique_lock lock(mutex_);
+  const ObjectId id = next_object_.fetch_add(1, std::memory_order_acq_rel);
   stats_ += shredder_->shred(doc, id, name, owner);
+  bump_version();
   return id;
 }
 
 ObjectId MetadataCatalog::ingest_xml(std::string_view xml_text, const std::string& name,
                                      const std::string& owner) {
+  // Parse outside the exclusive section: readers stay unblocked during it.
   return ingest(xml::parse(xml_text), name, owner);
 }
 
 void MetadataCatalog::add_attribute(ObjectId object, std::string_view attribute_path,
                                     const xml::Node& content, const std::string& owner) {
+  std::unique_lock lock(mutex_);
   for (const AttributeRootInfo& root : partition_.attribute_roots()) {
     if (root.path == attribute_path) {
       stats_ += shredder_->shred_additional(content, object, root, owner);
+      bump_version();
       return;
     }
   }
@@ -75,10 +82,13 @@ void MetadataCatalog::add_attribute_xml(ObjectId object, std::string_view attrib
 std::vector<ObjectId> MetadataCatalog::ingest_parallel(
     util::ThreadPool& pool, const std::vector<xml::Document>& docs,
     const std::string& owner) {
+  // Exclusive for the whole batch: the staging shredders read the shared
+  // registry/partition, and the merge mutates every storage table.
+  std::unique_lock lock(mutex_);
   // Reserve the id range up front so ids are stable regardless of thread
   // interleaving.
-  const ObjectId first = next_object_;
-  next_object_ += static_cast<ObjectId>(docs.size());
+  const ObjectId first =
+      next_object_.fetch_add(static_cast<ObjectId>(docs.size()), std::memory_order_acq_rel);
 
   // Per-thread staging databases: tables without indexes, shredded
   // independently, merged under a single lock at the end.
@@ -164,6 +174,7 @@ std::vector<ObjectId> MetadataCatalog::ingest_parallel(
     stats_ += shard.stats;
     shredder_->absorb_counters(*shard.shredder);
   }
+  bump_version();
 
   std::vector<ObjectId> ids;
   ids.reserve(docs.size());
@@ -177,6 +188,7 @@ AttrDefId MetadataCatalog::define_dynamic_attribute(
     const std::string& name, const std::string& source,
     const std::vector<DynamicElementSpec>& elements, Visibility visibility,
     const std::string& owner) {
+  std::unique_lock lock(mutex_);
   // Dynamic top-level definitions anchor at the first dynamic root's order.
   OrderId order = kNoOrder;
   for (const AttributeRootInfo& root : partition_.attribute_roots()) {
@@ -191,6 +203,7 @@ AttrDefId MetadataCatalog::define_dynamic_attribute(
     registry_.define_element(elem.name, elem.source.empty() ? source : elem.source, id,
                              elem.type);
   }
+  bump_version();
   return id;
 }
 
@@ -198,18 +211,21 @@ AttrDefId MetadataCatalog::define_dynamic_sub_attribute(
     AttrDefId parent, const std::string& name, const std::string& source,
     const std::vector<DynamicElementSpec>& elements, Visibility visibility,
     const std::string& owner) {
+  std::unique_lock lock(mutex_);
   const AttrDefId id = registry_.define_attribute(name, source, AttrKind::kDynamic,
                                                   parent, kNoOrder, visibility, owner);
   for (const DynamicElementSpec& elem : elements) {
     registry_.define_element(elem.name, elem.source.empty() ? source : elem.source, id,
                              elem.type);
   }
+  bump_version();
   return id;
 }
 
 CollectionId MetadataCatalog::create_collection(const std::string& name,
                                                 const std::string& owner,
                                                 CollectionId parent) {
+  std::unique_lock lock(mutex_);
   rel::Table& collections = db_.require_table("collections");
   if (parent != kNoCollection &&
       static_cast<std::size_t>(parent) >= collections.row_count()) {
@@ -219,10 +235,12 @@ CollectionId MetadataCatalog::create_collection(const std::string& name,
   collections.append(rel::Row{rel::Value(id), rel::Value(name), rel::Value(owner),
                               parent == kNoCollection ? rel::Value::null()
                                                       : rel::Value(parent)});
+  bump_version();
   return id;
 }
 
 void MetadataCatalog::add_to_collection(CollectionId collection, ObjectId object) {
+  std::unique_lock lock(mutex_);
   rel::Table& members = db_.require_table("collection_members");
   if (static_cast<std::size_t>(collection) >=
       db_.require_table("collections").row_count()) {
@@ -233,9 +251,10 @@ void MetadataCatalog::add_to_collection(CollectionId collection, ObjectId object
     return;  // already a member
   }
   members.append(rel::Row{rel::Value(collection), rel::Value(object)});
+  bump_version();
 }
 
-std::vector<CollectionId> MetadataCatalog::child_collections(
+std::vector<CollectionId> MetadataCatalog::child_collections_unlocked(
     CollectionId collection) const {
   const rel::Table& collections = db_.require_table("collections");
   std::vector<CollectionId> out;
@@ -247,8 +266,14 @@ std::vector<CollectionId> MetadataCatalog::child_collections(
   return out;
 }
 
-std::vector<ObjectId> MetadataCatalog::collection_members(CollectionId collection,
-                                                          bool recursive) const {
+std::vector<CollectionId> MetadataCatalog::child_collections(
+    CollectionId collection) const {
+  std::shared_lock lock(mutex_);
+  return child_collections_unlocked(collection);
+}
+
+std::vector<ObjectId> MetadataCatalog::collection_members_unlocked(
+    CollectionId collection, bool recursive) const {
   const rel::Table& members = db_.require_table("collection_members");
   const rel::Index* by_collection = members.index("idx_member_coll");
   std::vector<ObjectId> out;
@@ -260,7 +285,7 @@ std::vector<ObjectId> MetadataCatalog::collection_members(CollectionId collectio
       out.push_back(members.row(id)[1].as_int());
     }
     if (recursive) {
-      const auto children = child_collections(current);
+      const auto children = child_collections_unlocked(current);
       frontier.insert(frontier.end(), children.begin(), children.end());
     }
   }
@@ -269,10 +294,17 @@ std::vector<ObjectId> MetadataCatalog::collection_members(CollectionId collectio
   return out;
 }
 
+std::vector<ObjectId> MetadataCatalog::collection_members(CollectionId collection,
+                                                          bool recursive) const {
+  std::shared_lock lock(mutex_);
+  return collection_members_unlocked(collection, recursive);
+}
+
 std::vector<ObjectId> MetadataCatalog::query_in_collection(CollectionId collection,
                                                            const ObjectQuery& q,
                                                            bool recursive) const {
-  const std::vector<ObjectId> scope = collection_members(collection, recursive);
+  std::shared_lock lock(mutex_);
+  const std::vector<ObjectId> scope = collection_members_unlocked(collection, recursive);
   const std::vector<ObjectId> hits = engine_->run(q);
   std::vector<ObjectId> out;
   std::set_intersection(hits.begin(), hits.end(), scope.begin(), scope.end(),
@@ -280,8 +312,8 @@ std::vector<ObjectId> MetadataCatalog::query_in_collection(CollectionId collecti
   return out;
 }
 
-std::vector<ObjectId> MetadataCatalog::query(const ObjectQuery& q,
-                                             QueryPlanInfo* info) const {
+std::vector<ObjectId> MetadataCatalog::query_unlocked(const ObjectQuery& q,
+                                                      QueryPlanInfo* info) const {
   std::vector<ObjectId> hits = engine_->run(q, info);
   if (!deleted_.empty()) {
     std::erase_if(hits, [this](ObjectId id) { return deleted_.count(id) != 0; });
@@ -289,16 +321,84 @@ std::vector<ObjectId> MetadataCatalog::query(const ObjectQuery& q,
   return hits;
 }
 
-std::string MetadataCatalog::build_response(std::span<const ObjectId> ids) const {
+std::vector<ObjectId> MetadataCatalog::query(const ObjectQuery& q,
+                                             QueryPlanInfo* info) const {
+  std::shared_lock lock(mutex_);
+  return query_unlocked(q, info);
+}
+
+namespace {
+
+// Continuation cursors are opaque on the wire but versioned inside:
+// "HXC1.<version-hex>.<resume-after-id-hex>". The version pin is what makes
+// pages coherent without holding a lock between requests — any mutation
+// bumps the epoch and invalidates outstanding cursors.
+std::string encode_cursor(std::uint64_t version, ObjectId after) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "HXC1.%llx.%llx",
+                static_cast<unsigned long long>(version),
+                static_cast<unsigned long long>(after));
+  return buf;
+}
+
+bool decode_cursor(std::string_view cursor, std::uint64_t& version, ObjectId& after) {
+  if (cursor.rfind("HXC1.", 0) != 0) return false;
+  unsigned long long v = 0, a = 0;
+  char tail = 0;
+  if (std::sscanf(cursor.data() + 5, "%llx.%llx%c", &v, &a, &tail) != 2) return false;
+  version = v;
+  after = static_cast<ObjectId>(a);
+  return true;
+}
+
+}  // namespace
+
+QueryPage MetadataCatalog::query_paged(const ObjectQuery& q, QueryPlanInfo* info) const {
+  std::shared_lock lock(mutex_);
+  QueryPage page;
+  page.version = version_.load(std::memory_order_acquire);
+  std::vector<ObjectId> hits = query_unlocked(q, info);
+  if (!std::is_sorted(hits.begin(), hits.end())) {
+    std::sort(hits.begin(), hits.end());  // defensive: the engine emits ascending
+  }
+  if (!q.cursor().empty()) {
+    std::uint64_t cursor_version = 0;
+    ObjectId after = 0;
+    if (!decode_cursor(q.cursor(), cursor_version, after)) {
+      throw ValidationError("malformed continuation cursor");
+    }
+    if (cursor_version != page.version) {
+      throw StaleCursorError("cursor was issued at catalog version " +
+                             std::to_string(cursor_version) + " but the catalog is at " +
+                             std::to_string(page.version));
+    }
+    hits.erase(hits.begin(), std::upper_bound(hits.begin(), hits.end(), after));
+  }
+  if (q.limit() > 0 && hits.size() > q.limit()) {
+    hits.resize(q.limit());
+    page.next_cursor = encode_cursor(page.version, hits.back());
+  }
+  page.ids = std::move(hits);
+  return page;
+}
+
+std::string MetadataCatalog::build_response_unlocked(
+    std::span<const ObjectId> ids, const std::vector<OrderId>* orders) const {
   std::string out = "<results>";
   for (const ObjectId id : ids) {
-    if (is_deleted(id)) continue;
+    if (deleted_.count(id) != 0) continue;
     out += "<result objectID=\"" + std::to_string(id) + "\">";
-    out += responder_->build_document(id);
+    out += orders == nullptr ? responder_->build_document(id)
+                             : responder_->build_document(id, *orders);
     out += "</result>";
   }
   out += "</results>";
   return out;
+}
+
+std::string MetadataCatalog::build_response(std::span<const ObjectId> ids) const {
+  std::shared_lock lock(mutex_);
+  return build_response_unlocked(ids, nullptr);
 }
 
 std::string MetadataCatalog::build_response(
@@ -318,22 +418,17 @@ std::string MetadataCatalog::build_response(
       throw ValidationError("no attribute root at path '" + path + "'");
     }
   }
-  std::string out = "<results>";
-  for (const ObjectId id : ids) {
-    if (is_deleted(id)) continue;
-    out += "<result objectID=\"" + std::to_string(id) + "\">";
-    out += responder_->build_document(id, orders);
-    out += "</result>";
-  }
-  out += "</results>";
-  return out;
+  std::shared_lock lock(mutex_);
+  return build_response_unlocked(ids, &orders);
 }
 
 void MetadataCatalog::delete_object(ObjectId id) {
-  if (id < 0 || id >= next_object_) {
+  std::unique_lock lock(mutex_);
+  if (id < 0 || id >= next_object_.load(std::memory_order_acquire)) {
     throw ValidationError("unknown object " + std::to_string(id));
   }
   deleted_.insert(id);
+  bump_version();
 }
 
 namespace {
@@ -359,8 +454,9 @@ std::string read_token(std::istream& in) {
 }  // namespace
 
 void MetadataCatalog::save(std::ostream& out) const {
+  std::shared_lock lock(mutex_);
   out << "HXRCCAT 1\n";
-  out << "next_object " << next_object_ << '\n';
+  out << "next_object " << next_object_.load(std::memory_order_acquire) << '\n';
 
   // Structural definitions are reproduced by the constructor; count them so
   // restore can verify alignment, then write everything after them.
@@ -423,15 +519,18 @@ void MetadataCatalog::save(std::ostream& out) const {
 }
 
 void MetadataCatalog::restore(std::istream& in) {
+  std::unique_lock lock(mutex_);
   std::string magic;
   int version = 0;
   if (!(in >> magic >> version) || magic != "HXRCCAT" || version != 1) {
     throw ValidationError("not an HXRCCAT version-1 stream");
   }
   std::string tag;
-  if (!(in >> tag >> next_object_) || tag != "next_object") {
+  ObjectId restored_next = 0;
+  if (!(in >> tag >> restored_next) || tag != "next_object") {
     throw ValidationError("bad catalog header");
   }
+  next_object_.store(restored_next, std::memory_order_release);
 
   // Dynamic attribute definitions (the structural prefix must align with
   // what the constructor rebuilt from the schema).
@@ -515,13 +614,19 @@ void MetadataCatalog::restore(std::istream& in) {
 
   shredder_->load_counters(in);
   rel::load_database_into(db_, in);
+  bump_version();
 }
 
 xml::Document MetadataCatalog::fetch(ObjectId id) const {
-  if (is_deleted(id)) {
-    throw ValidationError("object " + std::to_string(id) + " has been deleted");
+  std::string text;
+  {
+    std::shared_lock lock(mutex_);
+    if (deleted_.count(id) != 0) {
+      throw ValidationError("object " + std::to_string(id) + " has been deleted");
+    }
+    text = responder_->build_document(id);
   }
-  const std::string text = responder_->build_document(id);
+  // Parse outside the lock: the text is already a private copy.
   if (text.empty()) {
     // An object with no stored attributes reconstructs as an empty root.
     xml::Document doc;

@@ -12,9 +12,23 @@
 //   ObjectId id = catalog.ingest_xml(document_text, "run-042", "alice");
 //   auto ids = catalog.query(query);
 //   std::string response = catalog.build_response(ids);
+//
+// Concurrency: the catalog is safe for mixed readers and writers. Reads
+// (query/query_paged/fetch/build_response/collection reads/save) take a
+// shared lock; mutations (ingest/add_attribute/define/delete/collection
+// writes/restore) take an exclusive lock and bump a monotonically
+// increasing catalog version (epoch). Continuation cursors carry the
+// version they were issued at and go stale on any mutation. The accessors
+// that hand out raw internals (database(), registry(), thesaurus()) are
+// NOT locked — hold read_lock() around them, or confine their use to
+// single-threaded setup/teardown.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -38,6 +52,25 @@ namespace hxrc::core {
 struct CatalogConfig {
   ShredOptions shred;
   EngineOptions engine;
+};
+
+/// A continuation cursor named a catalog version that no longer exists: a
+/// mutation (ingest, add_attribute, define, delete, ...) happened between
+/// pages. Clients must restart the query; the service layer maps this to
+/// `<catalogResponse status="error" code="stale_cursor">`.
+class StaleCursorError : public ValidationError {
+ public:
+  using ValidationError::ValidationError;
+};
+
+/// One page of paginated query results (see MetadataCatalog::query_paged).
+struct QueryPage {
+  /// Matching ids, ascending, at most the query's limit.
+  std::vector<ObjectId> ids;
+  /// Opaque continuation cursor; empty when this is the last page.
+  std::string next_cursor;
+  /// Catalog version (epoch) the page was computed at.
+  std::uint64_t version = 0;
 };
 
 /// Declaration of one element of a dynamic attribute definition.
@@ -124,6 +157,14 @@ class MetadataCatalog {
 
   std::vector<ObjectId> query(const ObjectQuery& q, QueryPlanInfo* info = nullptr) const;
 
+  /// Paginated query: honors the query's `limit` and continuation `cursor`.
+  /// Cursors are opaque, carry the catalog version they were issued at, and
+  /// are validated here: a cursor issued before any later mutation throws
+  /// StaleCursorError; a syntactically bad cursor throws ValidationError.
+  /// Each page is recomputed from the engine (ids are ascending, so the
+  /// cursor is a resume-after id — O(log n) to apply).
+  QueryPage query_paged(const ObjectQuery& q, QueryPlanInfo* info = nullptr) const;
+
   /// Full tagged-XML response for a set of object ids (§5).
   std::string build_response(std::span<const ObjectId> ids) const;
 
@@ -142,8 +183,14 @@ class MetadataCatalog {
   /// fetched. Storage is reclaimed lazily (the tables are append-only).
   void delete_object(ObjectId id);
 
-  bool is_deleted(ObjectId id) const noexcept { return deleted_.count(id) != 0; }
-  std::size_t deleted_count() const noexcept { return deleted_.size(); }
+  bool is_deleted(ObjectId id) const {
+    std::shared_lock lock(mutex_);
+    return deleted_.count(id) != 0;
+  }
+  std::size_t deleted_count() const {
+    std::shared_lock lock(mutex_);
+    return deleted_.size();
+  }
 
   // ---- persistence ----
 
@@ -157,6 +204,23 @@ class MetadataCatalog {
   /// ordering tables are rebuilt by the constructor and verified here).
   /// Existing ingested data is discarded.
   void restore(std::istream& in);
+
+  // ---- concurrency ----
+
+  /// Current catalog version (epoch). Bumped by every mutation; readable
+  /// without a lock. Continuation cursors embed the version they were
+  /// issued at and are rejected once it moves.
+  std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Shared (read) lock over the catalog, for external readers that walk
+  /// raw internals (database()/registry()/CatalogBrowser) concurrently with
+  /// writers. The catalog's own read methods lock internally — do not hold
+  /// this around them (std::shared_mutex is not recursive).
+  std::shared_lock<std::shared_mutex> read_lock() const {
+    return std::shared_lock(mutex_);
+  }
 
   // ---- introspection ----
 
@@ -172,10 +236,30 @@ class MetadataCatalog {
   const Thesaurus& thesaurus() const noexcept { return thesaurus_; }
   const rel::Database& database() const noexcept { return db_; }
   rel::Database& database() noexcept { return db_; }
+  /// Unlocked reference — single-threaded use (or under read_lock()) only;
+  /// concurrent callers want stats_snapshot().
   const ShredStats& total_stats() const noexcept { return stats_; }
-  std::size_t object_count() const noexcept { return static_cast<std::size_t>(next_object_); }
+  /// Copy of the aggregate shred stats, taken under the shared lock.
+  ShredStats stats_snapshot() const {
+    std::shared_lock lock(mutex_);
+    return stats_;
+  }
+  std::size_t object_count() const noexcept {
+    return static_cast<std::size_t>(next_object_.load(std::memory_order_acquire));
+  }
 
  private:
+  std::vector<CollectionId> child_collections_unlocked(CollectionId collection) const;
+  std::vector<ObjectId> collection_members_unlocked(CollectionId collection,
+                                                    bool recursive) const;
+  std::string build_response_unlocked(std::span<const ObjectId> ids,
+                                      const std::vector<OrderId>* orders) const;
+  /// Engine run + tombstone filter, ids ascending. Caller holds mutex_.
+  std::vector<ObjectId> query_unlocked(const ObjectQuery& q, QueryPlanInfo* info) const;
+  void bump_version() noexcept {
+    version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   const xml::Schema& schema_;
   CatalogConfig config_;
   Partition partition_;
@@ -185,9 +269,13 @@ class MetadataCatalog {
   std::unique_ptr<Shredder> shredder_;
   std::unique_ptr<QueryEngine> engine_;
   std::unique_ptr<ResponseBuilder> responder_;
-  ObjectId next_object_ = 0;
+  std::atomic<ObjectId> next_object_{0};
   ShredStats stats_;
   std::unordered_set<ObjectId> deleted_;
+  /// Shared for reads, exclusive for mutations. Guards db_, registry_,
+  /// thesaurus_, stats_, deleted_, and the shredder counters.
+  mutable std::shared_mutex mutex_;
+  std::atomic<std::uint64_t> version_{0};
 };
 
 }  // namespace hxrc::core

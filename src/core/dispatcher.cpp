@@ -1,0 +1,101 @@
+#include "core/dispatcher.hpp"
+
+#include <optional>
+#include <utility>
+
+namespace hxrc::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::future<std::string> ready_future(std::string response) {
+  std::promise<std::string> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+}  // namespace
+
+ServiceDispatcher::ServiceDispatcher(MetadataCatalog& catalog, DispatcherConfig config)
+    : config_(std::move(config)),
+      metrics_(service_request_type_names()),
+      service_(catalog, &metrics_),
+      pool_(config_.workers == 0 ? 1 : config_.workers) {}
+
+int ServiceDispatcher::slot_for(std::string_view type_name) const noexcept {
+  const int slot = metrics_.find(type_name);
+  return slot >= 0 ? slot : metrics_.find("other");
+}
+
+std::future<std::string> ServiceDispatcher::submit(std::string request_xml) {
+  // Admission: a lock-free bounded counter. fetch_add/compare loop instead
+  // of a blind increment so a rejected submission never transiently
+  // inflates the depth other admissions see.
+  std::size_t depth = pending_.load(std::memory_order_acquire);
+  for (;;) {
+    if (depth >= config_.max_queue) {
+      util::RequestStats& slot = metrics_.at(
+          static_cast<std::size_t>(slot_for(peek_request_type(request_xml))));
+      slot.rejected.fetch_add(1, std::memory_order_relaxed);
+      return ready_future(error_response(
+          ErrorCode::kOverloaded,
+          "admission queue full (" + std::to_string(config_.max_queue) + " pending)"));
+    }
+    if (pending_.compare_exchange_weak(depth, depth + 1, std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+
+  // Deadline: per-request timeoutMs (a root-tag attribute, scanned without
+  // a DOM) wins over the configured default. timeoutMs="0" expires
+  // immediately — the deterministic timeout used by the protocol tests.
+  const Clock::time_point admitted = Clock::now();
+  std::optional<Clock::time_point> deadline;
+  const long request_ms = peek_timeout_ms(request_xml);
+  if (request_ms >= 0) {
+    deadline = admitted + std::chrono::milliseconds(request_ms);
+  } else if (config_.default_timeout.count() > 0) {
+    deadline = admitted + config_.default_timeout;
+  }
+
+  return pool_.submit([this, request = std::move(request_xml), admitted, deadline] {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    if (config_.before_execute) config_.before_execute();
+
+    RequestOutcome outcome;
+    std::string response;
+    bool timed_out = deadline.has_value() && Clock::now() >= *deadline;
+    if (timed_out) {
+      // Expired while queued: answer without touching the catalog. The
+      // type still comes from the light scan so the timeout is attributed
+      // to the right slot.
+      const std::string type = peek_request_type(request);
+      if (metrics_.find(type) >= 0) outcome.type = type;
+    } else {
+      response = service_.handle(request, &outcome);
+      timed_out = deadline.has_value() && Clock::now() >= *deadline;
+    }
+    if (timed_out) {
+      response = error_response(ErrorCode::kTimeout, "deadline exceeded");
+      outcome.ok = false;
+      outcome.code = ErrorCode::kTimeout;
+    }
+
+    util::RequestStats& slot = metrics_.at(static_cast<std::size_t>(slot_for(outcome.type)));
+    slot.handled.fetch_add(1, std::memory_order_relaxed);
+    if (timed_out) {
+      slot.timeouts.fetch_add(1, std::memory_order_relaxed);
+    } else if (outcome.ok) {
+      slot.ok.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      slot.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - admitted);
+    slot.latency.record(static_cast<std::uint64_t>(elapsed.count()));
+    return response;
+  });
+}
+
+}  // namespace hxrc::core

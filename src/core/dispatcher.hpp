@@ -1,0 +1,92 @@
+// ServiceDispatcher: the concurrent front door of the catalog service.
+//
+// A grid metadata catalog is hammered by many clients at once (AMGA-style
+// multi-client workloads); one CatalogService::handle call per request on
+// the caller's thread does not model that. The dispatcher runs N worker
+// threads over util::ThreadPool and adds the service-endpoint disciplines
+// the single-shot API lacks:
+//
+//  * bounded admission queue — at most `max_queue` requests may be waiting;
+//    beyond that, submit() immediately resolves to
+//    `<catalogResponse status="error" code="overloaded">` instead of
+//    letting the backlog grow without bound;
+//  * per-request deadlines — a request may carry timeoutMs="N" on its root
+//    tag (or inherit `default_timeout`); a request whose deadline passes
+//    while queued is answered `code="timeout"` without touching the
+//    catalog, and one that finishes past its deadline has its result
+//    replaced by the timeout response (the client has given up — late
+//    results must not look like successes);
+//  * per-request-type metrics — counters and latency histograms
+//    (admission→completion, queue wait included), reported through the
+//    `stats` request type (see util/metrics.hpp).
+//
+// The shared-lock discipline inside MetadataCatalog is what makes the N
+// workers safe; the dispatcher adds no locking of its own beyond the
+// admission counter.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <string>
+
+#include "core/catalog.hpp"
+#include "core/service.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hxrc::core {
+
+struct DispatcherConfig {
+  /// Worker threads handling requests.
+  std::size_t workers = 4;
+  /// Bounded admission queue: maximum requests admitted but not yet
+  /// executing. Beyond it, submissions are rejected as `overloaded`.
+  std::size_t max_queue = 256;
+  /// Deadline applied to requests that carry no timeoutMs attribute;
+  /// zero = no deadline.
+  std::chrono::milliseconds default_timeout{0};
+  /// Test seam: runs on the worker thread before each request is handled.
+  /// Lets tests hold workers at a barrier to fill the admission queue or
+  /// expire deadlines deterministically.
+  std::function<void()> before_execute;
+};
+
+class ServiceDispatcher {
+ public:
+  explicit ServiceDispatcher(MetadataCatalog& catalog, DispatcherConfig config = {});
+
+  ServiceDispatcher(const ServiceDispatcher&) = delete;
+  ServiceDispatcher& operator=(const ServiceDispatcher&) = delete;
+
+  /// Admits one serialized request. The future always yields a
+  /// <catalogResponse> — overload and timeout included; it never throws
+  /// protocol errors.
+  std::future<std::string> submit(std::string request_xml);
+
+  /// Synchronous convenience: submit + wait.
+  std::string call(std::string request_xml) { return submit(std::move(request_xml)).get(); }
+
+  /// Requests admitted and not yet picked up by a worker.
+  std::size_t queue_depth() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  const util::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  std::size_t workers() const noexcept { return pool_.size(); }
+
+ private:
+  int slot_for(std::string_view type_name) const noexcept;
+
+  DispatcherConfig config_;
+  util::MetricsRegistry metrics_;
+  CatalogService service_;
+  std::atomic<std::size_t> pending_{0};
+  /// Declared last: destroyed first, so the workers drain and join while
+  /// service_/metrics_/pending_ are still alive.
+  util::ThreadPool pool_;
+};
+
+}  // namespace hxrc::core

@@ -16,6 +16,7 @@
 // the storage layer makes this recursion-free, §4).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -98,14 +99,33 @@ class ObjectQuery {
     return *this;
   }
 
+  /// Page size for paginated execution (MetadataCatalog::query_paged and
+  /// the wire protocol's `limit` attribute); 0 = unlimited.
+  ObjectQuery& set_limit(std::size_t limit) {
+    limit_ = limit;
+    return *this;
+  }
+
+  /// Opaque continuation cursor from a previous page's `next_cursor`.
+  /// Cursors carry the catalog version they were issued at and go stale on
+  /// any mutation (StaleCursorError / code="stale_cursor").
+  ObjectQuery& set_cursor(std::string cursor) {
+    cursor_ = std::move(cursor);
+    return *this;
+  }
+
   const std::vector<AttrQuery>& attributes() const noexcept { return attributes_; }
   const std::string& user() const noexcept { return user_; }
+  std::size_t limit() const noexcept { return limit_; }
+  const std::string& cursor() const noexcept { return cursor_; }
 
   bool has_sub_attributes() const noexcept;
 
  private:
   std::vector<AttrQuery> attributes_;
   std::string user_;
+  std::size_t limit_ = 0;
+  std::string cursor_;
 };
 
 }  // namespace hxrc::core

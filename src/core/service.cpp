@@ -1,5 +1,7 @@
 #include "core/service.hpp"
 
+#include <algorithm>
+
 #include "util/string_util.hpp"
 #include "xml/parser.hpp"
 #include "xml/writer.hpp"
@@ -55,16 +57,24 @@ void serialize_attr(std::string& out, const AttrQuery& attr) {
   out += "</attribute>";
 }
 
-AttrQuery parse_attr(const xml::Node& node) {
+/// `context` is the criterion path so far ("grid/grid-stretching"), so a
+/// failed parse names exactly which criterion was at fault.
+AttrQuery parse_attr(const xml::Node& node, const std::string& context) {
   const std::string* name = node.attribute("name");
-  if (name == nullptr) throw ValidationError("<attribute> missing name");
+  if (name == nullptr) {
+    throw ValidationError("criterion '" + (context.empty() ? "<top-level>" : context) +
+                          "': <attribute> missing name");
+  }
+  const std::string path = context.empty() ? *name : context + "/" + *name;
   const std::string* source = node.attribute("source");
   AttrQuery attr(*name, source == nullptr ? std::string{} : *source);
 
   for (const xml::Node* child : node.child_elements()) {
     if (child->name() == "element") {
       const std::string* elem_name = child->attribute("name");
-      if (elem_name == nullptr) throw ValidationError("<element> missing name");
+      if (elem_name == nullptr) {
+        throw ValidationError("criterion '" + path + "': <element> missing name");
+      }
       const std::string* elem_source = child->attribute("source");
       const std::string src = elem_source == nullptr ? std::string{} : *elem_source;
       if (const std::string* exists = child->attribute("exists");
@@ -82,34 +92,97 @@ AttrQuery parse_attr(const xml::Node& node) {
       } else {
         value = rel::Value(text);
       }
-      attr.add_element(*elem_name, src, std::move(value),
-                       op == nullptr ? CompareOp::kEq : op_from_name(*op));
+      try {
+        attr.add_element(*elem_name, src, std::move(value),
+                         op == nullptr ? CompareOp::kEq : op_from_name(*op));
+      } catch (const ValidationError& e) {
+        throw ValidationError("criterion '" + path + "/" + *elem_name + "': " + e.what());
+      }
       continue;
     }
     if (child->name() == "attribute") {
-      attr.add_attribute(parse_attr(*child));
+      attr.add_attribute(parse_attr(*child, path));
       continue;
     }
-    throw ValidationError("unexpected <" + child->name() + "> in query criteria");
+    throw ValidationError("criterion '" + path + "': unexpected <" + child->name() +
+                          "> in query criteria");
   }
   return attr;
 }
 
-std::string ok_response(const std::string& payload) {
-  return "<catalogResponse status=\"ok\">" + payload + "</catalogResponse>";
+}  // namespace
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kUnknownType: return "unknown_type";
+    case ErrorCode::kValidation: return "validation";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kStaleCursor: return "stale_cursor";
+  }
+  return "validation";
 }
 
-std::string error_response(const std::string& message) {
-  return "<catalogResponse status=\"error\"><message>" + xml::escape_text(message) +
-         "</message></catalogResponse>";
+std::string error_response(ErrorCode code, const std::string& message) {
+  return "<catalogResponse status=\"error\" code=\"" +
+         std::string(error_code_name(code)) + "\"><message>" +
+         xml::escape_text(message) + "</message></catalogResponse>";
+}
+
+const std::vector<std::string>& service_request_type_names() {
+  static const std::vector<std::string> names{"ingest", "query",  "queryIds",
+                                              "fetch",  "addAttribute", "define",
+                                              "delete", "stats",  "other"};
+  return names;
+}
+
+namespace {
+
+/// Attribute scan restricted to the root tag of a serialized request: finds
+/// `name="value"` before the first '>'. Lightweight by design — the
+/// dispatcher calls this on the admission path, before any DOM exists.
+std::string_view peek_root_attribute(std::string_view xml, std::string_view name) {
+  const std::size_t tag_end = xml.find('>');
+  const std::string_view tag = xml.substr(0, tag_end);
+  const std::string needle = std::string(name) + "=\"";
+  const std::size_t at = tag.find(needle);
+  if (at == std::string_view::npos) return {};
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = tag.find('"', begin);
+  if (end == std::string_view::npos) return {};
+  return tag.substr(begin, end - begin);
+}
+
+std::string ok_response(std::uint64_t version, const std::string& payload) {
+  return "<catalogResponse status=\"ok\" version=\"" + std::to_string(version) + "\">" +
+         payload + "</catalogResponse>";
 }
 
 }  // namespace
+
+std::string peek_request_type(std::string_view request_xml) {
+  return std::string(peek_root_attribute(request_xml, "type"));
+}
+
+long peek_timeout_ms(std::string_view request_xml) {
+  const std::string_view text = peek_root_attribute(request_xml, "timeoutMs");
+  if (text.empty()) return -1;
+  const auto value = util::parse_int(std::string(text));
+  return value && *value >= 0 ? static_cast<long>(*value) : -1;
+}
 
 std::string query_to_xml(const ObjectQuery& query) {
   std::string out = "<catalogRequest type=\"query\"";
   if (!query.user().empty()) {
     out += " user=\"" + xml::escape_attribute(query.user()) + "\"";
+  }
+  if (query.limit() > 0) {
+    out += " limit=\"" + std::to_string(query.limit()) + "\"";
+  }
+  if (!query.cursor().empty()) {
+    out += " cursor=\"" + xml::escape_attribute(query.cursor()) + "\"";
   }
   out += ">";
   for (const AttrQuery& attr : query.attributes()) {
@@ -124,65 +197,111 @@ ObjectQuery query_from_xml(const xml::Node& request) {
   if (const std::string* user = request.attribute("user")) {
     query.set_user(*user);
   }
+  if (const std::string* limit = request.attribute("limit")) {
+    const auto value = util::parse_int(*limit);
+    if (!value || *value < 0) {
+      throw ValidationError("bad limit attribute '" + *limit + "'");
+    }
+    query.set_limit(static_cast<std::size_t>(*value));
+  }
+  if (const std::string* cursor = request.attribute("cursor")) {
+    query.set_cursor(*cursor);
+  }
   for (const xml::Node* child : request.child_elements()) {
     if (child->name() != "attribute") continue;
-    query.add_attribute(parse_attr(*child));
+    query.add_attribute(parse_attr(*child, {}));
   }
   return query;
 }
 
-std::string CatalogService::handle(std::string_view request_xml) {
+std::string CatalogService::handle(std::string_view request_xml, RequestOutcome* outcome) {
+  RequestOutcome local;
+  if (outcome == nullptr) outcome = &local;
   try {
     const xml::Document doc = xml::parse(request_xml);
     if (doc.root->name() != "catalogRequest") {
-      return error_response("expected <catalogRequest>");
+      throw ServiceError(ErrorCode::kParseError, "expected <catalogRequest>");
     }
-    return handle_parsed(*doc.root);
+    std::string response = handle_parsed(*doc.root, outcome);
+    outcome->ok = true;
+    return response;
+  } catch (const ServiceError& e) {
+    outcome->code = e.code();
+    return error_response(e.code(), e.what());
+  } catch (const xml::ParseError& e) {
+    outcome->code = ErrorCode::kParseError;
+    return error_response(ErrorCode::kParseError, e.what());
+  } catch (const StaleCursorError& e) {
+    outcome->code = ErrorCode::kStaleCursor;
+    return error_response(ErrorCode::kStaleCursor, e.what());
   } catch (const std::exception& e) {
-    return error_response(e.what());
+    outcome->code = ErrorCode::kValidation;
+    return error_response(ErrorCode::kValidation, e.what());
   }
 }
 
-std::string CatalogService::handle_parsed(const xml::Node& request) {
+std::string CatalogService::handle_parsed(const xml::Node& request,
+                                          RequestOutcome* outcome) {
   const std::string* type = request.attribute("type");
-  if (type == nullptr) return error_response("<catalogRequest> missing type");
+  if (type == nullptr) {
+    throw ServiceError(ErrorCode::kParseError, "<catalogRequest> missing type");
+  }
+  if (std::find(service_request_type_names().begin(), service_request_type_names().end(),
+                *type) != service_request_type_names().end()) {
+    outcome->type = *type;
+  }
   const std::string* user_attr = request.attribute("user");
   const std::string user = user_attr == nullptr ? std::string{} : *user_attr;
 
   if (*type == "ingest") {
     const auto children = request.child_elements();
     if (children.size() != 1) {
-      return error_response("ingest expects exactly one document");
+      throw ServiceError(ErrorCode::kValidation, "ingest expects exactly one document");
     }
     const std::string* name = request.attribute("name");
     xml::Document doc;
     doc.root = children.front()->clone();
     const ObjectId id =
         catalog_.ingest(doc, name == nullptr ? "unnamed" : *name, user);
-    return ok_response("<objectID>" + std::to_string(id) + "</objectID>");
+    return ok_response(catalog_.version(),
+                       "<objectID>" + std::to_string(id) + "</objectID>");
   }
 
   if (*type == "query" || *type == "queryIds") {
     const ObjectQuery query = query_from_xml(request);
-    const auto ids = catalog_.query(query);
+    const QueryPage page = catalog_.query_paged(query);
+    std::string payload;
     if (*type == "queryIds") {
-      std::string payload = "<objectIDs>";
-      for (const ObjectId id : ids) {
+      // Ids are ascending (query_paged guarantees it), so identical
+      // requests return identical, stably-ordered pages.
+      payload = "<objectIDs>";
+      for (const ObjectId id : page.ids) {
         payload += "<objectID>" + std::to_string(id) + "</objectID>";
       }
       payload += "</objectIDs>";
-      return ok_response(payload);
+    } else {
+      payload = catalog_.build_response(page.ids);
     }
-    return ok_response(catalog_.build_response(ids));
+    if (!page.next_cursor.empty()) {
+      payload += "<nextCursor>" + xml::escape_text(page.next_cursor) + "</nextCursor>";
+    }
+    return ok_response(page.version, payload);
   }
 
   if (*type == "fetch") {
     const std::string* id_text = request.attribute("objectID");
-    if (id_text == nullptr) return error_response("fetch requires objectID");
+    if (id_text == nullptr) {
+      throw ServiceError(ErrorCode::kValidation, "fetch requires objectID");
+    }
     const auto id = util::parse_int(*id_text);
-    if (!id) return error_response("bad objectID");
+    if (!id) throw ServiceError(ErrorCode::kValidation, "bad objectID");
+    if (*id < 0 || static_cast<std::size_t>(*id) >= catalog_.object_count() ||
+        catalog_.is_deleted(*id)) {
+      throw ServiceError(ErrorCode::kNotFound,
+                         "object " + *id_text + " does not exist");
+    }
     const std::vector<ObjectId> ids{*id};
-    return ok_response(catalog_.build_response(ids));
+    return ok_response(catalog_.version(), catalog_.build_response(ids));
   }
 
   if (*type == "addAttribute") {
@@ -190,25 +309,32 @@ std::string CatalogService::handle_parsed(const xml::Node& request) {
     const std::string* path = request.attribute("path");
     const auto children = request.child_elements();
     if (id_text == nullptr || path == nullptr || children.size() != 1) {
-      return error_response("addAttribute requires objectID, path, and one element");
+      throw ServiceError(ErrorCode::kValidation,
+                         "addAttribute requires objectID, path, and one element");
     }
     const auto id = util::parse_int(*id_text);
-    if (!id) return error_response("bad objectID");
+    if (!id) throw ServiceError(ErrorCode::kValidation, "bad objectID");
+    if (*id < 0 || static_cast<std::size_t>(*id) >= catalog_.object_count()) {
+      throw ServiceError(ErrorCode::kNotFound,
+                         "object " + *id_text + " does not exist");
+    }
     catalog_.add_attribute(*id, *path, *children.front(), user);
-    return ok_response("<added/>");
+    return ok_response(catalog_.version(), "<added/>");
   }
 
   if (*type == "define") {
     const std::string* name = request.attribute("name");
     const std::string* source = request.attribute("source");
     if (name == nullptr || source == nullptr) {
-      return error_response("define requires name and source");
+      throw ServiceError(ErrorCode::kValidation, "define requires name and source");
     }
     std::vector<DynamicElementSpec> elements;
     for (const xml::Node* child : request.child_elements()) {
       if (child->name() != "element") continue;
       const std::string* elem_name = child->attribute("name");
-      if (elem_name == nullptr) return error_response("<element> missing name");
+      if (elem_name == nullptr) {
+        throw ServiceError(ErrorCode::kValidation, "<element> missing name");
+      }
       DynamicElementSpec spec;
       spec.name = *elem_name;
       if (const std::string* elem_type = child->attribute("type")) {
@@ -220,32 +346,69 @@ std::string CatalogService::handle_parsed(const xml::Node& request) {
     const AttrDefId id = catalog_.define_dynamic_attribute(
         *name, *source, elements,
         is_private ? Visibility::kUser : Visibility::kAdmin, user);
-    return ok_response("<attributeID>" + std::to_string(id) + "</attributeID>");
+    return ok_response(catalog_.version(),
+                       "<attributeID>" + std::to_string(id) + "</attributeID>");
   }
 
   if (*type == "delete") {
     const std::string* id_text = request.attribute("objectID");
-    if (id_text == nullptr) return error_response("delete requires objectID");
+    if (id_text == nullptr) {
+      throw ServiceError(ErrorCode::kValidation, "delete requires objectID");
+    }
     const auto id = util::parse_int(*id_text);
-    if (!id) return error_response("bad objectID");
+    if (!id) throw ServiceError(ErrorCode::kValidation, "bad objectID");
+    if (*id < 0 || static_cast<std::size_t>(*id) >= catalog_.object_count()) {
+      throw ServiceError(ErrorCode::kNotFound,
+                         "object " + *id_text + " does not exist");
+    }
     catalog_.delete_object(*id);
-    return ok_response("<deleted/>");
+    return ok_response(catalog_.version(), "<deleted/>");
   }
 
   if (*type == "stats") {
-    const ShredStats& stats = catalog_.total_stats();
+    const ShredStats stats = catalog_.stats_snapshot();
+    std::size_t definitions = 0;
+    {
+      const auto lock = catalog_.read_lock();
+      definitions = catalog_.registry().attribute_count();
+    }
     std::string payload = "<stats";
     payload += " objects=\"" + std::to_string(catalog_.object_count()) + "\"";
     payload += " attributes=\"" + std::to_string(stats.attribute_instances) + "\"";
     payload += " elements=\"" + std::to_string(stats.element_rows) + "\"";
     payload += " clobs=\"" + std::to_string(stats.clobs) + "\"";
-    payload += " definitions=\"" + std::to_string(catalog_.registry().attribute_count()) +
-               "\"";
-    payload += "/>";
-    return ok_response(payload);
+    payload += " definitions=\"" + std::to_string(definitions) + "\"";
+    payload += " deleted=\"" + std::to_string(catalog_.deleted_count()) + "\"";
+    payload += " version=\"" + std::to_string(catalog_.version()) + "\"";
+    if (metrics_ == nullptr) {
+      payload += "/>";
+    } else {
+      payload += "><requests>";
+      for (std::size_t i = 0; i < metrics_->size(); ++i) {
+        const util::RequestStats& slot = metrics_->at(i);
+        const std::uint64_t handled = slot.handled.load(std::memory_order_relaxed);
+        const std::uint64_t rejected = slot.rejected.load(std::memory_order_relaxed);
+        if (handled == 0 && rejected == 0) continue;
+        payload += "<request type=\"" + metrics_->name(i) + "\"";
+        payload += " handled=\"" + std::to_string(handled) + "\"";
+        payload += " ok=\"" + std::to_string(slot.ok.load(std::memory_order_relaxed)) + "\"";
+        payload +=
+            " errors=\"" + std::to_string(slot.errors.load(std::memory_order_relaxed)) + "\"";
+        payload += " timeouts=\"" +
+                   std::to_string(slot.timeouts.load(std::memory_order_relaxed)) + "\"";
+        payload += " rejected=\"" + std::to_string(rejected) + "\"";
+        payload += " mean_us=\"" + std::to_string(slot.latency.mean_micros()) + "\"";
+        payload += " p50_us=\"" + std::to_string(slot.latency.percentile_micros(0.50)) + "\"";
+        payload += " p99_us=\"" + std::to_string(slot.latency.percentile_micros(0.99)) + "\"";
+        payload += " max_us=\"" + std::to_string(slot.latency.max_micros()) + "\"";
+        payload += "/>";
+      }
+      payload += "</requests></stats>";
+    }
+    return ok_response(catalog_.version(), payload);
   }
 
-  return error_response("unknown request type '" + *type + "'");
+  throw ServiceError(ErrorCode::kUnknownType, "unknown request type '" + *type + "'");
 }
 
 }  // namespace hxrc::core

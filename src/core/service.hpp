@@ -6,7 +6,7 @@
 // the XML serialization of metadata-attribute queries (the wire form of the
 // MyFile/MyAttr API):
 //
-//   <catalogRequest type="query" user="alice">
+//   <catalogRequest type="query" user="alice" limit="100" cursor="...">
 //     <attribute name="grid" source="ARPS">
 //       <element name="dx" source="ARPS" op="eq">1000</element>
 //       <attribute name="grid-stretching" source="ARPS">
@@ -18,39 +18,108 @@
 // Request types: ingest, query, queryIds, fetch, addAttribute, define,
 // delete, stats. Responses:
 //
-//   <catalogResponse status="ok">...payload...</catalogResponse>
-//   <catalogResponse status="error"><message>...</message></catalogResponse>
+//   <catalogResponse status="ok" version="N">...payload...</catalogResponse>
+//   <catalogResponse status="error" code="..."><message>...</message></catalogResponse>
+//
+// `version` is the catalog epoch the request observed. Error responses
+// carry a machine-readable `code` from the enumerated set below plus a
+// human-readable <message>. Query/queryIds responses are paginated when the
+// request sets `limit`: they carry a <nextCursor> child while more pages
+// exist, and `queryIds` ids are always ascending so identical requests
+// return identical pages.
 //
 // handle() never throws: every failure becomes a status="error" response,
 // as a service endpoint must behave.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/catalog.hpp"
 #include "core/query.hpp"
+#include "util/metrics.hpp"
 
 namespace hxrc::core {
 
-/// Serializes a query to its wire form (children of <catalogRequest>).
+/// Machine-readable error codes carried on error responses.
+enum class ErrorCode {
+  kParseError,   // request was not well-formed XML / not a <catalogRequest>
+  kUnknownType,  // unrecognized request type attribute
+  kValidation,   // request violated protocol or catalog constraints
+  kNotFound,     // the referenced object does not exist (or is deleted)
+  kTimeout,      // dispatcher: deadline exceeded before/while handling
+  kOverloaded,   // dispatcher: admission queue full
+  kStaleCursor,  // continuation cursor predates a catalog mutation
+};
+
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// Thrown inside request handlers to produce a coded error response.
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Serializes an error into the wire form — shared by CatalogService and
+/// ServiceDispatcher (which must emit timeout/overloaded responses without
+/// a service call).
+std::string error_response(ErrorCode code, const std::string& message);
+
+/// Serializes a query to its wire form (children of <catalogRequest>, plus
+/// limit/cursor attributes when set).
 std::string query_to_xml(const ObjectQuery& query);
 
 /// Parses the wire form back into a query. Throws ValidationError on
-/// malformed criteria.
+/// malformed criteria; the message names the failing criterion by its
+/// attribute path (e.g. "criterion 'grid/grid-stretching'").
 ObjectQuery query_from_xml(const xml::Node& request);
+
+/// The wire request-type names, in protocol order, plus the "other"
+/// catch-all — the slot set for a per-request-type MetricsRegistry.
+const std::vector<std::string>& service_request_type_names();
+
+/// Light scan of a serialized request's root tag for its type attribute
+/// (no DOM build — used by the dispatcher to classify rejected requests).
+/// Returns "" when no type is found.
+std::string peek_request_type(std::string_view request_xml);
+
+/// Light scan for the root tag's timeoutMs attribute. Returns a negative
+/// value when absent or non-numeric. timeoutMs="0" means "already expired"
+/// (deterministic timeout); absence means "no per-request deadline".
+long peek_timeout_ms(std::string_view request_xml);
+
+/// Outcome of one handled request, for the dispatcher's metrics.
+struct RequestOutcome {
+  /// Parsed request type; "other" when the request never yielded one.
+  std::string type = "other";
+  bool ok = false;
+  ErrorCode code = ErrorCode::kValidation;  // valid when !ok
+};
 
 class CatalogService {
  public:
-  explicit CatalogService(MetadataCatalog& catalog) : catalog_(catalog) {}
+  explicit CatalogService(MetadataCatalog& catalog,
+                          const util::MetricsRegistry* metrics = nullptr)
+      : catalog_(catalog), metrics_(metrics) {}
 
   /// Handles one serialized request; always returns a <catalogResponse>.
-  std::string handle(std::string_view request_xml);
+  /// `outcome`, when given, reports the request type and status for
+  /// metrics accounting.
+  std::string handle(std::string_view request_xml, RequestOutcome* outcome = nullptr);
 
  private:
-  std::string handle_parsed(const xml::Node& request);
+  std::string handle_parsed(const xml::Node& request, RequestOutcome* outcome);
 
   MetadataCatalog& catalog_;
+  /// Optional dispatcher metrics, rendered into stats responses. Not owned.
+  const util::MetricsRegistry* metrics_;
 };
 
 }  // namespace hxrc::core

@@ -1,0 +1,119 @@
+// Lock-free service metrics: per-request-type counters and latency
+// histograms.
+//
+// The dispatcher records one sample per handled request; the stats request
+// type reports the aggregate (see core/service.cpp). Everything here is a
+// plain atomic so recording never blocks a worker: histograms are
+// power-of-two bucketed (bucket i counts samples with latency in
+// [2^(i-1), 2^i) microseconds), which is plenty for percentile reporting
+// and costs one fetch_add per sample.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hxrc::util {
+
+/// Log2-bucketed latency histogram over microseconds. All methods are
+/// thread-safe; readers see a consistent-enough snapshot for reporting
+/// (counters are monotone, so percentiles are within one bucket of exact).
+class LatencyHistogram {
+ public:
+  /// Bucket 27 tops out at ~134 s; slower samples clamp into it.
+  static constexpr std::size_t kBuckets = 28;
+
+  void record(std::uint64_t micros) noexcept {
+    std::size_t bucket = 0;
+    while (bucket + 1 < kBuckets && (std::uint64_t{1} << bucket) < micros) ++bucket;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(micros, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (micros > seen &&
+           !max_.compare_exchange_weak(seen, micros, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t total_micros() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_micros() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t mean_micros() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0 : total_micros() / n;
+  }
+
+  /// Upper bound (in µs) of the bucket containing the p-th percentile
+  /// sample (p in [0, 1]); 0 when empty.
+  std::uint64_t percentile_micros(double p) const noexcept {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(n - 1)) + 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cumulative += buckets_[i].load(std::memory_order_relaxed);
+      if (cumulative >= rank) return std::uint64_t{1} << i;
+    }
+    return std::uint64_t{1} << (kBuckets - 1);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Counters for one request type. `handled = ok + errors + timeouts`;
+/// `rejected` counts admissions refused at the queue (never handled, so
+/// not part of the latency histogram).
+struct RequestStats {
+  std::atomic<std::uint64_t> handled{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> timeouts{0};
+  std::atomic<std::uint64_t> rejected{0};
+  LatencyHistogram latency;
+};
+
+/// A fixed set of named RequestStats slots. The slot set is decided at
+/// construction (one per wire request type, plus a catch-all); lookups and
+/// recording are thread-safe, the registry itself is immutable.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::vector<std::string> names) : names_(std::move(names)) {
+    slots_.reserve(names_.size());
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      slots_.push_back(std::make_unique<RequestStats>());
+    }
+  }
+
+  std::size_t size() const noexcept { return slots_.size(); }
+  const std::string& name(std::size_t i) const { return names_[i]; }
+  RequestStats& at(std::size_t i) const { return *slots_[i]; }
+
+  /// Slot index for a name; -1 when the name is not registered.
+  int find(std::string_view name) const noexcept {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<RequestStats>> slots_;
+};
+
+}  // namespace hxrc::util
