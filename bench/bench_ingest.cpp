@@ -66,8 +66,5 @@ int main(int argc, char** argv) {
         ->Arg(200)
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return hxrc::benchx::run_benchmarks(argc, argv, "BENCH_ingest.json");
 }

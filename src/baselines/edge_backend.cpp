@@ -41,20 +41,30 @@ EdgeBackend::EdgeBackend(const core::Partition& partition) : partition_(partitio
 std::int64_t EdgeBackend::insert_subtree(const xml::Node& node, ObjectId doc,
                                          std::int64_t parent, std::int64_t ord) {
   const std::int64_t id = next_node_++;
-  const auto children = node.child_elements();
+  bool has_element_children = false;
+  for (const xml::Node* child : node.children()) {
+    if (child->is_element()) {
+      has_element_children = true;
+      break;
+    }
+  }
   rel::Value text = rel::Value::null();
   rel::Value numeric = rel::Value::null();
-  if (children.empty()) {
-    const std::string content = node.text_content();
-    text = rel::Value(content);
+  if (!has_element_children) {
+    std::string scratch;
+    const std::string_view content = node.text_view(scratch);
+    text = rel::Value(std::string(content));
     if (const auto v = util::parse_double(content)) numeric = rel::Value(*v);
   }
+  // Tag names repeat on every row of the edge table — dictionary-encode
+  // them so the per-document footprint carries each tag string once.
   edges_->append(rel::Row{rel::Value(doc), rel::Value(id), rel::Value(parent),
-                          rel::Value(ord), rel::Value(node.name()), std::move(text),
-                          std::move(numeric)});
+                          rel::Value(ord),
+                          rel::Value::interned(db_.interner().intern(node.name())),
+                          std::move(text), std::move(numeric)});
   std::int64_t child_ord = 0;
-  for (const xml::Node* child : children) {
-    insert_subtree(*child, doc, id, child_ord++);
+  for (const xml::Node* child : node.children()) {
+    if (child->is_element()) insert_subtree(*child, doc, id, child_ord++);
   }
   return id;
 }
@@ -293,7 +303,7 @@ std::string EdgeBackend::reconstruct(ObjectId id) const {
     xml::append_open_tag(out, *rec.tag, {});
     const auto kids = children.find(node);
     if (kids == children.end()) {
-      if (!rec.value->is_null()) out += xml::escape_text(rec.value->as_string());
+      if (!rec.value->is_null()) xml::append_escaped_text(out, rec.value->as_string());
     } else {
       for (const std::int64_t child : kids->second) self(self, child);
     }

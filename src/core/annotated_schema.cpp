@@ -17,18 +17,19 @@ void collect_annotations(const xml::Node& decl, const std::string& prefix,
                          PartitionAnnotations& annotations) {
   for (const xml::Node* child : decl.child_elements()) {
     if (child->name() != "element") continue;
-    const std::string* name = child->attribute("name");
+    const std::string_view* name = child->attribute("name");
     if (name == nullptr) continue;  // load_schema rejects this separately
-    const std::string path = prefix.empty() ? *name : prefix + "/" + *name;
-    if (const std::string* metadata = child->attribute("metadata")) {
+    const std::string path =
+        prefix.empty() ? std::string(*name) : prefix + "/" + std::string(*name);
+    if (const std::string_view* metadata = child->attribute("metadata")) {
       if (*metadata != "attribute" && *metadata != "dynamic") {
         throw xml::SchemaError("metadata annotation must be 'attribute' or 'dynamic', got '" +
-                               *metadata + "'");
+                               std::string(*metadata) + "'");
       }
       AttributeAnnotation annotation;
       annotation.path = path;
       annotation.dynamic = (*metadata == "dynamic");
-      if (const std::string* queryable = child->attribute("queryable")) {
+      if (const std::string_view* queryable = child->attribute("queryable")) {
         annotation.queryable = (*queryable != "false");
       }
       annotations.attributes.push_back(std::move(annotation));
@@ -41,7 +42,7 @@ void read_convention(const xml::Node& root, DynamicConvention& convention) {
   const xml::Node* decl = root.first_child("convention");
   if (decl == nullptr) return;
   const auto assign = [&](const char* attr, std::string& target) {
-    if (const std::string* value = decl->attribute(attr)) target = *value;
+    if (const std::string_view* value = decl->attribute(attr)) target = *value;
   };
   assign("container", convention.def_container);
   assign("name", convention.def_name);
@@ -84,9 +85,10 @@ std::string save_annotated_schema(const xml::Schema& schema,
     for (const auto& child_ptr : decl.children()) {
       if (!child_ptr->is_element() || child_ptr->name() != "element") continue;
       xml::Node& child = *child_ptr;
-      const std::string* name = child.attribute("name");
+      const std::string_view* name = child.attribute("name");
       if (name == nullptr) continue;
-      const std::string path = prefix.empty() ? *name : prefix + "/" + *name;
+      const std::string path =
+          prefix.empty() ? std::string(*name) : prefix + "/" + std::string(*name);
       const auto it = by_path.find(path);
       if (it != by_path.end()) {
         child.add_attribute("metadata", it->second->dynamic ? "dynamic" : "attribute");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <istream>
 #include <mutex>
@@ -44,19 +45,34 @@ MetadataCatalog::MetadataCatalog(const xml::Schema& schema,
   responder_ = std::make_unique<ResponseBuilder>(partition_, db_);
 }
 
+namespace {
+
+std::uint64_t elapsed_micros(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - start)
+                                        .count());
+}
+
+}  // namespace
+
 ObjectId MetadataCatalog::ingest(const xml::Document& doc, const std::string& name,
                                  const std::string& owner) {
+  const auto start = std::chrono::steady_clock::now();
   std::unique_lock lock(mutex_);
   const ObjectId id = next_object_.fetch_add(1, std::memory_order_acq_rel);
-  stats_ += shredder_->shred(doc, id, name, owner);
+  const ShredStats shred = shredder_->shred(doc, id, name, owner);
+  stats_ += shred;
   bump_version();
+  ingest_metrics_.record(1, shred.element_rows, shred.attribute_instances,
+                         shred.clob_bytes, doc.arena_bytes(), elapsed_micros(start));
   return id;
 }
 
 ObjectId MetadataCatalog::ingest_xml(std::string_view xml_text, const std::string& name,
                                      const std::string& owner) {
   // Parse outside the exclusive section: readers stay unblocked during it.
-  return ingest(xml::parse(xml_text), name, owner);
+  // Arena mode: one input copy, pooled nodes, no per-node string churn.
+  return ingest(xml::parse_arena(xml_text), name, owner);
 }
 
 void MetadataCatalog::add_attribute(ObjectId object, std::string_view attribute_path,
@@ -84,6 +100,7 @@ std::vector<ObjectId> MetadataCatalog::ingest_parallel(
     const std::string& owner) {
   // Exclusive for the whole batch: the staging shredders read the shared
   // registry/partition, and the merge mutates every storage table.
+  const auto start = std::chrono::steady_clock::now();
   std::unique_lock lock(mutex_);
   // Reserve the id range up front so ids are stable regardless of thread
   // interleaving.
@@ -99,11 +116,16 @@ std::vector<ObjectId> MetadataCatalog::ingest_parallel(
     ShredStats stats;
   };
   std::vector<Shard> staged(shards);
+  // Staging rows outlive their staging database once merged, so staging
+  // shredders must own their strings instead of interning them into the
+  // soon-to-die staging interner (see rel/interner.hpp).
+  ShredOptions staging_options = config_.shred;
+  staging_options.intern_strings = false;
   for (Shard& shard : staged) {
     shard.db = std::make_unique<rel::Database>();
     install_storage(*shard.db);  // no indexes during staging
     shard.shredder =
-        std::make_unique<Shredder>(partition_, registry_, *shard.db, config_.shred);
+        std::make_unique<Shredder>(partition_, registry_, *shard.db, staging_options);
   }
 
   // Note: auto-definition mutates the shared registry; ingest_parallel
@@ -170,11 +192,18 @@ std::vector<ObjectId> MetadataCatalog::ingest_parallel(
     }
   }));
   for (auto& task : merge_tasks) task.get();
+  ShredStats batch_stats;
   for (Shard& shard : staged) {
     stats_ += shard.stats;
+    batch_stats += shard.stats;
     shredder_->absorb_counters(*shard.shredder);
   }
   bump_version();
+  std::uint64_t arena_bytes = 0;
+  for (const xml::Document& doc : docs) arena_bytes += doc.arena_bytes();
+  ingest_metrics_.record(docs.size(), batch_stats.element_rows,
+                         batch_stats.attribute_instances, batch_stats.clob_bytes,
+                         arena_bytes, elapsed_micros(start));
 
   std::vector<ObjectId> ids;
   ids.reserve(docs.size());

@@ -43,6 +43,7 @@
 #include "core/response.hpp"
 #include "core/shredder.hpp"
 #include "rel/database.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "xml/dom.hpp"
 #include "xml/schema.hpp"
@@ -248,6 +249,10 @@ class MetadataCatalog {
     return static_cast<std::size_t>(next_object_.load(std::memory_order_acquire));
   }
 
+  /// Cumulative ingest-path observability (docs/s, rows/s, arena bytes).
+  /// Lock-free to read; see util::IngestMetrics.
+  const util::IngestMetrics& ingest_metrics() const noexcept { return ingest_metrics_; }
+
  private:
   std::vector<CollectionId> child_collections_unlocked(CollectionId collection) const;
   std::vector<ObjectId> collection_members_unlocked(CollectionId collection,
@@ -271,6 +276,7 @@ class MetadataCatalog {
   std::unique_ptr<ResponseBuilder> responder_;
   std::atomic<ObjectId> next_object_{0};
   ShredStats stats_;
+  util::IngestMetrics ingest_metrics_;
   std::unordered_set<ObjectId> deleted_;
   /// Shared for reads, exclusive for mutations. Guards db_, registry_,
   /// thesaurus_, stats_, deleted_, and the shredder counters.

@@ -82,11 +82,11 @@ ElemDefId DefinitionRegistry::define_element(const std::string& name,
   return def.id;
 }
 
-const AttributeDef* DefinitionRegistry::find_attribute(const std::string& name,
-                                                       const std::string& source,
+const AttributeDef* DefinitionRegistry::find_attribute(std::string_view name,
+                                                       std::string_view source,
                                                        AttrDefId parent,
-                                                       const std::string& user) const noexcept {
-  const auto it = attribute_lookup_.find(DefKey{name, source, parent});
+                                                       std::string_view user) const noexcept {
+  const auto it = attribute_lookup_.find(DefKeyView{name, source, parent});
   if (it == attribute_lookup_.end()) return nullptr;
   const AttributeDef* user_match = nullptr;
   for (const AttrDefId id : it->second) {
@@ -97,10 +97,10 @@ const AttributeDef* DefinitionRegistry::find_attribute(const std::string& name,
   return user_match;
 }
 
-const ElementDef* DefinitionRegistry::find_element(const std::string& name,
-                                                   const std::string& source,
+const ElementDef* DefinitionRegistry::find_element(std::string_view name,
+                                                   std::string_view source,
                                                    AttrDefId attribute) const noexcept {
-  const auto it = element_lookup_.find(DefKey{name, source, attribute});
+  const auto it = element_lookup_.find(DefKeyView{name, source, attribute});
   return it == element_lookup_.end() ? nullptr
                                      : &elements_[static_cast<std::size_t>(it->second)];
 }

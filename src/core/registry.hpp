@@ -41,12 +41,14 @@ class DefinitionRegistry {
 
   /// Looks up an attribute definition visible to `user` ("" = admin scope
   /// only). Name+source+parent identify a definition; user-level definitions
-  /// shadow nothing (admin match wins).
-  const AttributeDef* find_attribute(const std::string& name, const std::string& source,
+  /// shadow nothing (admin match wins). Takes views so the shredder's
+  /// per-node probes (names are string_views into the parse arena) cost no
+  /// string construction — the maps do heterogeneous lookup.
+  const AttributeDef* find_attribute(std::string_view name, std::string_view source,
                                      AttrDefId parent,
-                                     const std::string& user = {}) const noexcept;
+                                     std::string_view user = {}) const noexcept;
 
-  const ElementDef* find_element(const std::string& name, const std::string& source,
+  const ElementDef* find_element(std::string_view name, std::string_view source,
                                  AttrDefId attribute) const noexcept;
 
   /// The unique element named `name` under `attribute` regardless of
@@ -80,12 +82,43 @@ class DefinitionRegistry {
     AttrDefId parent;
     bool operator==(const DefKey&) const = default;
   };
+  /// Borrowed-key twin of DefKey for heterogeneous lookup: probing with
+  /// names that are views into a parse arena allocates nothing.
+  struct DefKeyView {
+    std::string_view name;
+    std::string_view source;
+    AttrDefId parent;
+  };
   struct DefKeyHash {
-    std::size_t operator()(const DefKey& k) const noexcept {
-      std::size_t h = std::hash<std::string>{}(k.name);
-      h ^= std::hash<std::string>{}(k.source) + 0x9e3779b9 + (h << 6) + (h >> 2);
-      h ^= std::hash<std::int64_t>{}(k.parent) + 0x9e3779b9 + (h << 6) + (h >> 2);
+    using is_transparent = void;
+    static std::size_t mix(std::string_view name, std::string_view source,
+                           AttrDefId parent) noexcept {
+      std::size_t h = std::hash<std::string_view>{}(name);
+      h ^= std::hash<std::string_view>{}(source) + 0x9e3779b9 + (h << 6) + (h >> 2);
+      h ^= std::hash<std::int64_t>{}(parent) + 0x9e3779b9 + (h << 6) + (h >> 2);
       return h;
+    }
+    std::size_t operator()(const DefKey& k) const noexcept {
+      return mix(k.name, k.source, k.parent);
+    }
+    std::size_t operator()(const DefKeyView& k) const noexcept {
+      return mix(k.name, k.source, k.parent);
+    }
+  };
+  struct DefKeyEqual {
+    using is_transparent = void;
+    static bool eq(std::string_view an, std::string_view as, AttrDefId ap,
+                   std::string_view bn, std::string_view bs, AttrDefId bp) noexcept {
+      return ap == bp && an == bn && as == bs;
+    }
+    bool operator()(const DefKey& a, const DefKey& b) const noexcept {
+      return eq(a.name, a.source, a.parent, b.name, b.source, b.parent);
+    }
+    bool operator()(const DefKey& a, const DefKeyView& b) const noexcept {
+      return eq(a.name, a.source, a.parent, b.name, b.source, b.parent);
+    }
+    bool operator()(const DefKeyView& a, const DefKey& b) const noexcept {
+      return eq(a.name, a.source, a.parent, b.name, b.source, b.parent);
     }
   };
 
@@ -95,12 +128,13 @@ class DefinitionRegistry {
   std::vector<ElementDef> elements_;
   /// Multiple ids per key: the same name/source/parent may be defined at
   /// admin level and privately by several users.
-  std::unordered_map<DefKey, std::vector<AttrDefId>, DefKeyHash> attribute_lookup_;
-  std::unordered_map<DefKey, ElemDefId, DefKeyHash> element_lookup_;
+  std::unordered_map<DefKey, std::vector<AttrDefId>, DefKeyHash, DefKeyEqual>
+      attribute_lookup_;
+  std::unordered_map<DefKey, ElemDefId, DefKeyHash, DefKeyEqual> element_lookup_;
   /// Name-only secondary lookups (keyed with source = "", all sources
   /// bucketed together) backing the *_any_source loose lookups.
-  std::unordered_multimap<DefKey, AttrDefId, DefKeyHash> attribute_by_name_;
-  std::unordered_multimap<DefKey, ElemDefId, DefKeyHash> element_by_name_;
+  std::unordered_multimap<DefKey, AttrDefId, DefKeyHash, DefKeyEqual> attribute_by_name_;
+  std::unordered_multimap<DefKey, ElemDefId, DefKeyHash, DefKeyEqual> element_by_name_;
   std::unordered_map<OrderId, AttrDefId> structural_by_order_;
 };
 

@@ -60,29 +60,32 @@ void serialize_attr(std::string& out, const AttrQuery& attr) {
 /// `context` is the criterion path so far ("grid/grid-stretching"), so a
 /// failed parse names exactly which criterion was at fault.
 AttrQuery parse_attr(const xml::Node& node, const std::string& context) {
-  const std::string* name = node.attribute("name");
+  const std::string_view* name = node.attribute("name");
   if (name == nullptr) {
     throw ValidationError("criterion '" + (context.empty() ? "<top-level>" : context) +
                           "': <attribute> missing name");
   }
-  const std::string path = context.empty() ? *name : context + "/" + *name;
-  const std::string* source = node.attribute("source");
-  AttrQuery attr(*name, source == nullptr ? std::string{} : *source);
+  const std::string path =
+      context.empty() ? std::string(*name) : context + "/" + std::string(*name);
+  const std::string_view* source = node.attribute("source");
+  AttrQuery attr(std::string(*name),
+                 source == nullptr ? std::string{} : std::string(*source));
 
   for (const xml::Node* child : node.child_elements()) {
     if (child->name() == "element") {
-      const std::string* elem_name = child->attribute("name");
+      const std::string_view* elem_name = child->attribute("name");
       if (elem_name == nullptr) {
         throw ValidationError("criterion '" + path + "': <element> missing name");
       }
-      const std::string* elem_source = child->attribute("source");
-      const std::string src = elem_source == nullptr ? std::string{} : *elem_source;
-      if (const std::string* exists = child->attribute("exists");
+      const std::string_view* elem_source = child->attribute("source");
+      const std::string src =
+          elem_source == nullptr ? std::string{} : std::string(*elem_source);
+      if (const std::string_view* exists = child->attribute("exists");
           exists != nullptr && *exists == "true") {
-        attr.require_element(*elem_name, src);
+        attr.require_element(std::string(*elem_name), src);
         continue;
       }
-      const std::string* op = child->attribute("op");
+      const std::string_view* op = child->attribute("op");
       const std::string text = child->text_content();
       // Values travel as text; numeric-looking values become numbers so
       // comparisons behave identically to the in-process API.
@@ -93,10 +96,11 @@ AttrQuery parse_attr(const xml::Node& node, const std::string& context) {
         value = rel::Value(text);
       }
       try {
-        attr.add_element(*elem_name, src, std::move(value),
+        attr.add_element(std::string(*elem_name), src, std::move(value),
                          op == nullptr ? CompareOp::kEq : op_from_name(*op));
       } catch (const ValidationError& e) {
-        throw ValidationError("criterion '" + path + "/" + *elem_name + "': " + e.what());
+        throw ValidationError("criterion '" + path + "/" + std::string(*elem_name) +
+                              "': " + e.what());
       }
       continue;
     }
@@ -104,8 +108,8 @@ AttrQuery parse_attr(const xml::Node& node, const std::string& context) {
       attr.add_attribute(parse_attr(*child, path));
       continue;
     }
-    throw ValidationError("criterion '" + path + "': unexpected <" + child->name() +
-                          "> in query criteria");
+    throw ValidationError("criterion '" + path + "': unexpected <" +
+                          std::string(child->name()) + "> in query criteria");
   }
   return attr;
 }
@@ -194,18 +198,18 @@ std::string query_to_xml(const ObjectQuery& query) {
 
 ObjectQuery query_from_xml(const xml::Node& request) {
   ObjectQuery query;
-  if (const std::string* user = request.attribute("user")) {
-    query.set_user(*user);
+  if (const std::string_view* user = request.attribute("user")) {
+    query.set_user(std::string(*user));
   }
-  if (const std::string* limit = request.attribute("limit")) {
+  if (const std::string_view* limit = request.attribute("limit")) {
     const auto value = util::parse_int(*limit);
     if (!value || *value < 0) {
-      throw ValidationError("bad limit attribute '" + *limit + "'");
+      throw ValidationError("bad limit attribute '" + std::string(*limit) + "'");
     }
     query.set_limit(static_cast<std::size_t>(*value));
   }
-  if (const std::string* cursor = request.attribute("cursor")) {
-    query.set_cursor(*cursor);
+  if (const std::string_view* cursor = request.attribute("cursor")) {
+    query.set_cursor(std::string(*cursor));
   }
   for (const xml::Node* child : request.child_elements()) {
     if (child->name() != "attribute") continue;
@@ -242,7 +246,7 @@ std::string CatalogService::handle(std::string_view request_xml, RequestOutcome*
 
 std::string CatalogService::handle_parsed(const xml::Node& request,
                                           RequestOutcome* outcome) {
-  const std::string* type = request.attribute("type");
+  const std::string_view* type = request.attribute("type");
   if (type == nullptr) {
     throw ServiceError(ErrorCode::kParseError, "<catalogRequest> missing type");
   }
@@ -250,19 +254,19 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
                 *type) != service_request_type_names().end()) {
     outcome->type = *type;
   }
-  const std::string* user_attr = request.attribute("user");
-  const std::string user = user_attr == nullptr ? std::string{} : *user_attr;
+  const std::string_view* user_attr = request.attribute("user");
+  const std::string user = user_attr == nullptr ? std::string{} : std::string(*user_attr);
 
   if (*type == "ingest") {
     const auto children = request.child_elements();
     if (children.size() != 1) {
       throw ServiceError(ErrorCode::kValidation, "ingest expects exactly one document");
     }
-    const std::string* name = request.attribute("name");
+    const std::string_view* name = request.attribute("name");
     xml::Document doc;
     doc.root = children.front()->clone();
-    const ObjectId id =
-        catalog_.ingest(doc, name == nullptr ? "unnamed" : *name, user);
+    const ObjectId id = catalog_.ingest(
+        doc, name == nullptr ? std::string("unnamed") : std::string(*name), user);
     return ok_response(catalog_.version(),
                        "<objectID>" + std::to_string(id) + "</objectID>");
   }
@@ -289,7 +293,7 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
   }
 
   if (*type == "fetch") {
-    const std::string* id_text = request.attribute("objectID");
+    const std::string_view* id_text = request.attribute("objectID");
     if (id_text == nullptr) {
       throw ServiceError(ErrorCode::kValidation, "fetch requires objectID");
     }
@@ -298,15 +302,15 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
     if (*id < 0 || static_cast<std::size_t>(*id) >= catalog_.object_count() ||
         catalog_.is_deleted(*id)) {
       throw ServiceError(ErrorCode::kNotFound,
-                         "object " + *id_text + " does not exist");
+                         "object " + std::string(*id_text) + " does not exist");
     }
     const std::vector<ObjectId> ids{*id};
     return ok_response(catalog_.version(), catalog_.build_response(ids));
   }
 
   if (*type == "addAttribute") {
-    const std::string* id_text = request.attribute("objectID");
-    const std::string* path = request.attribute("path");
+    const std::string_view* id_text = request.attribute("objectID");
+    const std::string_view* path = request.attribute("path");
     const auto children = request.child_elements();
     if (id_text == nullptr || path == nullptr || children.size() != 1) {
       throw ServiceError(ErrorCode::kValidation,
@@ -316,42 +320,42 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
     if (!id) throw ServiceError(ErrorCode::kValidation, "bad objectID");
     if (*id < 0 || static_cast<std::size_t>(*id) >= catalog_.object_count()) {
       throw ServiceError(ErrorCode::kNotFound,
-                         "object " + *id_text + " does not exist");
+                         "object " + std::string(*id_text) + " does not exist");
     }
     catalog_.add_attribute(*id, *path, *children.front(), user);
     return ok_response(catalog_.version(), "<added/>");
   }
 
   if (*type == "define") {
-    const std::string* name = request.attribute("name");
-    const std::string* source = request.attribute("source");
+    const std::string_view* name = request.attribute("name");
+    const std::string_view* source = request.attribute("source");
     if (name == nullptr || source == nullptr) {
       throw ServiceError(ErrorCode::kValidation, "define requires name and source");
     }
     std::vector<DynamicElementSpec> elements;
     for (const xml::Node* child : request.child_elements()) {
       if (child->name() != "element") continue;
-      const std::string* elem_name = child->attribute("name");
+      const std::string_view* elem_name = child->attribute("name");
       if (elem_name == nullptr) {
         throw ServiceError(ErrorCode::kValidation, "<element> missing name");
       }
       DynamicElementSpec spec;
       spec.name = *elem_name;
-      if (const std::string* elem_type = child->attribute("type")) {
+      if (const std::string_view* elem_type = child->attribute("type")) {
         spec.type = xml::leaf_type_from_string(*elem_type);
       }
       elements.push_back(std::move(spec));
     }
     const bool is_private = user_attr != nullptr;
     const AttrDefId id = catalog_.define_dynamic_attribute(
-        *name, *source, elements,
+        std::string(*name), std::string(*source), elements,
         is_private ? Visibility::kUser : Visibility::kAdmin, user);
     return ok_response(catalog_.version(),
                        "<attributeID>" + std::to_string(id) + "</attributeID>");
   }
 
   if (*type == "delete") {
-    const std::string* id_text = request.attribute("objectID");
+    const std::string_view* id_text = request.attribute("objectID");
     if (id_text == nullptr) {
       throw ServiceError(ErrorCode::kValidation, "delete requires objectID");
     }
@@ -359,7 +363,7 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
     if (!id) throw ServiceError(ErrorCode::kValidation, "bad objectID");
     if (*id < 0 || static_cast<std::size_t>(*id) >= catalog_.object_count()) {
       throw ServiceError(ErrorCode::kNotFound,
-                         "object " + *id_text + " does not exist");
+                         "object " + std::string(*id_text) + " does not exist");
     }
     catalog_.delete_object(*id);
     return ok_response(catalog_.version(), "<deleted/>");
@@ -380,10 +384,32 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
     payload += " definitions=\"" + std::to_string(definitions) + "\"";
     payload += " deleted=\"" + std::to_string(catalog_.deleted_count()) + "\"";
     payload += " version=\"" + std::to_string(catalog_.version()) + "\"";
-    if (metrics_ == nullptr) {
+    payload += ">";
+    {
+      const util::IngestMetrics& ingest = catalog_.ingest_metrics();
+      const std::uint64_t docs = ingest.documents.load(std::memory_order_relaxed);
+      const std::uint64_t rows = ingest.element_rows.load(std::memory_order_relaxed);
+      const std::uint64_t micros = ingest.micros.load(std::memory_order_relaxed);
+      payload += "<ingest documents=\"" + std::to_string(docs) + "\"";
+      payload += " element_rows=\"" + std::to_string(rows) + "\"";
+      payload += " attribute_instances=\"" +
+                 std::to_string(ingest.attribute_instances.load(std::memory_order_relaxed)) +
+                 "\"";
+      payload += " clob_bytes=\"" +
+                 std::to_string(ingest.clob_bytes.load(std::memory_order_relaxed)) + "\"";
+      payload += " arena_bytes=\"" +
+                 std::to_string(ingest.arena_bytes.load(std::memory_order_relaxed)) + "\"";
+      payload += " micros=\"" + std::to_string(micros) + "\"";
+      payload += " docs_per_sec=\"" +
+                 std::to_string(util::IngestMetrics::per_second(docs, micros)) + "\"";
+      payload += " rows_per_sec=\"" +
+                 std::to_string(util::IngestMetrics::per_second(rows, micros)) + "\"";
       payload += "/>";
+    }
+    if (metrics_ == nullptr) {
+      payload += "</stats>";
     } else {
-      payload += "><requests>";
+      payload += "<requests>";
       for (std::size_t i = 0; i < metrics_->size(); ++i) {
         const util::RequestStats& slot = metrics_->at(i);
         const std::uint64_t handled = slot.handled.load(std::memory_order_relaxed);
@@ -408,7 +434,8 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
     return ok_response(catalog_.version(), payload);
   }
 
-  throw ServiceError(ErrorCode::kUnknownType, "unknown request type '" + *type + "'");
+  throw ServiceError(ErrorCode::kUnknownType,
+                     "unknown request type '" + std::string(*type) + "'");
 }
 
 }  // namespace hxrc::core

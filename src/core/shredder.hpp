@@ -11,13 +11,22 @@
 // Dynamic content that matches no registered definition stays CLOB-only —
 // the validation behaviour the paper requires — unless auto-definition is
 // enabled.
+//
+// Ingest hot path: the walk accumulates rows per document in reused scratch
+// buffers and flushes each table once per document (Table::append_batch,
+// index-at-a-time maintenance). Registry probes take string_views straight
+// out of the DOM (no temporary strings), and string columns are
+// dictionary-encoded through the database's Interner when `intern_strings`
+// is on — off for parallel-ingest staging shredders, whose rows outlive
+// their staging database (see rel/interner.hpp).
 #pragma once
 
-#include <map>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/model.hpp"
 #include "core/partition.hpp"
@@ -39,6 +48,10 @@ struct ShredOptions {
   /// Visibility of auto-defined definitions (kUser makes them private to
   /// the ingesting owner).
   Visibility auto_define_visibility = Visibility::kAdmin;
+  /// Dictionary-encode string columns (object name/owner, element values)
+  /// through the database's Interner. Must be OFF for staging shredders
+  /// whose rows are merged into a different, longer-lived database.
+  bool intern_strings = true;
 };
 
 struct ShredStats {
@@ -61,7 +74,8 @@ class Shredder {
 
   /// Shreds one document as object `object_id` owned by `owner`.
   /// Throws ValidationError when the document does not conform to the
-  /// schema's ordered region.
+  /// schema's ordered region. On validation failure no rows reach the query
+  /// tables (the per-document batch is discarded unflushed).
   ShredStats shred(const xml::Document& doc, ObjectId object_id,
                    const std::string& name, const std::string& owner);
 
@@ -72,17 +86,55 @@ class Shredder {
   ShredStats shred_additional(const xml::Node& attribute_content, ObjectId object_id,
                               const AttributeRootInfo& root, const std::string& owner);
 
-  /// Imports another shredder's same-sibling counters (used when merging
-  /// parallel staging shredders, so later shred_additional calls continue
-  /// the right sequences).
+  /// Imports another shredder's continued-object counters (used when merging
+  /// parallel staging shredders). Linear in the other shredder's counter
+  /// count. Counters for plain-ingested objects need no merging at all:
+  /// they are derived from the object's stored rows on demand.
   void absorb_counters(const Shredder& other);
 
-  /// Persistence of the same-sibling counters (catalog save/restore).
+  /// Persistence of the continued-object counters (catalog save/restore).
+  /// Output is key-sorted, so saves are byte-deterministic regardless of
+  /// hash-map iteration order.
   void save_counters(std::ostream& out) const;
   void load_counters(std::istream& in);
 
  private:
-  struct DocState;
+  /// One enclosing attribute instance on the shred path. The element
+  /// sequence counter lives in the frame because element rows are always
+  /// appended against the innermost enclosing instance (path.back()) — no
+  /// per-element map lookup.
+  struct PathFrame {
+    AttrDefId def = kNoAttr;
+    std::int64_t seq = 0;
+    std::int64_t elem_seq = 0;
+  };
+
+  /// Per-document scratch, owned by the shredder and reused across
+  /// documents so steady-state ingest allocates only when a document is
+  /// larger than any seen before.
+  struct DocState {
+    ObjectId object_id = 0;
+    std::string owner;
+    ShredStats stats;
+    /// Dense same-sibling counters for THIS document: instance sequence per
+    /// definition id, CLOB sequence per attribute-root order. Definition and
+    /// order ids are dense small ints, so a flat vector replaces a hash map
+    /// on the per-instance hot path. Zeroed per document; seeded from stored
+    /// rows only when the object id has prior state (see seed_counters).
+    std::vector<std::int64_t> inst_seq;
+    std::vector<std::int64_t> clob_seq;
+    /// Row batches, flushed once per document.
+    std::vector<rel::Row> instance_rows;
+    std::vector<rel::Row> inverted_rows;
+    std::vector<rel::Row> element_rows;
+    std::vector<rel::Row> clob_rows;
+    /// Enclosing instances, top attribute downward.
+    std::vector<PathFrame> path;
+    /// Reused serialization buffer for attribute CLOBs.
+    std::string clob_scratch;
+
+    void reset(ObjectId id, const std::string& owner_name);
+  };
 
   void walk_ordered(DocState& state, const xml::Node& node,
                     const xml::SchemaNode& schema_node);
@@ -92,20 +144,34 @@ class Shredder {
                         const AttributeRootInfo& root, std::int64_t clob_seq);
   void shred_structural_children(DocState& state, const xml::Node& node,
                                  const xml::SchemaNode& schema_node, AttrDefId def,
-                                 std::int64_t seq,
-                                 std::vector<std::pair<AttrDefId, std::int64_t>>& path);
+                                 std::int64_t seq);
   void shred_dynamic(DocState& state, const xml::Node& node, const AttributeRootInfo& root,
                      std::int64_t clob_seq);
   void shred_dynamic_item(DocState& state, const xml::Node& item, AttrDefId parent_def,
-                          std::vector<std::pair<AttrDefId, std::int64_t>>& path,
                           const std::string& owner);
 
   void append_element_row(DocState& state, AttrDefId attr, std::int64_t seq,
                           const ElementDef& elem, std::int64_t elem_seq,
-                          const std::string& raw_value);
+                          std::string_view raw_value);
   std::int64_t next_seq(DocState& state, AttrDefId def);
-  void append_inverted(DocState& state, AttrDefId def, std::int64_t seq,
-                       const std::vector<std::pair<AttrDefId, std::int64_t>>& path);
+  std::int64_t next_clob_seq(DocState& state, OrderId order);
+  /// True when `id` already has any stored row (objects/instances/clobs) or
+  /// a continued-counter entry — i.e. its sequences must not start at zero.
+  bool object_has_state(ObjectId id) const;
+  /// Seeds the document's dense counters with the object's current maxima,
+  /// derived from its stored rows (the source of truth) plus any
+  /// continued-counter overrides.
+  void seed_counters(DocState& state) const;
+  /// Caches the document's final counters for the object (shred_additional
+  /// only), so repeated inserts skip the row re-derivation.
+  void store_continued(const DocState& state);
+  void append_inverted(DocState& state, AttrDefId def, std::int64_t seq);
+  /// STRING Value for a row: interned (pointer-sized, dictionary-backed) or
+  /// owned, per options_.intern_strings.
+  rel::Value string_value(std::string_view s);
+  /// Flushes the per-document batches into the tables (one append_batch per
+  /// non-empty batch), leaving the scratch capacity in place.
+  void flush(DocState& state);
 
   const Partition& partition_;
   DefinitionRegistry& registry_;
@@ -117,12 +183,19 @@ class Shredder {
   rel::Table* elements_;
   rel::Table* clobs_;
 
-  /// Persistent same-sibling counters (the catalog's "sequence table"):
-  /// instance sequence per (object, definition) and CLOB sequence per
-  /// (object, attribute-root order). Kept in the shredder so later inserts
-  /// (shred_additional) continue an object's sequences in O(log n).
-  std::map<std::pair<ObjectId, AttrDefId>, std::int64_t> instance_seq_;
-  std::map<std::pair<ObjectId, OrderId>, std::int64_t> clob_seq_;
+  DocState scratch_;
+
+  /// Same-sibling counters for "continued" objects only — those touched by
+  /// shred_additional or restored by load_counters. Plain ingest never
+  /// writes here: a fresh object's sequences start at zero, and an existing
+  /// object's maxima are derivable from its stored rows, so keeping one map
+  /// entry per (object × definition) forever would be pure overhead on the
+  /// ingest hot path (it dominated the shred profile before this cache).
+  struct SiblingCounters {
+    std::unordered_map<std::int64_t, std::int64_t> instance;  // def id -> max seq
+    std::unordered_map<std::int64_t, std::int64_t> clob;      // order id -> max seq
+  };
+  std::unordered_map<std::int64_t, SiblingCounters> continued_;
 };
 
 }  // namespace hxrc::core

@@ -11,6 +11,7 @@
 #include <string_view>
 
 #include "rel/clob_store.hpp"
+#include "rel/interner.hpp"
 #include "rel/ops.hpp"
 #include "rel/table.hpp"
 
@@ -42,6 +43,12 @@ class Database {
   ClobStore& clobs() noexcept { return clobs_; }
   const ClobStore& clobs() const noexcept { return clobs_; }
 
+  /// String dictionary for dictionary-encoded columns. Lives exactly as
+  /// long as the tables, so interned values stored in them are always
+  /// valid. Note the move constructor keeps the dictionary with its tables.
+  Interner& interner() noexcept { return interner_; }
+  const Interner& interner() const noexcept { return interner_; }
+
   /// Parses and executes one SQL statement. DDL/DML return an empty result
   /// (INSERT reports the row count in a single-cell result).
   ResultSet execute(std::string_view sql);
@@ -52,6 +59,7 @@ class Database {
  private:
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
   ClobStore clobs_;
+  Interner interner_;
 };
 
 }  // namespace hxrc::rel

@@ -10,12 +10,34 @@
 // std::vector per lookup. `bucket_size` exposes per-key entry counts as a
 // cheap cardinality estimate so the query engine can order criteria by
 // selectivity before touching any row.
+//
+// Maintenance is DEFERRED to the read side. Writers never touch an index:
+// Table::append* only grows the row store, and the first probe after an
+// append catches the index up from its high-water mark (`synced_`) before
+// answering. On a catalog's bulk-ingest-then-query workload this turns all
+// index work during ingest into a single linear catch-up pass at the first
+// query — the classic load-then-build-indexes shape — without callers ever
+// seeing a stale answer. Catch-up is incremental (tables are append-only;
+// truncate swaps in fresh indexes), so interleaved write/probe patterns pay
+// exactly the old eager cost, never a full rebuild. Concurrent probes are
+// safe: the synced check is an acquire load and stragglers serialize on a
+// mutex (the table's contract already excludes probes concurrent with
+// writes).
+//
+// Both index kinds store grouped postings — one map entry per DISTINCT key
+// holding a vector of row ids — rather than one map node per row. Nearly
+// every catch-up insert lands on an existing key: the cost is one
+// hash/compare probe with a reused scratch key plus an amortised push_back,
+// with no per-row node allocation and no per-row key copy. It also makes
+// `bucket_size` O(1) instead of walking an equal_range, which the
+// selectivity planner calls once per criterion.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <iterator>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +57,11 @@ class Index {
   const std::string& name() const noexcept { return name_; }
   const std::vector<std::size_t>& key_columns() const noexcept { return key_columns_; }
 
+  /// Points the index at its table's row storage. Tables hold their indexes
+  /// and live behind unique_ptr, so the reference is stable for the index's
+  /// whole lifetime. Called once by Table when the index is installed.
+  void attach(const std::vector<Row>& rows) noexcept { rows_ = &rows; }
+
   Key extract_key(const Row& row) const {
     Key key;
     key.parts.reserve(key_columns_.size());
@@ -42,19 +69,25 @@ class Index {
     return key;
   }
 
-  virtual void insert(const Row& row, RowId id) = 0;
-
   /// Appends every row id under `key` to `out` (does not clear it). Hot
   /// paths pass a reused scratch vector; no allocation happens when the
   /// scratch capacity suffices.
-  virtual void lookup_into(const Key& key, std::vector<RowId>& out) const = 0;
+  void lookup_into(const Key& key, std::vector<RowId>& out) const {
+    sync();
+    do_lookup_into(key, out);
+  }
 
   /// Number of entries under `key` — a cheap cardinality estimate (no row
   /// access, no predicate evaluation) used to order criteria by estimated
   /// selectivity.
-  virtual std::size_t bucket_size(const Key& key) const noexcept = 0;
+  std::size_t bucket_size(const Key& key) const {
+    sync();
+    return do_bucket_size(key);
+  }
 
-  virtual std::size_t entry_count() const noexcept = 0;
+  /// Every row contributes exactly one posting, so the logical entry count
+  /// is the attached table's row count — no catch-up needed to answer.
+  std::size_t entry_count() const noexcept { return rows_ ? rows_->size() : 0; }
 
   /// An empty index of the same physical kind over the same key columns
   /// (used by Table::truncate to rebuild definitions without RTTI probing).
@@ -68,56 +101,81 @@ class Index {
     return out;
   }
 
+ protected:
+  /// Brings the physical structure up to date with the attached row store.
+  /// Lock-free when already synced (one acquire load); stragglers serialize
+  /// on the mutex and re-check under it.
+  void sync() const {
+    if (rows_ == nullptr) return;
+    if (synced_.load(std::memory_order_acquire) == rows_->size()) return;
+    catch_up();
+  }
+
+  /// Adds one row to the physical structure. Only ever called from
+  /// catch_up(), under sync_mutex_.
+  virtual void do_insert(const Row& row, RowId id) = 0;
+  virtual void do_lookup_into(const Key& key, std::vector<RowId>& out) const = 0;
+  virtual std::size_t do_bucket_size(const Key& key) const = 0;
+
  private:
+  void catch_up() const {
+    std::lock_guard<std::mutex> lock(sync_mutex_);
+    std::size_t synced = synced_.load(std::memory_order_relaxed);
+    const std::size_t total = rows_->size();
+    auto* self = const_cast<Index*>(this);
+    for (; synced < total; ++synced) self->do_insert((*rows_)[synced], synced);
+    synced_.store(synced, std::memory_order_release);
+  }
+
   std::string name_;
   std::vector<std::size_t> key_columns_;
+  const std::vector<Row>* rows_ = nullptr;
+  mutable std::atomic<std::size_t> synced_{0};
+  mutable std::mutex sync_mutex_;
 };
 
 class HashIndex final : public Index {
  public:
   using Index::Index;
 
-  void insert(const Row& row, RowId id) override {
-    map_.emplace(extract_key(row), id);
-  }
-
-  void lookup_into(const Key& key, std::vector<RowId>& out) const override {
-    auto [lo, hi] = map_.equal_range(key);
-    for (auto it = lo; it != hi; ++it) out.push_back(it->second);
-  }
-
-  std::size_t bucket_size(const Key& key) const noexcept override {
-    auto [lo, hi] = map_.equal_range(key);
-    return static_cast<std::size_t>(std::distance(lo, hi));
-  }
-
-  std::size_t entry_count() const noexcept override { return map_.size(); }
-
   std::unique_ptr<Index> make_empty() const override {
     return std::make_unique<HashIndex>(name(), key_columns());
   }
 
+ protected:
+  void do_insert(const Row& row, RowId id) override { postings_for(row).push_back(id); }
+
+  void do_lookup_into(const Key& key, std::vector<RowId>& out) const override {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+
+  std::size_t do_bucket_size(const Key& key) const override {
+    const auto it = map_.find(key);
+    return it == map_.end() ? 0 : it->second.size();
+  }
+
  private:
-  std::unordered_multimap<Key, RowId, KeyHash> map_;
+  std::vector<RowId>& postings_for(const Row& row) {
+    // Probe with a reused scratch key: on the hit path (almost every insert
+    // of a catch-up pass) nothing is allocated. Only a first-seen key pays
+    // the copy-into-the-map cost. Inserts run under sync_mutex_, so the
+    // mutable scratch is safe.
+    scratch_.parts.clear();
+    for (const std::size_t c : key_columns()) scratch_.parts.push_back(row[c]);
+    const auto it = map_.find(scratch_);
+    if (it != map_.end()) return it->second;
+    return map_.emplace(std::move(scratch_), std::vector<RowId>{}).first->second;
+  }
+
+  std::unordered_map<Key, std::vector<RowId>, KeyHash> map_;
+  Key scratch_;
 };
 
 class OrderedIndex final : public Index {
  public:
   using Index::Index;
-
-  void insert(const Row& row, RowId id) override {
-    map_.emplace(extract_key(row), id);
-  }
-
-  void lookup_into(const Key& key, std::vector<RowId>& out) const override {
-    auto [lo, hi] = map_.equal_range(key);
-    for (auto it = lo; it != hi; ++it) out.push_back(it->second);
-  }
-
-  std::size_t bucket_size(const Key& key) const noexcept override {
-    auto [lo, hi] = map_.equal_range(key);
-    return static_cast<std::size_t>(std::distance(lo, hi));
-  }
 
   /// Rows with lo <= key <= hi (inclusive bounds on the full composite key).
   std::vector<RowId> range(const Key& lo, const Key& hi) const {
@@ -128,19 +186,42 @@ class OrderedIndex final : public Index {
 
   /// Append-to-out form of range().
   void range_into(const Key& lo, const Key& hi, std::vector<RowId>& out) const {
+    sync();
     for (auto it = map_.lower_bound(lo); it != map_.end() && !(hi < it->first); ++it) {
-      out.push_back(it->second);
+      out.insert(out.end(), it->second.begin(), it->second.end());
     }
   }
-
-  std::size_t entry_count() const noexcept override { return map_.size(); }
 
   std::unique_ptr<Index> make_empty() const override {
     return std::make_unique<OrderedIndex>(name(), key_columns());
   }
 
+ protected:
+  void do_insert(const Row& row, RowId id) override {
+    scratch_.parts.clear();
+    for (const std::size_t c : key_columns()) scratch_.parts.push_back(row[c]);
+    const auto it = map_.find(scratch_);
+    if (it != map_.end()) {
+      it->second.push_back(id);
+    } else {
+      map_.emplace(std::move(scratch_), std::vector<RowId>{}).first->second.push_back(id);
+    }
+  }
+
+  void do_lookup_into(const Key& key, std::vector<RowId>& out) const override {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+
+  std::size_t do_bucket_size(const Key& key) const override {
+    const auto it = map_.find(key);
+    return it == map_.end() ? 0 : it->second.size();
+  }
+
  private:
-  std::multimap<Key, RowId> map_;
+  std::map<Key, std::vector<RowId>> map_;
+  Key scratch_;
 };
 
 }  // namespace hxrc::rel

@@ -1,5 +1,7 @@
 #include "rel/table.hpp"
 
+#include <algorithm>
+
 namespace hxrc::rel {
 
 void Table::validate(const Row& row) const {
@@ -22,12 +24,30 @@ RowId Table::append(Row row) {
 }
 
 RowId Table::append_unchecked(Row row) {
+  // Indexes are not touched: they catch up from their high-water mark on
+  // the next probe (see rel/index.hpp).
   const RowId id = rows_.size();
   rows_.push_back(std::move(row));
-  for (const auto& index : indexes_) {
-    index->insert(rows_.back(), id);
-  }
   return id;
+}
+
+RowId Table::append_batch(std::vector<Row>&& rows) {
+  for (const Row& row : rows) validate(row);
+  return append_batch_unchecked(std::move(rows));
+}
+
+RowId Table::append_batch_unchecked(std::vector<Row>&& rows) {
+  const RowId first = rows_.size();
+  // Grow geometrically: an exact per-batch reserve would reallocate (and
+  // move every existing row) on each of thousands of small batches.
+  if (rows_.size() + rows.size() > rows_.capacity()) {
+    rows_.reserve(std::max(rows_.size() + rows.size(), rows_.capacity() * 2));
+  }
+  for (Row& row : rows) {
+    rows_.push_back(std::move(row));
+  }
+  rows.clear();
+  return first;
 }
 
 void Table::merge_from(const Table& other) {
@@ -61,6 +81,7 @@ void Table::truncate() {
   rebuilt.reserve(indexes_.size());
   for (const auto& old : indexes_) {
     rebuilt.push_back(old->make_empty());
+    rebuilt.back()->attach(rows_);
   }
   indexes_ = std::move(rebuilt);
 }
@@ -74,9 +95,8 @@ const IndexT* Table::create_index(const std::string& index_name,
     key_columns.push_back(schema_.require(column));
   }
   auto index = std::make_unique<IndexT>(index_name, std::move(key_columns));
-  for (RowId id = 0; id < rows_.size(); ++id) {
-    index->insert(rows_[id], id);
-  }
+  // Existing rows are picked up by the first probe's catch-up pass.
+  index->attach(rows_);
   const IndexT* raw = index.get();
   indexes_.push_back(std::move(index));
   return raw;
@@ -111,7 +131,11 @@ std::size_t Table::approx_bytes() const noexcept {
   for (const Row& row : rows_) {
     bytes += sizeof(Row) + row.capacity() * sizeof(Value);
     for (const Value& value : row) {
-      if (value.type() == Type::kString) bytes += value.as_string().capacity();
+      // Interned strings cost one pointer (already counted in sizeof(Value));
+      // the dictionary bytes are counted once by the owning Interner.
+      if (value.type() == Type::kString && !value.is_interned()) {
+        bytes += value.as_string().capacity();
+      }
     }
   }
   // Index entries: key copies + row id.

@@ -30,12 +30,25 @@ class Table {
   const Row& row_unchecked(RowId id) const noexcept { return rows_[id]; }
   const std::vector<Row>& rows() const noexcept { return rows_; }
 
-  /// Validates arity and types, appends, updates indexes; returns the row id.
+  /// Validates arity and types and appends; returns the row id. Index
+  /// maintenance is deferred to the next probe (see rel/index.hpp).
   RowId append(Row row);
 
   /// Appends without per-value type checks (used by bulk merge of staged
   /// rows that were validated at staging time).
   RowId append_unchecked(Row row);
+
+  /// Pre-sizes row storage for an expected total row count.
+  void reserve(std::size_t total_rows) { rows_.reserve(total_rows); }
+
+  /// Validates and appends every row with geometric storage growth; index
+  /// maintenance is deferred to the next probe. `rows` is consumed.
+  /// Returns the id of the first appended row.
+  RowId append_batch(std::vector<Row>&& rows);
+
+  /// append_batch without per-value type checks, for callers whose rows are
+  /// typed correctly by construction (the shredder's row builders).
+  RowId append_batch_unchecked(std::vector<Row>&& rows);
 
   /// Appends every row of `other` (schemas must have equal arity).
   void merge_from(const Table& other);
@@ -48,7 +61,7 @@ class Table {
   void truncate();
 
   /// Creates an index over the named columns; returns a stable pointer.
-  /// Existing rows are back-filled.
+  /// Existing rows are picked up lazily by the first probe.
   const HashIndex* create_hash_index(const std::string& index_name,
                                      const std::vector<std::string>& column_names);
   const OrderedIndex* create_ordered_index(const std::string& index_name,

@@ -29,6 +29,7 @@ double Value::as_double() const {
 
 const std::string& Value::as_string() const {
   if (const auto* v = std::get_if<std::string>(&data_)) return *v;
+  if (const auto* v = std::get_if<const std::string*>(&data_)) return **v;
   throw TypeError("value is not a STRING (got " + std::string(rel::to_string(type())) + ")");
 }
 
@@ -43,7 +44,7 @@ std::string Value::to_string() const {
       (void)ec;
       return std::string(buf, ptr);
     }
-    case Type::kString: return std::get<std::string>(data_);
+    case Type::kString: return as_string();
   }
   return "NULL";
 }
@@ -69,7 +70,12 @@ int Value::compare(const Value& other) const noexcept {
     return x < y ? -1 : (x > y ? 1 : 0);
   }
   if (a_num != b_num) return a_num ? -1 : 1;  // numerics before strings
-  const int c = std::get<std::string>(data_).compare(std::get<std::string>(other.data_));
+  // Two values interned from the same dictionary share a pointer iff equal.
+  if (data_.index() == 4 && other.data_.index() == 4 &&
+      std::get<const std::string*>(data_) == std::get<const std::string*>(other.data_)) {
+    return 0;
+  }
+  const int c = as_string().compare(other.as_string());
   return c < 0 ? -1 : (c > 0 ? 1 : 0);
 }
 
@@ -82,7 +88,10 @@ std::size_t Value::hash() const noexcept {
       return std::hash<double>{}(static_cast<double>(std::get<std::int64_t>(data_)));
     }
     case Type::kDouble: return std::hash<double>{}(std::get<double>(data_));
-    case Type::kString: return std::hash<std::string>{}(std::get<std::string>(data_));
+    case Type::kString:
+      // hash<string_view> matches hash<string> for equal content, so owned
+      // and interned strings land in the same index bucket.
+      return std::hash<std::string_view>{}(std::string_view(as_string()));
   }
   return 0;
 }

@@ -38,16 +38,30 @@ class Value {
 
   static Value null() { return Value(); }
 
+  /// Dictionary-encoded STRING: stores only the canonical pointer from an
+  /// Interner. Behaves exactly like Value(*s) everywhere (type, compare,
+  /// hash, accessors) but costs a pointer per row and compares by pointer
+  /// when both sides are interned. The pointee must outlive the value (see
+  /// rel/interner.hpp for the lifetime contract).
+  static Value interned(const std::string* s) {
+    Value v;
+    v.data_ = s;
+    return v;
+  }
+
   Type type() const noexcept {
     switch (data_.index()) {
       case 1: return Type::kInt;
       case 2: return Type::kDouble;
-      case 3: return Type::kString;
+      case 3:
+      case 4: return Type::kString;
       default: return Type::kNull;
     }
   }
 
   bool is_null() const noexcept { return data_.index() == 0; }
+  /// True for dictionary-encoded strings (footprint accounting in E10).
+  bool is_interned() const noexcept { return data_.index() == 4; }
   bool is_numeric() const noexcept {
     return type() == Type::kInt || type() == Type::kDouble;
   }
@@ -88,7 +102,8 @@ class Value {
   std::size_t hash() const noexcept;
 
  private:
-  std::variant<std::monostate, std::int64_t, double, std::string> data_;
+  std::variant<std::monostate, std::int64_t, double, std::string, const std::string*>
+      data_;
 };
 
 using Row = std::vector<Value>;

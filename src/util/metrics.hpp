@@ -87,6 +87,35 @@ struct RequestStats {
   LatencyHistogram latency;
 };
 
+/// Cumulative ingest-path counters (documents shredded, rows produced,
+/// bytes stored). Recorded once per ingest call under the catalog's
+/// exclusive lock but read lock-free by the stats reporter, hence atomics.
+/// Rates (docs/s, rows/s) are derived at report time from `micros`.
+struct IngestMetrics {
+  std::atomic<std::uint64_t> documents{0};
+  std::atomic<std::uint64_t> element_rows{0};
+  std::atomic<std::uint64_t> attribute_instances{0};
+  std::atomic<std::uint64_t> clob_bytes{0};
+  /// Bytes held by parse arenas of the documents ingested (0 for owned DOMs).
+  std::atomic<std::uint64_t> arena_bytes{0};
+  std::atomic<std::uint64_t> micros{0};
+
+  void record(std::uint64_t docs, std::uint64_t rows, std::uint64_t instances,
+              std::uint64_t clobs, std::uint64_t arena, std::uint64_t us) noexcept {
+    documents.fetch_add(docs, std::memory_order_relaxed);
+    element_rows.fetch_add(rows, std::memory_order_relaxed);
+    attribute_instances.fetch_add(instances, std::memory_order_relaxed);
+    clob_bytes.fetch_add(clobs, std::memory_order_relaxed);
+    arena_bytes.fetch_add(arena, std::memory_order_relaxed);
+    micros.fetch_add(us, std::memory_order_relaxed);
+  }
+
+  /// docs (or rows) per second over the cumulative ingest time; 0 when idle.
+  static std::uint64_t per_second(std::uint64_t count, std::uint64_t us) noexcept {
+    return us == 0 ? 0 : count * 1'000'000 / us;
+  }
+};
+
 /// A fixed set of named RequestStats slots. The slot set is decided at
 /// construction (one per wire request type, plus a catch-all); lookups and
 /// recording are thread-safe, the registry itself is immutable.

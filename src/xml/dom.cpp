@@ -4,23 +4,35 @@
 
 namespace hxrc::xml {
 
+void NodeDeleter::operator()(Node* node) const noexcept {
+  if (node != nullptr && !node->pooled()) delete node;
+}
+
+Node::~Node() {
+  // Owned children are raw pointers (so both modes share one layout); pooled
+  // children belong to their DomArena and are left alone.
+  for (Node* child : children_) {
+    if (!child->pooled_) delete child;
+  }
+}
+
 NodePtr Node::element(std::string name) {
   auto node = NodePtr(new Node(Kind::kElement));
-  node->name_ = std::move(name);
+  node->name_ = node->own(std::move(name));
   return node;
 }
 
 NodePtr Node::text(std::string value) {
   auto node = NodePtr(new Node(Kind::kText));
-  node->value_ = std::move(value);
+  node->value_ = node->own(std::move(value));
   return node;
 }
 
 void Node::add_attribute(std::string name, std::string value) {
-  attributes_.push_back(Attribute{std::move(name), std::move(value)});
+  attributes_.push_back(Attribute{own(std::move(name)), own(std::move(value))});
 }
 
-const std::string* Node::attribute(std::string_view name) const noexcept {
+const std::string_view* Node::attribute(std::string_view name) const noexcept {
   for (const auto& attr : attributes_) {
     if (attr.name == name) return &attr.value;
   }
@@ -29,8 +41,8 @@ const std::string* Node::attribute(std::string_view name) const noexcept {
 
 Node* Node::add_child(NodePtr child) {
   child->parent_ = this;
-  children_.push_back(std::move(child));
-  return children_.back().get();
+  children_.push_back(child.release());
+  return children_.back();
 }
 
 Node* Node::add_element(std::string name) {
@@ -48,8 +60,8 @@ Node* Node::add_text(std::string text_content) {
 }
 
 const Node* Node::first_child(std::string_view tag) const noexcept {
-  for (const auto& child : children_) {
-    if (child->is_element() && child->name_ == tag) return child.get();
+  for (const Node* child : children_) {
+    if (child->is_element() && child->name_ == tag) return child;
   }
   return nullptr;
 }
@@ -60,8 +72,8 @@ Node* Node::first_child(std::string_view tag) noexcept {
 
 std::vector<const Node*> Node::children_named(std::string_view tag) const {
   std::vector<const Node*> out;
-  for (const auto& child : children_) {
-    if (child->is_element() && child->name_ == tag) out.push_back(child.get());
+  for (const Node* child : children_) {
+    if (child->is_element() && child->name_ == tag) out.push_back(child);
   }
   return out;
 }
@@ -69,18 +81,33 @@ std::vector<const Node*> Node::children_named(std::string_view tag) const {
 std::vector<const Node*> Node::child_elements() const {
   std::vector<const Node*> out;
   out.reserve(children_.size());
-  for (const auto& child : children_) {
-    if (child->is_element()) out.push_back(child.get());
+  for (const Node* child : children_) {
+    if (child->is_element()) out.push_back(child);
   }
   return out;
 }
 
 std::string Node::text_content() const {
-  std::string out;
-  for (const auto& child : children_) {
-    if (child->is_text()) out += child->value_;
+  std::string scratch;
+  return std::string(text_view(scratch));
+}
+
+std::string_view Node::text_view(std::string& scratch) const {
+  const Node* only_text = nullptr;
+  std::size_t text_children = 0;
+  for (const Node* child : children_) {
+    if (child->is_text()) {
+      only_text = child;
+      ++text_children;
+    }
   }
-  return std::string(util::trim(out));
+  if (text_children == 0) return {};
+  if (text_children == 1) return util::trim(only_text->value_);
+  scratch.clear();
+  for (const Node* child : children_) {
+    if (child->is_text()) scratch += child->value_;
+  }
+  return util::trim(scratch);
 }
 
 std::string Node::child_text(std::string_view tag) const {
@@ -88,9 +115,14 @@ std::string Node::child_text(std::string_view tag) const {
   return child ? child->text_content() : std::string{};
 }
 
+std::string_view Node::child_text_view(std::string_view tag, std::string& scratch) const {
+  const Node* child = first_child(tag);
+  return child ? child->text_view(scratch) : std::string_view{};
+}
+
 bool Node::is_leaf_element() const noexcept {
   if (!is_element()) return false;
-  for (const auto& child : children_) {
+  for (const Node* child : children_) {
     if (child->is_element()) return false;
   }
   return true;
@@ -98,11 +130,14 @@ bool Node::is_leaf_element() const noexcept {
 
 NodePtr Node::clone() const {
   NodePtr copy(new Node(kind_));
-  copy->name_ = name_;
-  copy->value_ = value_;
-  copy->attributes_ = attributes_;
+  if (!name_.empty()) copy->name_ = copy->own(std::string(name_));
+  if (!value_.empty()) copy->value_ = copy->own(std::string(value_));
+  copy->attributes_.reserve(attributes_.size());
+  for (const auto& attr : attributes_) {
+    copy->add_attribute(std::string(attr.name), std::string(attr.value));
+  }
   copy->children_.reserve(children_.size());
-  for (const auto& child : children_) {
+  for (const Node* child : children_) {
     copy->add_child(child->clone());
   }
   return copy;
@@ -110,7 +145,7 @@ NodePtr Node::clone() const {
 
 std::size_t Node::subtree_element_count() const noexcept {
   std::size_t count = is_element() ? 1 : 0;
-  for (const auto& child : children_) {
+  for (const Node* child : children_) {
     count += child->subtree_element_count();
   }
   return count;

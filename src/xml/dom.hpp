@@ -2,24 +2,46 @@
 //
 // The catalog ingests schema-based metadata documents, so the DOM only needs
 // elements, attributes, and character data (comments and processing
-// instructions are discarded at parse time). Nodes own their children via
-// unique_ptr and keep a non-owning parent pointer for upward navigation.
+// instructions are discarded at parse time). Names, values, and attributes
+// are string_views over one of two backing stores:
+//
+//  * owned mode (programmatic building, xml::parse): each node carries its
+//    own string storage and owns its children — the traditional DOM.
+//  * arena mode (xml::parse_arena): nodes are pool-allocated in a DomArena
+//    the Document shares ownership of; names and unescaped text view the
+//    arena's copy of the input buffer, escape-containing text is unescaped
+//    into the arena. No per-node heap string, no per-node unique_ptr.
+//
+// Nodes never move once created (heap- or pool-allocated), so views into a
+// node's own storage are stable for the node's lifetime.
 #pragma once
 
+#include <deque>
+#include <forward_list>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/arena.hpp"
+
 namespace hxrc::xml {
 
 class Node;
-using NodePtr = std::unique_ptr<Node>;
+class DomArena;
 
-/// A single XML attribute (name="value").
+/// Deleter for owned nodes; a no-op for pool-allocated nodes (their DomArena
+/// destroys them), so arena roots can travel in a NodePtr safely.
+struct NodeDeleter {
+  void operator()(Node* node) const noexcept;
+};
+using NodePtr = std::unique_ptr<Node, NodeDeleter>;
+
+/// A single XML attribute (name="value"). Views into the owning node's
+/// storage (owned mode) or the document's arena (arena mode).
 struct Attribute {
-  std::string name;
-  std::string value;
+  std::string_view name;
+  std::string_view value;
 };
 
 /// An element or text node.
@@ -27,29 +49,39 @@ class Node {
  public:
   enum class Kind { kElement, kText };
 
+  /// Prefer the factories (or DomArena) — the constructor is public only so
+  /// pool containers can emplace nodes.
+  explicit Node(Kind kind) : kind_(kind) {}
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
   static NodePtr element(std::string name);
   static NodePtr text(std::string value);
 
   Kind kind() const noexcept { return kind_; }
   bool is_element() const noexcept { return kind_ == Kind::kElement; }
   bool is_text() const noexcept { return kind_ == Kind::kText; }
+  /// True for pool-allocated (arena) nodes, whose lifetime is the arena's.
+  bool pooled() const noexcept { return pooled_; }
 
   /// Element tag name; empty for text nodes.
-  const std::string& name() const noexcept { return name_; }
+  std::string_view name() const noexcept { return name_; }
 
   /// Character data; empty for element nodes.
-  const std::string& value() const noexcept { return value_; }
-  void set_value(std::string v) { value_ = std::move(v); }
+  std::string_view value() const noexcept { return value_; }
+  void set_value(std::string v) { value_ = own(std::move(v)); }
 
   const std::vector<Attribute>& attributes() const noexcept { return attributes_; }
   void add_attribute(std::string name, std::string value);
   /// Returns nullptr when the attribute is absent.
-  const std::string* attribute(std::string_view name) const noexcept;
+  const std::string_view* attribute(std::string_view name) const noexcept;
 
-  const std::vector<NodePtr>& children() const noexcept { return children_; }
+  const std::vector<Node*>& children() const noexcept { return children_; }
   Node* parent() const noexcept { return parent_; }
 
-  /// Appends a child and returns a stable pointer to it.
+  /// Appends a child and returns a stable pointer to it. The child must be
+  /// an owned node (factory-built or cloned); ownership transfers here.
   Node* add_child(NodePtr child);
   /// Convenience: appends <name>text</name> and returns the new element.
   Node* add_element(std::string name);
@@ -70,41 +102,124 @@ class Node {
   /// Concatenated text of direct text children, whitespace-trimmed.
   std::string text_content() const;
 
+  /// Allocation-free variant: with zero or one text child (the common case)
+  /// the returned view aliases the child's storage; otherwise the
+  /// concatenation is built in `scratch` and the view aliases that.
+  std::string_view text_view(std::string& scratch) const;
+
   /// Text content of the first child element with the given tag ("" if none).
   std::string child_text(std::string_view tag) const;
+
+  /// Allocation-free variant of child_text (see text_view for the scratch
+  /// contract).
+  std::string_view child_text_view(std::string_view tag, std::string& scratch) const;
 
   /// True when the element has no element children (only text, if anything).
   bool is_leaf_element() const noexcept;
 
-  /// Deep copy of this subtree (parent of the copy is null).
+  /// Deep owned copy of this subtree (parent of the copy is null). Cloning
+  /// an arena node yields an owned tree independent of the arena.
   NodePtr clone() const;
 
   /// Number of element nodes in this subtree (including this one).
   std::size_t subtree_element_count() const noexcept;
 
  private:
-  explicit Node(Kind kind) : kind_(kind) {}
+  friend class DomArena;
+  friend struct NodeDeleter;
+
+  /// Moves `s` into this node's stable string store and returns a view.
+  std::string_view own(std::string s) {
+    strings_.push_front(std::move(s));
+    return strings_.front();
+  }
 
   Kind kind_;
-  std::string name_;
-  std::string value_;
+  bool pooled_ = false;
+  std::string_view name_;
+  std::string_view value_;
   std::vector<Attribute> attributes_;
-  std::vector<NodePtr> children_;
+  std::vector<Node*> children_;
   Node* parent_ = nullptr;
+  /// Owned-mode backing for name_/value_/attributes_. forward_list keeps
+  /// element addresses stable under growth and costs one pointer when empty
+  /// (the arena-mode case).
+  std::forward_list<std::string> strings_;
 };
 
-/// An XML document: a single root element.
+/// Backing store for arena-parsed documents: a node pool plus a byte arena
+/// holding the input copy and any unescaped text. Owned (shared_ptr) by
+/// every Document handed out for it, so subtrees stay valid as long as any
+/// document referencing them lives.
+class DomArena {
+ public:
+  /// Copies the raw input into the arena and returns the stable copy the
+  /// parser tokenizes against.
+  std::string_view store_source(std::string_view input) { return arena_.store(input); }
+
+  /// Copies transient bytes (unescaped text) into the arena.
+  std::string_view store(std::string_view s) { return arena_.store(s); }
+
+  Node* make_element(std::string_view name) {
+    Node& node = nodes_.emplace_back(Node::Kind::kElement);
+    node.pooled_ = true;
+    node.name_ = name;
+    return &node;
+  }
+
+  Node* make_text(std::string_view value) {
+    Node& node = nodes_.emplace_back(Node::Kind::kText);
+    node.pooled_ = true;
+    node.value_ = value;
+    return &node;
+  }
+
+  /// Links a pooled child under a pooled parent (no ownership transfer —
+  /// the pool owns both).
+  static void link(Node& parent, Node* child) {
+    child->parent_ = &parent;
+    parent.children_.push_back(child);
+  }
+
+  static void add_pooled_attribute(Node& node, std::string_view name,
+                                   std::string_view value) {
+    node.attributes_.push_back(Attribute{name, value});
+  }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Approximate footprint: reserved arena blocks plus the node pool.
+  std::size_t bytes() const noexcept {
+    return arena_.bytes_reserved() + nodes_.size() * sizeof(Node);
+  }
+
+ private:
+  util::Arena arena_;
+  std::deque<Node> nodes_;
+};
+
+/// An XML document: a single root element, plus (for arena-parsed documents)
+/// shared ownership of the backing arena.
 struct Document {
+  /// Declared before `root` so destruction runs the root's NodeDeleter
+  /// (which reads the node's pooled flag) while the arena is still alive.
+  std::shared_ptr<DomArena> storage;
   NodePtr root;
 
   Document() = default;
   explicit Document(NodePtr r) : root(std::move(r)) {}
+  Document(NodePtr r, std::shared_ptr<DomArena> s)
+      : storage(std::move(s)), root(std::move(r)) {}
 
+  /// Deep owned copy (independent of any arena).
   Document clone() const {
     Document d;
     if (root) d.root = root->clone();
     return d;
   }
+
+  /// Arena footprint in bytes; 0 for owned documents.
+  std::size_t arena_bytes() const noexcept { return storage ? storage->bytes() : 0; }
 };
 
 }  // namespace hxrc::xml

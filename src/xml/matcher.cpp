@@ -174,7 +174,7 @@ void collect_children(const Node& node, std::string_view name,
                       std::vector<const Node*>& out) {
   for (const auto& child : node.children()) {
     if (child->is_element() && (name == "*" || child->name() == name)) {
-      out.push_back(child.get());
+      out.push_back(child);
     }
   }
 }
@@ -183,7 +183,7 @@ void collect_descendants(const Node& node, std::string_view name,
                          std::vector<const Node*>& out) {
   for (const auto& child : node.children()) {
     if (!child->is_element()) continue;
-    if (name == "*" || child->name() == name) out.push_back(child.get());
+    if (name == "*" || child->name() == name) out.push_back(child);
     collect_descendants(*child, name, out);
   }
 }

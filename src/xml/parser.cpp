@@ -1,6 +1,7 @@
 #include "xml/parser.hpp"
 
 #include <cctype>
+#include <vector>
 
 #include "util/string_util.hpp"
 
@@ -23,10 +24,15 @@ bool is_name_char(char c) noexcept {
          c == '.';
 }
 
+// One parser, two backing modes. With `arena == nullptr` (owned mode) every
+// name and value is copied into per-node storage, exactly as before. With an
+// arena, `input_` is the arena's stable copy of the source, so names and
+// escape-free text are returned as views into it; only unescaped text is
+// materialized (into the arena).
 class Parser {
  public:
-  Parser(std::string_view input, const ParseOptions& options)
-      : input_(input), options_(options) {}
+  Parser(std::string_view input, const ParseOptions& options, DomArena* arena)
+      : input_(input), options_(options), arena_(arena) {}
 
   Document parse_document() {
     skip_prolog();
@@ -124,12 +130,13 @@ class Parser {
     }
   }
 
-  std::string parse_name() {
+  /// Returns the name as a view into input_ (stable in arena mode).
+  std::string_view parse_name() {
     if (at_end() || !is_name_start(peek())) fail("expected a name");
     const std::size_t start = pos_;
     ++pos_;
     while (!at_end() && is_name_char(input_[pos_])) ++pos_;
-    return std::string(input_.substr(start, pos_ - start));
+    return input_.substr(start, pos_ - start);
   }
 
   /// Decodes entity and character references in raw character data.
@@ -190,7 +197,10 @@ class Parser {
     }
   }
 
-  std::string parse_attribute_value() {
+  /// Parses a quoted value. The returned view is stable in arena mode
+  /// (source view or arena copy); in owned mode it may alias `decoded` and
+  /// must be copied before the next call.
+  std::string_view parse_attribute_value(std::string& decoded) {
     const char quote = advance();
     if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
     const std::size_t start = pos_;
@@ -198,49 +208,108 @@ class Parser {
       if (peek() == '<') fail("'<' not allowed in attribute value");
       ++pos_;
     }
-    std::string value = decode_text(input_.substr(start, pos_ - start));
+    const std::string_view raw = input_.substr(start, pos_ - start);
     ++pos_;  // closing quote
-    return value;
+    if (raw.find('&') == std::string_view::npos) return raw;
+    decoded = decode_text(raw);
+    return arena_ != nullptr ? arena_->store(decoded) : std::string_view(decoded);
   }
 
   NodePtr parse_element() {
     expect("<");
-    NodePtr node = Node::element(parse_name());
+    const std::string_view name = parse_name();
+    NodePtr node = arena_ != nullptr ? NodePtr(arena_->make_element(name))
+                                     : Node::element(std::string(name));
     // Attributes.
+    std::string decoded;
     for (;;) {
       skip_space();
       if (consume("/>")) return node;
       if (consume(">")) break;
-      std::string attr_name = parse_name();
+      const std::string_view attr_name = parse_name();
       skip_space();
       expect("=");
       skip_space();
-      node->add_attribute(std::move(attr_name), parse_attribute_value());
+      const std::string_view value = parse_attribute_value(decoded);
+      if (arena_ != nullptr) {
+        DomArena::add_pooled_attribute(*node, attr_name, value);
+      } else {
+        node->add_attribute(std::string(attr_name), std::string(value));
+      }
     }
     // Content.
     parse_content(*node);
     // parse_content consumed '</'; close tag name follows.
-    const std::string close_name = parse_name();
+    const std::string_view close_name = parse_name();
     if (close_name != node->name()) {
-      fail("mismatched close tag '</" + close_name + ">' for <" + node->name() + ">");
+      fail("mismatched close tag '</" + std::string(close_name) + ">' for <" +
+           std::string(node->name()) + ">");
     }
     skip_space();
     expect(">");
     return node;
   }
 
-  void parse_content(Node& parent) {
-    std::string pending_text;
-    auto flush_text = [&] {
-      if (pending_text.empty()) return;
-      if (options_.keep_whitespace_text || !util::is_blank(pending_text)) {
-        parent.add_text(decode_text(pending_text));
+  /// Appends a character-data node holding `raw` after entity decoding.
+  /// `stable` marks raw as a view into input_ (reusable directly in arena
+  /// mode); otherwise it aliases caller scratch.
+  void append_text_node(Node& parent, std::string_view raw, bool stable) {
+    std::string decoded;
+    const bool needs_decode = raw.find('&') != std::string_view::npos;
+    if (needs_decode) decoded = decode_text(raw);
+    if (arena_ != nullptr) {
+      std::string_view text;
+      if (needs_decode) {
+        text = arena_->store(decoded);
+      } else {
+        text = stable ? raw : arena_->store(raw);
       }
-      pending_text.clear();
+      parent.add_child(NodePtr(arena_->make_text(text)));
+    } else {
+      parent.add_text(needs_decode ? std::move(decoded) : std::string(raw));
+    }
+  }
+
+  void parse_content(Node& parent) {
+    // Raw text accumulates as views over input_; a comment or PI in the
+    // middle of character data merges the surrounding runs into one node, so
+    // more than one segment is possible (but rare — keep the first inline).
+    std::string_view first_segment;
+    std::vector<std::string_view> extra_segments;
+    std::string concat;
+
+    auto add_segment = [&](std::string_view s) {
+      if (s.empty()) return;
+      if (first_segment.empty() && extra_segments.empty()) {
+        first_segment = s;
+      } else {
+        extra_segments.push_back(s);
+      }
+    };
+
+    auto flush_text = [&] {
+      if (first_segment.empty() && extra_segments.empty()) return;
+      std::string_view raw;
+      bool stable = true;
+      if (extra_segments.empty()) {
+        raw = first_segment;
+      } else {
+        concat.assign(first_segment);
+        for (const std::string_view s : extra_segments) concat += s;
+        raw = concat;
+        stable = false;
+      }
+      // Whitespace-only runs are dropped by default (checked on the raw
+      // bytes, as escapes never encode to nothing).
+      if (options_.keep_whitespace_text || !util::is_blank(raw)) {
+        append_text_node(parent, raw, stable);
+      }
+      first_segment = {};
+      extra_segments.clear();
     };
 
     for (;;) {
-      if (at_end()) fail("unterminated element <" + parent.name() + ">");
+      if (at_end()) fail("unterminated element <" + std::string(parent.name()) + ">");
       if (peek() == '<') {
         if (consume("</")) {
           flush_text();
@@ -255,9 +324,15 @@ class Parser {
         if (consume("<![CDATA[")) {
           const auto end = input_.find("]]>", pos_);
           if (end == std::string_view::npos) fail("unterminated CDATA section");
-          // CDATA content is literal: bypass entity decoding.
+          // CDATA content is literal: bypass entity decoding and the
+          // whitespace-only drop, as its own node.
           flush_text();
-          parent.add_text(std::string(input_.substr(pos_, end - pos_)));
+          const std::string_view literal = input_.substr(pos_, end - pos_);
+          if (arena_ != nullptr) {
+            parent.add_child(NodePtr(arena_->make_text(literal)));
+          } else {
+            parent.add_text(std::string(literal));
+          }
           pos_ = end + 3;
           continue;
         }
@@ -270,25 +345,37 @@ class Parser {
         flush_text();
         parent.add_child(parse_element());
       } else {
-        pending_text.push_back(advance());
+        const std::size_t start = pos_;
+        while (!at_end() && input_[pos_] != '<') ++pos_;
+        add_segment(input_.substr(start, pos_ - start));
       }
     }
   }
 
   std::string_view input_;
   ParseOptions options_;
+  DomArena* arena_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
 Document parse(std::string_view input, const ParseOptions& options) {
-  Parser parser(input, options);
+  Parser parser(input, options, nullptr);
   return parser.parse_document();
 }
 
+Document parse_arena(std::string_view input, const ParseOptions& options) {
+  auto arena = std::make_shared<DomArena>();
+  const std::string_view stable = arena->store_source(input);
+  Parser parser(stable, options, arena.get());
+  Document doc = parser.parse_document();
+  doc.storage = std::move(arena);
+  return doc;
+}
+
 NodePtr parse_fragment(std::string_view input, const ParseOptions& options) {
-  Parser parser(input, options);
+  Parser parser(input, options, nullptr);
   return parser.parse_fragment_root();
 }
 

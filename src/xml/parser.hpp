@@ -37,6 +37,12 @@ struct ParseOptions {
 /// Parses a complete document; throws ParseError on malformed input.
 Document parse(std::string_view input, const ParseOptions& options = {});
 
+/// Zero-copy variant: copies the input once into a DomArena the returned
+/// Document shares ownership of, pool-allocates the nodes there, and leaves
+/// names and escape-free text as views into that copy (escaped text is
+/// unescaped into the arena). Canonically equal to parse() on any input.
+Document parse_arena(std::string_view input, const ParseOptions& options = {});
+
 /// Parses a single element fragment (no declaration required).
 NodePtr parse_fragment(std::string_view input, const ParseOptions& options = {});
 

@@ -76,29 +76,30 @@ void visit_preorder(const SchemaNode& node,
 void load_children(const Node& decl, SchemaNode& target) {
   for (const Node* child : decl.child_elements()) {
     if (child->name() == "attribute") {
-      const std::string* attr_name = child->attribute("name");
+      const std::string_view* attr_name = child->attribute("name");
       if (attr_name == nullptr) throw SchemaError("<attribute> missing name");
-      const std::string* use = child->attribute("use");
-      target.declare_xml_attribute(*attr_name, use != nullptr && *use == "required");
+      const std::string_view* use = child->attribute("use");
+      target.declare_xml_attribute(std::string(*attr_name),
+                                   use != nullptr && *use == "required");
       continue;
     }
     if (child->name() == "convention") continue;  // annotated-schema extension
     if (child->name() != "element") {
-      throw SchemaError("unexpected declaration <" + child->name() + ">");
+      throw SchemaError("unexpected declaration <" + std::string(child->name()) + ">");
     }
-    const std::string* name = child->attribute("name");
+    const std::string_view* name = child->attribute("name");
     if (name == nullptr) throw SchemaError("<element> missing name");
-    SchemaNode& node = target.add_child(*name);
-    if (const std::string* type = child->attribute("type")) {
+    SchemaNode& node = target.add_child(std::string(*name));
+    if (const std::string_view* type = child->attribute("type")) {
       node.set_leaf_type(leaf_type_from_string(*type));
     }
-    if (const std::string* max_occurs = child->attribute("maxOccurs")) {
+    if (const std::string_view* max_occurs = child->attribute("maxOccurs")) {
       node.set_repeatable(*max_occurs == "unbounded");
     }
-    if (const std::string* min_occurs = child->attribute("minOccurs")) {
+    if (const std::string_view* min_occurs = child->attribute("minOccurs")) {
       node.set_optional(*min_occurs == "0");
     }
-    if (const std::string* recursive = child->attribute("recursive")) {
+    if (const std::string_view* recursive = child->attribute("recursive")) {
       node.set_recursive(*recursive == "true");
     }
     load_children(*child, node);
@@ -136,11 +137,12 @@ void Schema::visit(const std::function<void(const SchemaNode&)>& fn) const {
 Schema load_schema(std::string_view xml_text) {
   Document doc = parse(xml_text);
   if (doc.root->name() != "schema") {
-    throw SchemaError("expected <schema> root, found <" + doc.root->name() + ">");
+    throw SchemaError("expected <schema> root, found <" + std::string(doc.root->name()) +
+                      ">");
   }
-  const std::string* root_name = doc.root->attribute("root");
+  const std::string_view* root_name = doc.root->attribute("root");
   if (root_name == nullptr) throw SchemaError("<schema> missing root attribute");
-  Schema schema(*root_name);
+  Schema schema{std::string(*root_name)};
   schema.root().set_optional(false);
   load_children(*doc.root, schema.root());
   return schema;

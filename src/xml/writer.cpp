@@ -2,34 +2,52 @@
 
 namespace hxrc::xml {
 
-std::string escape_text(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
+void append_escaped_text(std::string& out, std::string_view text) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c != '&' && c != '<' && c != '>') continue;
+    out.append(text.substr(start, i - start));
     switch (c) {
       case '&': out += "&amp;"; break;
       case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      default: out.push_back(c);
+      default: out += "&gt;"; break;
     }
+    start = i + 1;
   }
-  return out;
+  out.append(text.substr(start));
 }
 
-std::string escape_attribute(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
+void append_escaped_attribute(std::string& out, std::string_view text) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c != '&' && c != '<' && c != '>' && c != '"' && c != '\n' && c != '\t') continue;
+    out.append(text.substr(start, i - start));
     switch (c) {
       case '&': out += "&amp;"; break;
       case '<': out += "&lt;"; break;
       case '>': out += "&gt;"; break;
       case '"': out += "&quot;"; break;
       case '\n': out += "&#10;"; break;
-      case '\t': out += "&#9;"; break;
-      default: out.push_back(c);
+      default: out += "&#9;"; break;
     }
+    start = i + 1;
   }
+  out.append(text.substr(start));
+}
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  append_escaped_text(out, text);
+  return out;
+}
+
+std::string escape_attribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  append_escaped_attribute(out, text);
   return out;
 }
 
@@ -41,7 +59,7 @@ void append_open_tag(std::string& out, std::string_view name,
     out.push_back(' ');
     out += attr.name;
     out += "=\"";
-    out += escape_attribute(attr.value);
+    append_escaped_attribute(out, attr.value);
     out.push_back('"');
   }
   out.push_back('>');
@@ -55,9 +73,40 @@ void append_close_tag(std::string& out, std::string_view name) {
 
 namespace {
 
-void write_node(std::string& out, const Node& node, const WriteOptions& options, int depth) {
+/// Compact (indent == 0) serialization: no indent bookkeeping and no
+/// child-kind pre-scan, since inline/blocked layout only matters when
+/// pretty-printing. This is the CLOB hot path — every ingested attribute
+/// subtree passes through here.
+void write_node_compact(std::string& out, const Node& node) {
   if (node.is_text()) {
-    out += escape_text(node.value());
+    append_escaped_text(out, node.value());
+    return;
+  }
+  if (node.children().empty()) {
+    out.push_back('<');
+    out += node.name();
+    for (const auto& attr : node.attributes()) {
+      out.push_back(' ');
+      out += attr.name;
+      out += "=\"";
+      append_escaped_attribute(out, attr.value);
+      out.push_back('"');
+    }
+    out += "/>";
+    return;
+  }
+  append_open_tag(out, node.name(), node.attributes());
+  for (const auto& child : node.children()) write_node_compact(out, *child);
+  append_close_tag(out, node.name());
+}
+
+void write_node(std::string& out, const Node& node, const WriteOptions& options, int depth) {
+  if (options.indent <= 0) {
+    write_node_compact(out, node);
+    return;
+  }
+  if (node.is_text()) {
+    append_escaped_text(out, node.value());
     return;
   }
   const bool pretty = options.indent > 0;
@@ -73,7 +122,7 @@ void write_node(std::string& out, const Node& node, const WriteOptions& options,
       out.push_back(' ');
       out += attr.name;
       out += "=\"";
-      out += escape_attribute(attr.value);
+      append_escaped_attribute(out, attr.value);
       out.push_back('"');
     }
     out += "/>";
@@ -98,7 +147,7 @@ void write_node(std::string& out, const Node& node, const WriteOptions& options,
     } else {
       if (child->is_text()) {
         // Whitespace-insignificant mixed content: emit inline without indent.
-        out += escape_text(child->value());
+        append_escaped_text(out, child->value());
       } else {
         write_node(out, *child, options, depth + 1);
       }
@@ -110,6 +159,10 @@ void write_node(std::string& out, const Node& node, const WriteOptions& options,
 }
 
 }  // namespace
+
+void write_into(std::string& out, const Node& node, const WriteOptions& options) {
+  write_node(out, node, options, 0);
+}
 
 std::string write(const Node& node, const WriteOptions& options) {
   std::string out;

@@ -21,8 +21,19 @@ std::string escape_text(std::string_view text);
 /// Escapes character data for a double-quoted attribute value.
 std::string escape_attribute(std::string_view text);
 
+/// Append-to-out forms of the escapers: copy unescaped runs in bulk instead
+/// of byte-at-a-time, and reuse the caller's buffer. The ingest hot path
+/// serializes every attribute subtree to a CLOB, so this is where most of
+/// the writer's time goes.
+void append_escaped_text(std::string& out, std::string_view text);
+void append_escaped_attribute(std::string& out, std::string_view text);
+
 /// Serializes a subtree.
 std::string write(const Node& node, const WriteOptions& options = {});
+
+/// Appends the serialized subtree to `out` (no declaration). Lets callers
+/// that serialize many subtrees reuse one growth-amortized buffer.
+void write_into(std::string& out, const Node& node, const WriteOptions& options = {});
 
 /// Serializes a whole document.
 std::string write(const Document& doc, const WriteOptions& options = {});

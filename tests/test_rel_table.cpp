@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "rel/table.hpp"
 
 namespace hxrc::rel {
@@ -131,6 +133,54 @@ TEST(Table, ApproxBytesGrowsWithData) {
   const std::size_t empty = t.approx_bytes();
   t.append(Row{Value(std::int64_t{1}), Value(std::string(1000, 'x')), Value(0.1)});
   EXPECT_GT(t.approx_bytes(), empty + 900);
+}
+
+
+TEST(Table, AppendBatchMatchesSingleAppendsAndMaintainsIndexes) {
+  Table batched = make_table();
+  Table serial = make_table();
+  for (Table* t : {&batched, &serial}) {
+    t->create_hash_index("by_name", {"name"});
+    t->create_ordered_index("by_id", {"id"});
+  }
+
+  std::vector<Row> rows;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back(Row{Value(std::int64_t{i}), Value(i % 2 ? "odd" : "even"),
+                       Value(i * 0.5)});
+  }
+  for (const Row& row : rows) serial.append(Row(row));
+
+  const RowId first = batched.append_batch(std::move(rows));
+  EXPECT_EQ(first, 0u);
+  EXPECT_TRUE(rows.empty());  // consumed, capacity reusable
+
+  ASSERT_EQ(batched.row_count(), serial.row_count());
+  for (RowId id = 0; id < batched.row_count(); ++id) {
+    EXPECT_EQ(batched.row(id), serial.row(id));
+  }
+  EXPECT_EQ(batched.index("by_name")->lookup(Key{{Value("odd")}}).size(),
+            serial.index("by_name")->lookup(Key{{Value("odd")}}).size());
+}
+
+TEST(Table, AppendBatchValidatesEveryRow) {
+  Table t = make_table();
+  std::vector<Row> rows;
+  rows.push_back(Row{Value(std::int64_t{1}), Value("ok"), Value(0.1)});
+  rows.push_back(Row{Value("not-int"), Value("bad"), Value(0.2)});
+  EXPECT_THROW(t.append_batch(std::move(rows)), TypeError);
+}
+
+TEST(Table, AppendBatchAfterExistingRowsContinuesRowIds) {
+  Table t = make_table();
+  t.create_hash_index("by_name", {"name"});
+  t.append(Row{Value(std::int64_t{0}), Value("pre"), Value(0.0)});
+  std::vector<Row> rows;
+  rows.push_back(Row{Value(std::int64_t{1}), Value("post"), Value(1.0)});
+  rows.push_back(Row{Value(std::int64_t{2}), Value("post"), Value(2.0)});
+  EXPECT_EQ(t.append_batch(std::move(rows)), 1u);
+  EXPECT_EQ(t.index("by_name")->lookup(Key{{Value("post")}}).size(), 2u);
+  EXPECT_EQ(t.index("by_name")->lookup(Key{{Value("pre")}}).size(), 1u);
 }
 
 }  // namespace

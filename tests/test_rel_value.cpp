@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "rel/interner.hpp"
 #include "rel/value.hpp"
 
 namespace hxrc::rel {
@@ -96,6 +97,52 @@ TEST(TypeCompatibility, Rules) {
   EXPECT_TRUE(type_compatible(Type::kDouble, Value(1.5)));
   EXPECT_FALSE(type_compatible(Type::kString, Value(1.5)));
   EXPECT_TRUE(type_compatible(Type::kString, Value("x")));
+}
+
+
+TEST(Interner, DeduplicatesAndKeepsPointersStable) {
+  Interner interner;
+  const std::string* a = interner.intern("alpha");
+  const std::string* b = interner.intern("beta");
+  // Force storage growth, then re-intern: same pointer back.
+  for (int i = 0; i < 1000; ++i) interner.intern("s" + std::to_string(i));
+  EXPECT_EQ(interner.intern("alpha"), a);
+  EXPECT_EQ(interner.intern("beta"), b);
+  EXPECT_EQ(*a, "alpha");
+  EXPECT_EQ(interner.size(), 1002u);
+  EXPECT_GT(interner.approx_bytes(), 0u);
+}
+
+TEST(Value, InternedBehavesLikeOwnedString) {
+  Interner interner;
+  const Value interned = Value::interned(interner.intern("hello"));
+  const Value owned = Value("hello");
+
+  EXPECT_EQ(interned.type(), Type::kString);
+  EXPECT_TRUE(interned.is_interned());
+  EXPECT_FALSE(owned.is_interned());
+  EXPECT_EQ(interned.as_string(), "hello");
+  EXPECT_EQ(interned.to_string(), owned.to_string());
+
+  // Mixed-representation equality, ordering, and hashing all agree — rows
+  // from interning and non-interning (staging) shredders share indexes.
+  EXPECT_TRUE(interned == owned);
+  EXPECT_FALSE(interned < owned);
+  EXPECT_FALSE(owned < interned);
+  EXPECT_EQ(interned.hash(), owned.hash());
+
+  const Value other = Value("world");
+  EXPECT_FALSE(interned == other);
+  EXPECT_TRUE(interned < other);
+}
+
+TEST(Value, InternedPointerEqualityFastPath) {
+  Interner interner;
+  const Value a = Value::interned(interner.intern("same"));
+  const Value b = Value::interned(interner.intern("same"));
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.compare(b), 0);
+  EXPECT_EQ(a.hash(), b.hash());
 }
 
 }  // namespace

@@ -35,8 +35,8 @@ class ProtocolTest : public ::testing::Test {
 
   /// The response's error code attribute ("" for ok responses).
   std::string code_of(const xml::Document& response) {
-    const std::string* code = response.root->attribute("code");
-    return code == nullptr ? std::string{} : *code;
+    const std::string_view* code = response.root->attribute("code");
+    return code == nullptr ? std::string{} : std::string(*code);
   }
 
   void ingest_fig3(int count = 1) {
@@ -114,10 +114,10 @@ TEST_F(ProtocolTest, OkResponsesCarryTheCatalogVersion) {
   const std::uint64_t before = catalog_.version();
   const xml::Document response = send("<catalogRequest type=\"ingest\">" +
                                       workload::fig3_document() + "</catalogRequest>");
-  const std::string* version = response.root->attribute("version");
+  const std::string_view* version = response.root->attribute("version");
   ASSERT_NE(version, nullptr);
-  EXPECT_GT(std::stoull(*version), before);
-  EXPECT_EQ(std::stoull(*version), catalog_.version());
+  EXPECT_GT(std::stoull(std::string(*version)), before);
+  EXPECT_EQ(std::stoull(std::string(*version)), catalog_.version());
 }
 
 // ---- error codes: every enumerated code is reachable on the wire ----
@@ -369,7 +369,7 @@ TEST(DispatcherProtocol, StatsReportsPerRequestTypeMetrics) {
 
   bool saw_query = false, saw_fetch = false, saw_other = false;
   for (const xml::Node* request : requests->children_named("request")) {
-    const std::string& type = *request->attribute("type");
+    const std::string_view type = *request->attribute("type");
     if (type == "query") {
       saw_query = true;
       EXPECT_EQ(*request->attribute("handled"), "2");
