@@ -149,17 +149,29 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
     std::vector<std::pair<std::string, double>> counters;
   };
 
-  /// Trailing "/N" benchmark argument, 0 when the name carries none.
+  /// Last all-digit "/N/" segment, 0 when the name carries none. Scans
+  /// right-to-left so decorations Google Benchmark appends after the Arg —
+  /// "/iterations:40", "/manual_time", "/real_time" — are skipped.
   static long corpus_size(const std::string& name) {
-    const std::size_t slash = name.rfind('/');
-    if (slash == std::string::npos) return 0;
-    const std::string_view tail = std::string_view(name).substr(slash + 1);
-    long size = 0;
-    for (const char c : tail) {
-      if (c < '0' || c > '9') return 0;
-      size = size * 10 + (c - '0');
+    const std::string_view view(name);
+    std::size_t end = view.size();
+    while (end != 0) {
+      const std::size_t slash = view.rfind('/', end - 1);
+      if (slash == std::string::npos) return 0;
+      const std::string_view segment = view.substr(slash + 1, end - slash - 1);
+      long size = 0;
+      bool digits = !segment.empty();
+      for (const char c : segment) {
+        if (c < '0' || c > '9') {
+          digits = false;
+          break;
+        }
+        size = size * 10 + (c - '0');
+      }
+      if (digits) return size;
+      end = slash;
     }
-    return size;
+    return 0;
   }
 
   static std::string escaped(const std::string& text) {

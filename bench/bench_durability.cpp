@@ -1,0 +1,211 @@
+// E13 — durability overhead and recovery speed.
+//
+// The headline gate: E1-style serial ingest with the WAL attached at the
+// default group-commit settings must stay within 1.3× of the WAL-off
+// catalog. Group commit is what makes that possible — per-record write(2)
+// into the page cache, fsync amortized over fsync_every_n records / the
+// fsync_every_ms timer. `WalNoFsync` isolates the fsync share from the
+// serialization share of the overhead. The recovery benches measure the two
+// restart paths: replaying a pure WAL tail and loading a snapshot.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+#include "storage/recovery.hpp"
+
+namespace {
+
+using namespace hxrc;
+
+std::string bench_dir() {
+  return (std::filesystem::temp_directory_path() / "hxrc_bench_durability").string();
+}
+
+core::MetadataCatalog make_catalog(const xml::Schema& schema) {
+  return core::MetadataCatalog(schema, workload::lead_annotations(),
+                               benchx::auto_define_config());
+}
+
+/// The ≤1.3× overhead gate. One benchmark measures BOTH legs — an
+/// E1-equivalent serial ingest with the WAL off, then the same ingest with
+/// the durability subsystem attached — alternating every iteration, so
+/// machine-speed drift between benchmarks (noisy-neighbor CPU steal is
+/// severe on small VMs) hits the numerator and denominator equally. The
+/// ratio is reported as the `overhead_x` counter. Directory setup, recovery
+/// open, and close are untimed (per-restart costs; Recover/* measures
+/// them); the WAL-on leg ends at flush() — the point where every record is
+/// acknowledged durable. `sync=false` legs isolate the fsync share.
+void wal_overhead(benchmark::State& state) {
+  static const xml::Schema schema = workload::lead_schema();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& docs = benchx::corpus(n);
+  const std::string dir = bench_dir();
+  using Clock = std::chrono::steady_clock;
+
+  double off_sec = 0, on_sec = 0, nofsync_sec = 0;
+  // Per-iteration leg times; the reported overhead is the ratio of their
+  // medians. The legs of one iteration run back-to-back (~tens of ms
+  // apart), so slow machine-speed drift cancels within a sample, and taking
+  // the median per leg BEFORE the ratio discards the iterations where a
+  // CPU-steal burst landed on exactly one leg — those would corrupt a
+  // per-iteration ratio in either direction.
+  std::vector<double> off_leg, on_leg, nofsync_leg;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t wal_bytes = 0;
+
+  // The first document is ingested (and flushed) untimed: its fsync also
+  // commits the freshly created WAL file's inode and directory entry to the
+  // journal — a per-restart cost the Recover benches own, not steady-state
+  // ingest overhead. Both legs skip doc 0 symmetrically.
+  auto timed_ingest = [&](core::MetadataCatalog& catalog,
+                          storage::DurableCatalog* durable) {
+    catalog.ingest(docs[0], "doc-0", "bench");
+    if (durable != nullptr) durable->flush();
+    const auto t0 = Clock::now();
+    for (std::size_t i = 1; i < docs.size(); ++i) {
+      catalog.ingest(docs[i], "doc-" + std::to_string(i), "bench");
+    }
+    if (durable != nullptr) durable->flush();
+    benchmark::DoNotOptimize(catalog.object_count());
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  // Leg 0 = WAL off, 1 = WAL on (fsync), 2 = WAL on (no fsync).
+  auto run_leg = [&](int which) {
+    if (which == 0) {
+      core::MetadataCatalog catalog = make_catalog(schema);
+      return timed_ingest(catalog, nullptr);
+    }
+    const bool fsync = which == 1;
+    std::filesystem::remove_all(dir);
+    core::MetadataCatalog catalog = make_catalog(schema);
+    storage::DurabilityConfig config;
+    config.data_dir = dir;
+    config.wal.sync = fsync;  // default group-commit cadence otherwise
+    storage::DurableCatalog durable(catalog, config);
+    const double sec = timed_ingest(catalog, &durable);
+    if (fsync) {
+      fsyncs = durable.metrics().wal_fsyncs.load(std::memory_order_relaxed);
+      wal_bytes = durable.metrics().wal_bytes.load(std::memory_order_relaxed);
+    }
+    durable.close();
+    return sec;
+  };
+
+  int iteration = 0;
+  for (auto _ : state) {
+    // Rotate which leg goes first: with a fixed order, periodic
+    // noisy-neighbor CPU-steal bursts can phase-lock onto one leg and bias
+    // its median; rotation spreads any periodicity across all three.
+    double leg_sec[3];
+    const int start = iteration++ % 3;
+    for (int k = 0; k < 3; ++k) {
+      const int which = (start + k) % 3;
+      leg_sec[which] = run_leg(which);
+    }
+    off_sec += leg_sec[0];
+    on_sec += leg_sec[1];
+    nofsync_sec += leg_sec[2];
+    off_leg.push_back(leg_sec[0]);
+    on_leg.push_back(leg_sec[1]);
+    nofsync_leg.push_back(leg_sec[2]);
+    state.SetIterationTime(leg_sec[0] + leg_sec[1] + leg_sec[2]);
+  }
+
+  const auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double r = static_cast<double>(off_leg.size());
+  state.counters["waloff_ms"] = off_sec * 1e3 / r;
+  state.counters["walon_ms"] = on_sec * 1e3 / r;
+  state.counters["walnofsync_ms"] = nofsync_sec * 1e3 / r;
+  state.counters["overhead_x"] = median(on_leg) / median(off_leg);
+  state.counters["overhead_nofsync_x"] = median(nofsync_leg) / median(off_leg);
+  state.counters["docs/s"] = static_cast<double>(docs.size() - 1) * r / on_sec;
+  state.counters["fsyncs"] = static_cast<double>(fsyncs);
+  state.counters["wal_mb"] = static_cast<double>(wal_bytes) / (1024.0 * 1024.0);
+  std::filesystem::remove_all(dir);
+}
+
+/// Restart with a cold page cache is not modelled; what is measured is the
+/// pure replay cost of a WAL holding the whole corpus.
+void recover_wal_tail(benchmark::State& state) {
+  static const xml::Schema schema = workload::lead_schema();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& docs = benchx::corpus(n);
+  const std::string dir = bench_dir();
+  std::filesystem::remove_all(dir);
+  {
+    core::MetadataCatalog catalog = make_catalog(schema);
+    storage::DurableCatalog durable(catalog, {dir, {}});
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      catalog.ingest(docs[i], "doc-" + std::to_string(i), "bench");
+    }
+    durable.close();
+  }
+  std::uint64_t recovery_micros = 0;
+  for (auto _ : state) {
+    core::MetadataCatalog catalog = make_catalog(schema);
+    storage::DurableCatalog durable(catalog, {dir, {}});
+    recovery_micros = durable.recovery().recovery_micros;
+    benchmark::DoNotOptimize(catalog.object_count());
+    durable.close();
+  }
+  state.counters["recovery_ms"] = static_cast<double>(recovery_micros) / 1000.0;
+  std::filesystem::remove_all(dir);
+}
+
+/// Recovery after a checkpoint: load the snapshot, replay an empty tail.
+void recover_snapshot(benchmark::State& state) {
+  static const xml::Schema schema = workload::lead_schema();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& docs = benchx::corpus(n);
+  const std::string dir = bench_dir();
+  std::filesystem::remove_all(dir);
+  {
+    core::MetadataCatalog catalog = make_catalog(schema);
+    storage::DurableCatalog durable(catalog, {dir, {}});
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      catalog.ingest(docs[i], "doc-" + std::to_string(i), "bench");
+    }
+    durable.checkpoint();
+    durable.close();
+  }
+  std::uint64_t recovery_micros = 0;
+  for (auto _ : state) {
+    core::MetadataCatalog catalog = make_catalog(schema);
+    storage::DurableCatalog durable(catalog, {dir, {}});
+    recovery_micros = durable.recovery().recovery_micros;
+    benchmark::DoNotOptimize(catalog.object_count());
+    durable.close();
+  }
+  state.counters["recovery_ms"] = static_cast<double>(recovery_micros) / 1000.0;
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The overhead gate is measured at the full E1 400-doc corpus: group
+  // commit needs a steady-state ingest stream to amortize fsyncs — at tiny
+  // batch sizes the single terminal flush() fsync dominates the ratio and
+  // measures disk latency, not WAL overhead.
+  // A fixed iteration count (not min_time) so the per-leg medians always
+  // pool the same number of samples — overhead_x converges to ±0.02 at 60
+  // paired samples on a noisy-neighbor VM.
+  benchmark::RegisterBenchmark("E13/Ingest/Overhead", wal_overhead)
+      ->Arg(400)
+      ->Iterations(60)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("E13/Recover/WalTail", recover_wal_tail)
+      ->Arg(400)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("E13/Recover/Snapshot", recover_snapshot)
+      ->Arg(400)
+      ->Unit(benchmark::kMillisecond);
+  return hxrc::benchx::run_benchmarks(argc, argv, "BENCH_durability.json");
+}

@@ -65,6 +65,15 @@ ObjectId MetadataCatalog::ingest(const xml::Document& doc, const std::string& na
   bump_version();
   ingest_metrics_.record(1, shred.element_rows, shred.attribute_instances,
                          shred.clob_bytes, doc.arena_bytes(), elapsed_micros(start));
+  if (observer_) {
+    MutationEvent event{MutationEvent::Kind::kIngest};
+    event.epoch = version();
+    event.object = id;
+    event.name = name;
+    event.owner = owner;
+    event.content = doc.root.get();
+    notify(event);
+  }
   return id;
 }
 
@@ -82,6 +91,15 @@ void MetadataCatalog::add_attribute(ObjectId object, std::string_view attribute_
     if (root.path == attribute_path) {
       stats_ += shredder_->shred_additional(content, object, root, owner);
       bump_version();
+      if (observer_) {
+        MutationEvent event{MutationEvent::Kind::kAddAttribute};
+        event.epoch = version();
+        event.object = object;
+        event.path = attribute_path;
+        event.owner = owner;
+        event.content = &content;
+        notify(event);
+      }
       return;
     }
   }
@@ -204,6 +222,21 @@ std::vector<ObjectId> MetadataCatalog::ingest_parallel(
   ingest_metrics_.record(docs.size(), batch_stats.element_rows,
                          batch_stats.attribute_instances, batch_stats.clob_bytes,
                          arena_bytes, elapsed_micros(start));
+  if (observer_) {
+    // One event per document, in id order, sharing the batch's epoch —
+    // replaying them sequentially reproduces the same id assignment.
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      const ObjectId id = first + static_cast<ObjectId>(i);
+      MutationEvent event{MutationEvent::Kind::kIngest};
+      event.epoch = version();
+      event.object = id;
+      const std::string doc_name = "doc-" + std::to_string(id);
+      event.name = doc_name;
+      event.owner = owner;
+      event.content = docs[i].root.get();
+      notify(event);
+    }
+  }
 
   std::vector<ObjectId> ids;
   ids.reserve(docs.size());
@@ -233,6 +266,18 @@ AttrDefId MetadataCatalog::define_dynamic_attribute(
                              elem.type);
   }
   bump_version();
+  if (observer_) {
+    MutationEvent event{MutationEvent::Kind::kDefine};
+    event.epoch = version();
+    event.attr = id;
+    event.parent = kNoAttr;
+    event.visibility = visibility;
+    event.name = name;
+    event.source = source;
+    event.owner = owner;
+    event.elements = &elements;
+    notify(event);
+  }
   return id;
 }
 
@@ -248,6 +293,18 @@ AttrDefId MetadataCatalog::define_dynamic_sub_attribute(
                              elem.type);
   }
   bump_version();
+  if (observer_) {
+    MutationEvent event{MutationEvent::Kind::kDefine};
+    event.epoch = version();
+    event.attr = id;
+    event.parent = parent;
+    event.visibility = visibility;
+    event.name = name;
+    event.source = source;
+    event.owner = owner;
+    event.elements = &elements;
+    notify(event);
+  }
   return id;
 }
 
@@ -265,6 +322,15 @@ CollectionId MetadataCatalog::create_collection(const std::string& name,
                               parent == kNoCollection ? rel::Value::null()
                                                       : rel::Value(parent)});
   bump_version();
+  if (observer_) {
+    MutationEvent event{MutationEvent::Kind::kCreateCollection};
+    event.epoch = version();
+    event.collection = id;
+    event.parent_collection = parent;
+    event.name = name;
+    event.owner = owner;
+    notify(event);
+  }
   return id;
 }
 
@@ -281,6 +347,13 @@ void MetadataCatalog::add_to_collection(CollectionId collection, ObjectId object
   }
   members.append(rel::Row{rel::Value(collection), rel::Value(object)});
   bump_version();
+  if (observer_) {
+    MutationEvent event{MutationEvent::Kind::kAddToCollection};
+    event.epoch = version();
+    event.collection = collection;
+    event.object = object;
+    notify(event);
+  }
 }
 
 std::vector<CollectionId> MetadataCatalog::child_collections_unlocked(
@@ -458,6 +531,12 @@ void MetadataCatalog::delete_object(ObjectId id) {
   }
   deleted_.insert(id);
   bump_version();
+  if (observer_) {
+    MutationEvent event{MutationEvent::Kind::kDelete};
+    event.epoch = version();
+    event.object = id;
+    notify(event);
+  }
 }
 
 namespace {
@@ -484,7 +563,25 @@ std::string read_token(std::istream& in) {
 
 void MetadataCatalog::save(std::ostream& out) const {
   std::shared_lock lock(mutex_);
-  out << "HXRCCAT 1\n";
+  save_impl(out, /*binary=*/false);
+}
+
+void MetadataCatalog::save_binary(std::ostream& out) const {
+  std::shared_lock lock(mutex_);
+  save_impl(out, /*binary=*/true);
+}
+
+void MetadataCatalog::save_binary_unlocked(std::ostream& out) const {
+  save_impl(out, /*binary=*/true);
+}
+
+void MetadataCatalog::save_impl(std::ostream& out, bool binary) const {
+  out << (binary ? "HXRCCAT 2\n" : "HXRCCAT 1\n");
+  if (binary) {
+    // Format 2 carries the version epoch so recovery restores it; format 1
+    // predates epochs and restores by bumping.
+    out << "epoch " << version_.load(std::memory_order_acquire) << '\n';
+  }
   out << "next_object " << next_object_.load(std::memory_order_acquire) << '\n';
 
   // Structural definitions are reproduced by the constructor; count them so
@@ -544,17 +641,27 @@ void MetadataCatalog::save(std::ostream& out) const {
   for (const ObjectId id : deleted_) out << id << '\n';
 
   shredder_->save_counters(out);
-  rel::save_database(db_, out);
+  if (binary) {
+    rel::save_database_binary(db_, out);
+  } else {
+    rel::save_database(db_, out);
+  }
 }
 
 void MetadataCatalog::restore(std::istream& in) {
   std::unique_lock lock(mutex_);
   std::string magic;
   int version = 0;
-  if (!(in >> magic >> version) || magic != "HXRCCAT" || version != 1) {
-    throw ValidationError("not an HXRCCAT version-1 stream");
+  if (!(in >> magic >> version) || magic != "HXRCCAT" || (version != 1 && version != 2)) {
+    throw ValidationError("not an HXRCCAT version-1/2 stream");
   }
   std::string tag;
+  std::uint64_t restored_epoch = 0;
+  if (version == 2) {
+    if (!(in >> tag >> restored_epoch) || tag != "epoch") {
+      throw ValidationError("bad epoch line in catalog stream");
+    }
+  }
   ObjectId restored_next = 0;
   if (!(in >> tag >> restored_next) || tag != "next_object") {
     throw ValidationError("bad catalog header");
@@ -642,8 +749,13 @@ void MetadataCatalog::restore(std::istream& in) {
   }
 
   shredder_->load_counters(in);
-  rel::load_database_into(db_, in);
-  bump_version();
+  if (version == 2) {
+    rel::load_database_into_binary(db_, in);
+    version_.store(restored_epoch, std::memory_order_release);
+  } else {
+    rel::load_database_into(db_, in);
+    bump_version();
+  }
 }
 
 xml::Document MetadataCatalog::fetch(ObjectId id) const {

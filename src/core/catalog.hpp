@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -81,6 +82,44 @@ struct DynamicElementSpec {
   /// Defaults to the attribute's source when empty.
   std::string source;
 };
+
+/// One catalog mutation, as seen by the durability layer. Emitted by every
+/// state-changing method while the exclusive lock is still held, after the
+/// in-memory mutation succeeded and the version epoch was bumped — so an
+/// observer (the WAL appender) sees mutations in exactly the order a
+/// recovery replay must reapply them. Views/pointers are valid only for the
+/// duration of the callback.
+struct MutationEvent {
+  enum class Kind {
+    kIngest,
+    kDefine,
+    kAddAttribute,
+    kDelete,
+    kCreateCollection,
+    kAddToCollection,
+  };
+  Kind kind;
+  /// Catalog version after the mutation (a parallel-ingest batch shares one).
+  std::uint64_t epoch = 0;
+  ObjectId object = -1;          ///< ingest / addAttribute / delete / addToCollection
+  AttrDefId attr = kNoAttr;      ///< define: the assigned definition id
+  AttrDefId parent = kNoAttr;    ///< define: parent definition (kNoAttr = top-level)
+  CollectionId collection = kNoCollection;
+  CollectionId parent_collection = kNoCollection;
+  Visibility visibility = Visibility::kAdmin;
+  std::string_view name;         ///< ingest doc name / define name / collection name
+  std::string_view source;       ///< define source
+  std::string_view owner;
+  std::string_view path;         ///< addAttribute schema path
+  const xml::Node* content = nullptr;  ///< ingest root / addAttribute subtree
+  const std::vector<DynamicElementSpec>* elements = nullptr;  ///< define
+};
+
+/// Observer invoked under the exclusive lock; see MutationEvent. A throwing
+/// observer propagates to the mutating caller — the in-memory mutation has
+/// already been applied, so the durability layer treats that as a poisoned
+/// log (the process keeps serving memory but must surface the I/O failure).
+using MutationObserver = std::function<void(const MutationEvent&)>;
 
 class MetadataCatalog {
  public:
@@ -200,11 +239,52 @@ class MetadataCatalog {
   /// (shredded tables, ordering tables, collections, CLOBs).
   void save(std::ostream& out) const;
 
-  /// Restores state saved by save(). The catalog must have been constructed
-  /// with the same schema and annotations (the structural definitions and
-  /// ordering tables are rebuilt by the constructor and verified here).
-  /// Existing ingested data is discarded.
+  /// Like save(), but writes the format-2 stream: it carries the version
+  /// epoch and serializes the tables/CLOBs in the stable binary form
+  /// (rel::save_database_binary) — the snapshot format of the durability
+  /// subsystem. Interned columns serialize by content, so a stream is
+  /// independent of interner pointer identity.
+  void save_binary(std::ostream& out) const;
+
+  /// save_binary without taking the shared lock — for the durability
+  /// layer's checkpoint, which already holds read_lock() so that no
+  /// mutation can slip between the snapshot and the WAL rotation.
+  void save_binary_unlocked(std::ostream& out) const;
+
+  /// Restores state saved by save() or save_binary() (both format versions
+  /// are detected). The catalog must have been constructed with the same
+  /// schema and annotations (the structural definitions and ordering tables
+  /// are rebuilt by the constructor and verified here). Existing ingested
+  /// data is discarded. Format 2 restores the version epoch it recorded;
+  /// format 1 bumps the current epoch.
   void restore(std::istream& in);
+
+  /// Overwrites the version epoch. Recovery only: replay re-applies logged
+  /// mutations (each bumping the epoch) and then pins the epoch to the
+  /// value the original process had recorded, plus a final bump so every
+  /// pre-crash cursor is stale. Not for general use — epochs must stay
+  /// monotonic for cursor validation to be sound.
+  void restore_version(std::uint64_t epoch) noexcept {
+    version_.store(epoch, std::memory_order_release);
+  }
+
+  // ---- durability hooks ----
+
+  /// Installs (or clears, with nullptr) the mutation observer. Install
+  /// during single-threaded open/recovery, before concurrent traffic: the
+  /// pointer swap itself is not synchronized against in-flight mutations.
+  void set_mutation_observer(MutationObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Durability counters rendered by the service `stats` request; owned by
+  /// the durability layer, which must outlive the catalog's use of them.
+  void set_durability_metrics(const util::DurabilityMetrics* metrics) noexcept {
+    durability_metrics_ = metrics;
+  }
+  const util::DurabilityMetrics* durability_metrics() const noexcept {
+    return durability_metrics_;
+  }
 
   // ---- concurrency ----
 
@@ -261,8 +341,13 @@ class MetadataCatalog {
                                       const std::vector<OrderId>* orders) const;
   /// Engine run + tombstone filter, ids ascending. Caller holds mutex_.
   std::vector<ObjectId> query_unlocked(const ObjectQuery& q, QueryPlanInfo* info) const;
+  void save_impl(std::ostream& out, bool binary) const;
   void bump_version() noexcept {
     version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  /// Hands a mutation to the observer (if any); caller holds mutex_.
+  void notify(const MutationEvent& event) const {
+    if (observer_) observer_(event);
   }
 
   const xml::Schema& schema_;
@@ -282,6 +367,8 @@ class MetadataCatalog {
   /// thesaurus_, stats_, deleted_, and the shredder counters.
   mutable std::shared_mutex mutex_;
   std::atomic<std::uint64_t> version_{0};
+  MutationObserver observer_;
+  const util::DurabilityMetrics* durability_metrics_ = nullptr;
 };
 
 }  // namespace hxrc::core

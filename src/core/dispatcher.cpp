@@ -29,6 +29,14 @@ int ServiceDispatcher::slot_for(std::string_view type_name) const noexcept {
 }
 
 std::future<std::string> ServiceDispatcher::submit(std::string request_xml) {
+  if (draining_.load(std::memory_order_acquire)) {
+    util::RequestStats& slot = metrics_.at(
+        static_cast<std::size_t>(slot_for(peek_request_type(request_xml))));
+    slot.rejected.fetch_add(1, std::memory_order_relaxed);
+    return ready_future(
+        error_response(ErrorCode::kDraining, "service is shutting down"));
+  }
+
   // Admission: a lock-free bounded counter. fetch_add/compare loop instead
   // of a blind increment so a rejected submission never transiently
   // inflates the depth other admissions see.
@@ -96,6 +104,15 @@ std::future<std::string> ServiceDispatcher::submit(std::string request_xml) {
     slot.latency.record(static_cast<std::uint64_t>(elapsed.count()));
     return response;
   });
+}
+
+void ServiceDispatcher::drain() {
+  // Close the admission gate first, then wait. A submission that raced the
+  // store was admitted before the gate closed and is covered by wait_idle;
+  // everything after it sees draining_ and is rejected up front, so when
+  // wait_idle returns no worker can be touching the catalog.
+  draining_.store(true, std::memory_order_release);
+  pool_.wait_idle();
 }
 
 }  // namespace hxrc::core

@@ -74,6 +74,15 @@ class ServiceDispatcher {
     return pending_.load(std::memory_order_acquire);
   }
 
+  /// Quiesces the dispatcher: stops admitting (later submissions resolve to
+  /// `code="draining"`), then blocks until every already-admitted request
+  /// has completed. After drain() returns no worker touches the catalog, so
+  /// the durability layer can take its final WAL flush / detach safely
+  /// (DurableCatalog::close). Idempotent; draining is permanent.
+  void drain();
+
+  bool draining() const noexcept { return draining_.load(std::memory_order_acquire); }
+
   const util::MetricsRegistry& metrics() const noexcept { return metrics_; }
   std::size_t workers() const noexcept { return pool_.size(); }
 
@@ -84,6 +93,7 @@ class ServiceDispatcher {
   util::MetricsRegistry metrics_;
   CatalogService service_;
   std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> draining_{false};
   /// Declared last: destroyed first, so the workers drain and join while
   /// service_/metrics_/pending_ are still alive.
   util::ThreadPool pool_;

@@ -125,6 +125,7 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kStaleCursor: return "stale_cursor";
+    case ErrorCode::kDraining: return "draining";
   }
   return "validation";
 }
@@ -404,6 +405,29 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
                  std::to_string(util::IngestMetrics::per_second(docs, micros)) + "\"";
       payload += " rows_per_sec=\"" +
                  std::to_string(util::IngestMetrics::per_second(rows, micros)) + "\"";
+      payload += "/>";
+    }
+    if (const util::DurabilityMetrics* wal = catalog_.durability_metrics()) {
+      payload += "<durability";
+      payload += " wal_records=\"" +
+                 std::to_string(wal->wal_records.load(std::memory_order_relaxed)) + "\"";
+      payload += " wal_bytes=\"" +
+                 std::to_string(wal->wal_bytes.load(std::memory_order_relaxed)) + "\"";
+      payload += " wal_fsyncs=\"" +
+                 std::to_string(wal->wal_fsyncs.load(std::memory_order_relaxed)) + "\"";
+      payload += " snapshots=\"" +
+                 std::to_string(wal->snapshots.load(std::memory_order_relaxed)) + "\"";
+      payload += " snapshot_bytes=\"" +
+                 std::to_string(wal->snapshot_bytes.load(std::memory_order_relaxed)) + "\"";
+      payload += " replayed_records=\"" +
+                 std::to_string(wal->replayed_records.load(std::memory_order_relaxed)) +
+                 "\"";
+      payload += " torn_tail_truncations=\"" +
+                 std::to_string(wal->torn_tail_truncations.load(std::memory_order_relaxed)) +
+                 "\"";
+      payload += " recovery_ms=\"" +
+                 std::to_string(wal->recovery_micros.load(std::memory_order_relaxed) / 1000) +
+                 "\"";
       payload += "/>";
     }
     if (metrics_ == nullptr) {

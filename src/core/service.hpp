@@ -52,6 +52,7 @@ enum class ErrorCode {
   kTimeout,      // dispatcher: deadline exceeded before/while handling
   kOverloaded,   // dispatcher: admission queue full
   kStaleCursor,  // continuation cursor predates a catalog mutation
+  kDraining,     // dispatcher: shutting down, no longer admitting
 };
 
 std::string_view error_code_name(ErrorCode code) noexcept;

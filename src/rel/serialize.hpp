@@ -38,4 +38,16 @@ void save_database(const Database& db, std::ostream& out);
 /// from the stream are truncated). Existing rows and CLOBs are discarded.
 void load_database_into(Database& db, std::istream& in);
 
+/// Stable binary form of the same content (the snapshot format of the
+/// durability subsystem): little-endian fixed-width integers, raw IEEE
+/// double bit patterns (exact round trip, unlike the text form's shortest
+/// decimal), length-prefixed strings, and an end marker. Interned string
+/// values serialize by content, so the bytes are independent of interner
+/// pointer identity; on load they become owned strings.
+void save_database_binary(const Database& db, std::ostream& out);
+
+/// Binary counterpart of load_database_into (same table contract). Leading
+/// ASCII whitespace is skipped so the section can follow a text header.
+void load_database_into_binary(Database& db, std::istream& in);
+
 }  // namespace hxrc::rel

@@ -1,0 +1,128 @@
+// Fault-injecting filesystem wrapper for the recovery test harness.
+//
+// FaultFs forwards to a base Fs but can be armed to cut writes at an exact
+// byte: `fail_after_bytes(n)` persists the next n written bytes and then
+// fails every write (persisting the in-flight write's prefix first — a torn
+// tail, exactly what a power cut mid-write leaves behind). `fail_syncs()`
+// makes fsync fail instead, modelling a dying disk. The crash-matrix test
+// (tests/test_recovery.cpp) arms a cut at every WAL record boundary and a
+// spread of mid-record offsets and asserts the recovered catalog equals the
+// oracle built from the records that fully reached "disk".
+//
+// Counters (bytes_written/writes/syncs) let tests assert group-commit
+// batching without timing dependence.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <limits>
+
+#include "storage/fs.hpp"
+
+namespace hxrc::storage {
+
+class FaultFs final : public Fs {
+ public:
+  explicit FaultFs(Fs& base) : base_(base) {}
+
+  /// Persists up to `n` more written bytes across all files opened through
+  /// this Fs, then throws IoError from every write. The write that crosses
+  /// the limit is short-written: its first bytes land, the rest are lost.
+  void fail_after_bytes(std::uint64_t n) {
+    budget_.store(n, std::memory_order_release);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  /// Makes every subsequent sync() throw IoError (writes still succeed).
+  void fail_syncs(bool fail = true) { fail_syncs_.store(fail, std::memory_order_release); }
+
+  /// Disarms all faults; new writes succeed again.
+  void clear_faults() {
+    armed_.store(false, std::memory_order_release);
+    fail_syncs_.store(false, std::memory_order_release);
+  }
+
+  std::uint64_t bytes_written() const { return bytes_written_.load(std::memory_order_acquire); }
+  std::uint64_t writes() const { return writes_.load(std::memory_order_acquire); }
+  std::uint64_t syncs() const { return syncs_.load(std::memory_order_acquire); }
+
+  // ---- Fs ----
+
+  std::unique_ptr<File> open_append(const std::string& path) override {
+    return std::make_unique<FaultFile>(*this, base_.open_append(path));
+  }
+  std::unique_ptr<File> create(const std::string& path) override {
+    return std::make_unique<FaultFile>(*this, base_.create(path));
+  }
+  std::string read_file(const std::string& path) override { return base_.read_file(path); }
+  bool exists(const std::string& path) override { return base_.exists(path); }
+  void rename(const std::string& from, const std::string& to) override {
+    base_.rename(from, to);
+  }
+  void remove(const std::string& path) override { base_.remove(path); }
+  void truncate(const std::string& path, std::uint64_t size) override {
+    base_.truncate(path, size);
+  }
+  std::vector<std::string> list(const std::string& dir) override { return base_.list(dir); }
+  void create_dirs(const std::string& dir) override { base_.create_dirs(dir); }
+  void sync_dir(const std::string& dir) override { base_.sync_dir(dir); }
+
+ private:
+  class FaultFile final : public File {
+   public:
+    FaultFile(FaultFs& owner, std::unique_ptr<File> base)
+        : owner_(owner), base_(std::move(base)) {}
+
+    void write(const void* data, std::size_t size) override {
+      owner_.writes_.fetch_add(1, std::memory_order_relaxed);
+      std::size_t allowed = size;
+      if (owner_.armed_.load(std::memory_order_acquire)) {
+        // Claim bytes from the shared budget; the crossing write persists
+        // only the budget's remainder.
+        std::uint64_t budget = owner_.budget_.load(std::memory_order_acquire);
+        for (;;) {
+          const std::uint64_t take =
+              budget < size ? budget : static_cast<std::uint64_t>(size);
+          if (owner_.budget_.compare_exchange_weak(budget, budget - take,
+                                                   std::memory_order_acq_rel)) {
+            allowed = static_cast<std::size_t>(take);
+            break;
+          }
+        }
+      }
+      if (allowed > 0) {
+        base_->write(data, allowed);
+        owner_.bytes_written_.fetch_add(allowed, std::memory_order_relaxed);
+      }
+      if (allowed < size) {
+        throw IoError("injected write failure (torn after " + std::to_string(allowed) +
+                      " of " + std::to_string(size) + " bytes)");
+      }
+    }
+
+    void sync() override {
+      owner_.syncs_.fetch_add(1, std::memory_order_relaxed);
+      if (owner_.fail_syncs_.load(std::memory_order_acquire)) {
+        throw IoError("injected fsync failure");
+      }
+      base_->sync();
+    }
+
+    std::uint64_t size() const override { return base_->size(); }
+    void close() override { base_->close(); }
+
+   private:
+    FaultFs& owner_;
+    std::unique_ptr<File> base_;
+  };
+
+  Fs& base_;
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> fail_syncs_{false};
+  std::atomic<std::uint64_t> budget_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> syncs_{0};
+};
+
+}  // namespace hxrc::storage

@@ -1,0 +1,154 @@
+#include "storage/fs.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace hxrc::storage {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+class PosixFile final : public File {
+ public:
+  PosixFile(int fd, std::string path, std::uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+  ~PosixFile() override { close(); }
+
+  void write(const void* data, std::size_t size) override {
+    const char* p = static_cast<const char*>(data);
+    std::size_t remaining = size;
+    while (remaining > 0) {
+      const ssize_t n = ::write(fd_, p, remaining);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("write", path_);
+      }
+      p += n;
+      remaining -= static_cast<std::size_t>(n);
+      size_ += static_cast<std::uint64_t>(n);
+    }
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+  }
+
+  std::uint64_t size() const override { return size_; }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+  std::uint64_t size_;
+};
+
+class PosixFs final : public Fs {
+ public:
+  std::unique_ptr<File> open_append(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) throw_errno("open", path);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw_errno("fstat", path);
+    }
+    return std::make_unique<PosixFile>(fd, path, static_cast<std::uint64_t>(st.st_size));
+  }
+
+  std::unique_ptr<File> create(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) throw_errno("open", path);
+    return std::make_unique<PosixFile>(fd, path, 0);
+  }
+
+  std::string read_file(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw_errno("open", path);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        throw_errno("read", path);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  bool exists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+
+  void rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) throw_errno("rename", from);
+  }
+
+  void remove(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (ec) throw IoError("remove '" + path + "': " + ec.message());
+  }
+
+  void truncate(const std::string& path, std::uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      throw_errno("truncate", path);
+    }
+  }
+
+  std::vector<std::string> list(const std::string& dir) override {
+    create_dirs(dir);
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    if (ec) throw IoError("list '" + dir + "': " + ec.message());
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  void create_dirs(const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) throw IoError("mkdir '" + dir + "': " + ec.message());
+  }
+
+  void sync_dir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) throw_errno("open dir", dir);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) throw_errno("fsync dir", dir);
+  }
+};
+
+}  // namespace
+
+Fs& real_fs() {
+  static PosixFs fs;
+  return fs;
+}
+
+}  // namespace hxrc::storage

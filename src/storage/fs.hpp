@@ -1,0 +1,87 @@
+// Filesystem seam for the durability subsystem.
+//
+// The WAL and snapshot writers never touch POSIX directly; they go through
+// this narrow Fs/File interface so the recovery tests can swap in FaultFs
+// (storage/fault_fs.hpp) and cut power at any byte. The real implementation
+// is POSIX fds with explicit fsync — the durability contract is:
+//
+//   * File::sync() returns only after the file's bytes are on stable
+//     storage (fsync);
+//   * Fs::rename() + Fs::sync_dir() make a finished snapshot visible
+//     atomically (write tmp, fsync, rename, fsync the directory).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hxrc::storage {
+
+/// Any filesystem failure (real or injected) surfaces as IoError; the WAL
+/// layer converts it into a poisoned writer (see storage/wal.hpp).
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// A writable file handle. Writes append at the current end; short writes
+/// do not happen through the real implementation (it loops), only through
+/// fault injection — which throws IoError after persisting the prefix.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Appends `size` bytes; throws IoError on failure. A failing write may
+  /// persist a prefix (that is exactly the torn-tail case recovery must
+  /// tolerate).
+  virtual void write(const void* data, std::size_t size) = 0;
+
+  /// Flushes written bytes to stable storage (fsync). Throws IoError.
+  virtual void sync() = 0;
+
+  /// Bytes written through this handle plus the size at open.
+  virtual std::uint64_t size() const = 0;
+
+  /// Closes the handle (no implicit sync). Idempotent.
+  virtual void close() = 0;
+};
+
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// Opens (creating if absent) for appending; existing bytes are kept.
+  virtual std::unique_ptr<File> open_append(const std::string& path) = 0;
+
+  /// Creates (truncating) for writing.
+  virtual std::unique_ptr<File> create(const std::string& path) = 0;
+
+  /// Reads a whole file; throws IoError when absent/unreadable.
+  virtual std::string read_file(const std::string& path) = 0;
+
+  virtual bool exists(const std::string& path) = 0;
+
+  /// Atomic replace (POSIX rename semantics).
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  virtual void remove(const std::string& path) = 0;
+
+  /// Shrinks a file to `size` bytes (discarding a torn WAL tail).
+  virtual void truncate(const std::string& path, std::uint64_t size) = 0;
+
+  /// File names (not paths) in `dir`, sorted; creates `dir` when absent.
+  virtual std::vector<std::string> list(const std::string& dir) = 0;
+
+  /// Creates `dir` (and parents) when absent.
+  virtual void create_dirs(const std::string& dir) = 0;
+
+  /// fsyncs the directory so renames/creates within it are durable.
+  virtual void sync_dir(const std::string& dir) = 0;
+};
+
+/// The process-wide POSIX filesystem.
+Fs& real_fs();
+
+}  // namespace hxrc::storage

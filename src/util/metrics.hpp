@@ -116,6 +116,23 @@ struct IngestMetrics {
   }
 };
 
+/// Durability-path counters: WAL append/fsync volume, snapshot activity,
+/// and the cost of the last recovery. Written by the storage layer (WAL
+/// writer under the catalog's exclusive lock, flusher thread, recovery
+/// path) and read lock-free by the stats reporter.
+struct DurabilityMetrics {
+  std::atomic<std::uint64_t> wal_records{0};
+  std::atomic<std::uint64_t> wal_bytes{0};
+  std::atomic<std::uint64_t> wal_fsyncs{0};
+  std::atomic<std::uint64_t> snapshots{0};
+  std::atomic<std::uint64_t> snapshot_bytes{0};  ///< bytes of the last snapshot
+  /// Last recovery: wall time, records replayed from the WAL tail, and
+  /// whether a torn/corrupt final record was truncated (1) or not (0).
+  std::atomic<std::uint64_t> recovery_micros{0};
+  std::atomic<std::uint64_t> replayed_records{0};
+  std::atomic<std::uint64_t> torn_tail_truncations{0};
+};
+
 /// A fixed set of named RequestStats slots. The slot set is decided at
 /// construction (one per wire request type, plus a catch-all); lookups and
 /// recording are thread-safe, the registry itself is immutable.

@@ -75,6 +75,66 @@ TEST(DatabaseSerialize, RejectsGarbage) {
   EXPECT_THROW(rel::load_database_into(db, unknown_table), rel::SerializeError);
 }
 
+TEST(DatabaseSerializeBinary, RoundTripsTablesClobsAndInternedValues) {
+  rel::Database db;
+  rel::Table& t = db.create_table(
+      "t", rel::TableSchema{{"i", rel::Type::kInt},
+                            {"d", rel::Type::kDouble},
+                            {"s", rel::Type::kString}});
+  t.create_hash_index("by_i", {"i"});
+  static const std::string kInterned = "shared-model-name";
+  t.append(rel::Row{rel::Value(std::int64_t{-7}), rel::Value(0.1),
+                    rel::Value::interned(&kInterned)});
+  t.append(rel::Row{rel::Value::null(), rel::Value::null(),
+                    rel::Value(std::string("\0binary\xff\n", 9))});
+  db.clobs().append("<clob>payload</clob>");
+
+  std::stringstream stream;
+  rel::save_database_binary(db, stream);
+
+  rel::Database loaded;
+  rel::Table& lt = loaded.create_table(
+      "t", rel::TableSchema{{"i", rel::Type::kInt},
+                            {"d", rel::Type::kDouble},
+                            {"s", rel::Type::kString}});
+  lt.create_hash_index("by_i", {"i"});
+  rel::load_database_into_binary(loaded, stream);
+
+  ASSERT_EQ(lt.row_count(), 2u);
+  EXPECT_EQ(lt.row(0)[0].as_int(), -7);
+  // Bit-exact doubles (the text format only guarantees shortest round-trip).
+  EXPECT_EQ(lt.row(0)[1].as_double(), 0.1);
+  // Interned values serialize by content and come back as owned strings.
+  EXPECT_EQ(lt.row(0)[2].as_string(), kInterned);
+  EXPECT_FALSE(lt.row(0)[2].is_interned());
+  EXPECT_EQ(lt.row(1)[2].as_string(), std::string("\0binary\xff\n", 9));
+  EXPECT_EQ(lt.index("by_i")->lookup(rel::Key{{rel::Value(std::int64_t{-7})}}).size(), 1u);
+  ASSERT_EQ(loaded.clobs().count(), 1u);
+  EXPECT_EQ(loaded.clobs().get(0), "<clob>payload</clob>");
+}
+
+TEST(DatabaseSerializeBinary, ToleratesLeadingWhitespaceAndRejectsCorruption) {
+  rel::Database db;
+  db.create_table("t", rel::TableSchema{{"x", rel::Type::kInt}});
+  std::stringstream stream;
+  stream << "\n";  // the seam a text header leaves in a mixed stream
+  rel::save_database_binary(db, stream);
+
+  rel::Database target;
+  target.create_table("t", rel::TableSchema{{"x", rel::Type::kInt}});
+  rel::load_database_into_binary(target, stream);  // must skip the newline
+
+  std::stringstream bad("XXXXXXXX");
+  EXPECT_THROW(rel::load_database_into_binary(target, bad), rel::SerializeError);
+
+  // Truncated mid-stream: error, never a partial load that looks complete.
+  std::stringstream full;
+  rel::save_database_binary(db, full);
+  const std::string bytes = full.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() - 4));
+  EXPECT_THROW(rel::load_database_into_binary(target, cut), rel::SerializeError);
+}
+
 core::CatalogConfig auto_define_config() {
   core::CatalogConfig config;
   config.shred.auto_define_dynamic = true;

@@ -412,5 +412,74 @@ TEST(DispatcherProtocol, DefaultTimeoutFromConfigApplies) {
   EXPECT_EQ(*response.root->attribute("code"), "timeout");
 }
 
+TEST(DispatcherProtocol, DrainRejectsNewWorkAndQuiesces) {
+  static xml::Schema schema = workload::lead_schema();
+  MetadataCatalog catalog(schema, workload::lead_annotations(), auto_define_config());
+
+  std::atomic<bool> release{false};
+  DispatcherConfig config;
+  config.workers = 1;
+  config.max_queue = 8;
+  config.before_execute = [&release] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  ServiceDispatcher dispatcher(catalog, config);
+
+  // An in-flight request must still complete after drain() is called.
+  auto held = dispatcher.submit("<catalogRequest type=\"ingest\">" +
+                                workload::fig3_document() + "</catalogRequest>");
+
+  std::thread drainer([&dispatcher] { dispatcher.drain(); });
+  while (!dispatcher.draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Past the gate: new work is refused immediately, even with queue space.
+  const xml::Document rejected =
+      xml::parse(dispatcher.call("<catalogRequest type=\"stats\"/>"));
+  EXPECT_EQ(*rejected.root->attribute("status"), "error");
+  EXPECT_EQ(*rejected.root->attribute("code"), "draining");
+
+  release.store(true, std::memory_order_release);
+  drainer.join();  // drain() returns only once the in-flight request landed
+  EXPECT_EQ(dispatcher.queue_depth(), 0u);
+  EXPECT_EQ(*xml::parse(held.get()).root->attribute("status"), "ok");
+  EXPECT_EQ(catalog.object_count(), 1u);
+
+  dispatcher.drain();  // idempotent
+  const xml::Document again =
+      xml::parse(dispatcher.call("<catalogRequest type=\"query\"/>"));
+  EXPECT_EQ(*again.root->attribute("code"), "draining");
+}
+
+TEST_F(ProtocolTest, StatsReportDurabilityCountersWhenAttached) {
+  // Without a storage layer attached, stats omits the durability element.
+  xml::Document plain = send("<catalogRequest type=\"stats\"/>");
+  EXPECT_EQ(plain.root->first_child("stats")->first_child("durability"), nullptr);
+
+  util::DurabilityMetrics wal;
+  wal.wal_records.store(12);
+  wal.wal_bytes.store(3456);
+  wal.wal_fsyncs.store(2);
+  wal.replayed_records.store(5);
+  wal.torn_tail_truncations.store(1);
+  wal.recovery_micros.store(7500);
+  catalog_.set_durability_metrics(&wal);
+
+  xml::Document stats = send("<catalogRequest type=\"stats\"/>");
+  const xml::Node* durability =
+      stats.root->first_child("stats")->first_child("durability");
+  ASSERT_NE(durability, nullptr);
+  EXPECT_EQ(*durability->attribute("wal_records"), "12");
+  EXPECT_EQ(*durability->attribute("wal_bytes"), "3456");
+  EXPECT_EQ(*durability->attribute("wal_fsyncs"), "2");
+  EXPECT_EQ(*durability->attribute("replayed_records"), "5");
+  EXPECT_EQ(*durability->attribute("torn_tail_truncations"), "1");
+  EXPECT_EQ(*durability->attribute("recovery_ms"), "7");
+  catalog_.set_durability_metrics(nullptr);
+}
+
 }  // namespace
 }  // namespace hxrc::core
