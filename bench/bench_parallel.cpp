@@ -6,18 +6,22 @@
 // ConcurrentQuery: read-only query throughput with T worker threads over a
 // shared catalog; expectation: near-linear (tables are immutable during
 // reads).
-// MixedReadWrite (E11): the service scenario the shared-lock catalog
-// exists for — ONE background writer continuously ingesting while T
-// closed-loop reader clients each run query → think → query against the
-// same catalog. Clients model remote grid users (AMGA-style multi-client
-// measurement): each carries a fixed think time (network RTT + client
-// processing) between requests, so aggregate throughput grows with the
-// number of in-flight clients until the server saturates. Under the old
-// single-client catalog this benchmark cannot run at all (readers racing a
-// writer corrupt state); under the shared_mutex discipline query
-// throughput must keep scaling while the writer holds brief exclusive
-// sections. Run with `--json=BENCH_concurrent.json --benchmark_filter=E11`
-// to emit the committed results.
+// MixedReadWrite (E11): the service scenario the MVCC catalog exists for —
+// ONE background writer continuously ingesting while T closed-loop reader
+// clients each run query → think → query against the same catalog. Clients
+// model remote grid users (AMGA-style multi-client measurement): each
+// carries a fixed think time (network RTT + client processing) between
+// requests, so aggregate throughput grows with the number of in-flight
+// clients until the server saturates. Under the old shared_mutex
+// discipline every commit stalled the whole read side; with MVCC snapshot
+// reads each query pins an epoch and runs lock-free, so read throughput
+// must stay near-linear with a live writer. Per-request latency is
+// recorded into a histogram and reported as p50/p99/p999 — tail latency is
+// where writer-induced stalls would show. ReadOnlyScaling is the
+// zero-writer control: the same closed loop without the background
+// ingester, isolating reader-reader interference. Run with
+// `--json=BENCH_concurrent.json --benchmark_filter=E11` to emit the
+// committed results.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -25,6 +29,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -86,7 +91,7 @@ constexpr auto kWriterGap = std::chrono::milliseconds(2);
 constexpr std::size_t kPreload = 500;
 constexpr int kQueriesPerClientPerIter = 16;
 
-void mixed_read_write_bench(benchmark::State& state) {
+void closed_loop_bench(benchmark::State& state, bool with_writer) {
   const auto clients = static_cast<std::size_t>(state.range(0));
   static xml::Schema schema = workload::lead_schema();
   const auto& docs = benchx::corpus(kPreload + 200);
@@ -103,18 +108,26 @@ void mixed_read_write_bench(benchmark::State& state) {
 
   // Background writer: ingests for the whole lifetime of the benchmark
   // run, cycling through the spare corpus tail. Every ingest takes the
-  // exclusive lock and bumps the catalog epoch.
+  // exclusive commit lock, publishes a new snapshot, and retires the old
+  // one — MVCC readers must never notice.
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> writes{0};
-  std::thread writer([&] {
-    std::size_t i = 0;
-    while (!stop.load(std::memory_order_acquire)) {
-      catalog.ingest(docs[kPreload + (i++ % 200)], "live", "writer");
-      writes.fetch_add(1, std::memory_order_relaxed);
-      std::this_thread::sleep_for(kWriterGap);
-    }
-  });
+  std::thread writer;
+  if (with_writer) {
+    writer = std::thread([&] {
+      std::size_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        catalog.ingest(docs[kPreload + (i++ % 200)], "live", "writer");
+        writes.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(kWriterGap);
+      }
+    });
+  }
 
+  // Per-request service latency (think time excluded): the histogram is
+  // lock-free, so recording from every client adds no synchronization of
+  // its own.
+  util::LatencyHistogram latency;
   util::ThreadPool pool(clients);
   std::size_t total_queries = 0;
   std::atomic<std::size_t> total_hits{0};
@@ -124,14 +137,21 @@ void mixed_read_write_bench(benchmark::State& state) {
         const auto& q =
             queries[(c * kQueriesPerClientPerIter + static_cast<std::size_t>(i)) %
                     queries.size()];
+        const auto start = std::chrono::steady_clock::now();
         total_hits.fetch_add(catalog.query(q).size(), std::memory_order_relaxed);
+        latency.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
         std::this_thread::sleep_for(kClientThink);
       }
     });
     total_queries += clients * kQueriesPerClientPerIter;
   }
-  stop.store(true, std::memory_order_release);
-  writer.join();
+  if (with_writer) {
+    stop.store(true, std::memory_order_release);
+    writer.join();
+  }
 
   benchmark::DoNotOptimize(total_hits.load());
   state.counters["queries/s"] = benchmark::Counter(static_cast<double>(total_queries),
@@ -139,6 +159,23 @@ void mixed_read_write_bench(benchmark::State& state) {
   state.counters["writes"] = benchmark::Counter(static_cast<double>(writes.load()));
   state.counters["catalog_version"] =
       benchmark::Counter(static_cast<double>(catalog.version()));
+  state.counters["p50_us"] =
+      benchmark::Counter(static_cast<double>(latency.percentile_micros(0.50)));
+  state.counters["p99_us"] =
+      benchmark::Counter(static_cast<double>(latency.percentile_micros(0.99)));
+  state.counters["p999_us"] =
+      benchmark::Counter(static_cast<double>(latency.percentile_micros(0.999)));
+  state.counters["mean_us"] = benchmark::Counter(static_cast<double>(latency.mean_micros()));
+  const util::MvccStats mvcc = catalog.mvcc_stats();
+  state.counters["reclamations"] = benchmark::Counter(static_cast<double>(mvcc.reclamations));
+}
+
+void mixed_read_write_bench(benchmark::State& state) {
+  closed_loop_bench(state, /*with_writer=*/true);
+}
+
+void read_only_scaling_bench(benchmark::State& state) {
+  closed_loop_bench(state, /*with_writer=*/false);
 }
 
 }  // namespace
@@ -156,6 +193,10 @@ int main(int argc, char** argv) {
         ->MeasureProcessCPUTime()
         ->UseRealTime();
     benchmark::RegisterBenchmark("E11/MixedReadWrite/clients", mixed_read_write_bench)
+        ->Arg(threads)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+    benchmark::RegisterBenchmark("E11/ReadOnlyScaling/clients", read_only_scaling_bench)
         ->Arg(threads)
         ->Unit(benchmark::kMillisecond)
         ->UseRealTime();

@@ -10,15 +10,16 @@
 namespace hxrc::core {
 
 std::vector<AttributeSummary> CatalogBrowser::attributes(const std::string& user) const {
-  const auto lock = catalog_.read_lock();
-  const DefinitionRegistry& registry = catalog_.registry();
+  const MetadataCatalog::ReadGuard guard(catalog_);
+  const DefinitionRegistry& registry = *guard->defs;
   const rel::Table& instances = catalog_.database().require_table(kAttrInstancesTable);
 
-  // Instance counts per definition, one scan.
+  // Instance counts per definition, one scan over the snapshot-visible rows.
   std::unordered_map<AttrDefId, std::size_t> counts;
   const std::size_t attr_col = instances.schema().require("attr_id");
-  for (const rel::Row& row : instances.rows()) {
-    ++counts[row[attr_col].as_int()];
+  const std::size_t visible = guard->view.visible_rows(instances);
+  for (std::size_t i = 0; i < visible; ++i) {
+    ++counts[instances.row_unchecked(i)[attr_col].as_int()];
   }
 
   std::vector<AttributeSummary> out;
@@ -42,12 +43,13 @@ std::vector<AttributeSummary> CatalogBrowser::attributes(const std::string& user
 }
 
 std::vector<ElementSummary> CatalogBrowser::elements(AttrDefId attribute) const {
-  const auto lock = catalog_.read_lock();
-  const DefinitionRegistry& registry = catalog_.registry();
+  const MetadataCatalog::ReadGuard guard(catalog_);
+  const DefinitionRegistry& registry = *guard->defs;
   const rel::Table& elem_data = catalog_.database().require_table(kElemDataTable);
   const rel::Index* by_def = elem_data.index("idx_elem_def");
   const std::size_t value_col = elem_data.schema().require("value_str");
 
+  std::vector<rel::RowId> scratch;
   std::vector<ElementSummary> out;
   for (const ElementDef& def : registry.elements()) {
     if (def.attribute != attribute) continue;
@@ -57,8 +59,10 @@ std::vector<ElementSummary> CatalogBrowser::elements(AttrDefId attribute) const 
     summary.source = def.source;
     summary.type = def.type;
     std::map<std::string, std::size_t> distinct;
-    for (const rel::RowId id : by_def->lookup(rel::Key{{rel::Value(def.id)}})) {
-      ++distinct[elem_data.row(id)[value_col].as_string()];
+    scratch.clear();
+    guard->view.lookup_into(elem_data, *by_def, rel::Key{{rel::Value(def.id)}}, scratch);
+    for (const rel::RowId id : scratch) {
+      ++distinct[elem_data.row_unchecked(id)[value_col].as_string()];
       ++summary.values;
     }
     summary.distinct_values = distinct.size();
@@ -72,14 +76,16 @@ std::vector<ElementSummary> CatalogBrowser::elements(AttrDefId attribute) const 
 
 std::vector<ValueCount> CatalogBrowser::top_values(ElemDefId element,
                                                    std::size_t limit) const {
-  const auto lock = catalog_.read_lock();
+  const MetadataCatalog::ReadGuard guard(catalog_);
   const rel::Table& elem_data = catalog_.database().require_table(kElemDataTable);
   const rel::Index* by_def = elem_data.index("idx_elem_def");
   const std::size_t value_col = elem_data.schema().require("value_str");
 
   std::map<std::string, std::size_t> counts;
-  for (const rel::RowId id : by_def->lookup(rel::Key{{rel::Value(element)}})) {
-    ++counts[elem_data.row(id)[value_col].as_string()];
+  std::vector<rel::RowId> scratch;
+  guard->view.lookup_into(elem_data, *by_def, rel::Key{{rel::Value(element)}}, scratch);
+  for (const rel::RowId id : scratch) {
+    ++counts[elem_data.row_unchecked(id)[value_col].as_string()];
   }
   std::vector<ValueCount> out;
   out.reserve(counts.size());
@@ -97,16 +103,15 @@ std::vector<ObjectId> CatalogBrowser::query_sorted(const ObjectQuery& q,
                                                    const ResultOrder& order,
                                                    std::size_t offset,
                                                    std::size_t limit) const {
-  std::vector<ObjectId> hits = catalog_.query(q);
+  // One pinned snapshot for the query AND the sort-key probe: the sort keys
+  // are exactly the values the matching epoch saw (the old lock-based path
+  // had a gap between the two).
+  const MetadataCatalog::ReadGuard guard(catalog_);
+  std::vector<ObjectId> hits = guard.query(q);
   if (hits.empty()) return hits;
 
-  // Lock taken only after catalog_.query returns — its shared lock is not
-  // recursive. Hits stay valid across the gap (ids are stable; tombstoned
-  // objects merely stop sorting by a fresh key).
-  const auto lock = catalog_.read_lock();
-
   // Resolve the sort element definition (invisible/unknown: keep id order).
-  const DefinitionRegistry& registry = catalog_.registry();
+  const DefinitionRegistry& registry = *guard->defs;
   const AttributeDef* attr = registry.find_attribute(
       order.attribute_name, order.attribute_source, kNoAttr, q.user());
   const ElementDef* elem =
@@ -125,8 +130,10 @@ std::vector<ObjectId> CatalogBrowser::query_sorted(const ObjectQuery& q,
     const std::size_t str_col = elem_data.schema().require("value_str");
     const std::size_t num_col = elem_data.schema().require("value_num");
     std::unordered_map<ObjectId, rel::Value> sort_key;
-    for (const rel::RowId id : by_def->lookup(rel::Key{{rel::Value(elem->id)}})) {
-      const rel::Row& row = elem_data.row(id);
+    std::vector<rel::RowId> scratch;
+    guard->view.lookup_into(elem_data, *by_def, rel::Key{{rel::Value(elem->id)}}, scratch);
+    for (const rel::RowId id : scratch) {
+      const rel::Row& row = elem_data.row_unchecked(id);
       const ObjectId object = row[object_col].as_int();
       const rel::Value& key = row[num_col].is_null() ? row[str_col] : row[num_col];
       const auto it = sort_key.find(object);

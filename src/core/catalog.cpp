@@ -43,6 +43,52 @@ MetadataCatalog::MetadataCatalog(const xml::Schema& schema,
   if (engine_options.thesaurus == nullptr) engine_options.thesaurus = &thesaurus_;
   engine_ = std::make_unique<QueryEngine>(partition_, registry_, db_, engine_options);
   responder_ = std::make_unique<ResponseBuilder>(partition_, db_);
+
+  // Route index-generation retirement through the epoch manager and publish
+  // the empty-catalog snapshot: readers have a snapshot to pin from the
+  // first instant.
+  db_.set_reclaimer(&epochs_);
+  publish_locked();
+}
+
+MetadataCatalog::~MetadataCatalog() {
+  delete snapshot_.load(std::memory_order_relaxed);
+}
+
+void MetadataCatalog::publish_locked() {
+  // Bring every index generation up to the committed row counts: readers of
+  // the new snapshot never sync (their probes stop at the watermarks, which
+  // the generations now cover).
+  db_.sync_indexes();
+
+  if (published_defs_ == nullptr ||
+      published_attr_count_ != registry_.attribute_count() ||
+      published_elem_count_ != registry_.element_count()) {
+    published_defs_ = std::make_shared<const DefinitionRegistry>(registry_);
+    published_attr_count_ = registry_.attribute_count();
+    published_elem_count_ = registry_.element_count();
+  }
+  if (published_deleted_ == nullptr ||
+      published_deleted_->size() != deleted_.size()) {
+    published_deleted_ =
+        std::make_shared<const std::unordered_set<ObjectId>>(deleted_);
+  }
+
+  auto* snap = new CatalogSnapshot;
+  snap->epoch = version();
+  snap->view = rel::ReadView(db_.watermarks());
+  snap->defs = published_defs_;
+  snap->deleted = published_deleted_;
+  snap->stats = stats_;
+  snap->next_object = next_object_.load(std::memory_order_acquire);
+  snap->clob_count = db_.clobs().count();
+
+  const CatalogSnapshot* old = snapshot_.exchange(snap, std::memory_order_acq_rel);
+  if (old != nullptr) epochs_.retire(old);
+  snapshots_published_.fetch_add(1, std::memory_order_relaxed);
+  // Seal the superseded epoch and collect whatever no reader pins anymore.
+  epochs_.advance();
+  epochs_.reclaim();
 }
 
 namespace {
@@ -65,15 +111,13 @@ ObjectId MetadataCatalog::ingest(const xml::Document& doc, const std::string& na
   bump_version();
   ingest_metrics_.record(1, shred.element_rows, shred.attribute_instances,
                          shred.clob_bytes, doc.arena_bytes(), elapsed_micros(start));
-  if (observer_) {
-    MutationEvent event{MutationEvent::Kind::kIngest};
-    event.epoch = version();
-    event.object = id;
-    event.name = name;
-    event.owner = owner;
-    event.content = doc.root.get();
-    notify(event);
-  }
+  MutationEvent event{MutationEvent::Kind::kIngest};
+  event.epoch = version();
+  event.object = id;
+  event.name = name;
+  event.owner = owner;
+  event.content = doc.root.get();
+  commit_locked(event);
   return id;
 }
 
@@ -91,15 +135,13 @@ void MetadataCatalog::add_attribute(ObjectId object, std::string_view attribute_
     if (root.path == attribute_path) {
       stats_ += shredder_->shred_additional(content, object, root, owner);
       bump_version();
-      if (observer_) {
-        MutationEvent event{MutationEvent::Kind::kAddAttribute};
-        event.epoch = version();
-        event.object = object;
-        event.path = attribute_path;
-        event.owner = owner;
-        event.content = &content;
-        notify(event);
-      }
+      MutationEvent event{MutationEvent::Kind::kAddAttribute};
+      event.epoch = version();
+      event.object = object;
+      event.path = attribute_path;
+      event.owner = owner;
+      event.content = &content;
+      commit_locked(event);
       return;
     }
   }
@@ -222,21 +264,27 @@ std::vector<ObjectId> MetadataCatalog::ingest_parallel(
   ingest_metrics_.record(docs.size(), batch_stats.element_rows,
                          batch_stats.attribute_instances, batch_stats.clob_bytes,
                          arena_bytes, elapsed_micros(start));
-  if (observer_) {
-    // One event per document, in id order, sharing the batch's epoch —
-    // replaying them sequentially reproduces the same id assignment.
-    for (std::size_t i = 0; i < docs.size(); ++i) {
-      const ObjectId id = first + static_cast<ObjectId>(i);
-      MutationEvent event{MutationEvent::Kind::kIngest};
-      event.epoch = version();
-      event.object = id;
-      const std::string doc_name = "doc-" + std::to_string(id);
-      event.name = doc_name;
-      event.owner = owner;
-      event.content = docs[i].root.get();
-      notify(event);
+  try {
+    if (observer_) {
+      // One event per document, in id order, sharing the batch's epoch —
+      // replaying them sequentially reproduces the same id assignment.
+      for (std::size_t i = 0; i < docs.size(); ++i) {
+        const ObjectId id = first + static_cast<ObjectId>(i);
+        MutationEvent event{MutationEvent::Kind::kIngest};
+        event.epoch = version();
+        event.object = id;
+        const std::string doc_name = "doc-" + std::to_string(id);
+        event.name = doc_name;
+        event.owner = owner;
+        event.content = docs[i].root.get();
+        notify(event);
+      }
     }
+  } catch (...) {
+    publish_locked();
+    throw;
   }
+  publish_locked();
 
   std::vector<ObjectId> ids;
   ids.reserve(docs.size());
@@ -266,18 +314,16 @@ AttrDefId MetadataCatalog::define_dynamic_attribute(
                              elem.type);
   }
   bump_version();
-  if (observer_) {
-    MutationEvent event{MutationEvent::Kind::kDefine};
-    event.epoch = version();
-    event.attr = id;
-    event.parent = kNoAttr;
-    event.visibility = visibility;
-    event.name = name;
-    event.source = source;
-    event.owner = owner;
-    event.elements = &elements;
-    notify(event);
-  }
+  MutationEvent event{MutationEvent::Kind::kDefine};
+  event.epoch = version();
+  event.attr = id;
+  event.parent = kNoAttr;
+  event.visibility = visibility;
+  event.name = name;
+  event.source = source;
+  event.owner = owner;
+  event.elements = &elements;
+  commit_locked(event);
   return id;
 }
 
@@ -293,18 +339,16 @@ AttrDefId MetadataCatalog::define_dynamic_sub_attribute(
                              elem.type);
   }
   bump_version();
-  if (observer_) {
-    MutationEvent event{MutationEvent::Kind::kDefine};
-    event.epoch = version();
-    event.attr = id;
-    event.parent = parent;
-    event.visibility = visibility;
-    event.name = name;
-    event.source = source;
-    event.owner = owner;
-    event.elements = &elements;
-    notify(event);
-  }
+  MutationEvent event{MutationEvent::Kind::kDefine};
+  event.epoch = version();
+  event.attr = id;
+  event.parent = parent;
+  event.visibility = visibility;
+  event.name = name;
+  event.source = source;
+  event.owner = owner;
+  event.elements = &elements;
+  commit_locked(event);
   return id;
 }
 
@@ -322,15 +366,13 @@ CollectionId MetadataCatalog::create_collection(const std::string& name,
                               parent == kNoCollection ? rel::Value::null()
                                                       : rel::Value(parent)});
   bump_version();
-  if (observer_) {
-    MutationEvent event{MutationEvent::Kind::kCreateCollection};
-    event.epoch = version();
-    event.collection = id;
-    event.parent_collection = parent;
-    event.name = name;
-    event.owner = owner;
-    notify(event);
-  }
+  MutationEvent event{MutationEvent::Kind::kCreateCollection};
+  event.epoch = version();
+  event.collection = id;
+  event.parent_collection = parent;
+  event.name = name;
+  event.owner = owner;
+  commit_locked(event);
   return id;
 }
 
@@ -343,26 +385,28 @@ void MetadataCatalog::add_to_collection(CollectionId collection, ObjectId object
   }
   const rel::Index* pair_index = members.index("idx_member_pair");
   if (!pair_index->lookup(rel::Key{{rel::Value(collection), rel::Value(object)}}).empty()) {
-    return;  // already a member
+    return;  // already a member — no state change, nothing to publish
   }
   members.append(rel::Row{rel::Value(collection), rel::Value(object)});
   bump_version();
-  if (observer_) {
-    MutationEvent event{MutationEvent::Kind::kAddToCollection};
-    event.epoch = version();
-    event.collection = collection;
-    event.object = object;
-    notify(event);
-  }
+  MutationEvent event{MutationEvent::Kind::kAddToCollection};
+  event.epoch = version();
+  event.collection = collection;
+  event.object = object;
+  commit_locked(event);
 }
 
-std::vector<CollectionId> MetadataCatalog::child_collections_unlocked(
-    CollectionId collection) const {
+std::vector<CollectionId> MetadataCatalog::child_collections_at(
+    const CatalogSnapshot& snap, CollectionId collection) const {
   const rel::Table& collections = db_.require_table("collections");
+  const rel::Index* by_parent = collections.index("idx_coll_parent");
+  std::vector<rel::RowId> scratch;
+  snap.view.lookup_into(collections, *by_parent, rel::Key{{rel::Value(collection)}},
+                        scratch);
   std::vector<CollectionId> out;
-  for (const rel::RowId id :
-       collections.index("idx_coll_parent")->lookup(rel::Key{{rel::Value(collection)}})) {
-    out.push_back(collections.row(id)[0].as_int());
+  out.reserve(scratch.size());
+  for (const rel::RowId id : scratch) {
+    out.push_back(collections.row_unchecked(id)[0].as_int());
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -370,24 +414,28 @@ std::vector<CollectionId> MetadataCatalog::child_collections_unlocked(
 
 std::vector<CollectionId> MetadataCatalog::child_collections(
     CollectionId collection) const {
-  std::shared_lock lock(mutex_);
-  return child_collections_unlocked(collection);
+  ReadGuard guard(*this);
+  return child_collections_at(guard.snapshot(), collection);
 }
 
-std::vector<ObjectId> MetadataCatalog::collection_members_unlocked(
-    CollectionId collection, bool recursive) const {
+std::vector<ObjectId> MetadataCatalog::collection_members_at(
+    const CatalogSnapshot& snap, CollectionId collection, bool recursive) const {
   const rel::Table& members = db_.require_table("collection_members");
   const rel::Index* by_collection = members.index("idx_member_coll");
+  std::vector<rel::RowId> scratch;
   std::vector<ObjectId> out;
   std::vector<CollectionId> frontier{collection};
   while (!frontier.empty()) {
     const CollectionId current = frontier.back();
     frontier.pop_back();
-    for (const rel::RowId id : by_collection->lookup(rel::Key{{rel::Value(current)}})) {
-      out.push_back(members.row(id)[1].as_int());
+    scratch.clear();
+    snap.view.lookup_into(members, *by_collection, rel::Key{{rel::Value(current)}},
+                          scratch);
+    for (const rel::RowId id : scratch) {
+      out.push_back(members.row_unchecked(id)[1].as_int());
     }
     if (recursive) {
-      const auto children = child_collections_unlocked(current);
+      const auto children = child_collections_at(snap, current);
       frontier.insert(frontier.end(), children.begin(), children.end());
     }
   }
@@ -398,35 +446,43 @@ std::vector<ObjectId> MetadataCatalog::collection_members_unlocked(
 
 std::vector<ObjectId> MetadataCatalog::collection_members(CollectionId collection,
                                                           bool recursive) const {
-  std::shared_lock lock(mutex_);
-  return collection_members_unlocked(collection, recursive);
+  ReadGuard guard(*this);
+  return collection_members_at(guard.snapshot(), collection, recursive);
 }
 
 std::vector<ObjectId> MetadataCatalog::query_in_collection(CollectionId collection,
                                                            const ObjectQuery& q,
                                                            bool recursive) const {
-  std::shared_lock lock(mutex_);
-  const std::vector<ObjectId> scope = collection_members_unlocked(collection, recursive);
-  const std::vector<ObjectId> hits = engine_->run(q);
+  ReadGuard guard(*this);
+  const CatalogSnapshot& snap = guard.snapshot();
+  const std::vector<ObjectId> scope = collection_members_at(snap, collection, recursive);
+  QueryContext ctx;
+  ctx.registry = snap.defs.get();
+  ctx.view = &snap.view;
+  const std::vector<ObjectId> hits = engine_->run(q, nullptr, ctx);
   std::vector<ObjectId> out;
   std::set_intersection(hits.begin(), hits.end(), scope.begin(), scope.end(),
                         std::back_inserter(out));
   return out;
 }
 
-std::vector<ObjectId> MetadataCatalog::query_unlocked(const ObjectQuery& q,
-                                                      QueryPlanInfo* info) const {
-  std::vector<ObjectId> hits = engine_->run(q, info);
-  if (!deleted_.empty()) {
-    std::erase_if(hits, [this](ObjectId id) { return deleted_.count(id) != 0; });
+std::vector<ObjectId> MetadataCatalog::query_at(const CatalogSnapshot& snap,
+                                                const ObjectQuery& q,
+                                                QueryPlanInfo* info) const {
+  QueryContext ctx;
+  ctx.registry = snap.defs.get();
+  ctx.view = &snap.view;
+  std::vector<ObjectId> hits = engine_->run(q, info, ctx);
+  if (!snap.deleted->empty()) {
+    std::erase_if(hits, [&snap](ObjectId id) { return snap.deleted->count(id) != 0; });
   }
   return hits;
 }
 
 std::vector<ObjectId> MetadataCatalog::query(const ObjectQuery& q,
                                              QueryPlanInfo* info) const {
-  std::shared_lock lock(mutex_);
-  return query_unlocked(q, info);
+  ReadGuard guard(*this);
+  return query_at(guard.snapshot(), q, info);
 }
 
 namespace {
@@ -456,10 +512,10 @@ bool decode_cursor(std::string_view cursor, std::uint64_t& version, ObjectId& af
 }  // namespace
 
 QueryPage MetadataCatalog::query_paged(const ObjectQuery& q, QueryPlanInfo* info) const {
-  std::shared_lock lock(mutex_);
+  ReadGuard guard(*this);
   QueryPage page;
-  page.version = version_.load(std::memory_order_acquire);
-  std::vector<ObjectId> hits = query_unlocked(q, info);
+  page.version = guard.epoch();
+  std::vector<ObjectId> hits = query_at(guard.snapshot(), q, info);
   if (!std::is_sorted(hits.begin(), hits.end())) {
     std::sort(hits.begin(), hits.end());  // defensive: the engine emits ascending
   }
@@ -484,14 +540,15 @@ QueryPage MetadataCatalog::query_paged(const ObjectQuery& q, QueryPlanInfo* info
   return page;
 }
 
-std::string MetadataCatalog::build_response_unlocked(
-    std::span<const ObjectId> ids, const std::vector<OrderId>* orders) const {
+std::string MetadataCatalog::build_response_at(const CatalogSnapshot& snap,
+                                               std::span<const ObjectId> ids,
+                                               const std::vector<OrderId>* orders) const {
   std::string out = "<results>";
   for (const ObjectId id : ids) {
-    if (deleted_.count(id) != 0) continue;
+    if (snap.deleted->count(id) != 0) continue;
     out += "<result objectID=\"" + std::to_string(id) + "\">";
-    out += orders == nullptr ? responder_->build_document(id)
-                             : responder_->build_document(id, *orders);
+    out += orders == nullptr ? responder_->build_document(id, &snap.view)
+                             : responder_->build_document(id, *orders, &snap.view);
     out += "</result>";
   }
   out += "</results>";
@@ -499,8 +556,8 @@ std::string MetadataCatalog::build_response_unlocked(
 }
 
 std::string MetadataCatalog::build_response(std::span<const ObjectId> ids) const {
-  std::shared_lock lock(mutex_);
-  return build_response_unlocked(ids, nullptr);
+  ReadGuard guard(*this);
+  return build_response_at(guard.snapshot(), ids, nullptr);
 }
 
 std::string MetadataCatalog::build_response(
@@ -520,8 +577,8 @@ std::string MetadataCatalog::build_response(
       throw ValidationError("no attribute root at path '" + path + "'");
     }
   }
-  std::shared_lock lock(mutex_);
-  return build_response_unlocked(ids, &orders);
+  ReadGuard guard(*this);
+  return build_response_at(guard.snapshot(), ids, &orders);
 }
 
 void MetadataCatalog::delete_object(ObjectId id) {
@@ -531,12 +588,10 @@ void MetadataCatalog::delete_object(ObjectId id) {
   }
   deleted_.insert(id);
   bump_version();
-  if (observer_) {
-    MutationEvent event{MutationEvent::Kind::kDelete};
-    event.epoch = version();
-    event.object = id;
-    notify(event);
-  }
+  MutationEvent event{MutationEvent::Kind::kDelete};
+  event.epoch = version();
+  event.object = id;
+  commit_locked(event);
 }
 
 namespace {
@@ -756,18 +811,30 @@ void MetadataCatalog::restore(std::istream& in) {
     rel::load_database_into(db_, in);
     bump_version();
   }
+  // The registry and tombstone set were rebuilt wholesale; drop the COW
+  // caches so the restored snapshot cannot alias pre-restore contents, then
+  // publish the restored state at its epoch.
+  published_defs_.reset();
+  published_deleted_.reset();
+  publish_locked();
+}
+
+void MetadataCatalog::restore_version(std::uint64_t epoch) {
+  std::unique_lock lock(mutex_);
+  version_.store(epoch, std::memory_order_release);
+  publish_locked();
 }
 
 xml::Document MetadataCatalog::fetch(ObjectId id) const {
   std::string text;
   {
-    std::shared_lock lock(mutex_);
-    if (deleted_.count(id) != 0) {
+    ReadGuard guard(*this);
+    if (guard->deleted->count(id) != 0) {
       throw ValidationError("object " + std::to_string(id) + " has been deleted");
     }
-    text = responder_->build_document(id);
+    text = responder_->build_document(id, &guard->view);
   }
-  // Parse outside the lock: the text is already a private copy.
+  // Parse outside the pinned section: the text is already a private copy.
   if (text.empty()) {
     // An object with no stored attributes reconstructs as an empty root.
     xml::Document doc;

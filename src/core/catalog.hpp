@@ -13,15 +13,21 @@
 //   auto ids = catalog.query(query);
 //   std::string response = catalog.build_response(ids);
 //
-// Concurrency: the catalog is safe for mixed readers and writers. Reads
-// (query/query_paged/fetch/build_response/collection reads/save) take a
-// shared lock; mutations (ingest/add_attribute/define/delete/collection
-// writes/restore) take an exclusive lock and bump a monotonically
-// increasing catalog version (epoch). Continuation cursors carry the
-// version they were issued at and go stale on any mutation. The accessors
-// that hand out raw internals (database(), registry(), thesaurus()) are
-// NOT locked — hold read_lock() around them, or confine their use to
-// single-threaded setup/teardown.
+// Concurrency: MVCC snapshot reads. Mutations (ingest/add_attribute/define/
+// delete/collection writes/restore) serialize on an exclusive commit lock,
+// apply their rows to pointer-stable storage, sync the index generations,
+// and publish an immutable CatalogSnapshot (epoch, per-table watermarks,
+// definition registry copy, tombstone set, stats) through one atomic
+// pointer. Reads (query/query_paged/fetch/build_response/browse/stats/
+// collection reads) pin an epoch in a reclamation slot, load the snapshot,
+// and run entirely against that frozen state — they NEVER take a lock and
+// never block behind a writer. Superseded snapshots and index generations
+// are reclaimed once no reader pins their epoch (util::EpochManager).
+// Continuation cursors carry the epoch they were issued at and go stale on
+// any mutation. The accessors that hand out raw internals (database(),
+// registry(), thesaurus()) are NOT snapshot-isolated — confine their use to
+// single-threaded setup/teardown or hold read_lock() (which pauses writers
+// but not other readers).
 #pragma once
 
 #include <atomic>
@@ -44,6 +50,8 @@
 #include "core/response.hpp"
 #include "core/shredder.hpp"
 #include "rel/database.hpp"
+#include "rel/read_view.hpp"
+#include "util/epoch.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "xml/dom.hpp"
@@ -84,11 +92,12 @@ struct DynamicElementSpec {
 };
 
 /// One catalog mutation, as seen by the durability layer. Emitted by every
-/// state-changing method while the exclusive lock is still held, after the
-/// in-memory mutation succeeded and the version epoch was bumped — so an
-/// observer (the WAL appender) sees mutations in exactly the order a
-/// recovery replay must reapply them. Views/pointers are valid only for the
-/// duration of the callback.
+/// state-changing method while the exclusive commit lock is still held,
+/// after the in-memory mutation succeeded and the version epoch was bumped
+/// but BEFORE the snapshot is published — so an observer (the WAL appender)
+/// sees mutations in exactly the order a recovery replay must reapply them,
+/// and a mutation is durable before any reader can observe it. Views/
+/// pointers are valid only for the duration of the callback.
 struct MutationEvent {
   enum class Kind {
     kIngest,
@@ -115,11 +124,32 @@ struct MutationEvent {
   const std::vector<DynamicElementSpec>* elements = nullptr;  ///< define
 };
 
-/// Observer invoked under the exclusive lock; see MutationEvent. A throwing
-/// observer propagates to the mutating caller — the in-memory mutation has
-/// already been applied, so the durability layer treats that as a poisoned
-/// log (the process keeps serving memory but must surface the I/O failure).
+/// Observer invoked under the exclusive commit lock; see MutationEvent. A
+/// throwing observer propagates to the mutating caller — the in-memory
+/// mutation has already been applied (and is published on the way out), so
+/// the durability layer treats that as a poisoned log (the process keeps
+/// serving memory but must surface the I/O failure).
 using MutationObserver = std::function<void(const MutationEvent&)>;
+
+/// The immutable state one commit published: everything a reader needs to
+/// answer any read at that epoch. Shared members (registry copy, tombstone
+/// set) are reference-counted and shared across snapshots that did not
+/// change them; the struct itself is freed by epoch reclamation once no
+/// reader pins it.
+struct CatalogSnapshot {
+  std::uint64_t epoch = 0;
+  /// Per-table row-count watermarks: rows at or above them are invisible.
+  rel::ReadView view;
+  /// Frozen definition registry (re-copied only by commits that define).
+  std::shared_ptr<const DefinitionRegistry> defs;
+  /// Frozen tombstone set (re-copied only by commits that delete).
+  std::shared_ptr<const std::unordered_set<ObjectId>> deleted;
+  ShredStats stats;
+  ObjectId next_object = 0;
+  std::size_t clob_count = 0;
+};
+
+enum class ObjectState { kUnknown, kLive, kDeleted };
 
 class MetadataCatalog {
  public:
@@ -128,6 +158,7 @@ class MetadataCatalog {
   /// The schema must outlive the catalog.
   MetadataCatalog(const xml::Schema& schema, PartitionAnnotations annotations,
                   CatalogConfig config = {});
+  ~MetadataCatalog();
 
   // ---- ingest ----
 
@@ -224,12 +255,21 @@ class MetadataCatalog {
   void delete_object(ObjectId id);
 
   bool is_deleted(ObjectId id) const {
-    std::shared_lock lock(mutex_);
-    return deleted_.count(id) != 0;
+    ReadGuard guard(*this);
+    return guard->deleted->count(id) != 0;
   }
   std::size_t deleted_count() const {
-    std::shared_lock lock(mutex_);
-    return deleted_.size();
+    ReadGuard guard(*this);
+    return guard->deleted->size();
+  }
+
+  /// Snapshot-consistent liveness: unknown / live / deleted as of one
+  /// published epoch (the service fetch/delete handlers use this so the
+  /// existence check and the tombstone check cannot straddle a commit).
+  ObjectState object_state(ObjectId id) const {
+    ReadGuard guard(*this);
+    if (id < 0 || id >= guard->next_object) return ObjectState::kUnknown;
+    return guard->deleted->count(id) != 0 ? ObjectState::kDeleted : ObjectState::kLive;
   }
 
   // ---- persistence ----
@@ -246,7 +286,7 @@ class MetadataCatalog {
   /// independent of interner pointer identity.
   void save_binary(std::ostream& out) const;
 
-  /// save_binary without taking the shared lock — for the durability
+  /// save_binary without taking the write-pause lock — for the durability
   /// layer's checkpoint, which already holds read_lock() so that no
   /// mutation can slip between the snapshot and the WAL rotation.
   void save_binary_unlocked(std::ostream& out) const;
@@ -256,17 +296,18 @@ class MetadataCatalog {
   /// schema and annotations (the structural definitions and ordering tables
   /// are rebuilt by the constructor and verified here). Existing ingested
   /// data is discarded. Format 2 restores the version epoch it recorded;
-  /// format 1 bumps the current epoch.
+  /// format 1 bumps the current epoch. Requires quiescence (no concurrent
+  /// readers): row storage and index generations are freed in place, and
+  /// the rebuilt catalog republishes a clean snapshot at the restored epoch.
   void restore(std::istream& in);
 
-  /// Overwrites the version epoch. Recovery only: replay re-applies logged
-  /// mutations (each bumping the epoch) and then pins the epoch to the
-  /// value the original process had recorded, plus a final bump so every
-  /// pre-crash cursor is stale. Not for general use — epochs must stay
-  /// monotonic for cursor validation to be sound.
-  void restore_version(std::uint64_t epoch) noexcept {
-    version_.store(epoch, std::memory_order_release);
-  }
+  /// Overwrites the version epoch and republishes the snapshot at it.
+  /// Recovery only: replay re-applies logged mutations (each bumping the
+  /// epoch) and then pins the epoch to the value the original process had
+  /// recorded, plus a final bump so every pre-crash cursor is stale. Not
+  /// for general use — epochs must stay monotonic for cursor validation to
+  /// be sound.
+  void restore_version(std::uint64_t epoch);
 
   // ---- durability hooks ----
 
@@ -295,12 +336,74 @@ class MetadataCatalog {
     return version_.load(std::memory_order_acquire);
   }
 
-  /// Shared (read) lock over the catalog, for external readers that walk
-  /// raw internals (database()/registry()/CatalogBrowser) concurrently with
-  /// writers. The catalog's own read methods lock internally — do not hold
-  /// this around them (std::shared_mutex is not recursive).
+  /// Write-pause lock: holds writers out (they take mutex_ exclusively)
+  /// while readers keep running lock-free. For external code that must walk
+  /// raw internals (database()/registry(), the durability checkpoint)
+  /// coherently. The catalog's own read methods are snapshot-isolated and
+  /// never touch this lock — holding it around them is safe but pointless.
   std::shared_lock<std::shared_mutex> read_lock() const {
     return std::shared_lock(mutex_);
+  }
+
+  /// An RAII pinned snapshot: pins the current epoch in a reclamation slot
+  /// and loads the published CatalogSnapshot. Every read through the guard
+  /// sees exactly the pinned epoch's state, concurrent commits and
+  /// reclamation notwithstanding. Cheap (two atomic ops to pin, one to
+  /// unpin); hold only for the duration of a read.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const MetadataCatalog& catalog)
+        : catalog_(&catalog),
+          pin_(catalog.epochs_),
+          snap_(catalog.snapshot_.load(std::memory_order_acquire)) {}
+
+    const CatalogSnapshot& snapshot() const noexcept { return *snap_; }
+    const CatalogSnapshot* operator->() const noexcept { return snap_; }
+    std::uint64_t epoch() const noexcept { return snap_->epoch; }
+
+    /// Query against the pinned snapshot (tombstones of that epoch applied).
+    std::vector<ObjectId> query(const ObjectQuery& q,
+                                QueryPlanInfo* info = nullptr) const {
+      return catalog_->query_at(*snap_, q, info);
+    }
+    /// Tagged-XML response from the pinned snapshot.
+    std::string build_response(std::span<const ObjectId> ids) const {
+      return catalog_->build_response_at(*snap_, ids, nullptr);
+    }
+
+   private:
+    const MetadataCatalog* catalog_;
+    util::EpochPin pin_;
+    const CatalogSnapshot* snap_;
+  };
+
+  /// Pins and returns a read guard (convenience for expression use).
+  ReadGuard read_guard() const { return ReadGuard(*this); }
+
+  /// MVCC observability for the service `stats` surface.
+  util::MvccStats mvcc_stats() const noexcept {
+    util::MvccStats stats;
+    stats.epoch = version();
+    stats.pinned_readers = epochs_.pinned_readers();
+    stats.retired_pending = epochs_.retired_pending();
+    stats.reclamations = epochs_.reclaimed_total();
+    stats.snapshots_published = snapshots_published_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+  /// Blocks until every retired snapshot/generation has been reclaimed —
+  /// i.e. until all readers that pinned an old epoch have unpinned. The
+  /// dispatcher calls this from drain() after its workers go idle so a
+  /// shutdown cannot leak retired generations.
+  void quiesce_epochs() const { epochs_.quiesce(); }
+
+  /// Republishes the current state as a fresh snapshot (same epoch). For
+  /// single-threaded setup that mutated internals directly — registry()
+  /// imports, thesaurus edits — and wants snapshot readers to see them
+  /// without a committing mutation.
+  void publish() {
+    std::unique_lock lock(mutex_);
+    publish_locked();
   }
 
   // ---- introspection ----
@@ -308,22 +411,24 @@ class MetadataCatalog {
   const Partition& partition() const noexcept { return partition_; }
   const DefinitionRegistry& registry() const noexcept { return registry_; }
   /// Mutable registry access for bulk definition import (e.g. replicating
-  /// definitions between catalogs before parallel ingest).
+  /// definitions between catalogs before parallel ingest). Single-threaded
+  /// setup only; the next commit publishes the imported definitions.
   DefinitionRegistry& registry() noexcept { return registry_; }
 
   /// The catalog's ontology (§3): synonyms added here are consulted when a
-  /// query criterion does not match a definition directly.
+  /// query criterion does not match a definition directly. Setup-time
+  /// mutation only (snapshots share the live thesaurus).
   Thesaurus& thesaurus() noexcept { return thesaurus_; }
   const Thesaurus& thesaurus() const noexcept { return thesaurus_; }
   const rel::Database& database() const noexcept { return db_; }
   rel::Database& database() noexcept { return db_; }
-  /// Unlocked reference — single-threaded use (or under read_lock()) only;
-  /// concurrent callers want stats_snapshot().
+  /// Unlocked reference — single-threaded use only; concurrent callers
+  /// want stats_snapshot().
   const ShredStats& total_stats() const noexcept { return stats_; }
-  /// Copy of the aggregate shred stats, taken under the shared lock.
+  /// Copy of the aggregate shred stats from the published snapshot.
   ShredStats stats_snapshot() const {
-    std::shared_lock lock(mutex_);
-    return stats_;
+    ReadGuard guard(*this);
+    return guard->stats;
   }
   std::size_t object_count() const noexcept {
     return static_cast<std::size_t>(next_object_.load(std::memory_order_acquire));
@@ -334,13 +439,18 @@ class MetadataCatalog {
   const util::IngestMetrics& ingest_metrics() const noexcept { return ingest_metrics_; }
 
  private:
-  std::vector<CollectionId> child_collections_unlocked(CollectionId collection) const;
-  std::vector<ObjectId> collection_members_unlocked(CollectionId collection,
-                                                    bool recursive) const;
-  std::string build_response_unlocked(std::span<const ObjectId> ids,
-                                      const std::vector<OrderId>* orders) const;
-  /// Engine run + tombstone filter, ids ascending. Caller holds mutex_.
-  std::vector<ObjectId> query_unlocked(const ObjectQuery& q, QueryPlanInfo* info) const;
+  friend class ReadGuard;
+
+  std::vector<CollectionId> child_collections_at(const CatalogSnapshot& snap,
+                                                 CollectionId collection) const;
+  std::vector<ObjectId> collection_members_at(const CatalogSnapshot& snap,
+                                              CollectionId collection,
+                                              bool recursive) const;
+  std::string build_response_at(const CatalogSnapshot& snap, std::span<const ObjectId> ids,
+                                const std::vector<OrderId>* orders) const;
+  /// Engine run + tombstone filter against one snapshot, ids ascending.
+  std::vector<ObjectId> query_at(const CatalogSnapshot& snap, const ObjectQuery& q,
+                                 QueryPlanInfo* info) const;
   void save_impl(std::ostream& out, bool binary) const;
   void bump_version() noexcept {
     version_.fetch_add(1, std::memory_order_acq_rel);
@@ -349,12 +459,30 @@ class MetadataCatalog {
   void notify(const MutationEvent& event) const {
     if (observer_) observer_(event);
   }
+  /// Builds and atomically publishes a fresh CatalogSnapshot of the current
+  /// state, retires the superseded one, and advances the reclamation epoch.
+  /// Caller holds mutex_ exclusively (or is single-threaded: ctor/restore).
+  void publish_locked();
+  /// notify + publish: publishes even when the observer throws, so memory
+  /// keeps serving the applied mutation while the I/O failure propagates.
+  void commit_locked(const MutationEvent& event) {
+    try {
+      notify(event);
+    } catch (...) {
+      publish_locked();
+      throw;
+    }
+    publish_locked();
+  }
 
   const xml::Schema& schema_;
   CatalogConfig config_;
   Partition partition_;
   DefinitionRegistry registry_;
   Thesaurus thesaurus_;
+  /// Declared before db_ so it is destroyed after it: retired index
+  /// generations are freed by ~EpochManager with their deleters intact.
+  mutable util::EpochManager epochs_;
   rel::Database db_;
   std::unique_ptr<Shredder> shredder_;
   std::unique_ptr<QueryEngine> engine_;
@@ -363,10 +491,21 @@ class MetadataCatalog {
   ShredStats stats_;
   util::IngestMetrics ingest_metrics_;
   std::unordered_set<ObjectId> deleted_;
-  /// Shared for reads, exclusive for mutations. Guards db_, registry_,
-  /// thesaurus_, stats_, deleted_, and the shredder counters.
+  /// Exclusive for mutations (the commit lock); shared acquisition is the
+  /// write-pause read_lock(). Guards db_, registry_, thesaurus_, stats_,
+  /// deleted_, the shredder counters, and snapshot publication. MVCC
+  /// readers never touch it.
   mutable std::shared_mutex mutex_;
   std::atomic<std::uint64_t> version_{0};
+  /// The published snapshot; never null after construction.
+  std::atomic<const CatalogSnapshot*> snapshot_{nullptr};
+  /// Commit-lock-guarded caches so unchanged registries/tombstone sets are
+  /// shared across snapshots instead of re-copied per commit.
+  std::shared_ptr<const DefinitionRegistry> published_defs_;
+  std::size_t published_attr_count_ = 0;
+  std::size_t published_elem_count_ = 0;
+  std::shared_ptr<const std::unordered_set<ObjectId>> published_deleted_;
+  std::atomic<std::uint64_t> snapshots_published_{0};
   MutationObserver observer_;
   const util::DurabilityMetrics* durability_metrics_ = nullptr;
 };

@@ -20,6 +20,7 @@ std::future<std::string> ready_future(std::string response) {
 ServiceDispatcher::ServiceDispatcher(MetadataCatalog& catalog, DispatcherConfig config)
     : config_(std::move(config)),
       metrics_(service_request_type_names()),
+      catalog_(catalog),
       service_(catalog, &metrics_),
       pool_(config_.workers == 0 ? 1 : config_.workers) {}
 
@@ -113,6 +114,11 @@ void ServiceDispatcher::drain() {
   // wait_idle returns no worker can be touching the catalog.
   draining_.store(true, std::memory_order_release);
   pool_.wait_idle();
+  // Epoch quiescence: every worker has unpinned, so this drives reclamation
+  // until no retired snapshot or index generation remains. After drain()
+  // the catalog holds no deferred-free garbage — shutdown (and the ASan CI
+  // job) sees a clean heap.
+  catalog_.quiesce_epochs();
 }
 
 }  // namespace hxrc::core

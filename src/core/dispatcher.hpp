@@ -20,9 +20,9 @@
 //    (admission→completion, queue wait included), reported through the
 //    `stats` request type (see util/metrics.hpp).
 //
-// The shared-lock discipline inside MetadataCatalog is what makes the N
-// workers safe; the dispatcher adds no locking of its own beyond the
-// admission counter.
+// MetadataCatalog's MVCC snapshot reads are what make the N workers safe —
+// read requests pin an epoch and never block; the dispatcher adds no
+// locking of its own beyond the admission counter.
 #pragma once
 
 #include <atomic>
@@ -76,9 +76,11 @@ class ServiceDispatcher {
 
   /// Quiesces the dispatcher: stops admitting (later submissions resolve to
   /// `code="draining"`), then blocks until every already-admitted request
-  /// has completed. After drain() returns no worker touches the catalog, so
-  /// the durability layer can take its final WAL flush / detach safely
-  /// (DurableCatalog::close). Idempotent; draining is permanent.
+  /// has completed AND epoch reclamation has caught up (no retired snapshot
+  /// or index generation remains). After drain() returns no worker touches
+  /// the catalog and no deferred frees are pending, so the durability layer
+  /// can take its final WAL flush / detach safely (DurableCatalog::close).
+  /// Idempotent; draining is permanent.
   void drain();
 
   bool draining() const noexcept { return draining_.load(std::memory_order_acquire); }
@@ -91,6 +93,7 @@ class ServiceDispatcher {
 
   DispatcherConfig config_;
   util::MetricsRegistry metrics_;
+  MetadataCatalog& catalog_;
   CatalogService service_;
   std::atomic<std::size_t> pending_{0};
   std::atomic<bool> draining_{false};

@@ -244,18 +244,22 @@ struct Pipeline {
 
   bool ordered = true;  // apply cardinality ordering
   QueryPlanInfo* info = nullptr;
+  /// Snapshot watermarks; nullptr = live (syncing) probes.
+  const rel::ReadView* view = nullptr;
 
   std::vector<rel::RowId> probe_scratch;
   std::vector<InstRef> inst_scratch;
   std::vector<ObjectId> obj_scratch;
 
-  Pipeline(const rel::Database& db, bool ordered_, QueryPlanInfo* info_)
+  Pipeline(const rel::Database& db, bool ordered_, QueryPlanInfo* info_,
+           const rel::ReadView* view_)
       : elem_data(db.require_table(kElemDataTable)),
         elem_index(*elem_data.index("idx_elem_def")),
         instances(db.require_table(kAttrInstancesTable)),
         inst_index(*instances.index("idx_inst_attr")),
         ordered(ordered_),
-        info(info_) {
+        info(info_),
+        view(view_) {
     elem_obj_col = elem_data.schema().require("object_id");
     elem_seq_col = elem_data.schema().require("seq");
     str_col = elem_data.schema().require("value_str");
@@ -286,10 +290,14 @@ struct Pipeline {
 
   /// Cheap per-criterion cardinality estimates (index bucket sizes).
   std::size_t element_estimate(const ElementCriterion& ec) const {
-    return elem_index.bucket_size(rel::Key{{rel::Value(ec.def->id)}});
+    const rel::Key key{{rel::Value(ec.def->id)}};
+    return view != nullptr ? view->bucket_size(elem_data, elem_index, key)
+                           : elem_index.bucket_size(key);
   }
   std::size_t instance_estimate(AttrDefId def) const {
-    return inst_index.bucket_size(rel::Key{{rel::Value(def)}});
+    const rel::Key key{{rel::Value(def)}};
+    return view != nullptr ? view->bucket_size(instances, inst_index, key)
+                           : inst_index.bucket_size(key);
   }
   /// Estimate for a whole node from its direct criteria only.
   std::size_t node_estimate(const QueryNode& node) const {
@@ -325,7 +333,7 @@ struct Pipeline {
       // Existence of the attribute itself: all instances are candidates.
       count_probe();
       rel::for_each_match(instances, inst_index, rel::Key{{rel::Value(node.def)}},
-                          probe_scratch, [&](const rel::Row& row, rel::RowId) {
+                          view, probe_scratch, [&](const rel::Row& row, rel::RowId) {
                             count_scanned();
                             current.push_back(InstRef{row[inst_obj_col].as_int(),
                                                       row[inst_seq_col].as_int()});
@@ -346,7 +354,7 @@ struct Pipeline {
       std::size_t matched = 0;
       count_probe();
       rel::for_each_match(
-          elem_data, elem_index, rel::Key{{rel::Value(ec.def->id)}}, probe_scratch,
+          elem_data, elem_index, rel::Key{{rel::Value(ec.def->id)}}, view, probe_scratch,
           [&](const rel::Row& row, rel::RowId) {
             count_scanned();
             if (!ec.pred.matches(row, str_col, num_col)) return;
@@ -376,7 +384,7 @@ struct Pipeline {
       rel::for_each_match(
           *inverted, *inv_index,
           rel::Key{{rel::Value(inst.object), rel::Value(child_def), rel::Value(inst.seq)}},
-          probe_scratch, [&](const rel::Row& row, rel::RowId) {
+          view, probe_scratch, [&](const rel::Row& row, rel::RowId) {
             count_scanned();
             if (row[inv_anc_attr_col].as_int() != parent_def) return;
             credited.push_back(InstRef{inst.object, row[inv_anc_seq_col].as_int()});
@@ -414,13 +422,14 @@ struct Pipeline {
 
 }  // namespace
 
-bool QueryEngine::can_fast_path(const QueryShredded& shredded) const {
+bool QueryEngine::can_fast_path(const QueryShredded& shredded,
+                                const DefinitionRegistry& registry) const {
   for (const QueryNode& node : shredded.nodes) {
     if (!node.children.empty()) return false;
     // Single-instance check: structural attributes whose schema node is not
     // repeatable have at most one instance per object. Anything else
     // (repeatable or dynamic) may repeat.
-    const AttributeDef& def = registry_.attribute(node.def);
+    const AttributeDef& def = registry.attribute(node.def);
     if (def.kind != AttrKind::kStructural) return false;
     if (def.schema_order == kNoOrder) return false;
     const AttributeRootInfo* root = partition_.root_at(def.schema_order);
@@ -431,9 +440,18 @@ bool QueryEngine::can_fast_path(const QueryShredded& shredded) const {
 
 std::vector<ObjectId> QueryEngine::run(const ObjectQuery& query,
                                        QueryPlanInfo* info) const {
+  return run(query, info, QueryContext{});
+}
+
+std::vector<ObjectId> QueryEngine::run(const ObjectQuery& query, QueryPlanInfo* info,
+                                       const QueryContext& ctx) const {
+  const DefinitionRegistry& registry =
+      ctx.registry != nullptr ? *ctx.registry : registry_;
+  const Thesaurus* thesaurus =
+      ctx.thesaurus != nullptr ? ctx.thesaurus : options_.thesaurus;
   QueryShredded shredded;
   for (const AttrQuery& attr : query.attributes()) {
-    shred_attr(registry_, options_.thesaurus, query.user(), attr, SIZE_MAX, 0, shredded);
+    shred_attr(registry, thesaurus, query.user(), attr, SIZE_MAX, 0, shredded);
   }
   if (info != nullptr) {
     info->query_nodes = shredded.nodes.size();
@@ -442,16 +460,17 @@ std::vector<ObjectId> QueryEngine::run(const ObjectQuery& query,
   }
   if (shredded.nodes.empty() || !shredded.resolved) return {};
 
-  if (options_.enable_fastpath && can_fast_path(shredded)) {
-    return run_fast(shredded, info);
+  if (options_.enable_fastpath && can_fast_path(shredded, registry)) {
+    return run_fast(shredded, info, ctx);
   }
-  return run_general(shredded, info);
+  return run_general(shredded, info, ctx);
 }
 
 std::vector<ObjectId> QueryEngine::run_fast(const QueryShredded& shredded,
-                                            QueryPlanInfo* info) const {
+                                            QueryPlanInfo* info,
+                                            const QueryContext& ctx) const {
   if (info != nullptr) info->fast_path = true;
-  Pipeline p(db_, !options_.force_query_order, info);
+  Pipeline p(db_, !options_.force_query_order, info, ctx.view);
 
   // One flat criterion list: element predicates plus attribute-existence
   // criteria. Every criterion contributes a set of object ids; the result
@@ -497,8 +516,8 @@ std::vector<ObjectId> QueryEngine::run_fast(const QueryShredded& shredded,
     };
     if (c.elem != nullptr) {
       rel::for_each_match(p.elem_data, p.elem_index,
-                          rel::Key{{rel::Value(c.elem->def->id)}}, p.probe_scratch,
-                          [&](const rel::Row& row, rel::RowId) {
+                          rel::Key{{rel::Value(c.elem->def->id)}}, p.view,
+                          p.probe_scratch, [&](const rel::Row& row, rel::RowId) {
                             p.count_scanned();
                             if (c.elem->pred.matches(row, p.str_col, p.num_col)) {
                               consider(row[p.elem_obj_col].as_int());
@@ -506,8 +525,8 @@ std::vector<ObjectId> QueryEngine::run_fast(const QueryShredded& shredded,
                           });
     } else {
       rel::for_each_match(p.instances, p.inst_index,
-                          rel::Key{{rel::Value(c.node->def)}}, p.probe_scratch,
-                          [&](const rel::Row& row, rel::RowId) {
+                          rel::Key{{rel::Value(c.node->def)}}, p.view,
+                          p.probe_scratch, [&](const rel::Row& row, rel::RowId) {
                             p.count_scanned();
                             consider(row[p.inst_obj_col].as_int());
                           });
@@ -522,8 +541,9 @@ std::vector<ObjectId> QueryEngine::run_fast(const QueryShredded& shredded,
 }
 
 std::vector<ObjectId> QueryEngine::run_general(const QueryShredded& shredded,
-                                               QueryPlanInfo* info) const {
-  Pipeline p(db_, !options_.force_query_order, info);
+                                               QueryPlanInfo* info,
+                                               const QueryContext& ctx) const {
+  Pipeline p(db_, !options_.force_query_order, info, ctx.view);
   p.with_inverted(db_);
 
   // Evaluate one top-level subtree at a time (element criteria, then the

@@ -76,6 +76,21 @@ struct QueryPlanInfo {
 /// engine.cpp.
 struct QueryShredded;
 
+/// Snapshot context for one engine run. The MVCC read path passes the
+/// pinned snapshot's frozen registry and per-table watermarks so the whole
+/// pipeline — criterion resolution, selectivity estimation, index probes,
+/// row visits — sees exactly one published epoch. Default-constructed, the
+/// engine runs against its bound (live) registry and full tables, which is
+/// the single-writer/setup behaviour.
+struct QueryContext {
+  /// Registry to resolve criteria against; nullptr = the engine's own.
+  const DefinitionRegistry* registry = nullptr;
+  /// Thesaurus override; nullptr = EngineOptions::thesaurus.
+  const Thesaurus* thesaurus = nullptr;
+  /// Snapshot watermarks; nullptr = probe full tables (syncing probes).
+  const rel::ReadView* view = nullptr;
+};
+
 class QueryEngine {
  public:
   QueryEngine(const Partition& partition, const DefinitionRegistry& registry,
@@ -86,11 +101,19 @@ class QueryEngine {
   /// semantics.
   std::vector<ObjectId> run(const ObjectQuery& query, QueryPlanInfo* info = nullptr) const;
 
+  /// Snapshot-scoped run: lock-free against concurrent commits when `ctx`
+  /// carries a ReadView (probes never sync, rows above watermarks are
+  /// invisible).
+  std::vector<ObjectId> run(const ObjectQuery& query, QueryPlanInfo* info,
+                            const QueryContext& ctx) const;
+
  private:
-  bool can_fast_path(const QueryShredded& shredded) const;
-  std::vector<ObjectId> run_fast(const QueryShredded& shredded, QueryPlanInfo* info) const;
-  std::vector<ObjectId> run_general(const QueryShredded& shredded,
-                                    QueryPlanInfo* info) const;
+  bool can_fast_path(const QueryShredded& shredded,
+                     const DefinitionRegistry& registry) const;
+  std::vector<ObjectId> run_fast(const QueryShredded& shredded, QueryPlanInfo* info,
+                                 const QueryContext& ctx) const;
+  std::vector<ObjectId> run_general(const QueryShredded& shredded, QueryPlanInfo* info,
+                                    const QueryContext& ctx) const;
 
   const Partition& partition_;
   const DefinitionRegistry& registry_;

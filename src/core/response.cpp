@@ -31,18 +31,21 @@ struct Event {
 
 }  // namespace
 
-std::string ResponseBuilder::build_document(ObjectId object) const {
+std::string ResponseBuilder::build_document(ObjectId object,
+                                            const rel::ReadView* view) const {
   const rel::Table& clobs = db_.require_table(kAttrClobsTable);
   const rel::Index* clob_index = clobs.index("idx_clob_object");
-  return assemble(rel::index_scan(clobs, *clob_index, rel::Key{{rel::Value(object)}}));
+  return assemble(
+      rel::index_scan(clobs, *clob_index, rel::Key{{rel::Value(object)}}, view));
 }
 
-std::string ResponseBuilder::build_document(
-    ObjectId object, std::span<const OrderId> attribute_orders) const {
+std::string ResponseBuilder::build_document(ObjectId object,
+                                            std::span<const OrderId> attribute_orders,
+                                            const rel::ReadView* view) const {
   const rel::Table& clobs = db_.require_table(kAttrClobsTable);
   const rel::Index* clob_index = clobs.index("idx_clob_object");
   rel::ResultSet clob_rows =
-      rel::index_scan(clobs, *clob_index, rel::Key{{rel::Value(object)}});
+      rel::index_scan(clobs, *clob_index, rel::Key{{rel::Value(object)}}, view);
   // Project to the requested attribute orders.
   const std::size_t order_col = clob_rows.column("order_id");
   std::vector<rel::Row> kept;
@@ -114,11 +117,12 @@ std::string ResponseBuilder::assemble(const rel::ResultSet& clob_rows) const {
   return out;
 }
 
-std::string ResponseBuilder::build_response(std::span<const ObjectId> objects) const {
+std::string ResponseBuilder::build_response(std::span<const ObjectId> objects,
+                                            const rel::ReadView* view) const {
   std::string out = "<results>";
   for (const ObjectId object : objects) {
     out += "<result objectID=\"" + std::to_string(object) + "\">";
-    out += build_document(object);
+    out += build_document(object, view);
     out += "</result>";
   }
   out += "</results>";

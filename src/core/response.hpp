@@ -24,6 +24,7 @@
 #include "core/model.hpp"
 #include "core/partition.hpp"
 #include "rel/database.hpp"
+#include "rel/read_view.hpp"
 
 namespace hxrc::core {
 
@@ -32,19 +33,24 @@ class ResponseBuilder {
   ResponseBuilder(const Partition& partition, const rel::Database& db);
 
   /// Reassembles one object's document ("" when the object has no CLOBs).
-  std::string build_document(ObjectId object) const;
+  /// With a ReadView, the attr_clobs probe sees only snapshot-visible rows
+  /// and never syncs — the MVCC fetch path. (The ordering tables are frozen
+  /// at setup, so only the CLOB probe needs a watermark.)
+  std::string build_document(ObjectId object,
+                             const rel::ReadView* view = nullptr) const;
 
   /// Projected response: only the attributes whose root order is in
   /// `attribute_orders` are included (with exactly the ancestors those
   /// attributes require — the same distinct-ancestor machinery as the full
   /// response). Scientists typically want the matching attributes, not the
   /// whole record.
-  std::string build_document(ObjectId object,
-                             std::span<const OrderId> attribute_orders) const;
+  std::string build_document(ObjectId object, std::span<const OrderId> attribute_orders,
+                             const rel::ReadView* view = nullptr) const;
 
   /// Builds the full response: each object's document concatenated inside a
   /// <results> wrapper, in the id order given.
-  std::string build_response(std::span<const ObjectId> objects) const;
+  std::string build_response(std::span<const ObjectId> objects,
+                             const rel::ReadView* view = nullptr) const;
 
  private:
   std::string assemble(const rel::ResultSet& clob_rows) const;

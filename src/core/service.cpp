@@ -300,13 +300,15 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
     }
     const auto id = util::parse_int(*id_text);
     if (!id) throw ServiceError(ErrorCode::kValidation, "bad objectID");
-    if (*id < 0 || static_cast<std::size_t>(*id) >= catalog_.object_count() ||
-        catalog_.is_deleted(*id)) {
+    // One pinned snapshot for the existence check AND the response: the
+    // two cannot straddle a concurrent delete or ingest.
+    const MetadataCatalog::ReadGuard guard(catalog_);
+    if (*id < 0 || *id >= guard->next_object || guard->deleted->count(*id) != 0) {
       throw ServiceError(ErrorCode::kNotFound,
                          "object " + std::string(*id_text) + " does not exist");
     }
     const std::vector<ObjectId> ids{*id};
-    return ok_response(catalog_.version(), catalog_.build_response(ids));
+    return ok_response(guard.epoch(), guard.build_response(ids));
   }
 
   if (*type == "addAttribute") {
@@ -362,7 +364,7 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
     }
     const auto id = util::parse_int(*id_text);
     if (!id) throw ServiceError(ErrorCode::kValidation, "bad objectID");
-    if (*id < 0 || static_cast<std::size_t>(*id) >= catalog_.object_count()) {
+    if (catalog_.object_state(*id) == ObjectState::kUnknown) {
       throw ServiceError(ErrorCode::kNotFound,
                          "object " + std::string(*id_text) + " does not exist");
     }
@@ -371,21 +373,29 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
   }
 
   if (*type == "stats") {
-    const ShredStats stats = catalog_.stats_snapshot();
-    std::size_t definitions = 0;
-    {
-      const auto lock = catalog_.read_lock();
-      definitions = catalog_.registry().attribute_count();
-    }
+    // One pinned snapshot for every catalog-derived figure: the counts are
+    // mutually consistent at one epoch, and no lock is taken. The guard is
+    // held while the MVCC counters render, so pinned_readers is >= 1 here.
+    const MetadataCatalog::ReadGuard guard(catalog_);
+    const ShredStats& stats = guard->stats;
     std::string payload = "<stats";
-    payload += " objects=\"" + std::to_string(catalog_.object_count()) + "\"";
+    payload += " objects=\"" + std::to_string(guard->next_object) + "\"";
     payload += " attributes=\"" + std::to_string(stats.attribute_instances) + "\"";
     payload += " elements=\"" + std::to_string(stats.element_rows) + "\"";
     payload += " clobs=\"" + std::to_string(stats.clobs) + "\"";
-    payload += " definitions=\"" + std::to_string(definitions) + "\"";
-    payload += " deleted=\"" + std::to_string(catalog_.deleted_count()) + "\"";
-    payload += " version=\"" + std::to_string(catalog_.version()) + "\"";
+    payload += " definitions=\"" + std::to_string(guard->defs->attribute_count()) + "\"";
+    payload += " deleted=\"" + std::to_string(guard->deleted->size()) + "\"";
+    payload += " version=\"" + std::to_string(guard.epoch()) + "\"";
     payload += ">";
+    {
+      const util::MvccStats mvcc = catalog_.mvcc_stats();
+      payload += "<mvcc epoch=\"" + std::to_string(mvcc.epoch) + "\"";
+      payload += " pinned_readers=\"" + std::to_string(mvcc.pinned_readers) + "\"";
+      payload += " retired_pending=\"" + std::to_string(mvcc.retired_pending) + "\"";
+      payload += " reclamations=\"" + std::to_string(mvcc.reclamations) + "\"";
+      payload += " snapshots=\"" + std::to_string(mvcc.snapshots_published) + "\"";
+      payload += "/>";
+    }
     {
       const util::IngestMetrics& ingest = catalog_.ingest_metrics();
       const std::uint64_t docs = ingest.documents.load(std::memory_order_relaxed);
@@ -455,7 +465,7 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
       }
       payload += "</requests></stats>";
     }
-    return ok_response(catalog_.version(), payload);
+    return ok_response(guard.epoch(), payload);
   }
 
   throw ServiceError(ErrorCode::kUnknownType,

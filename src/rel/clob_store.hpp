@@ -3,11 +3,16 @@
 // The hybrid approach stores one CLOB per metadata attribute instance; the
 // pure-CLOB and DB2/Oracle-style baselines store one per document. CLOBs are
 // immutable once appended, matching the catalog's insert-and-query workload.
+// Storage is a StableVector so MVCC readers can fetch CLOBs referenced by
+// snapshot-visible rows while a serialized writer appends new ones.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
-#include <vector>
+
+#include "rel/stable_vector.hpp"
 
 namespace hxrc::rel {
 
@@ -15,41 +20,65 @@ using ClobId = std::int64_t;
 
 class ClobStore {
  public:
+  ClobStore() = default;
+  ClobStore(const ClobStore&) = delete;
+  ClobStore& operator=(const ClobStore&) = delete;
+  ClobStore(ClobStore&& other) noexcept
+      : clobs_(std::move(other.clobs_)),
+        bytes_(other.bytes_.exchange(0, std::memory_order_relaxed)) {}
+  ClobStore& operator=(ClobStore&& other) noexcept {
+    if (this != &other) {
+      clobs_ = std::move(other.clobs_);
+      bytes_.store(other.bytes_.exchange(0, std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
   /// Stores a CLOB and returns its id (ids are dense, starting at 0).
+  /// Writer-only (external serialization).
   ClobId append(std::string content) {
+    bytes_.fetch_add(content.size(), std::memory_order_relaxed);
     clobs_.push_back(std::move(content));
-    bytes_ += clobs_.back().size();
     return static_cast<ClobId>(clobs_.size() - 1);
   }
 
-  const std::string& get(ClobId id) const { return clobs_.at(static_cast<std::size_t>(id)); }
+  const std::string& get(ClobId id) const {
+    const auto index = static_cast<std::size_t>(id);
+    if (id < 0 || index >= clobs_.size()) {
+      throw std::out_of_range("clob id out of range");
+    }
+    return clobs_[index];
+  }
 
   std::size_t count() const noexcept { return clobs_.size(); }
 
-  /// Total payload bytes (excluding vector overhead).
-  std::size_t payload_bytes() const noexcept { return bytes_; }
+  /// Total payload bytes (excluding container overhead).
+  std::size_t payload_bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Moves every CLOB of `other` into this store (ids continue densely),
   /// leaving `other` empty. Returns the id offset applied to `other`'s ids.
   ClobId absorb(ClobStore& other) {
     const auto offset = static_cast<ClobId>(clobs_.size());
-    clobs_.reserve(clobs_.size() + other.clobs_.size());
-    for (std::string& clob : other.clobs_) {
-      bytes_ += clob.size();
-      clobs_.push_back(std::move(clob));
+    const std::size_t moved = other.clobs_.size();
+    for (std::size_t i = 0; i < moved; ++i) {
+      append(std::move(other.clobs_[i]));
     }
     other.clear();
     return offset;
   }
 
+  /// Requires quiescence (restore/teardown paths).
   void clear() noexcept {
     clobs_.clear();
-    bytes_ = 0;
+    bytes_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::vector<std::string> clobs_;
-  std::size_t bytes_ = 0;
+  StableVector<std::string> clobs_;
+  std::atomic<std::size_t> bytes_{0};
 };
 
 }  // namespace hxrc::rel

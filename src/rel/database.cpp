@@ -10,6 +10,8 @@ Table& Database::create_table(const std::string& name, TableSchema schema) {
     throw TypeError("table '" + name + "' already exists");
   }
   auto table = std::make_unique<Table>(name, std::move(schema));
+  table->set_slot(slots_assigned_++);
+  table->set_reclaimer(reclaimer_);
   Table& ref = *table;
   tables_.emplace(name, std::move(table));
   return ref;

@@ -56,10 +56,40 @@ class Database {
   /// Approximate total footprint: all tables + CLOB store (experiment E10).
   std::size_t approx_bytes() const noexcept;
 
+  /// Defers reclamation of superseded index generations to `reclaimer`;
+  /// applies to all existing and future tables.
+  void set_reclaimer(util::EpochManager* reclaimer) noexcept {
+    reclaimer_ = reclaimer;
+    for (auto& [name, table] : tables_) table->set_reclaimer(reclaimer);
+  }
+
+  /// Brings every index of every table up to date with its row store; the
+  /// catalog's commit protocol calls this before publishing a snapshot so
+  /// MVCC probes never find uncovered rows.
+  void sync_indexes() const {
+    for (const auto& [name, table] : tables_) table->sync_indexes();
+  }
+
+  /// Slots ever assigned (one per created table, creation order); snapshot
+  /// watermark vectors are sized by it.
+  std::size_t slot_count() const noexcept { return slots_assigned_; }
+
+  /// Current row counts by table slot — the watermark vector a snapshot
+  /// freezes. Call with writers excluded (the commit lock).
+  std::vector<std::size_t> watermarks() const {
+    std::vector<std::size_t> marks(slots_assigned_, 0);
+    for (const auto& [name, table] : tables_) {
+      if (table->slot() < marks.size()) marks[table->slot()] = table->row_count();
+    }
+    return marks;
+  }
+
  private:
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
   ClobStore clobs_;
   Interner interner_;
+  util::EpochManager* reclaimer_ = nullptr;
+  std::size_t slots_assigned_ = 0;
 };
 
 }  // namespace hxrc::rel

@@ -56,10 +56,19 @@ ResultSet scan(const Table& table, const ExprPtr& predicate) {
 }
 
 ResultSet index_scan(const Table& table, const Index& index, const Key& key) {
+  return index_scan(table, index, key, nullptr);
+}
+
+ResultSet index_scan(const Table& table, const Index& index, const Key& key,
+                     const ReadView* view) {
   ResultSet out;
   out.schema = table.schema();
   std::vector<RowId> ids;
-  index.lookup_into(key, ids);
+  if (view != nullptr) {
+    view->lookup_into(table, index, key, ids);
+  } else {
+    index.lookup_into(key, ids);
+  }
   out.rows.reserve(ids.size());
   for (const RowId id : ids) {
     out.rows.push_back(table.row_unchecked(id));

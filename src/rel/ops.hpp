@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "rel/expr.hpp"
+#include "rel/read_view.hpp"
 #include "rel/table.hpp"
 
 namespace hxrc::rel {
@@ -36,8 +37,11 @@ struct ResultSet {
 /// Full scan with optional predicate.
 ResultSet scan(const Table& table, const ExprPtr& predicate = nullptr);
 
-/// Index probe: all rows matching the key, as a ResultSet.
+/// Index probe: all rows matching the key, as a ResultSet. With a ReadView,
+/// only snapshot-visible rows match and the probe never locks or syncs.
 ResultSet index_scan(const Table& table, const Index& index, const Key& key);
+ResultSet index_scan(const Table& table, const Index& index, const Key& key,
+                     const ReadView* view);
 
 // ---- Non-materializing pipeline primitives ----
 //
@@ -68,6 +72,21 @@ void for_each_match(const Table& table, const Index& index, const Key& key,
                     std::vector<RowId>& scratch, Visitor&& visit) {
   scratch.clear();
   index.lookup_into(key, scratch);
+  for (const RowId id : scratch) visit(table.row_unchecked(id), id);
+}
+
+/// MVCC form: probes through `view` (nullptr falls back to the syncing
+/// probe above), visiting only snapshot-visible rows, never locking.
+template <typename Visitor>
+void for_each_match(const Table& table, const Index& index, const Key& key,
+                    const ReadView* view, std::vector<RowId>& scratch,
+                    Visitor&& visit) {
+  scratch.clear();
+  if (view != nullptr) {
+    view->lookup_into(table, index, key, scratch);
+  } else {
+    index.lookup_into(key, scratch);
+  }
   for (const RowId id : scratch) visit(table.row_unchecked(id), id);
 }
 

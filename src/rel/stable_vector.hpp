@@ -1,0 +1,176 @@
+// Pointer-stable append-only storage for MVCC row stores.
+//
+// std::vector reallocation moves every element, so a reader traversing rows
+// while a writer appends would race even though the reader never looks past
+// its snapshot watermark. StableVector never moves an element: storage is a
+// spine of chunks whose capacities double (64, 128, 256, ...), so a row's
+// address is fixed for the lifetime of the container and the element count
+// is O(log n) chunks.
+//
+// Concurrency contract: ONE writer appends (the catalog's commit lock
+// serializes writers); any number of readers may concurrently read indexes
+// below a count they obtained from size() (or from a published snapshot
+// watermark). The writer publishes each append with a release store of the
+// new size after placement-constructing the element, so a reader that
+// observes size() >= i+1 observes element i fully constructed. clear(),
+// reserve-shrinking and destruction require external quiescence (no
+// concurrent readers) — they are used by truncate/restore/teardown, which
+// the catalog documents as single-threaded operations.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace hxrc::rel {
+
+template <typename T>
+class StableVector {
+ public:
+  static constexpr std::size_t kBaseShift = 6;  // first chunk holds 64
+  static constexpr std::size_t kBase = std::size_t{1} << kBaseShift;
+  static constexpr std::size_t kMaxChunks = 48;
+
+  StableVector() = default;
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+  StableVector(StableVector&& other) noexcept { steal(other); }
+  StableVector& operator=(StableVector&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      steal(other);
+    }
+    return *this;
+  }
+  ~StableVector() { destroy(); }
+
+  std::size_t size() const noexcept { return size_.load(std::memory_order_acquire); }
+  bool empty() const noexcept { return size() == 0; }
+
+  const T& operator[](std::size_t i) const noexcept {
+    const Loc loc = locate(i);
+    return chunks_[loc.chunk].load(std::memory_order_acquire)[loc.offset];
+  }
+  T& operator[](std::size_t i) noexcept {
+    const Loc loc = locate(i);
+    return chunks_[loc.chunk].load(std::memory_order_relaxed)[loc.offset];
+  }
+
+  const T& back() const noexcept { return (*this)[size() - 1]; }
+
+  /// Writer-only. The element is fully constructed before the new size is
+  /// release-published, never moved afterwards.
+  void push_back(T value) {
+    const std::size_t i = size_.load(std::memory_order_relaxed);
+    const Loc loc = locate(i);
+    T* chunk = chunks_[loc.chunk].load(std::memory_order_relaxed);
+    if (chunk == nullptr) chunk = allocate_chunk(loc.chunk);
+    ::new (static_cast<void*>(chunk + loc.offset)) T(std::move(value));
+    size_.store(i + 1, std::memory_order_release);
+  }
+
+  /// Writer-only: pre-allocates chunks covering `total` elements.
+  void reserve(std::size_t total) {
+    if (total == 0) return;
+    const std::size_t last = locate(total - 1).chunk;
+    for (std::size_t c = 0; c <= last; ++c) {
+      if (chunks_[c].load(std::memory_order_relaxed) == nullptr) allocate_chunk(c);
+    }
+  }
+
+  /// Destroys all elements and frees all chunks. Requires quiescence.
+  void clear() noexcept { destroy(); }
+
+  class const_iterator {
+   public:
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using reference = const T&;
+    using pointer = const T*;
+
+    const_iterator() = default;
+    const_iterator(const StableVector* v, std::size_t i) : v_(v), i_(i) {}
+    reference operator*() const noexcept { return (*v_)[i_]; }
+    pointer operator->() const noexcept { return &(*v_)[i_]; }
+    const_iterator& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) noexcept {
+      const_iterator old = *this;
+      ++i_;
+      return old;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) noexcept {
+      return a.i_ == b.i_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) noexcept {
+      return a.i_ != b.i_;
+    }
+
+   private:
+    const StableVector* v_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  /// end() snapshots size() at call time, so a range-for over a growing
+  /// vector visits the elements present when the loop started.
+  const_iterator begin() const noexcept { return const_iterator(this, 0); }
+  const_iterator end() const noexcept { return const_iterator(this, size()); }
+
+ private:
+  struct Loc {
+    std::size_t chunk;
+    std::size_t offset;
+  };
+
+  /// Chunk c holds kBase<<c elements; kBase*((1<<c)-1) precede it.
+  static Loc locate(std::size_t i) noexcept {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::bit_width((i >> kBaseShift) + 1)) - 1;
+    return Loc{chunk, i - ((kBase << chunk) - kBase)};
+  }
+
+  static constexpr std::size_t chunk_capacity(std::size_t c) noexcept {
+    return kBase << c;
+  }
+
+  T* allocate_chunk(std::size_t c) {
+    T* chunk = static_cast<T*>(::operator new(sizeof(T) * chunk_capacity(c),
+                                              std::align_val_t(alignof(T))));
+    chunks_[c].store(chunk, std::memory_order_release);
+    return chunk;
+  }
+
+  void destroy() noexcept {
+    std::size_t remaining = size_.load(std::memory_order_relaxed);
+    for (std::size_t c = 0; c < kMaxChunks; ++c) {
+      T* chunk = chunks_[c].load(std::memory_order_relaxed);
+      if (chunk == nullptr) break;
+      const std::size_t used = remaining < chunk_capacity(c) ? remaining : chunk_capacity(c);
+      for (std::size_t i = 0; i < used; ++i) chunk[i].~T();
+      remaining -= used;
+      ::operator delete(chunk, std::align_val_t(alignof(T)));
+      chunks_[c].store(nullptr, std::memory_order_relaxed);
+    }
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  void steal(StableVector& other) noexcept {
+    for (std::size_t c = 0; c < kMaxChunks; ++c) {
+      chunks_[c].store(other.chunks_[c].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      other.chunks_[c].store(nullptr, std::memory_order_relaxed);
+    }
+    size_.store(other.size_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    other.size_.store(0, std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<T*>, kMaxChunks> chunks_{};
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace hxrc::rel

@@ -38,11 +38,6 @@ RowId Table::append_batch(std::vector<Row>&& rows) {
 
 RowId Table::append_batch_unchecked(std::vector<Row>&& rows) {
   const RowId first = rows_.size();
-  // Grow geometrically: an exact per-batch reserve would reallocate (and
-  // move every existing row) on each of thousands of small batches.
-  if (rows_.size() + rows.size() > rows_.capacity()) {
-    rows_.reserve(std::max(rows_.size() + rows.size(), rows_.capacity() * 2));
-  }
   for (Row& row : rows) {
     rows_.push_back(std::move(row));
   }
@@ -67,21 +62,23 @@ void Table::merge_move_from(Table& other) {
                     other.name() + "'");
   }
   rows_.reserve(rows_.size() + other.row_count());
-  for (Row& row : other.rows_) {
-    append_unchecked(std::move(row));
+  const std::size_t moved = other.rows_.size();
+  for (std::size_t i = 0; i < moved; ++i) {
+    append_unchecked(std::move(other.rows_[i]));
   }
   other.truncate();
 }
 
 void Table::truncate() {
+  // Requires quiescence: rows and index generations are freed in place.
   rows_.clear();
-  rows_.shrink_to_fit();
   // Rebuild empty indexes with the same definitions.
   std::vector<std::unique_ptr<Index>> rebuilt;
   rebuilt.reserve(indexes_.size());
   for (const auto& old : indexes_) {
     rebuilt.push_back(old->make_empty());
     rebuilt.back()->attach(rows_);
+    rebuilt.back()->set_reclaimer(reclaimer_);
   }
   indexes_ = std::move(rebuilt);
 }
@@ -97,6 +94,7 @@ const IndexT* Table::create_index(const std::string& index_name,
   auto index = std::make_unique<IndexT>(index_name, std::move(key_columns));
   // Existing rows are picked up by the first probe's catch-up pass.
   index->attach(rows_);
+  index->set_reclaimer(reclaimer_);
   const IndexT* raw = index.get();
   indexes_.push_back(std::move(index));
   return raw;

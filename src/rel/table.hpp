@@ -1,10 +1,12 @@
 // Row-store table with optional secondary indexes.
 //
 // Tables are append-only (plus truncate), matching a metadata catalog's
-// insert-and-query workload. Concurrency contract: concurrent reads are
-// safe; writes require external serialization. The parallel-ingest path in
-// core shreds into per-thread staging tables and merges, so the hot path
-// never takes a lock.
+// insert-and-query workload. Concurrency contract: writes require external
+// serialization (the catalog's commit lock); reads are safe concurrently
+// with each other AND with a serialized writer, because row storage is a
+// StableVector (appends never move existing rows) and MVCC readers only
+// touch row ids below a published snapshot watermark. truncate() and
+// destruction require quiescence.
 #pragma once
 
 #include <memory>
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "rel/index.hpp"
+#include "rel/stable_vector.hpp"
 #include "rel/value.hpp"
 
 namespace hxrc::rel {
@@ -24,11 +27,34 @@ class Table {
   const std::string& name() const noexcept { return name_; }
   const TableSchema& schema() const noexcept { return schema_; }
   std::size_t row_count() const noexcept { return rows_.size(); }
-  const Row& row(RowId id) const { return rows_.at(id); }
+  const Row& row(RowId id) const {
+    if (id >= rows_.size()) {
+      throw TypeError("table '" + name_ + "': row id out of range");
+    }
+    return rows_[id];
+  }
   /// Unchecked row access for hot loops iterating ids an index just
   /// produced (ids from this table's own indexes are always in range).
   const Row& row_unchecked(RowId id) const noexcept { return rows_[id]; }
-  const std::vector<Row>& rows() const noexcept { return rows_; }
+  const StableVector<Row>& rows() const noexcept { return rows_; }
+
+  /// Position of this table in its database's creation order; snapshot
+  /// watermark vectors are indexed by it. kNoSlot for standalone tables.
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  std::size_t slot() const noexcept { return slot_; }
+  void set_slot(std::size_t slot) noexcept { slot_ = slot; }
+
+  /// Defers reclamation of superseded index generations to `reclaimer`;
+  /// applies to existing and future indexes of this table.
+  void set_reclaimer(util::EpochManager* reclaimer) noexcept {
+    reclaimer_ = reclaimer;
+    for (const auto& index : indexes_) index->set_reclaimer(reclaimer);
+  }
+
+  /// Syncs every index with the row store (see Index::sync).
+  void sync_indexes() const {
+    for (const auto& index : indexes_) index->sync();
+  }
 
   /// Validates arity and types and appends; returns the row id. Index
   /// maintenance is deferred to the next probe (see rel/index.hpp).
@@ -87,8 +113,10 @@ class Table {
 
   std::string name_;
   TableSchema schema_;
-  std::vector<Row> rows_;
+  StableVector<Row> rows_;
   std::vector<std::unique_ptr<Index>> indexes_;
+  std::size_t slot_ = kNoSlot;
+  util::EpochManager* reclaimer_ = nullptr;
 };
 
 }  // namespace hxrc::rel

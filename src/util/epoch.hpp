@@ -1,0 +1,206 @@
+// Epoch-based reclamation (RCU-style quiescent-state tracking).
+//
+// The MVCC read path publishes immutable structures (catalog snapshots,
+// index generations) through a single atomic pointer and must not free a
+// superseded structure while any reader still dereferences it. Readers pin
+// the current epoch in one of a fixed set of cache-line-padded slots; a
+// writer retires garbage tagged with the epoch current at retire time,
+// advances the global epoch once per commit, and reclaims every retired
+// object whose tag is older than the minimum pinned epoch.
+//
+// The pin protocol is the classic two-step: load the global epoch, publish
+// it into a claimed slot, then re-check the global. If the global moved
+// between load and publish, the reader republishes the newer value and
+// checks again. Under seq_cst this closes the race where a preempted
+// reader would pin an epoch a concurrent writer's slot scan had already
+// passed over: a reader only returns with epoch E pinned if its slot store
+// became visible before any advance past E, so a writer scanning after an
+// advance either sees the pin or knows the reader will retry onto the new
+// epoch (and thus onto the new published structures).
+//
+// Writers call retire/advance/reclaim under their own commit lock; the
+// retired list is mutex-protected because it is touched only on the write
+// path. Readers touch exactly two atomics to pin and one to unpin.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hxrc::util {
+
+class EpochManager {
+ public:
+  /// Concurrent pinned readers beyond this spin-wait for a slot. 256 is an
+  /// order of magnitude above the dispatcher's worker-pool sizes.
+  static constexpr std::size_t kSlots = 256;
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  ~EpochManager() {
+    for (const Retired& r : retired_) r.deleter(r.object);
+  }
+
+  std::uint64_t current() const noexcept {
+    return global_.load(std::memory_order_seq_cst);
+  }
+
+  /// Pins the current epoch and returns the slot index to pass to unpin().
+  /// Spin-waits when all slots are taken.
+  std::size_t pin() noexcept {
+    std::uint64_t epoch = global_.load(std::memory_order_seq_cst);
+    const std::size_t slot = claim_slot(epoch);
+    for (;;) {
+      const std::uint64_t now = global_.load(std::memory_order_seq_cst);
+      if (now == epoch) return slot;
+      epoch = now;
+      slots_[slot].epoch.store(epoch, std::memory_order_seq_cst);
+    }
+  }
+
+  void unpin(std::size_t slot) noexcept {
+    slots_[slot].epoch.store(0, std::memory_order_release);
+  }
+
+  /// Hands `object` to the manager for deferred deletion. Tagged with the
+  /// current epoch; freed once no reader pins an epoch <= the tag. Call on
+  /// the write path only (the retired list is mutex-protected).
+  template <typename T>
+  void retire(const T* object) {
+    if (object == nullptr) return;
+    retire_erased(const_cast<void*>(static_cast<const void*>(object)),
+                  [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  void retire_erased(void* object, void (*deleter)(void*)) {
+    const std::uint64_t tag = global_.load(std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(retired_mutex_);
+    retired_.push_back(Retired{object, deleter, tag});
+  }
+
+  /// Moves the global epoch forward; typically once per published commit.
+  void advance() noexcept { global_.fetch_add(1, std::memory_order_seq_cst); }
+
+  /// Frees every retired object older than the minimum pinned epoch.
+  /// Returns how many were freed.
+  std::size_t reclaim() {
+    std::vector<Retired> ready;
+    {
+      const std::lock_guard<std::mutex> lock(retired_mutex_);
+      const std::uint64_t threshold = min_active_epoch();
+      auto keep = retired_.begin();
+      for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+        if (it->epoch < threshold) {
+          ready.push_back(*it);
+        } else {
+          *keep++ = *it;
+        }
+      }
+      retired_.erase(keep, retired_.end());
+    }
+    for (const Retired& r : ready) r.deleter(r.object);
+    reclaimed_.fetch_add(ready.size(), std::memory_order_relaxed);
+    return ready.size();
+  }
+
+  /// Blocks until the retired list is empty: advances the epoch and
+  /// reclaims until every reader that pinned an old epoch has unpinned.
+  /// Used by dispatcher drain (after its workers go idle) and by recovery.
+  void quiesce() {
+    while (retired_pending() > 0) {
+      advance();
+      if (reclaim() == 0) std::this_thread::yield();
+    }
+  }
+
+  std::size_t pinned_readers() const noexcept {
+    std::size_t pinned = 0;
+    for (const Slot& slot : slots_) {
+      if (slot.epoch.load(std::memory_order_seq_cst) != 0) ++pinned;
+    }
+    return pinned;
+  }
+
+  std::size_t retired_pending() const {
+    const std::lock_guard<std::mutex> lock(retired_mutex_);
+    return retired_.size();
+  }
+
+  std::uint64_t reclaimed_total() const noexcept {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{0};  // 0 = free
+  };
+
+  struct Retired {
+    void* object;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  std::size_t claim_slot(std::uint64_t epoch) noexcept {
+    const std::size_t start =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) & (kSlots - 1);
+    for (;;) {
+      for (std::size_t i = 0; i < kSlots; ++i) {
+        const std::size_t s = (start + i) & (kSlots - 1);
+        std::uint64_t expected = 0;
+        if (slots_[s].epoch.compare_exchange_strong(expected, epoch,
+                                                    std::memory_order_seq_cst)) {
+          return s;
+        }
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// Minimum epoch any reader currently pins; the global epoch when no
+  /// reader is pinned. Called with retired_mutex_ held so the threshold and
+  /// the list scan are consistent.
+  std::uint64_t min_active_epoch() const noexcept {
+    std::uint64_t min = global_.load(std::memory_order_seq_cst);
+    for (const Slot& slot : slots_) {
+      const std::uint64_t pinned = slot.epoch.load(std::memory_order_seq_cst);
+      if (pinned != 0 && pinned < min) min = pinned;
+    }
+    return min;
+  }
+
+  std::atomic<std::uint64_t> global_{1};  // 0 is reserved for "unpinned"
+  std::array<Slot, kSlots> slots_{};
+  mutable std::mutex retired_mutex_;
+  std::vector<Retired> retired_;
+  std::atomic<std::uint64_t> reclaimed_{0};
+};
+
+/// RAII pin over an EpochManager.
+class EpochPin {
+ public:
+  explicit EpochPin(EpochManager& manager) noexcept
+      : manager_(&manager), slot_(manager.pin()) {}
+  ~EpochPin() {
+    if (manager_ != nullptr) manager_->unpin(slot_);
+  }
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+  EpochPin(EpochPin&& other) noexcept : manager_(other.manager_), slot_(other.slot_) {
+    other.manager_ = nullptr;
+  }
+  EpochPin& operator=(EpochPin&&) = delete;
+
+ private:
+  EpochManager* manager_;
+  std::size_t slot_;
+};
+
+}  // namespace hxrc::util

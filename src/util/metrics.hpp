@@ -133,6 +133,19 @@ struct DurabilityMetrics {
   std::atomic<std::uint64_t> torn_tail_truncations{0};
 };
 
+/// Point-in-time MVCC counters reported by the stats request type: the
+/// published snapshot epoch, how many readers currently pin an epoch, how
+/// much retired garbage (superseded snapshots / index generations) awaits
+/// reclamation, and how much has been reclaimed since startup. Assembled
+/// by MetadataCatalog::mvcc_stats() from its EpochManager.
+struct MvccStats {
+  std::uint64_t epoch = 0;
+  std::uint64_t pinned_readers = 0;
+  std::uint64_t retired_pending = 0;
+  std::uint64_t reclamations = 0;
+  std::uint64_t snapshots_published = 0;
+};
+
 /// A fixed set of named RequestStats slots. The slot set is decided at
 /// construction (one per wire request type, plus a catch-all); lookups and
 /// recording are thread-safe, the registry itself is immutable.

@@ -65,6 +65,7 @@ TEST_F(BrowseTest, AttributeListingWithInstanceCounts) {
 TEST_F(BrowseTest, PrivateDefinitionsVisibleOnlyToOwner) {
   catalog_.registry().define_attribute("secret", "qc", AttrKind::kDynamic, kNoAttr,
                                        kNoOrder, Visibility::kUser, "alice");
+  catalog_.publish();  // direct registry imports need a publish to be visible
   auto has_secret = [&](const std::string& user) {
     for (const AttributeSummary& summary : browser_.attributes(user)) {
       if (summary.name == "secret") return true;

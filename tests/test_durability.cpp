@@ -90,7 +90,10 @@ TEST(WalScan, EveryTruncationPointYieldsAPrefix) {
   const std::string image = wal_image({{1, "alpha"}, {2, "beta"}, {3, "gamma"}});
   const WalScan full = scan_wal(image);
   for (std::size_t cut = sizeof kWalMagic; cut < image.size(); ++cut) {
-    const WalScan scan = scan_wal(image.substr(0, cut));
+    // scan.records holds views into the scanned bytes — the prefix must
+    // outlive the assertions below, not die at the end of this statement.
+    const std::string prefix = image.substr(0, cut);
+    const WalScan scan = scan_wal(prefix);
     // A cut mid-file loses only whole records off the end, never reorders.
     ASSERT_LE(scan.records.size(), full.records.size());
     for (std::size_t i = 0; i < scan.records.size(); ++i) {

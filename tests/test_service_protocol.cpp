@@ -104,6 +104,21 @@ TEST_F(ProtocolTest, EveryRequestTypeRoundTrips) {
   EXPECT_NE(stats->attribute("version"), nullptr);
   EXPECT_NE(stats->attribute("deleted"), nullptr);
 
+  // MVCC counters: the epoch matches the catalog version, the handler's
+  // own pinned guard is visible, and every superseded snapshot so far has
+  // been reclaimed (the single-threaded sequence leaves no reader pinning
+  // old epochs).
+  const xml::Node* mvcc = stats->first_child("mvcc");
+  ASSERT_NE(mvcc, nullptr);
+  EXPECT_EQ(std::stoull(std::string(*mvcc->attribute("epoch"))), catalog_.version());
+  EXPECT_GE(std::stoull(std::string(*mvcc->attribute("pinned_readers"))), 1u);
+  EXPECT_GT(std::stoull(std::string(*mvcc->attribute("snapshots"))), 0u);
+  const auto pending = std::stoull(std::string(*mvcc->attribute("retired_pending")));
+  const auto reclaimed = std::stoull(std::string(*mvcc->attribute("reclamations")));
+  EXPECT_EQ(pending, 0u);
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(catalog_.mvcc_stats().retired_pending, 0u);
+
   // delete
   response = send("<catalogRequest type=\"delete\" objectID=\"0\"/>");
   EXPECT_EQ(*response.root->attribute("status"), "ok");
