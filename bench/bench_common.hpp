@@ -17,6 +17,7 @@
 
 #include "baselines/backend.hpp"
 #include "core/catalog.hpp"
+#include "util/metrics.hpp"
 #include "workload/generator.hpp"
 #include "workload/lead_schema.hpp"
 #include "workload/query_gen.hpp"
@@ -120,6 +121,14 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
       // time), so they can be dumped verbatim.
       for (const auto& [name, counter] : run.counters) {
         record.counters.emplace_back(name, static_cast<double>(counter));
+      }
+      // Process-wide peak RSS at run completion, and its per-object share
+      // for corpus-sized runs — a memory check every bench gets for free.
+      const auto rss = static_cast<double>(util::peak_rss_bytes());
+      record.counters.emplace_back("peak_rss_bytes", rss);
+      if (record.corpus_size > 0) {
+        record.counters.emplace_back(
+            "rss_bytes_per_object", rss / static_cast<double>(record.corpus_size));
       }
       records_.push_back(std::move(record));
     }

@@ -232,6 +232,10 @@ struct Pipeline {
   const rel::Index& inst_index;
   const rel::Table* inverted = nullptr;
   const rel::Index* inv_index = nullptr;
+  /// Value-keyed equality indexes ((elem_id, value_str) / (elem_id,
+  /// value_num)); nullptr on databases predating them.
+  const rel::Index* elem_val_index = nullptr;
+  const rel::Index* elem_num_index = nullptr;
 
   std::size_t elem_obj_col = 0;
   std::size_t elem_seq_col = 0;
@@ -257,6 +261,8 @@ struct Pipeline {
         elem_index(*elem_data.index("idx_elem_def")),
         instances(db.require_table(kAttrInstancesTable)),
         inst_index(*instances.index("idx_inst_attr")),
+        elem_val_index(elem_data.index("idx_elem_val")),
+        elem_num_index(elem_data.index("idx_elem_num")),
         ordered(ordered_),
         info(info_),
         view(view_) {
@@ -288,11 +294,67 @@ struct Pipeline {
     if (info != nullptr) info->rows_materialized += n;
   }
 
+  std::size_t bucket(const rel::Index& index, const rel::Key& key) const {
+    return view != nullptr ? view->bucket_size(elem_data, index, key)
+                           : index.bucket_size(key);
+  }
+
+  /// True when `ec` can be answered by the value-keyed equality indexes.
+  bool eq_probe_ready(const ElementCriterion& ec) const {
+    return elem_val_index != nullptr && elem_num_index != nullptr &&
+           !ec.pred.exists_only && ec.pred.op == CompareOp::kEq;
+  }
+
   /// Cheap per-criterion cardinality estimates (index bucket sizes).
   std::size_t element_estimate(const ElementCriterion& ec) const {
+    if (eq_probe_ready(ec)) {
+      // Exact-bucket estimate: the union of the text bucket and (for a
+      // numeric rhs) the numeric bucket bounds the criterion's result.
+      std::size_t n = bucket(*elem_val_index, rel::Key{{rel::Value(ec.def->id),
+                                                        rel::Value(ec.pred.rhs_text)}});
+      if (ec.pred.numeric_rhs) {
+        n += bucket(*elem_num_index,
+                    rel::Key{{rel::Value(ec.def->id), rel::Value(ec.pred.rhs_num)}});
+      }
+      return n;
+    }
     const rel::Key key{{rel::Value(ec.def->id)}};
     return view != nullptr ? view->bucket_size(elem_data, elem_index, key)
                            : elem_index.bucket_size(key);
+  }
+
+  /// Visits every elem_data row satisfying the equality criterion `ec` via
+  /// the value-keyed indexes — cost O(matches), not O(element bucket).
+  ///
+  /// The union of two probes reproduces CompiledPred::matches exactly:
+  /// the (elem_id, value_str) bucket yields the rows whose stored text
+  /// equals the criterion text, and for a numeric rhs the (elem_id,
+  /// value_num) bucket adds the rows that are numerically equal under a
+  /// different spelling ("0730" = "730"). Rows in both buckets are emitted
+  /// once (the numeric probe skips exact-text matches). `matches` still
+  /// runs per visited row, so the semantics cannot drift from the scan
+  /// path. Counts as ONE logical index probe — probes == criteria
+  /// evaluated, the invariant the plan counters (and their tests) rely on.
+  template <typename Fn>
+  void for_each_eq_match(const ElementCriterion& ec, Fn&& fn) {
+    count_probe();
+    rel::for_each_match(
+        elem_data, *elem_val_index,
+        rel::Key{{rel::Value(ec.def->id), rel::Value(ec.pred.rhs_text)}}, view,
+        probe_scratch, [&](const rel::Row& row, rel::RowId id) {
+          count_scanned();
+          if (ec.pred.matches(row, str_col, num_col)) fn(row, id);
+        });
+    if (!ec.pred.numeric_rhs) return;
+    rel::for_each_match(
+        elem_data, *elem_num_index,
+        rel::Key{{rel::Value(ec.def->id), rel::Value(ec.pred.rhs_num)}}, view,
+        probe_scratch, [&](const rel::Row& row, rel::RowId id) {
+          count_scanned();
+          const rel::Value& str = row[str_col];
+          if (!str.is_null() && str.as_string_view() == ec.pred.rhs_text) return;
+          if (ec.pred.matches(row, str_col, num_col)) fn(row, id);
+        });
   }
   std::size_t instance_estimate(AttrDefId def) const {
     const rel::Key key{{rel::Value(def)}};
@@ -352,18 +414,23 @@ struct Pipeline {
       std::vector<InstRef>& out = first ? current : inst_scratch;
       out.clear();
       std::size_t matched = 0;
-      count_probe();
-      rel::for_each_match(
-          elem_data, elem_index, rel::Key{{rel::Value(ec.def->id)}}, view, probe_scratch,
-          [&](const rel::Row& row, rel::RowId) {
-            count_scanned();
-            if (!ec.pred.matches(row, str_col, num_col)) return;
-            ++matched;
-            const InstRef ref{row[elem_obj_col].as_int(), row[elem_seq_col].as_int()};
-            if (first || std::binary_search(current.begin(), current.end(), ref)) {
-              out.push_back(ref);
-            }
-          });
+      const auto take = [&](const rel::Row& row) {
+        ++matched;
+        const InstRef ref{row[elem_obj_col].as_int(), row[elem_seq_col].as_int()};
+        if (first || std::binary_search(current.begin(), current.end(), ref)) {
+          out.push_back(ref);
+        }
+      };
+      if (eq_probe_ready(ec)) {
+        for_each_eq_match(ec, [&](const rel::Row& row, rel::RowId) { take(row); });
+      } else {
+        count_probe();
+        rel::for_each_match(elem_data, elem_index, rel::Key{{rel::Value(ec.def->id)}},
+                            view, probe_scratch, [&](const rel::Row& row, rel::RowId) {
+                              count_scanned();
+                              if (ec.pred.matches(row, str_col, num_col)) take(row);
+                            });
+      }
       count_candidates(matched);
       sort_unique(out);
       if (!first) current.swap(inst_scratch);
@@ -507,14 +574,19 @@ std::vector<ObjectId> QueryEngine::run_fast(const QueryShredded& shredded,
     std::vector<ObjectId>& out = first ? current : next;
     out.clear();
     std::size_t matched = 0;
-    p.count_probe();
     const auto consider = [&](ObjectId object) {
       ++matched;
       if (first || std::binary_search(current.begin(), current.end(), object)) {
         out.push_back(object);
       }
     };
-    if (c.elem != nullptr) {
+    if (c.elem != nullptr && p.eq_probe_ready(*c.elem)) {
+      // for_each_eq_match counts its own (single logical) probe.
+      p.for_each_eq_match(*c.elem, [&](const rel::Row& row, rel::RowId) {
+        consider(row[p.elem_obj_col].as_int());
+      });
+    } else if (c.elem != nullptr) {
+      p.count_probe();
       rel::for_each_match(p.elem_data, p.elem_index,
                           rel::Key{{rel::Value(c.elem->def->id)}}, p.view,
                           p.probe_scratch, [&](const rel::Row& row, rel::RowId) {
@@ -524,6 +596,7 @@ std::vector<ObjectId> QueryEngine::run_fast(const QueryShredded& shredded,
                             }
                           });
     } else {
+      p.count_probe();
       rel::for_each_match(p.instances, p.inst_index,
                           rel::Key{{rel::Value(c.node->def)}}, p.view,
                           p.probe_scratch, [&](const rel::Row& row, rel::RowId) {

@@ -105,7 +105,7 @@ ResultSet Database::execute(std::string_view sql_text) {
 }
 
 std::size_t Database::approx_bytes() const noexcept {
-  std::size_t bytes = clobs_.payload_bytes() + interner_.approx_bytes();
+  std::size_t bytes = clobs_.resident_bytes() + interner_.approx_bytes();
   for (const auto& [name, table] : tables_) {
     (void)name;
     bytes += table->approx_bytes();

@@ -54,13 +54,24 @@ class Database {
   ResultSet execute(std::string_view sql);
 
   /// Approximate total footprint: all tables + CLOB store (experiment E10).
+  /// CLOBs count their RESIDENT bytes: payload spilled to a page file (see
+  /// rel/clob_store.hpp paging) is off-heap by design.
   std::size_t approx_bytes() const noexcept;
 
-  /// Defers reclamation of superseded index generations to `reclaimer`;
-  /// applies to all existing and future tables.
+  /// Aggregated posting-list footprint across all tables' indexes — the
+  /// compression ratio reported in BENCH_scale.json.
+  IndexStats postings_stats() const noexcept {
+    IndexStats total;
+    for (const auto& [name, table] : tables_) total += table->postings_stats();
+    return total;
+  }
+
+  /// Defers reclamation of superseded index generations and sealed CLOB
+  /// payloads to `reclaimer`; applies to all existing and future tables.
   void set_reclaimer(util::EpochManager* reclaimer) noexcept {
     reclaimer_ = reclaimer;
     for (auto& [name, table] : tables_) table->set_reclaimer(reclaimer);
+    clobs_.set_reclaimer(reclaimer);
   }
 
   /// Brings every index of every table up to date with its row store; the

@@ -43,6 +43,33 @@ class BinaryExpr final : public Expr {
 
   Kind kind() const noexcept override { return Kind::kBinary; }
 
+  std::optional<ColumnCompare> as_column_compare() const override {
+    if (op_ != BinOp::kEq && op_ != BinOp::kNe && op_ != BinOp::kLt &&
+        op_ != BinOp::kLe && op_ != BinOp::kGt && op_ != BinOp::kGe) {
+      return std::nullopt;
+    }
+    const auto decompose = [this](const Expr& column_side, const Expr& const_side,
+                                  bool flipped) -> std::optional<ColumnCompare> {
+      const auto column = column_index(column_side);
+      if (!column || const_side.kind() != Kind::kConst) return std::nullopt;
+      Value literal = const_side.eval(Row{});
+      if (literal.is_null()) return std::nullopt;  // NULL literal matches nothing
+      BinOp op = op_;
+      if (flipped) {
+        switch (op_) {
+          case BinOp::kLt: op = BinOp::kGt; break;
+          case BinOp::kLe: op = BinOp::kGe; break;
+          case BinOp::kGt: op = BinOp::kLt; break;
+          case BinOp::kGe: op = BinOp::kLe; break;
+          default: break;  // kEq / kNe are symmetric
+        }
+      }
+      return ColumnCompare{*column, op, std::move(literal)};
+    };
+    if (auto direct = decompose(*lhs_, *rhs_, false)) return direct;
+    return decompose(*rhs_, *lhs_, true);
+  }
+
   Value eval(const Row& row) const override {
     const Value a = lhs_->eval(row);
 

@@ -49,6 +49,7 @@
 #include <utility>
 #include <vector>
 
+#include "rel/postings.hpp"
 #include "rel/stable_vector.hpp"
 #include "rel/value.hpp"
 #include "util/epoch.hpp"
@@ -56,6 +57,24 @@
 namespace hxrc::rel {
 
 using RowId = std::size_t;
+
+/// Physical footprint of an index's published generations (rel/postings.hpp
+/// compression surfaces here: postings_bytes vs postings_raw_bytes is the
+/// ratio reported in BENCH_scale.json).
+struct IndexStats {
+  std::size_t keys = 0;                // distinct keys summed over generations
+  std::size_t postings = 0;            // total posting entries
+  std::size_t postings_bytes = 0;      // physical posting-list heap bytes
+  std::size_t postings_raw_bytes = 0;  // sizeof(RowId) per entry equivalent
+
+  IndexStats& operator+=(const IndexStats& o) noexcept {
+    keys += o.keys;
+    postings += o.postings;
+    postings_bytes += o.postings_bytes;
+    postings_raw_bytes += o.postings_raw_bytes;
+    return *this;
+  }
+};
 
 class Index {
  public:
@@ -109,6 +128,9 @@ class Index {
   /// Every row contributes exactly one posting, so the logical entry count
   /// is the attached table's row count — no catch-up needed to answer.
   std::size_t entry_count() const noexcept { return rows_ ? rows_->size() : 0; }
+
+  /// Physical footprint of the published generations (never syncs).
+  virtual IndexStats stats() const noexcept = 0;
 
   /// An empty index of the same physical kind over the same key columns
   /// (used by Table::truncate to rebuild definitions without RTTI probing).
@@ -182,20 +204,6 @@ class Index {
     return n;
   }
 
-  /// Appends the ids of `postings` that fall below `limit`; postings are
-  /// ascending, so a straddling list is cut with one binary search.
-  static void append_below(const std::vector<RowId>& postings, std::size_t limit,
-                           std::vector<RowId>& out) {
-    const auto stop = std::lower_bound(postings.begin(), postings.end(), limit);
-    out.insert(out.end(), postings.begin(), stop);
-  }
-
-  static std::size_t count_below(const std::vector<RowId>& postings,
-                                 std::size_t limit) {
-    return static_cast<std::size_t>(
-        std::lower_bound(postings.begin(), postings.end(), limit) - postings.begin());
-  }
-
   const StableVector<Row>* rows_ = nullptr;
   mutable std::mutex sync_mutex_;
 
@@ -231,9 +239,9 @@ class HashIndex final : public Index {
         const auto it = gen->map.find(key);
         if (it == gen->map.end()) continue;
         if (gen->end <= limit) {
-          out.insert(out.end(), it->second.begin(), it->second.end());
+          it->second.append_to(out);
         } else {
-          append_below(it->second, limit, out);
+          it->second.append_below(limit, out);
         }
       }
     }
@@ -250,11 +258,26 @@ class HashIndex final : public Index {
         if (gen->begin >= limit) break;
         const auto it = gen->map.find(key);
         if (it == gen->map.end()) continue;
-        n += gen->end <= limit ? it->second.size() : count_below(it->second, limit);
+        n += gen->end <= limit ? it->second.size() : it->second.count_below(limit);
       }
     }
     if (covered < limit) n += count_tail(key, covered, limit);
     return n;
+  }
+
+  IndexStats stats() const noexcept override {
+    IndexStats st;
+    const GenList* list = published_.load(std::memory_order_acquire);
+    if (list == nullptr) return st;
+    for (const Gen* gen : list->gens) {
+      st.keys += gen->map.size();
+      for (const auto& [key, postings] : gen->map) {
+        st.postings += postings.size();
+        st.postings_bytes += postings.heap_bytes();
+        st.postings_raw_bytes += postings.raw_bytes();
+      }
+    }
+    return st;
   }
 
  protected:
@@ -274,6 +297,8 @@ class HashIndex final : public Index {
     for (std::size_t r = from; r < target; ++r) {
       postings_for(fresh->map, (*rows_)[r]).push_back(r);
     }
+    // The generation is immutable once published; drop building slack.
+    for (auto& [key, ids] : fresh->map) ids.shrink();
 
     auto* next = new GenList;
     if (current != nullptr) next->gens = current->gens;
@@ -290,8 +315,9 @@ class HashIndex final : public Index {
       merged->end = newer->end;
       merged->map = older->map;
       for (const auto& [key, ids] : newer->map) {
-        auto& postings = merged->map[key];
-        postings.insert(postings.end(), ids.begin(), ids.end());
+        PostingList& list = merged->map[key];
+        list.append_all(ids);
+        list.shrink();
       }
       dispose(older);
       dispose(newer);
@@ -307,7 +333,7 @@ class HashIndex final : public Index {
   struct Gen {
     std::size_t begin = 0;
     std::size_t end = 0;
-    std::unordered_map<Key, std::vector<RowId>, KeyHash> map;
+    std::unordered_map<Key, PostingList, KeyHash> map;
     std::size_t row_span() const noexcept { return end - begin; }
   };
   struct GenList {
@@ -315,8 +341,8 @@ class HashIndex final : public Index {
     std::size_t end = 0;
   };
 
-  std::vector<RowId>& postings_for(
-      std::unordered_map<Key, std::vector<RowId>, KeyHash>& map, const Row& row) {
+  PostingList& postings_for(std::unordered_map<Key, PostingList, KeyHash>& map,
+                            const Row& row) {
     // Probe with a reused scratch key: on the hit path (almost every insert
     // of a catch-up pass) nothing is allocated. Only a first-seen key pays
     // the copy-into-the-map cost. Inserts run under sync_mutex_, so the
@@ -325,7 +351,7 @@ class HashIndex final : public Index {
     for (const std::size_t c : key_columns()) scratch_.parts.push_back(row[c]);
     const auto it = map.find(scratch_);
     if (it != map.end()) return it->second;
-    return map.emplace(std::move(scratch_), std::vector<RowId>{}).first->second;
+    return map.emplace(std::move(scratch_), PostingList{}).first->second;
   }
 
   std::atomic<const GenList*> published_{nullptr};
@@ -376,9 +402,9 @@ class OrderedIndex final : public Index {
         for (; it != gen->entries.end() && !(hi < it->first); ++it) {
           auto& postings = merged[it->first];
           if (gen->end <= limit) {
-            postings.insert(postings.end(), it->second.begin(), it->second.end());
+            it->second.append_to(postings);
           } else {
-            append_below(it->second, limit, postings);
+            it->second.append_below(limit, postings);
           }
         }
       }
@@ -403,12 +429,12 @@ class OrderedIndex final : public Index {
       covered = list->end;
       for (const Gen* gen : list->gens) {
         if (gen->begin >= limit) break;
-        const std::vector<RowId>* postings = gen->find(key);
+        const PostingList* postings = gen->find(key);
         if (postings == nullptr) continue;
         if (gen->end <= limit) {
-          out.insert(out.end(), postings->begin(), postings->end());
+          postings->append_to(out);
         } else {
-          append_below(*postings, limit, out);
+          postings->append_below(limit, out);
         }
       }
     }
@@ -423,13 +449,28 @@ class OrderedIndex final : public Index {
       covered = list->end;
       for (const Gen* gen : list->gens) {
         if (gen->begin >= limit) break;
-        const std::vector<RowId>* postings = gen->find(key);
+        const PostingList* postings = gen->find(key);
         if (postings == nullptr) continue;
-        n += gen->end <= limit ? postings->size() : count_below(*postings, limit);
+        n += gen->end <= limit ? postings->size() : postings->count_below(limit);
       }
     }
     if (covered < limit) n += count_tail(key, covered, limit);
     return n;
+  }
+
+  IndexStats stats() const noexcept override {
+    IndexStats st;
+    const GenList* list = published_.load(std::memory_order_acquire);
+    if (list == nullptr) return st;
+    for (const Gen* gen : list->gens) {
+      st.keys += gen->entries.size();
+      for (const Entry& entry : gen->entries) {
+        st.postings += entry.second.size();
+        st.postings_bytes += entry.second.heap_bytes();
+        st.postings_raw_bytes += entry.second.raw_bytes();
+      }
+    }
+    return st;
   }
 
  protected:
@@ -443,7 +484,7 @@ class OrderedIndex final : public Index {
     const std::size_t from = current == nullptr ? 0 : current->end;
     if (from >= target) return;
 
-    std::map<Key, std::vector<RowId>> building;
+    std::map<Key, PostingList> building;
     for (std::size_t r = from; r < target; ++r) {
       building[extract_key((*rows_)[r])].push_back(r);
     }
@@ -452,6 +493,7 @@ class OrderedIndex final : public Index {
     fresh->end = target;
     fresh->entries.reserve(building.size());
     for (auto& [key, ids] : building) {
+      ids.shrink();  // immutable once published; drop building slack
       fresh->entries.emplace_back(key, std::move(ids));
     }
 
@@ -479,7 +521,7 @@ class OrderedIndex final : public Index {
   }
 
  private:
-  using Entry = std::pair<Key, std::vector<RowId>>;
+  using Entry = std::pair<Key, PostingList>;
 
   struct Gen {
     std::size_t begin = 0;
@@ -487,7 +529,7 @@ class OrderedIndex final : public Index {
     std::vector<Entry> entries;  // sorted by key
     std::size_t row_span() const noexcept { return end - begin; }
 
-    const std::vector<RowId>* find(const Key& key) const {
+    const PostingList* find(const Key& key) const {
       const auto it =
           std::lower_bound(entries.begin(), entries.end(), key,
                            [](const Entry& e, const Key& k) { return e.first < k; });
@@ -514,8 +556,8 @@ class OrderedIndex final : public Index {
         out.push_back(b[j++]);
       } else {
         Entry entry = a[i++];
-        const std::vector<RowId>& ids = b[j++].second;
-        entry.second.insert(entry.second.end(), ids.begin(), ids.end());
+        entry.second.append_all(b[j++].second);
+        entry.second.shrink();
         out.push_back(std::move(entry));
       }
     }

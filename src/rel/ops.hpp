@@ -57,8 +57,23 @@ void index_scan_ids(const Index& index, const Key& key, std::vector<RowId>& out)
 std::vector<RowId> index_scan_ids(const Index& index, const Key& key);
 
 /// Keeps the ids whose base-table row satisfies the predicate. In-place and
-/// order-stable; no row is copied.
+/// order-stable; no row is copied. Single column-vs-constant comparisons
+/// take the blocked scan kernel (below); other shapes evaluate per row.
 void filter_ids(const Table& table, const Expr& predicate, std::vector<RowId>& ids);
+
+/// Non-materializing full scan: appends the ids of rows satisfying
+/// `predicate` in ascending order. The non-indexed filter path at scale:
+/// column-vs-constant comparisons run as a BLOCK SCAN — rows classified
+/// into dense per-block value lanes, then compared with a branchless,
+/// auto-vectorizable kernel (8-wide under SSE2/NEON) instead of per-row
+/// Expr dispatch — with exactly Expr::eval_bool's comparison semantics
+/// (NULL never matches; numerics order before strings; int/int compares
+/// exactly).
+void scan_ids(const Table& table, const Expr& predicate, std::vector<RowId>& out);
+
+/// True when `predicate` is a shape scan_ids/filter_ids evaluate with the
+/// blocked kernel (exposed for tests and benches).
+bool block_scannable(const Expr& predicate) noexcept;
 
 /// Copies the identified base-table rows into a ResultSet — the single
 /// materialization point at the end of a non-materializing stage.

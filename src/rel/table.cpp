@@ -136,11 +136,20 @@ std::size_t Table::approx_bytes() const noexcept {
       }
     }
   }
-  // Index entries: key copies + row id.
+  // Indexes: key copies per distinct key plus the physical posting bytes
+  // (compressed lists report their real footprint; see rel/postings.hpp).
   for (const auto& index : indexes_) {
-    bytes += index->entry_count() * (sizeof(RowId) + index->key_columns().size() * sizeof(Value));
+    const IndexStats st = index->stats();
+    bytes += st.keys * (sizeof(Key) + index->key_columns().size() * sizeof(Value));
+    bytes += st.postings_bytes;
   }
   return bytes;
+}
+
+IndexStats Table::postings_stats() const noexcept {
+  IndexStats total;
+  for (const auto& index : indexes_) total += index->stats();
+  return total;
 }
 
 }  // namespace hxrc::rel

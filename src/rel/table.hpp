@@ -105,6 +105,9 @@ class Table {
   /// Approximate heap footprint in bytes (storage experiment E10).
   std::size_t approx_bytes() const noexcept;
 
+  /// Aggregated posting-list footprint across this table's indexes.
+  IndexStats postings_stats() const noexcept;
+
  private:
   void validate(const Row& row) const;
   template <typename IndexT>

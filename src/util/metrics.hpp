@@ -18,7 +18,27 @@
 #include <string_view>
 #include <vector>
 
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#define HXRC_HAS_RUSAGE 1
+#endif
+
 namespace hxrc::util {
+
+/// Peak resident set size of this process in bytes; 0 where unsupported.
+/// Benches report it alongside approx_bytes so the footprint numbers in
+/// BENCH_*.json can be sanity-checked against what the OS actually charged.
+inline std::size_t peak_rss_bytes() noexcept {
+#ifdef HXRC_HAS_RUSAGE
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux (bytes on macOS, where this would
+  // over-report by 1024x; the benches run on Linux).
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
+}
 
 /// Log2-bucketed latency histogram over microseconds. All methods are
 /// thread-safe; readers see a consistent-enough snapshot for reporting

@@ -46,7 +46,18 @@ struct GeneratorConfig {
   /// Include the optional identification attributes (citation, status, ...).
   bool include_idinfo = true;
   bool include_geospatial = true;
+
+  /// Emit multi-kilobyte eaover/eadetcit boilerplate in EVERY document's
+  /// overview, drawn from a small pool of distinct paragraphs (the scale
+  /// corpus's CLOB heft: the pool is small so the interner dedups the
+  /// element values while per-document CLOB payloads stay large). Off, the
+  /// overview keeps its occasional short form — existing corpora are
+  /// byte-identical.
+  bool long_boilerplate = false;
 };
+
+/// The shared pool of ~64 distinct 2-5KB boilerplate paragraphs.
+std::span<const std::string> boilerplate_pool();
 
 /// Vocabulary pools (exposed so the query generator draws from the same
 /// distributions).

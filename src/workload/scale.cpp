@@ -1,0 +1,65 @@
+#include "workload/scale.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace hxrc::workload {
+
+namespace {
+
+// Default generator: ~5.5 scalar parameters per document over 24 parameter
+// names, so a (parameter, value) pair matches about documents * 5.5 / (24 *
+// cardinality) objects: ~140 at every tier below.
+constexpr ScaleTier kTiers[] = {
+    {"10k", 10'000, 16},
+    {"100k", 100'000, 160},
+    {"1m", 1'000'000, 1600},
+};
+
+}  // namespace
+
+std::span<const ScaleTier> scale_tiers() { return kTiers; }
+
+const ScaleTier& scale_tier(std::string_view name) {
+  for (const ScaleTier& tier : kTiers) {
+    if (name == tier.name) return tier;
+  }
+  throw std::invalid_argument("unknown scale tier '" + std::string(name) + "'");
+}
+
+GeneratorConfig scale_config(const ScaleTier& tier) {
+  GeneratorConfig config;
+  config.seed = 20060608;  // fixed: every run ingests the identical corpus
+  config.value_cardinality = tier.value_cardinality;
+  config.long_boilerplate = true;
+  return config;
+}
+
+void ingest_scale_corpus(core::MetadataCatalog& catalog, const ScaleTier& tier,
+                         const std::function<void(std::size_t done)>& progress,
+                         std::size_t stride) {
+  DocumentGenerator generator(scale_config(tier));
+  for (std::size_t i = 0; i < tier.documents; ++i) {
+    const xml::Document doc = generator.generate(i);
+    catalog.ingest(doc, "lead-" + std::to_string(i), "scale");
+    if (progress && stride > 0 && (i + 1) % stride == 0) progress(i + 1);
+  }
+}
+
+std::vector<core::ObjectQuery> scale_query_mix(const ScaleTier& tier,
+                                               std::size_t count) {
+  std::vector<core::ObjectQuery> queries;
+  queries.reserve(count);
+  util::Prng rng(0x5ca1e0 + tier.documents);
+  for (std::size_t q = 0; q < count; ++q) {
+    const char* group = rng.pick(grid_group_names());
+    const char* model = rng.pick(model_names());
+    const char* param = rng.pick(parameter_names());
+    const int v = static_cast<int>(rng.uniform(0, tier.value_cardinality - 1));
+    queries.push_back(
+        dynamic_param_query(group, model, param, parameter_value(param, v)));
+  }
+  return queries;
+}
+
+}  // namespace hxrc::workload

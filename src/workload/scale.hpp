@@ -1,0 +1,55 @@
+// Million-object scale corpus: tier profiles and streaming ingest.
+//
+// The scale experiment (EXPERIMENTS.md E14) runs the same schema-faithful
+// LEAD corpus at 10k, 100k, and 1M documents. Two properties are deliberate:
+// the corpus is STREAMED — each document is generated, ingested, and
+// discarded, so corpus size never bounds the experiment — and the per-tier
+// value cardinality grows with the document count, so a (parameter, value)
+// equality criterion matches a roughly constant ~100 documents at every
+// tier. That keeps the indexed-query latency comparison across tiers a
+// measurement of index-probe cost, not of result-set size.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/catalog.hpp"
+#include "workload/generator.hpp"
+#include "workload/query_gen.hpp"
+
+namespace hxrc::workload {
+
+struct ScaleTier {
+  const char* name;
+  std::size_t documents;
+  /// Distinct values per dynamic parameter; scaled ~linearly with the
+  /// document count so per-(parameter, value) result sets stay constant.
+  int value_cardinality;
+};
+
+/// The three tiers: "10k", "100k", "1m".
+std::span<const ScaleTier> scale_tiers();
+
+/// Tier by name; throws std::invalid_argument when unknown.
+const ScaleTier& scale_tier(std::string_view name);
+
+/// Generator settings for a tier: fixed seed, tier cardinality, and the
+/// long eaover/eadetcit boilerplate that gives documents their CLOB heft.
+GeneratorConfig scale_config(const ScaleTier& tier);
+
+/// Generates and ingests the tier's corpus one document at a time (nothing
+/// is materialized). The catalog must auto-define dynamic attributes.
+/// `progress`, when set, is called after every `stride` documents.
+void ingest_scale_corpus(core::MetadataCatalog& catalog, const ScaleTier& tier,
+                         const std::function<void(std::size_t done)>& progress = {},
+                         std::size_t stride = 10000);
+
+/// Deterministic indexed point queries (dynamic parameter equality) drawn
+/// from the tier's value range, for the latency measurements.
+std::vector<core::ObjectQuery> scale_query_mix(const ScaleTier& tier,
+                                               std::size_t count);
+
+}  // namespace hxrc::workload

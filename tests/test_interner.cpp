@@ -1,0 +1,154 @@
+// The string interner (rel/interner.hpp): dictionary-encoded columns rely
+// on canonical-pointer stability, the shredder's SSO bypass, and the MVCC
+// read contract (readers deref published canonical pointers while a writer
+// interns new strings under the catalog's exclusive lock).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/catalog.hpp"
+#include "core/storage.hpp"
+#include "rel/interner.hpp"
+#include "rel/value.hpp"
+#include "workload/generator.hpp"
+#include "workload/lead_schema.hpp"
+
+namespace hxrc {
+namespace {
+
+// Mirrors Shredder::string_value's threshold (shredder.cpp): strings at or
+// below this length stay owned (they fit std::string's SSO buffer), longer
+// ones go through the interner.
+constexpr std::size_t kInternMinLength = 15;
+
+TEST(Interner, DedupsToOneCanonicalPointer) {
+  rel::Interner interner;
+  const std::string* a = interner.intern("forecast-run-title-alpha");
+  const std::string* b = interner.intern("forecast-run-title-alpha");
+  const std::string* c = interner.intern("forecast-run-title-beta");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(*a, "forecast-run-title-alpha");
+  EXPECT_EQ(interner.size(), 2u);
+
+  // Short (SSO-range) strings still dedup — the interner itself has no
+  // length cutoff; the bypass lives in the shredder.
+  const std::string* s1 = interner.intern("wrf");
+  const std::string* s2 = interner.intern("wrf");
+  EXPECT_EQ(s1, s2);
+
+  // Value::interned behaves like an owned string of the same content.
+  const rel::Value dict = rel::Value::interned(a);
+  const rel::Value owned("forecast-run-title-alpha");
+  EXPECT_TRUE(dict.is_interned());
+  EXPECT_FALSE(owned.is_interned());
+  EXPECT_EQ(dict.type(), rel::Type::kString);
+  EXPECT_TRUE(dict == owned);
+  EXPECT_EQ(dict.hash(), owned.hash());
+  EXPECT_EQ(&dict.as_string(), a);
+}
+
+TEST(Interner, PointersAndContentStableAcrossRehash) {
+  rel::Interner interner;
+  std::vector<const std::string*> handles;
+  std::vector<const char*> payloads;
+  for (int i = 0; i < 100; ++i) {
+    const std::string* p = interner.intern("early-key-" + std::to_string(i));
+    handles.push_back(p);
+    payloads.push_back(p->data());
+  }
+  // Force many rehashes of the map and growth of the backing deque.
+  for (int i = 0; i < 50'000; ++i) {
+    interner.intern("late-key-" + std::to_string(i));
+  }
+  EXPECT_EQ(interner.size(), 50'100u);
+  for (int i = 0; i < 100; ++i) {
+    const std::string expected = "early-key-" + std::to_string(i);
+    EXPECT_EQ(*handles[i], expected);
+    EXPECT_EQ(handles[i]->data(), payloads[i]);  // string buffer never moved
+    EXPECT_EQ(interner.intern(expected), handles[i]);  // re-intern hits
+  }
+}
+
+// The shredder's SSO bypass, observed through real ingest: strings longer
+// than the threshold land in elem_data as dictionary-encoded values and
+// repeats across documents share ONE canonical pointer; short strings stay
+// owned (no dictionary probe, no pointer aliasing).
+TEST(Interner, ShredderBypassesSsoStringsAndDedupsLongOnes) {
+  xml::Schema schema = workload::lead_schema();
+  core::CatalogConfig config;
+  config.shred.auto_define_dynamic = true;
+  core::MetadataCatalog catalog(schema, workload::lead_annotations(), config);
+  catalog.ingest_xml(workload::fig3_document(), "a", "u");
+  catalog.ingest_xml(workload::fig3_document(), "b", "u");
+
+  const rel::Table& elems = catalog.database().require_table(core::kElemDataTable);
+  const std::size_t value_str = elems.schema().require("value_str");
+  std::unordered_map<std::string, std::unordered_set<const std::string*>> canonical;
+  std::size_t interned_rows = 0;
+  for (std::size_t r = 0; r < elems.row_count(); ++r) {
+    const rel::Value& v = elems.row_unchecked(r)[value_str];
+    if (v.is_null() || v.type() != rel::Type::kString) continue;
+    if (v.is_interned()) {
+      ++interned_rows;
+      EXPECT_GT(v.as_string().size(), kInternMinLength);
+      canonical[v.as_string()].insert(&v.as_string());
+    } else {
+      EXPECT_LE(v.as_string().size(), kInternMinLength);
+    }
+  }
+  ASSERT_GT(interned_rows, 0u);
+  // Identical content — including the duplicate document — always resolves
+  // to the same canonical string object.
+  for (const auto& [content, pointers] : canonical) {
+    EXPECT_EQ(pointers.size(), 1u) << "duplicated storage for: " << content;
+  }
+}
+
+// MVCC read contract: published rows hold canonical pointers; readers deref
+// and compare them lock-free while a writer (serialized by the catalog's
+// exclusive lock in real use) keeps interning fresh strings. Existing
+// pointers and payloads must stay untouched by concurrent map rehash /
+// deque growth.
+TEST(Interner, ConcurrentReadersWhileWriterInterns) {
+  rel::Interner interner;
+  std::vector<const std::string*> published;
+  for (int i = 0; i < 256; ++i) {
+    published.push_back(interner.intern("published-value-" + std::to_string(i)));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (int i = 0; i < 256; ++i) {
+          const std::string expected = "published-value-" + std::to_string(i);
+          const rel::Value dict = rel::Value::interned(published[i]);
+          if (dict.as_string() != expected || !(dict == rel::Value(expected))) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 30'000; ++i) {
+    interner.intern("writer-churn-" + std::to_string(i));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(interner.size(), 30'256u);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(interner.intern("published-value-" + std::to_string(i)), published[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hxrc

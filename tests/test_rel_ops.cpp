@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 
 #include "rel/ops.hpp"
@@ -247,6 +248,100 @@ TEST(Ops, PrettyRendersHeaderAndRows) {
   const std::string text = scan(departments()).pretty();
   EXPECT_NE(text.find("dept_name"), std::string::npos);
   EXPECT_NE(text.find("storms"), std::string::npos);
+}
+
+// ---- Blocked scan kernel: differential check against per-row eval ----
+
+/// A table whose single value column mixes nulls, ints, doubles, and
+/// strings (short and long), entered via append_unchecked the way the
+/// shredder's unchecked batch path can. Deterministic PRNG so failures
+/// reproduce.
+Table mixed_values(std::size_t rows) {
+  Table t("mixed", TableSchema{{"id", Type::kInt}, {"v", Type::kString}});
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const char* words[] = {"alpha", "beta", "grid", "0730", "730", "",
+                         "a-rather-long-uninterned-metadata-string"};
+  for (std::size_t i = 0; i < rows; ++i) {
+    Value v;
+    switch (next() % 6) {
+      case 0: v = Value::null(); break;
+      case 1: v = Value(static_cast<std::int64_t>(next() % 1000) - 500); break;
+      case 2: v = Value((static_cast<double>(next() % 2000) - 1000.0) / 4.0); break;
+      case 3: v = Value(static_cast<std::int64_t>(1) << 53); break;  // > 2^53 exactness
+      default: v = Value(words[next() % (sizeof(words) / sizeof(words[0]))]); break;
+    }
+    t.append_unchecked(Row{Value(static_cast<std::int64_t>(i)), std::move(v)});
+  }
+  return t;
+}
+
+TEST(Ops, BlockScanMatchesPerRowEvalOnMixedTypes) {
+  const Table t = mixed_values(1000);
+  const Value literals[] = {Value(std::int64_t{42}),  Value(std::int64_t{-500}),
+                            Value((std::int64_t{1} << 53) + 1),
+                            Value(42.0),  Value(-12.25), Value("grid"),
+                            Value("0730"), Value("")};
+  const BinOp ops[] = {BinOp::kEq, BinOp::kNe, BinOp::kLt,
+                       BinOp::kLe, BinOp::kGt, BinOp::kGe};
+  for (const Value& literal : literals) {
+    for (const BinOp op : ops) {
+      for (const bool flipped : {false, true}) {
+        const ExprPtr pred = flipped ? binary(op, lit(literal), col(1))
+                                     : binary(op, col(1), lit(literal));
+        ASSERT_TRUE(block_scannable(*pred));
+        std::vector<RowId> fast;
+        scan_ids(t, *pred, fast);
+        std::vector<RowId> slow;
+        for (RowId id = 0; id < t.row_count(); ++id) {
+          if (pred->eval_bool(t.row_unchecked(id))) slow.push_back(id);
+        }
+        EXPECT_EQ(fast, slow) << pred->describe();
+
+        // filter_ids over a sparse id subset must agree too.
+        std::vector<RowId> sparse_fast, sparse_slow;
+        for (RowId id = 0; id < t.row_count(); id += 3) sparse_fast.push_back(id);
+        sparse_slow = sparse_fast;
+        filter_ids(t, *pred, sparse_fast);
+        std::size_t kept = 0;
+        for (const RowId id : sparse_slow) {
+          if (pred->eval_bool(t.row_unchecked(id))) sparse_slow[kept++] = id;
+        }
+        sparse_slow.resize(kept);
+        EXPECT_EQ(sparse_fast, sparse_slow) << pred->describe();
+      }
+    }
+  }
+}
+
+TEST(Ops, BlockScannableRejectsNonComparisonShapes) {
+  EXPECT_FALSE(block_scannable(*and_(gt(col(0), lit(Value(1.0))),
+                                     lt(col(0), lit(Value(2.0))))));
+  EXPECT_FALSE(block_scannable(*like(col(1), "gr%")));
+  EXPECT_FALSE(block_scannable(*is_null(col(1))));
+  EXPECT_FALSE(block_scannable(*eq(col(0), col(1))));
+  EXPECT_FALSE(block_scannable(*eq(col(1), lit(Value::null()))));
+  EXPECT_TRUE(block_scannable(*eq(lit(Value("x")), col(1))));
+}
+
+TEST(Ops, ScanUsesKernelAndMatchesMaterializedRows) {
+  const Table t = mixed_values(300);
+  const ExprPtr pred = ge(col(1), lit(Value(0.0)));
+  const ResultSet via_scan = scan(t, pred);
+  std::vector<RowId> ids;
+  scan_ids(t, *pred, ids);
+  const ResultSet via_ids = materialize(t, ids);
+  ASSERT_EQ(via_scan.size(), via_ids.size());
+  for (std::size_t i = 0; i < via_scan.size(); ++i) {
+    for (std::size_t c = 0; c < via_scan.schema.size(); ++c) {
+      EXPECT_EQ(via_scan.rows[i][c].compare(via_ids.rows[i][c]), 0);
+    }
+  }
 }
 
 }  // namespace
