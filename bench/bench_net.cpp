@@ -1,0 +1,605 @@
+// catalog_load / bench_net — closed-loop load generator for catalog_server.
+//
+// Drives hundreds-to-thousands of concurrent TCP connections against the
+// framed wire protocol, closed loop: every connection keeps `--pipeline`
+// requests outstanding and issues the next request the moment a response
+// lands. The workload is mixed — most connections read (query / fetch /
+// stats), every `--writer-every`-th connection continuously ingests — so
+// the server is measured with a live writer mutating the catalog under the
+// readers, the scenario the MVCC engine exists for (DESIGN.md §12, E15).
+//
+// Connections are sharded over a few client threads, each multiplexing its
+// share with epoll; per-response latency (send → frame decoded) feeds a
+// shared lock-free histogram, reported as p50/p99/p999 + throughput.
+//
+// Two modes:
+//
+//   catalog_load --host H --port P --connections N --duration S
+//     load an externally started catalog_server; prints a summary and, with
+//     --json[=path], writes the record (default BENCH_net.json).
+//
+//   bench_net --gate
+//     CI smoke: spawns an in-process server (preloaded catalog, default
+//     watermarks), slams it with 512 connections including live writers,
+//     and exits non-zero unless every frame came back intact — zero
+//     mangled, zero dropped, zero protocol errors server-side, and no
+//     overloaded/draining floods (saturation must surface as socket
+//     backpressure, not error responses). Writes BENCH_net.json.
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/catalog.hpp"
+#include "core/dispatcher.hpp"
+#include "core/service.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "util/metrics.hpp"
+#include "workload/generator.hpp"
+#include "workload/lead_schema.hpp"
+#include "workload/query_gen.hpp"
+#include "xml/writer.hpp"
+
+namespace {
+
+using namespace hxrc;
+using Clock = std::chrono::steady_clock;
+
+struct LoadConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7070;
+  std::size_t connections = 64;
+  std::size_t threads = 0;  // 0 = derived from connection count
+  double duration_s = 5.0;
+  std::size_t pipeline = 1;
+  /// Every Nth connection is a writer (ingest loop); 0 = read-only.
+  std::size_t writer_every = 16;
+  /// fetch requests draw objectIDs from [0, fetch_max); 0 disables fetch.
+  std::size_t fetch_max = 0;
+  std::string json_path;
+  bool gate = false;
+};
+
+/// Aggregate counters, shared across client threads.
+struct LoadTotals {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> responses{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> errors{0};          // status="error", any code
+  std::atomic<std::uint64_t> overloaded{0};      // of which code="overloaded"
+  std::atomic<std::uint64_t> draining{0};        // of which code="draining"
+  std::atomic<std::uint64_t> mangled{0};         // frame/payload failed validation
+  std::atomic<std::uint64_t> dropped{0};         // request never answered
+  std::atomic<std::uint64_t> connect_failures{0};
+  std::atomic<std::uint64_t> writes{0};          // ingest requests issued
+  util::LatencyHistogram latency;
+};
+
+/// Pre-generated request bodies, shared read-only by every connection.
+struct RequestPools {
+  std::vector<std::string> queries;
+  std::vector<std::string> ingests;
+  std::string stats;
+};
+
+RequestPools build_pools() {
+  RequestPools pools;
+  workload::QueryGenerator query_gen;
+  for (std::uint64_t q = 0; q < 64; ++q) {
+    // query_to_xml emits the full <catalogRequest type="query"> wire form.
+    pools.queries.push_back(core::query_to_xml(query_gen.generate(q)));
+  }
+  workload::DocumentGenerator doc_gen;
+  for (std::uint64_t d = 0; d < 128; ++d) {
+    pools.ingests.push_back("<catalogRequest type=\"ingest\" version=\"1\">" +
+                            xml::write(doc_gen.generate(100000 + d)) +
+                            "</catalogRequest>");
+  }
+  pools.stats = "<catalogRequest type=\"stats\" version=\"1\"/>";
+  return pools;
+}
+
+struct Conn {
+  net::Socket sock;
+  std::size_t index = 0;
+  bool is_writer = false;
+  std::string inbuf;
+  std::string outbuf;
+  std::size_t outpos = 0;
+  /// request id → send time, for every in-flight request.
+  std::unordered_map<std::uint32_t, Clock::time_point> pending;
+  std::uint32_t next_id = 1;
+  std::uint64_t round = 0;
+  bool stopped = false;  // deadline passed: no new requests
+  bool closed = false;
+};
+
+/// One client thread: epoll over its shard of connections.
+class ClientShard {
+ public:
+  ClientShard(const LoadConfig& config, const RequestPools& pools, LoadTotals& totals)
+      : config_(config), pools_(pools), totals_(totals) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) throw net::SocketError("epoll_create1 failed");
+  }
+  ~ClientShard() { ::close(epoll_fd_); }
+
+  void add_connection(std::size_t index) {
+    auto conn = std::make_unique<Conn>();
+    conn->index = index;
+    conn->is_writer =
+        config_.writer_every != 0 && index % config_.writer_every == 0;
+    try {
+      conn->sock = net::connect_tcp(config_.host, config_.port);
+      net::set_nodelay(conn->sock.fd());
+      net::set_nonblocking(conn->sock.fd());
+    } catch (const net::SocketError&) {
+      totals_.connect_failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conns_.size();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->sock.fd(), &ev);
+    conns_.push_back(std::move(conn));
+  }
+
+  std::size_t connected() const { return conns_.size(); }
+
+  void run(Clock::time_point deadline, Clock::time_point force_exit) {
+    for (auto& conn : conns_) {
+      for (std::size_t i = 0; i < config_.pipeline; ++i) send_next(*conn);
+    }
+    std::vector<epoll_event> events(64);
+    std::size_t open = conns_.size();
+    while (open > 0) {
+      const Clock::time_point now = Clock::now();
+      if (now >= force_exit) break;
+      const int ready = ::epoll_wait(epoll_fd_, events.data(),
+                                     static_cast<int>(events.size()), 50);
+      const bool past_deadline = Clock::now() >= deadline;
+      for (int i = 0; i < ready; ++i) {
+        Conn& conn = *conns_[events[static_cast<std::size_t>(i)].data.u64];
+        if (conn.closed) continue;
+        const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+        if ((mask & EPOLLOUT) != 0) flush(conn);
+        if (conn.closed) continue;
+        if ((mask & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+          handle_readable(conn, past_deadline);
+        }
+      }
+      if (past_deadline) {
+        open = 0;
+        for (auto& conn : conns_) {
+          if (conn->closed) continue;
+          conn->stopped = true;
+          if (conn->pending.empty() && conn->outpos == conn->outbuf.size()) {
+            close_conn(*conn);
+          } else {
+            ++open;
+          }
+        }
+      }
+    }
+    // Anything still unanswered at force-exit was dropped.
+    for (auto& conn : conns_) {
+      if (conn->closed) continue;
+      totals_.dropped.fetch_add(conn->pending.size(), std::memory_order_relaxed);
+      close_conn(*conn);
+    }
+  }
+
+ private:
+  const std::string& pick_request(Conn& conn) {
+    const std::uint64_t round = conn.round++;
+    if (conn.is_writer) {
+      totals_.writes.fetch_add(1, std::memory_order_relaxed);
+      return pools_.ingests[(conn.index + round) % pools_.ingests.size()];
+    }
+    if (round % 8 == 7) return pools_.stats;
+    if (config_.fetch_max != 0 && round % 4 == 3) {
+      // fetch bodies are tiny; build per call rather than pooling every id
+      fetch_scratch_ = "<catalogRequest type=\"fetch\" version=\"1\" objectID=\"" +
+                       std::to_string((conn.index * 31 + round) % config_.fetch_max) +
+                       "\"/>";
+      return fetch_scratch_;
+    }
+    return pools_.queries[(conn.index * 7 + round) % pools_.queries.size()];
+  }
+
+  void send_next(Conn& conn) {
+    if (conn.stopped || conn.closed) return;
+    const std::uint32_t id = conn.next_id++;
+    net::append_frame(conn.outbuf, net::FrameType::kRequest, id, pick_request(conn));
+    conn.pending.emplace(id, Clock::now());
+    totals_.requests.fetch_add(1, std::memory_order_relaxed);
+    flush(conn);
+  }
+
+  void flush(Conn& conn) {
+    while (conn.outpos < conn.outbuf.size()) {
+      const ssize_t n = ::write(conn.sock.fd(), conn.outbuf.data() + conn.outpos,
+                                conn.outbuf.size() - conn.outpos);
+      if (n > 0) {
+        conn.outpos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      fail_conn(conn);
+      return;
+    }
+    if (conn.outpos == conn.outbuf.size()) {
+      conn.outbuf.clear();
+      conn.outpos = 0;
+    }
+    update_interest(conn);
+  }
+
+  void handle_readable(Conn& conn, bool past_deadline) {
+    char buffer[64 * 1024];
+    for (int round = 0; round < 8 && !conn.closed; ++round) {
+      const ssize_t n = ::read(conn.sock.fd(), buffer, sizeof(buffer));
+      if (n > 0) {
+        conn.inbuf.append(buffer, static_cast<std::size_t>(n));
+        parse_responses(conn, past_deadline);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      fail_conn(conn);  // EOF or error with requests possibly outstanding
+      return;
+    }
+  }
+
+  void parse_responses(Conn& conn, bool past_deadline) {
+    std::size_t consumed = 0;
+    for (;;) {
+      const net::DecodeResult result = net::decode_frame(
+          std::string_view(conn.inbuf).substr(consumed), 64u << 20);
+      if (result.status == net::DecodeStatus::kNeedMore) break;
+      if (result.status != net::DecodeStatus::kFrame) {
+        totals_.mangled.fetch_add(1, std::memory_order_relaxed);
+        conn.inbuf.erase(0, consumed);
+        fail_conn(conn);
+        return;
+      }
+      consumed += result.consumed;
+      account_response(conn, result.frame);
+      if (!past_deadline) send_next(conn);
+      if (conn.closed) return;
+    }
+    conn.inbuf.erase(0, consumed);
+  }
+
+  void account_response(Conn& conn, const net::Frame& frame) {
+    totals_.responses.fetch_add(1, std::memory_order_relaxed);
+    const auto it = conn.pending.find(frame.request_id);
+    if (it == conn.pending.end()) {
+      totals_.mangled.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - it->second);
+    conn.pending.erase(it);
+    totals_.latency.record(static_cast<std::uint64_t>(micros.count()));
+
+    // The payload must be a <catalogResponse> carrying the protocol
+    // handshake; anything else is a mangled frame.
+    const std::string& body = frame.payload;
+    if (body.rfind("<catalogResponse ", 0) != 0 ||
+        body.find("protocol=\"1\"") == std::string::npos) {
+      totals_.mangled.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (body.find("status=\"ok\"") != std::string::npos) {
+      totals_.ok.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    totals_.errors.fetch_add(1, std::memory_order_relaxed);
+    if (body.find("code=\"overloaded\"") != std::string::npos) {
+      totals_.overloaded.fetch_add(1, std::memory_order_relaxed);
+    } else if (body.find("code=\"draining\"") != std::string::npos) {
+      totals_.draining.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void update_interest(Conn& conn) {
+    if (conn.closed) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (conn.outpos < conn.outbuf.size() ? EPOLLOUT : 0u);
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i].get() == &conn) {
+        ev.data.u64 = i;
+        break;
+      }
+    }
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.sock.fd(), &ev);
+  }
+
+  void fail_conn(Conn& conn) {
+    totals_.dropped.fetch_add(conn.pending.size(), std::memory_order_relaxed);
+    conn.pending.clear();
+    close_conn(conn);
+  }
+
+  void close_conn(Conn& conn) {
+    if (conn.closed) return;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.sock.fd(), nullptr);
+    conn.sock.reset();
+    conn.closed = true;
+  }
+
+  const LoadConfig& config_;
+  const RequestPools& pools_;
+  LoadTotals& totals_;
+  int epoll_fd_ = -1;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::string fetch_scratch_;
+};
+
+/// Lifts RLIMIT_NOFILE to cover `fds` descriptors (client + in-process
+/// server sides both count).
+void raise_fd_limit(std::size_t fds) {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  const rlim_t needed = static_cast<rlim_t>(fds);
+  if (limit.rlim_cur >= needed) return;
+  limit.rlim_cur = needed > limit.rlim_max ? limit.rlim_max : needed;
+  ::setrlimit(RLIMIT_NOFILE, &limit);
+}
+
+struct LoadReport {
+  double elapsed_s = 0;
+  std::size_t connected = 0;
+};
+
+LoadReport run_load(const LoadConfig& config, const RequestPools& pools,
+                    LoadTotals& totals) {
+  std::size_t threads = config.threads;
+  if (threads == 0) {
+    threads = (config.connections + 63) / 64;
+    const std::size_t cores = std::thread::hardware_concurrency();
+    if (cores != 0 && threads > cores) threads = cores;
+    if (threads > 8) threads = 8;
+    if (threads == 0) threads = 1;
+  }
+
+  std::vector<std::unique_ptr<ClientShard>> shards;
+  for (std::size_t t = 0; t < threads; ++t) {
+    shards.push_back(std::make_unique<ClientShard>(config, pools, totals));
+  }
+  LoadReport report;
+  for (std::size_t c = 0; c < config.connections; ++c) {
+    shards[c % threads]->add_connection(c);
+  }
+  for (const auto& shard : shards) report.connected += shard->connected();
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      start + std::chrono::milliseconds(static_cast<long>(config.duration_s * 1000));
+  const Clock::time_point force_exit = deadline + std::chrono::seconds(10);
+  std::vector<std::thread> workers;
+  for (auto& shard : shards) {
+    workers.emplace_back([&shard, deadline, force_exit] {
+      shard->run(deadline, force_exit);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  report.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return report;
+}
+
+void write_json(const std::string& path, const LoadConfig& config,
+                const LoadTotals& totals, const LoadReport& report,
+                const net::ServerStats* server_stats) {
+  std::ofstream out(path);
+  const double rps =
+      report.elapsed_s > 0
+          ? static_cast<double>(totals.responses.load()) / report.elapsed_s
+          : 0.0;
+  out << "[\n  {\"name\": \"net/closed_loop/" << config.connections << "\""
+      << ", \"connections\": " << config.connections
+      << ", \"connected\": " << report.connected
+      << ", \"pipeline\": " << config.pipeline
+      << ", \"duration_s\": " << report.elapsed_s
+      << ", \"requests\": " << totals.requests.load()
+      << ", \"responses\": " << totals.responses.load()
+      << ", \"ok\": " << totals.ok.load()
+      << ", \"errors\": " << totals.errors.load()
+      << ", \"overloaded\": " << totals.overloaded.load()
+      << ", \"draining\": " << totals.draining.load()
+      << ", \"mangled\": " << totals.mangled.load()
+      << ", \"dropped\": " << totals.dropped.load()
+      << ", \"writes\": " << totals.writes.load()
+      << ", \"responses_per_s\": " << rps
+      << ", \"p50_us\": " << totals.latency.percentile_micros(0.50)
+      << ", \"p99_us\": " << totals.latency.percentile_micros(0.99)
+      << ", \"p999_us\": " << totals.latency.percentile_micros(0.999)
+      << ", \"mean_us\": " << totals.latency.mean_micros()
+      << ", \"max_us\": " << totals.latency.max_micros();
+  if (server_stats != nullptr) {
+    out << ", \"server_frames_in\": " << server_stats->frames_in.load()
+        << ", \"server_protocol_errors\": " << server_stats->protocol_errors.load()
+        << ", \"server_read_pauses\": " << server_stats->read_pauses.load()
+        << ", \"server_write_pauses\": " << server_stats->write_pauses.load()
+        << ", \"server_dropped_responses\": " << server_stats->dropped_responses.load();
+  }
+  out << "}\n]\n";
+}
+
+void print_summary(const LoadTotals& totals, const LoadReport& report) {
+  const double rps =
+      report.elapsed_s > 0
+          ? static_cast<double>(totals.responses.load()) / report.elapsed_s
+          : 0.0;
+  std::printf(
+      "connections=%zu elapsed=%.2fs requests=%llu responses=%llu ok=%llu "
+      "errors=%llu (overloaded=%llu draining=%llu) mangled=%llu dropped=%llu "
+      "writes=%llu\n"
+      "throughput=%.0f resp/s latency p50=%lluus p99=%lluus p999=%lluus "
+      "mean=%lluus max=%lluus\n",
+      report.connected, report.elapsed_s,
+      static_cast<unsigned long long>(totals.requests.load()),
+      static_cast<unsigned long long>(totals.responses.load()),
+      static_cast<unsigned long long>(totals.ok.load()),
+      static_cast<unsigned long long>(totals.errors.load()),
+      static_cast<unsigned long long>(totals.overloaded.load()),
+      static_cast<unsigned long long>(totals.draining.load()),
+      static_cast<unsigned long long>(totals.mangled.load()),
+      static_cast<unsigned long long>(totals.dropped.load()),
+      static_cast<unsigned long long>(totals.writes.load()), rps,
+      static_cast<unsigned long long>(totals.latency.percentile_micros(0.50)),
+      static_cast<unsigned long long>(totals.latency.percentile_micros(0.99)),
+      static_cast<unsigned long long>(totals.latency.percentile_micros(0.999)),
+      static_cast<unsigned long long>(totals.latency.mean_micros()),
+      static_cast<unsigned long long>(totals.latency.max_micros()));
+}
+
+/// --gate: in-process server + full-scale load + hard pass/fail checks.
+int run_gate(LoadConfig config) {
+  constexpr std::size_t kPreload = 200;
+
+  xml::Schema schema = workload::lead_schema();
+  core::CatalogConfig catalog_config;
+  catalog_config.shred.auto_define_dynamic = true;
+  core::MetadataCatalog catalog(schema, workload::lead_annotations(), catalog_config);
+  workload::DocumentGenerator generator;
+  for (std::size_t i = 0; i < kPreload; ++i) {
+    catalog.ingest(generator.generate(i), "preload-" + std::to_string(i), "gate");
+  }
+
+  core::DispatcherConfig dispatch;
+  dispatch.workers = 4;
+  dispatch.max_queue = 256;
+  core::ServiceDispatcher dispatcher(catalog, dispatch);
+
+  net::ServerConfig server_config;
+  server_config.event_threads = 2;
+  net::CatalogServer server(dispatcher, server_config);
+  server.start();
+
+  config.host = "127.0.0.1";
+  config.port = server.port();
+  config.fetch_max = kPreload;
+  raise_fd_limit(config.connections * 2 + 128);
+
+  const RequestPools pools = build_pools();
+  LoadTotals totals;
+  const LoadReport report = run_load(config, pools, totals);
+  server.drain();
+
+  print_summary(totals, report);
+  const net::ServerStats& stats = server.stats();
+  std::printf("server: frames_in=%llu protocol_errors=%llu read_pauses=%llu "
+              "write_pauses=%llu dropped_responses=%llu\n",
+              static_cast<unsigned long long>(stats.frames_in.load()),
+              static_cast<unsigned long long>(stats.protocol_errors.load()),
+              static_cast<unsigned long long>(stats.read_pauses.load()),
+              static_cast<unsigned long long>(stats.write_pauses.load()),
+              static_cast<unsigned long long>(stats.dropped_responses.load()));
+  if (config.json_path.empty()) config.json_path = "BENCH_net.json";
+  write_json(config.json_path, config, totals, report, &stats);
+
+  bool pass = true;
+  const auto fail = [&pass](const char* what) {
+    std::printf("GATE FAIL: %s\n", what);
+    pass = false;
+  };
+  if (report.connected != config.connections) fail("not every connection established");
+  if (totals.responses.load() != totals.requests.load()) {
+    fail("responses != requests");
+  }
+  if (totals.mangled.load() != 0) fail("mangled frames");
+  if (totals.dropped.load() != 0) fail("dropped requests");
+  if (totals.errors.load() != 0) fail("error responses (saturation must be backpressure, not errors)");
+  if (totals.writes.load() == 0) fail("no live-writer traffic");
+  if (stats.protocol_errors.load() != 0) fail("server-side protocol errors");
+  if (stats.dropped_responses.load() != 0) fail("server dropped responses");
+  if (totals.responses.load() == 0) fail("no traffic at all");
+  std::printf("GATE %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: catalog_load [--host H] [--port P] [--connections N]\n"
+               "                    [--threads N] [--duration SECONDS] [--pipeline N]\n"
+               "                    [--writer-every N] [--fetch-max N] [--json[=path]]\n"
+               "       bench_net --gate [--connections N] [--duration SECONDS] ...\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadConfig config;
+  bool saw_connections = false;
+  bool saw_duration = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      config.host = value();
+    } else if (arg == "--port") {
+      config.port = static_cast<std::uint16_t>(std::atoi(value().c_str()));
+    } else if (arg == "--connections") {
+      config.connections = static_cast<std::size_t>(std::atol(value().c_str()));
+      saw_connections = true;
+    } else if (arg == "--threads") {
+      config.threads = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--duration") {
+      config.duration_s = std::atof(value().c_str());
+      saw_duration = true;
+    } else if (arg == "--pipeline") {
+      config.pipeline = static_cast<std::size_t>(std::atol(value().c_str()));
+      if (config.pipeline == 0) config.pipeline = 1;
+    } else if (arg == "--writer-every") {
+      config.writer_every = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--fetch-max") {
+      config.fetch_max = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--json") {
+      config.json_path = "BENCH_net.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      config.json_path = arg.substr(7);
+    } else if (arg == "--gate") {
+      config.gate = true;
+    } else {
+      usage();
+    }
+  }
+
+  if (config.gate) {
+    if (!saw_connections) config.connections = 512;
+    if (!saw_duration) config.duration_s = 3.0;
+    return run_gate(config);
+  }
+
+  raise_fd_limit(config.connections + 128);
+  const RequestPools pools = build_pools();
+  LoadTotals totals;
+  const LoadReport report = run_load(config, pools, totals);
+  print_summary(totals, report);
+  if (!config.json_path.empty()) {
+    write_json(config.json_path, config, totals, report, nullptr);
+  }
+  return totals.mangled.load() == 0 && totals.connect_failures.load() == 0 ? 0 : 1;
+}

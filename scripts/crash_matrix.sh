@@ -13,10 +13,16 @@
 # This is the end-to-end, real-kill(-9) companion to the deterministic
 # FaultFs kill-point matrix in tests/test_recovery.cpp.
 #
-# Usage: scripts/crash_matrix.sh [path/to/catalog_shell]
+# The final round does the same to catalog_server: SIGKILL the network
+# front end while a catalog_load client fleet (live writers included) is
+# ingesting over TCP — the data dir must recover exactly like a shell kill.
+#
+# Usage: scripts/crash_matrix.sh [catalog_shell] [catalog_server] [catalog_load]
 set -u
 
 SHELL_BIN="${1:-build/examples/catalog_shell}"
+SERVER_BIN="${2:-build/examples/catalog_server}"
+LOAD_BIN="${3:-build/bench/catalog_load}"
 DIR="$(mktemp -d "${TMPDIR:-/tmp}/hxrc_crash_matrix.XXXXXX")"
 trap 'rm -rf "$DIR"' EXIT
 
@@ -103,5 +109,33 @@ printf 'checkpoint\ngen 200\nquit\n' | "$SHELL_BIN" --data-dir "$DIR" >/dev/null
 kill_mid_ingest 200000 0.5
 [ "$(recovered_snapshot)" = "yes" ] || fail "post-checkpoint: snapshot not loaded"
 check_recovery "$((LAST_OBJECTS + 200))" "kill@post-checkpoint"
+
+# Round 6: kill -9 the NETWORK front end mid-load. catalog_server shares
+# the durability format with catalog_shell; a hard kill while a socket
+# client fleet (every 2nd connection a writer) is ingesting over TCP must
+# leave the same recoverable data dir — acknowledged objects survive, the
+# count never goes backwards, queries still work.
+if [ -x "$SERVER_BIN" ] && [ -x "$LOAD_BIN" ]; then
+  "$SERVER_BIN" --port 0 --data-dir "$DIR" > "$DIR/server.log" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$DIR/server.log")"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || fail "net: catalog_server never published its port"
+  "$LOAD_BIN" --port "$PORT" --connections 64 --writer-every 2 --duration 30 \
+    >/dev/null 2>&1 &
+  LOAD_PID=$!
+  sleep 1.5
+  kill -9 "$SERVER_PID" 2>/dev/null
+  wait "$SERVER_PID" 2>/dev/null
+  kill "$LOAD_PID" 2>/dev/null
+  wait "$LOAD_PID" 2>/dev/null
+  check_recovery "$LAST_OBJECTS" "kill@net-load"
+else
+  echo "crash_matrix: net round SKIPPED (catalog_server/catalog_load not built)"
+fi
 
 echo "crash_matrix: PASS (final objects=$LAST_OBJECTS)"

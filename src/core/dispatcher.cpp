@@ -9,12 +9,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-std::future<std::string> ready_future(std::string response) {
-  std::promise<std::string> promise;
-  promise.set_value(std::move(response));
-  return promise.get_future();
-}
-
 }  // namespace
 
 ServiceDispatcher::ServiceDispatcher(MetadataCatalog& catalog, DispatcherConfig config)
@@ -30,12 +24,22 @@ int ServiceDispatcher::slot_for(std::string_view type_name) const noexcept {
 }
 
 std::future<std::string> ServiceDispatcher::submit(std::string request_xml) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> result = promise->get_future();
+  submit_async(std::move(request_xml), [promise](std::string response) {
+    promise->set_value(std::move(response));
+  });
+  return result;
+}
+
+void ServiceDispatcher::submit_async(std::string request_xml,
+                                     std::function<void(std::string)> done) {
   if (draining_.load(std::memory_order_acquire)) {
     util::RequestStats& slot = metrics_.at(
         static_cast<std::size_t>(slot_for(peek_request_type(request_xml))));
     slot.rejected.fetch_add(1, std::memory_order_relaxed);
-    return ready_future(
-        error_response(ErrorCode::kDraining, "service is shutting down"));
+    done(error_response(ErrorCode::kDraining, "service is shutting down"));
+    return;
   }
 
   // Admission: a lock-free bounded counter. fetch_add/compare loop instead
@@ -47,9 +51,10 @@ std::future<std::string> ServiceDispatcher::submit(std::string request_xml) {
       util::RequestStats& slot = metrics_.at(
           static_cast<std::size_t>(slot_for(peek_request_type(request_xml))));
       slot.rejected.fetch_add(1, std::memory_order_relaxed);
-      return ready_future(error_response(
+      done(error_response(
           ErrorCode::kOverloaded,
           "admission queue full (" + std::to_string(config_.max_queue) + " pending)"));
+      return;
     }
     if (pending_.compare_exchange_weak(depth, depth + 1, std::memory_order_acq_rel)) {
       break;
@@ -68,7 +73,8 @@ std::future<std::string> ServiceDispatcher::submit(std::string request_xml) {
     deadline = admitted + config_.default_timeout;
   }
 
-  return pool_.submit([this, request = std::move(request_xml), admitted, deadline] {
+  pool_.submit([this, request = std::move(request_xml), admitted, deadline,
+                done = std::move(done)] {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     if (config_.before_execute) config_.before_execute();
 
@@ -103,7 +109,7 @@ std::future<std::string> ServiceDispatcher::submit(std::string request_xml) {
     const auto elapsed =
         std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - admitted);
     slot.latency.record(static_cast<std::uint64_t>(elapsed.count()));
-    return response;
+    done(std::move(response));
   });
 }
 
@@ -112,7 +118,7 @@ void ServiceDispatcher::drain() {
   // store was admitted before the gate closed and is covered by wait_idle;
   // everything after it sees draining_ and is rejected up front, so when
   // wait_idle returns no worker can be touching the catalog.
-  draining_.store(true, std::memory_order_release);
+  begin_drain();
   pool_.wait_idle();
   // Epoch quiescence: every worker has unpinned, so this drives reclamation
   // until no retired snapshot or index generation remains. After drain()

@@ -66,6 +66,13 @@ class ServiceDispatcher {
   /// protocol errors.
   std::future<std::string> submit(std::string request_xml);
 
+  /// Callback form of submit, for callers that must not block on a future
+  /// (the network front end's event loops). `done` is invoked exactly once
+  /// with the serialized <catalogResponse>: on a worker thread for handled
+  /// requests, or synchronously on the calling thread when admission is
+  /// refused (overloaded / draining).
+  void submit_async(std::string request_xml, std::function<void(std::string)> done);
+
   /// Synchronous convenience: submit + wait.
   std::string call(std::string request_xml) { return submit(std::move(request_xml)).get(); }
 
@@ -73,6 +80,13 @@ class ServiceDispatcher {
   std::size_t queue_depth() const noexcept {
     return pending_.load(std::memory_order_acquire);
   }
+
+  /// Closes the admission gate without waiting: later submissions resolve
+  /// to `code="draining"` while already-admitted requests keep executing.
+  /// The network front end calls this on SIGTERM so queued frames are
+  /// answered `draining` while it flushes in-flight responses, then calls
+  /// drain() once the sockets are quiet. Idempotent; draining is permanent.
+  void begin_drain() { draining_.store(true, std::memory_order_release); }
 
   /// Quiesces the dispatcher: stops admitting (later submissions resolve to
   /// `code="draining"`), then blocks until every already-admitted request
@@ -84,6 +98,10 @@ class ServiceDispatcher {
   void drain();
 
   bool draining() const noexcept { return draining_.load(std::memory_order_acquire); }
+
+  /// The admission-queue bound, for the network front end's backpressure
+  /// watermarks (stop reading sockets before submissions start bouncing).
+  std::size_t max_queue() const noexcept { return config_.max_queue; }
 
   const util::MetricsRegistry& metrics() const noexcept { return metrics_; }
   std::size_t workers() const noexcept { return pool_.size(); }

@@ -117,21 +117,22 @@ AttrQuery parse_attr(const xml::Node& node, const std::string& context) {
 }  // namespace
 
 std::string_view error_code_name(ErrorCode code) noexcept {
-  switch (code) {
-    case ErrorCode::kParseError: return "parse_error";
-    case ErrorCode::kUnknownType: return "unknown_type";
-    case ErrorCode::kValidation: return "validation";
-    case ErrorCode::kNotFound: return "not_found";
-    case ErrorCode::kTimeout: return "timeout";
-    case ErrorCode::kOverloaded: return "overloaded";
-    case ErrorCode::kStaleCursor: return "stale_cursor";
-    case ErrorCode::kDraining: return "draining";
+  for (const ErrorCodeName& entry : kErrorCodeNames) {
+    if (entry.code == code) return entry.name;
   }
   return "validation";
 }
 
+std::optional<ErrorCode> error_code_from_name(std::string_view name) noexcept {
+  for (const ErrorCodeName& entry : kErrorCodeNames) {
+    if (entry.name == name) return entry.code;
+  }
+  return std::nullopt;
+}
+
 std::string error_response(ErrorCode code, const std::string& message) {
-  return "<catalogResponse status=\"error\" code=\"" +
+  return "<catalogResponse status=\"error\" protocol=\"" +
+         std::to_string(kProtocolMajor) + "\" code=\"" +
          std::string(error_code_name(code)) + "\"><message>" +
          xml::escape_text(message) + "</message></catalogResponse>";
 }
@@ -161,8 +162,32 @@ std::string_view peek_root_attribute(std::string_view xml, std::string_view name
 }
 
 std::string ok_response(std::uint64_t version, const std::string& payload) {
-  return "<catalogResponse status=\"ok\" version=\"" + std::to_string(version) + "\">" +
-         payload + "</catalogResponse>";
+  return "<catalogResponse status=\"ok\" protocol=\"" + std::to_string(kProtocolMajor) +
+         "\" version=\"" + std::to_string(version) + "\">" + payload +
+         "</catalogResponse>";
+}
+
+/// Enforces the version handshake on a parsed request root. Absent =
+/// v1 (requests predating the attribute); "MAJOR" or "MAJOR.MINOR" with a
+/// foreign major is refused, unknown minors under our major are fine.
+void check_protocol_version(const xml::Node& request) {
+  const std::string_view* declared = request.attribute("version");
+  if (declared == nullptr) return;
+  const std::string_view text = *declared;
+  const std::size_t dot = text.find('.');
+  const auto major = util::parse_int(std::string(text.substr(0, dot)));
+  if (!major || *major < 1 ||
+      (dot != std::string_view::npos &&
+       !util::parse_int(std::string(text.substr(dot + 1))))) {
+    throw ServiceError(ErrorCode::kValidation,
+                       "malformed protocol version '" + std::string(text) + "'");
+  }
+  if (*major != kProtocolMajor) {
+    throw ServiceError(ErrorCode::kUnsupportedVersion,
+                       "protocol version " + std::string(text) +
+                           " not supported (server speaks " +
+                           std::to_string(kProtocolMajor) + ".x)");
+  }
 }
 
 }  // namespace
@@ -247,6 +272,7 @@ std::string CatalogService::handle(std::string_view request_xml, RequestOutcome*
 
 std::string CatalogService::handle_parsed(const xml::Node& request,
                                           RequestOutcome* outcome) {
+  check_protocol_version(request);
   const std::string_view* type = request.attribute("type");
   if (type == nullptr) {
     throw ServiceError(ErrorCode::kParseError, "<catalogRequest> missing type");

@@ -18,10 +18,15 @@
 // Request types: ingest, query, queryIds, fetch, addAttribute, define,
 // delete, stats. Responses:
 //
-//   <catalogResponse status="ok" version="N">...payload...</catalogResponse>
-//   <catalogResponse status="error" code="..."><message>...</message></catalogResponse>
+//   <catalogResponse status="ok" protocol="1" version="N">...</catalogResponse>
+//   <catalogResponse status="error" protocol="1" code="...">
+//     <message>...</message></catalogResponse>
 //
-// `version` is the catalog epoch the request observed. Error responses
+// `protocol` is the wire-protocol major the server speaks (see
+// kProtocolMajor); `version` is the catalog epoch the request observed. A
+// request may declare its own protocol version (version="MAJOR[.MINOR]" on
+// <catalogRequest>) and is refused with code="unsupported_version" when the
+// major differs. Error responses
 // carry a machine-readable `code` from the enumerated set below plus a
 // human-readable <message>. Query/queryIds responses are paginated when the
 // request sets `limit`: they carry a <nextCursor> child while more pages
@@ -32,6 +37,8 @@
 // as a service endpoint must behave.
 #pragma once
 
+#include <iterator>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -43,6 +50,16 @@
 
 namespace hxrc::core {
 
+/// The protocol major version this service speaks. Requests may declare
+/// the version they were written against as version="MAJOR[.MINOR]" on
+/// <catalogRequest>; an absent attribute means v1 (the original schema,
+/// which predates the attribute). A different major is rejected with
+/// code="unsupported_version" — minors are additive and never rejected.
+/// Responses always carry protocol="MAJOR" on <catalogResponse> so clients
+/// can assert the handshake. (`version` on responses is taken: it reports
+/// the catalog epoch the request observed.)
+inline constexpr int kProtocolMajor = 1;
+
 /// Machine-readable error codes carried on error responses.
 enum class ErrorCode {
   kParseError,   // request was not well-formed XML / not a <catalogRequest>
@@ -53,9 +70,40 @@ enum class ErrorCode {
   kOverloaded,   // dispatcher: admission queue full
   kStaleCursor,  // continuation cursor predates a catalog mutation
   kDraining,     // dispatcher: shutting down, no longer admitting
+  kUnsupportedVersion,  // request declared a protocol major we don't speak
 };
 
+/// One row of the ErrorCode ↔ wire-string table.
+struct ErrorCodeName {
+  ErrorCode code;
+  std::string_view name;
+};
+
+/// THE table mapping every ErrorCode to its wire spelling — the single
+/// source of truth shared by the service, the dispatcher, and the network
+/// front end. Adding an ErrorCode means adding a row here (the
+/// static_assert below and the exhaustive round-trip test in
+/// test_service_protocol both fail until the table is complete).
+inline constexpr ErrorCodeName kErrorCodeNames[] = {
+    {ErrorCode::kParseError, "parse_error"},
+    {ErrorCode::kUnknownType, "unknown_type"},
+    {ErrorCode::kValidation, "validation"},
+    {ErrorCode::kNotFound, "not_found"},
+    {ErrorCode::kTimeout, "timeout"},
+    {ErrorCode::kOverloaded, "overloaded"},
+    {ErrorCode::kStaleCursor, "stale_cursor"},
+    {ErrorCode::kDraining, "draining"},
+    {ErrorCode::kUnsupportedVersion, "unsupported_version"},
+};
+
+// kUnsupportedVersion is the last enumerator: one table row per code.
+static_assert(std::size(kErrorCodeNames) ==
+              static_cast<std::size_t>(ErrorCode::kUnsupportedVersion) + 1);
+
 std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// Inverse of error_code_name; nullopt for strings outside the table.
+std::optional<ErrorCode> error_code_from_name(std::string_view name) noexcept;
 
 /// Thrown inside request handlers to produce a coded error response.
 class ServiceError : public std::runtime_error {

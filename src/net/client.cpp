@@ -1,0 +1,84 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hxrc::net {
+
+namespace {
+
+void write_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw SocketError(std::string("write: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+BlockingClient::BlockingClient(const std::string& host, std::uint16_t port)
+    : sock_(connect_tcp(host, port)) {
+  set_nodelay(sock_.fd());
+}
+
+std::uint32_t BlockingClient::send_request(std::string_view body) {
+  const std::uint32_t id = next_id_++;
+  send_frame(FrameType::kRequest, id, body);
+  return id;
+}
+
+void BlockingClient::send_frame(FrameType type, std::uint32_t request_id,
+                                std::string_view body) {
+  std::string wire;
+  append_frame(wire, type, request_id, body);
+  write_all(sock_.fd(), wire);
+}
+
+void BlockingClient::send_raw(std::string_view bytes) {
+  write_all(sock_.fd(), bytes);
+}
+
+Frame BlockingClient::recv_frame() {
+  for (;;) {
+    DecodeResult result = decode_frame(inbuf_, ~std::size_t{0});
+    if (result.status == DecodeStatus::kFrame) {
+      inbuf_.erase(0, result.consumed);
+      return std::move(result.frame);
+    }
+    if (result.status != DecodeStatus::kNeedMore) {
+      throw SocketError("malformed frame from server");
+    }
+    char buffer[16 * 1024];
+    const ssize_t n = ::read(sock_.fd(), buffer, sizeof(buffer));
+    if (n > 0) {
+      inbuf_.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) throw SocketError("connection closed by server");
+    throw SocketError(std::string("read: ") + std::strerror(errno));
+  }
+}
+
+std::string BlockingClient::call(std::string_view body) {
+  const std::uint32_t id = send_request(body);
+  Frame frame = recv_frame();
+  if (frame.request_id != id) {
+    throw SocketError("response id " + std::to_string(frame.request_id) +
+                      " does not match request id " + std::to_string(id));
+  }
+  return std::move(frame.payload);
+}
+
+void BlockingClient::shutdown_write() { ::shutdown(sock_.fd(), SHUT_WR); }
+
+}  // namespace hxrc::net

@@ -1,0 +1,57 @@
+// BlockingClient: a simple synchronous peer for CatalogServer.
+//
+// This is the test/tooling side of the wire protocol — one blocking socket,
+// frames written whole and read whole. The closed-loop load generator uses
+// its own non-blocking machinery (bench/bench_net.cpp); tests and shells
+// want the straightforward thing: call() = one request, one response.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace hxrc::net {
+
+class BlockingClient {
+ public:
+  /// Connects immediately; throws SocketError on failure.
+  BlockingClient(const std::string& host, std::uint16_t port);
+
+  BlockingClient(BlockingClient&&) = default;
+  BlockingClient& operator=(BlockingClient&&) = default;
+
+  /// Frames `body` as a kRequest and writes it fully. Returns the request
+  /// id assigned (monotone per client).
+  std::uint32_t send_request(std::string_view body);
+
+  /// Like send_request but with an explicit frame type/version — for tests
+  /// poking at protocol errors.
+  void send_frame(FrameType type, std::uint32_t request_id, std::string_view body);
+
+  /// Writes raw bytes verbatim (malformed-input tests).
+  void send_raw(std::string_view bytes);
+
+  /// Blocks until one complete frame arrives. Throws SocketError on EOF or
+  /// error mid-frame.
+  Frame recv_frame();
+
+  /// send_request + recv_frame; throws SocketError when the echoed request
+  /// id does not match (callers that pipeline must not use call()).
+  std::string call(std::string_view body);
+
+  /// Half-closes the write side (drain tests: server sees EOF, client can
+  /// still read pending responses).
+  void shutdown_write();
+
+  int fd() const noexcept { return sock_.fd(); }
+
+ private:
+  Socket sock_;
+  std::string inbuf_;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace hxrc::net

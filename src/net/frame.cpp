@@ -1,0 +1,69 @@
+#include "net/frame.hpp"
+
+namespace hxrc::net {
+
+namespace {
+
+void put_u32le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+std::uint32_t get_u32le(const char* bytes) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[3])) << 24;
+}
+
+}  // namespace
+
+void append_frame(std::string& out, FrameType type, std::uint32_t request_id,
+                  std::string_view payload) {
+  out.reserve(out.size() + kFrameHeaderBytes + payload.size());
+  out.push_back(kFrameMagic0);
+  out.push_back(kFrameMagic1);
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>(type));
+  put_u32le(out, request_id);
+  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+}
+
+DecodeResult decode_frame(std::string_view buffer, std::size_t max_payload) {
+  DecodeResult result;
+  if (buffer.size() < 2) {
+    // Not even the magic yet — but reject a wrong first byte immediately so
+    // a non-protocol peer is cut off before it streams a whole "frame".
+    if (!buffer.empty() && buffer[0] != kFrameMagic0) {
+      result.status = DecodeStatus::kBadMagic;
+    }
+    return result;
+  }
+  if (buffer[0] != kFrameMagic0 || buffer[1] != kFrameMagic1) {
+    result.status = DecodeStatus::kBadMagic;
+    return result;
+  }
+  if (buffer.size() < kFrameHeaderBytes) return result;
+
+  const std::uint32_t request_id = get_u32le(buffer.data() + 4);
+  const std::uint32_t length = get_u32le(buffer.data() + 8);
+  result.request_id = request_id;
+  if (length > max_payload) {
+    result.status = DecodeStatus::kTooLarge;
+    return result;
+  }
+  if (buffer.size() < kFrameHeaderBytes + length) return result;
+
+  result.status = DecodeStatus::kFrame;
+  result.frame.version = static_cast<std::uint8_t>(buffer[2]);
+  result.frame.type = static_cast<FrameType>(static_cast<std::uint8_t>(buffer[3]));
+  result.frame.request_id = request_id;
+  result.frame.payload.assign(buffer.substr(kFrameHeaderBytes, length));
+  result.consumed = kFrameHeaderBytes + length;
+  return result;
+}
+
+}  // namespace hxrc::net

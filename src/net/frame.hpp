@@ -1,0 +1,84 @@
+// The framed wire protocol of the catalog server.
+//
+// The in-process service exchanges serialized XML strings; on a TCP stream
+// those need boundaries, correlation, and a version gate. A frame is a
+// fixed 12-byte header followed by the XML body:
+//
+//   offset  size  field
+//   0       1     magic 'H'
+//   1       1     magic 'X'
+//   2       1     protocol major version (kFrameVersion = 1)
+//   3       1     frame type (0 request, 1 response, 2 frame-level error)
+//   4       4     request id, little-endian (echoed on the response)
+//   8       4     payload length, little-endian
+//   12      N     payload: the <catalogRequest>/<catalogResponse> bytes
+//
+// The header layout is fixed for ALL majors by contract — a server that
+// does not speak a frame's major can still decode its boundaries and
+// answer it with a kError frame carrying code="unsupported_version",
+// instead of desynchronizing the stream.
+//
+// Request ids are chosen by the client and echoed verbatim; a client may
+// pipeline many requests and match responses by id, because the server
+// returns responses in COMPLETION order, not submission order (the
+// dispatcher's workers finish independently). kError frames answer frames
+// that never reached the dispatcher (foreign major, oversized payload);
+// their body is a regular <catalogResponse status="error"> so clients have
+// one error vocabulary. A frame-level error that cannot even be attributed
+// to a request (garbled magic) has no id to echo — the server closes the
+// connection instead, since the stream is unrecoverable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hxrc::net {
+
+inline constexpr char kFrameMagic0 = 'H';
+inline constexpr char kFrameMagic1 = 'X';
+/// Wire-framing major version; mirrors core::kProtocolMajor.
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 0,
+  kResponse = 1,
+  /// The frame never reached the service (bad version, oversized payload);
+  /// the payload is still a <catalogResponse status="error">.
+  kError = 2,
+};
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::uint8_t version = kFrameVersion;
+  std::uint32_t request_id = 0;
+  std::string payload;
+};
+
+/// Appends one encoded frame (current version) to `out`.
+void append_frame(std::string& out, FrameType type, std::uint32_t request_id,
+                  std::string_view payload);
+
+enum class DecodeStatus {
+  kNeedMore,  // buffer holds a prefix of a frame; read more bytes
+  kFrame,     // one complete frame decoded
+  kBadMagic,  // stream is not speaking this protocol; unrecoverable
+  kTooLarge,  // header valid but payload exceeds the caller's limit
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  Frame frame;               // valid when status == kFrame
+  std::uint32_t request_id = 0;  // valid for kFrame and kTooLarge (header read)
+  std::size_t consumed = 0;  // bytes to drop from the buffer (kFrame only)
+};
+
+/// Decodes the first frame of `buffer`. Unknown version bytes and unknown
+/// frame types decode successfully (the header layout is version-stable);
+/// the caller decides how to answer them. `max_payload` bounds memory a
+/// peer can make us commit to one frame.
+DecodeResult decode_frame(std::string_view buffer, std::size_t max_payload);
+
+}  // namespace hxrc::net

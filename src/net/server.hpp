@@ -1,0 +1,152 @@
+// CatalogServer: the TCP front end over ServiceDispatcher.
+//
+// The engine stays untouched: the server's only job is to move framed
+// <catalogRequest> bodies from sockets into ServiceDispatcher::submit_async
+// and framed <catalogResponse> bodies back out. The shape is one acceptor
+// thread plus N event-loop threads, each owning an epoll set of
+// connections (a connection is touched only by its owning loop thread;
+// cross-thread traffic — new connections from the acceptor, completed
+// responses from dispatcher workers — arrives through a mutexed inbox
+// drained via an eventfd wake).
+//
+// Per-connection state machine disciplines:
+//
+//  * partial reads/writes — frames are reassembled from whatever read()
+//    returns; unflushed response bytes wait for EPOLLOUT;
+//  * pipelining — a client may have many requests in flight; responses are
+//    delivered in completion order and matched by echoed request id;
+//  * bounded write buffering — when a connection's unflushed output
+//    exceeds max_write_buffer, the server stops READING from it until the
+//    peer drains its socket (a slow reader throttles itself, never our
+//    memory);
+//  * admission backpressure — when the dispatcher queue reaches the high
+//    watermark the loop stops reading from ALL its sockets and stops
+//    submitting parsed frames, resuming at the low watermark. Saturation
+//    shows up to clients as TCP backpressure (their sends stall), not as a
+//    flood of code="overloaded" responses;
+//  * idle timeouts — quiet connections are closed after idle_timeout;
+//  * graceful drain — drain() stops accepting, flips the dispatcher's
+//    admission gate (queued/new frames answer code="draining"), lets
+//    in-flight requests complete and flush, then reuses
+//    ServiceDispatcher::drain() for worker + epoch quiescence. Connections
+//    that never go quiet are cut off after drain_linger.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/dispatcher.hpp"
+#include "net/socket.hpp"
+
+namespace hxrc::net {
+
+struct ServerConfig {
+  /// 0 = kernel-chosen ephemeral port; read the outcome via port().
+  std::uint16_t port = 0;
+  /// Event-loop threads (connections are sharded round-robin across them).
+  std::size_t event_threads = 2;
+  /// Largest request payload a frame may carry.
+  std::size_t max_frame_payload = 16u << 20;
+  /// Per-connection unflushed-output cap; beyond it reads from that
+  /// connection pause until the peer drains.
+  std::size_t max_write_buffer = 4u << 20;
+  /// Close connections idle longer than this; zero = never.
+  std::chrono::milliseconds idle_timeout{0};
+  /// Dispatcher-queue watermarks for read backpressure. Zero = derived
+  /// from the dispatcher: high = max_queue, low = max_queue / 2.
+  std::size_t pause_high_watermark = 0;
+  std::size_t pause_low_watermark = 0;
+  /// How long drain() waits for connections to go quiet before cutting
+  /// them off.
+  std::chrono::milliseconds drain_linger{2000};
+};
+
+/// Monotone counters, written by the server threads with relaxed atomics
+/// and readable at any time.
+struct ServerStats {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  /// Streams cut off for unrecoverable framing (bad magic, non-request
+  /// frame type, oversized payload).
+  std::atomic<std::uint64_t> protocol_errors{0};
+  /// Transitions into dispatcher-backpressure pause (reads off, per loop).
+  std::atomic<std::uint64_t> read_pauses{0};
+  /// Transitions into per-connection write-buffer pause.
+  std::atomic<std::uint64_t> write_pauses{0};
+  std::atomic<std::uint64_t> idle_closes{0};
+  /// Responses whose connection was gone by completion time.
+  std::atomic<std::uint64_t> dropped_responses{0};
+};
+
+class CatalogServer {
+ public:
+  CatalogServer(core::ServiceDispatcher& dispatcher, ServerConfig config = {});
+  ~CatalogServer();
+
+  CatalogServer(const CatalogServer&) = delete;
+  CatalogServer& operator=(const CatalogServer&) = delete;
+
+  /// Binds + listens and spawns the acceptor and event threads. Throws
+  /// SocketError when the port is unavailable.
+  void start();
+
+  /// The bound port (valid after start(); resolves port=0 requests).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Graceful shutdown: stop accepting, answer new frames with
+  /// code="draining", complete + flush in-flight requests, then quiesce
+  /// the dispatcher (ServiceDispatcher::drain()). Blocks until done.
+  /// Idempotent.
+  void drain();
+
+  /// Immediate stop: closes every connection without flushing. Still waits
+  /// for outstanding dispatcher callbacks so no worker touches a dead
+  /// server. Idempotent; the destructor calls it.
+  void shutdown();
+
+  const ServerStats& stats() const noexcept { return stats_; }
+  std::size_t open_connections() const noexcept {
+    return open_connections_.load(std::memory_order_acquire);
+  }
+  bool draining() const noexcept { return draining_.load(std::memory_order_acquire); }
+
+ private:
+  class EventLoop;
+  friend class EventLoop;
+
+  void accept_loop();
+  void join_threads();
+
+  core::ServiceDispatcher& dispatcher_;
+  ServerConfig config_;
+  ServerStats stats_;
+  Socket listen_;
+  std::uint16_t port_ = 0;
+  std::size_t pause_high_ = 0;
+  std::size_t pause_low_ = 0;
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::thread acceptor_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> joined_{false};
+  std::chrono::steady_clock::time_point drain_deadline_{};
+  std::atomic<std::uint64_t> next_conn_{0};
+  std::atomic<std::size_t> open_connections_{0};
+  /// Dispatcher callbacks referencing this server that have not returned
+  /// yet; drain()/shutdown() wait for zero before the loops may die.
+  std::atomic<std::size_t> callbacks_outstanding_{0};
+};
+
+}  // namespace hxrc::net

@@ -1,0 +1,103 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hxrc::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Socket::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_tcp(std::uint16_t port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) throw_errno("socket");
+  const int one = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind(port " + std::to_string(port) + ")");
+  }
+  if (::listen(sock.fd(), backlog) != 0) throw_errno("listen");
+  return sock;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &found);
+  if (rc != 0) {
+    throw SocketError("getaddrinfo(" + host + "): " + ::gai_strerror(rc));
+  }
+  Socket sock;
+  int last_errno = 0;
+  for (const addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    Socket candidate(::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC, 0));
+    if (!candidate.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      sock = std::move(candidate);
+      break;
+    }
+    last_errno = errno;
+  }
+  ::freeaddrinfo(found);
+  if (!sock.valid()) {
+    errno = last_errno;
+    throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return sock;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+}  // namespace hxrc::net

@@ -189,6 +189,74 @@ TEST_F(ProtocolTest, NotFoundCode) {
             "not_found");
 }
 
+// ---- protocol versioning: the wire handshake ----
+
+TEST_F(ProtocolTest, VersionHandshakeAcceptsOurMajor) {
+  // Bare major, major.minor (unknown minors are additive), and absent
+  // (requests predating the attribute are v1) are all served.
+  EXPECT_EQ(code_of(send("<catalogRequest type=\"stats\" version=\"1\"/>")), "");
+  EXPECT_EQ(code_of(send("<catalogRequest type=\"stats\" version=\"1.3\"/>")), "");
+  EXPECT_EQ(code_of(send("<catalogRequest type=\"stats\"/>")), "");
+}
+
+TEST_F(ProtocolTest, EveryResponseCarriesTheProtocolMajor) {
+  for (const char* request :
+       {"<catalogRequest type=\"stats\"/>", "<catalogRequest type=\"bogus\"/>",
+        "<not closed"}) {
+    const xml::Document response = send(request);
+    const std::string_view* protocol = response.root->attribute("protocol");
+    ASSERT_NE(protocol, nullptr) << request;
+    EXPECT_EQ(*protocol, std::to_string(kProtocolMajor)) << request;
+  }
+}
+
+TEST_F(ProtocolTest, UnsupportedVersionCode) {
+  const xml::Document response =
+      send("<catalogRequest type=\"stats\" version=\"2\"/>");
+  EXPECT_EQ(code_of(response), "unsupported_version");
+  EXPECT_NE(response.root->child_text("message").find("server speaks 1.x"),
+            std::string::npos);
+  EXPECT_EQ(code_of(send("<catalogRequest type=\"stats\" version=\"2.0\"/>")),
+            "unsupported_version");
+  // The handshake runs before the type is even considered.
+  EXPECT_EQ(code_of(send("<catalogRequest type=\"bogus\" version=\"3\"/>")),
+            "unsupported_version");
+}
+
+TEST_F(ProtocolTest, MalformedVersionIsValidationNotMismatch) {
+  EXPECT_EQ(code_of(send("<catalogRequest type=\"stats\" version=\"abc\"/>")),
+            "validation");
+  EXPECT_EQ(code_of(send("<catalogRequest type=\"stats\" version=\"1.x\"/>")),
+            "validation");
+  EXPECT_EQ(code_of(send("<catalogRequest type=\"stats\" version=\"0\"/>")),
+            "validation");
+}
+
+// ---- the ErrorCode ↔ wire-string table (single source of truth) ----
+
+TEST(ErrorCodeTable, RoundTripsEveryCode) {
+  // The static_assert in service.hpp pins one row per enumerator; here:
+  // rows are in enum order, and name → code inverts exactly.
+  for (std::size_t i = 0; i < std::size(kErrorCodeNames); ++i) {
+    const ErrorCodeName& row = kErrorCodeNames[i];
+    EXPECT_EQ(static_cast<std::size_t>(row.code), i) << row.name;
+    EXPECT_EQ(error_code_name(row.code), row.name);
+    const std::optional<ErrorCode> back = error_code_from_name(row.name);
+    ASSERT_TRUE(back.has_value()) << row.name;
+    EXPECT_EQ(static_cast<int>(*back), static_cast<int>(row.code)) << row.name;
+  }
+  EXPECT_FALSE(error_code_from_name("not_a_code").has_value());
+  EXPECT_FALSE(error_code_from_name("").has_value());
+}
+
+TEST(ErrorCodeTable, WireResponsesUseTheTableSpelling) {
+  for (const ErrorCodeName& row : kErrorCodeNames) {
+    const xml::Document response = xml::parse(error_response(row.code, "boom"));
+    EXPECT_EQ(*response.root->attribute("status"), "error");
+    EXPECT_EQ(*response.root->attribute("code"), row.name);
+  }
+}
+
 // ---- pagination ----
 
 TEST_F(ProtocolTest, PaginatedQueryIdsWalksAllPagesInOrder) {
