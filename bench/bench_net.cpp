@@ -27,6 +27,7 @@
 //     backpressure, not error responses). Writes BENCH_net.json.
 #include <sys/epoll.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -232,8 +233,10 @@ class ClientShard {
 
   void flush(Conn& conn) {
     while (conn.outpos < conn.outbuf.size()) {
-      const ssize_t n = ::write(conn.sock.fd(), conn.outbuf.data() + conn.outpos,
-                                conn.outbuf.size() - conn.outpos);
+      // MSG_NOSIGNAL: a server-side close mid-send must fail this
+      // connection, not SIGPIPE the whole load generator.
+      const ssize_t n = ::send(conn.sock.fd(), conn.outbuf.data() + conn.outpos,
+                               conn.outbuf.size() - conn.outpos, MSG_NOSIGNAL);
       if (n > 0) {
         conn.outpos += static_cast<std::size_t>(n);
         continue;

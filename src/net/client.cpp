@@ -13,13 +13,21 @@ namespace {
 void write_all(int fd, std::string_view bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    // MSG_NOSIGNAL: a server that closed the connection must raise EPIPE,
+    // not kill the client process with SIGPIPE.
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
-    throw SocketError(std::string("write: ") + std::strerror(errno));
+    if (n == 0) {
+      // Shouldn't happen for a nonzero count on a socket; errno is stale
+      // here, so don't report it.
+      throw SocketError("send: wrote zero bytes");
+    }
+    if (errno == EINTR) continue;
+    throw SocketError(std::string("send: ") + std::strerror(errno));
   }
 }
 

@@ -55,6 +55,9 @@ class CatalogServer::EventLoop {
   }
 
   ~EventLoop() {
+    // By destruction time the acceptor and dispatcher callbacks are joined
+    // out, but their final posts may have landed after run() returned.
+    discard_inbox();
     ::close(wake_fd_);
     ::close(epoll_fd_);
   }
@@ -175,6 +178,7 @@ class CatalogServer::EventLoop {
       if (draining && sweep_drain()) break;
     }
     close_all();
+    discard_inbox();  // kNewConnection ops hold raw fds; don't leak them
   }
 
   /// Dispatcher-queue backpressure with hysteresis: pause reads at the
@@ -316,8 +320,9 @@ class CatalogServer::EventLoop {
         server_.stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
         conn.close_after_flush = true;
         update_interest(conn);
-        flush_writes(conn);
-        return false;
+        const std::uint64_t id = conn.id;
+        flush_writes(conn);  // may destroy conn (write error, quiet close)
+        return conns_.count(id) != 0;
       }
 
       conn.inpos += result.consumed;
@@ -366,8 +371,10 @@ class CatalogServer::EventLoop {
 
   void flush_writes(Connection& conn) {
     while (conn.outpos < conn.outbuf.size()) {
-      const ssize_t n = ::write(conn.sock.fd(), conn.outbuf.data() + conn.outpos,
-                                conn.outbuf.size() - conn.outpos);
+      // MSG_NOSIGNAL: a peer that resets mid-flush must surface as EPIPE
+      // here, not as a process-killing SIGPIPE.
+      const ssize_t n = ::send(conn.sock.fd(), conn.outbuf.data() + conn.outpos,
+                               conn.outbuf.size() - conn.outpos, MSG_NOSIGNAL);
       if (n > 0) {
         conn.outpos += static_cast<std::size_t>(n);
         server_.stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
@@ -463,7 +470,9 @@ class CatalogServer::EventLoop {
       ++it;
       maybe_close_quiet(conn);
     }
-    if (Clock::now() >= server_.drain_deadline_) {
+    const Clock::time_point deadline{Clock::duration{
+        server_.drain_deadline_.load(std::memory_order_acquire)}};
+    if (Clock::now() >= deadline) {
       for (auto it = conns_.begin(); it != conns_.end();) {
         Connection& conn = *it->second;
         ++it;
@@ -478,6 +487,24 @@ class CatalogServer::EventLoop {
       Connection& conn = *it->second;
       ++it;
       close_connection(conn);
+    }
+  }
+
+  /// Drops every queued op without processing it: pending connections are
+  /// closed, pending responses counted as dropped. Used once the loop has
+  /// stopped serving.
+  void discard_inbox() {
+    std::vector<Op> batch;
+    {
+      std::lock_guard lock(mutex_);
+      batch.swap(inbox_);
+    }
+    for (const Op& op : batch) {
+      if (op.kind == Op::kNewConnection) {
+        if (op.fd >= 0) ::close(op.fd);
+      } else {
+        server_.stats_.dropped_responses.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
 
@@ -572,8 +599,14 @@ void CatalogServer::join_threads() {
 
 void CatalogServer::drain() {
   if (!started_.load(std::memory_order_acquire)) return;
+  // Deadline first, flag second: the loops read the deadline only after an
+  // acquire load of draining_, so this release store is what makes it
+  // visible to them. (Concurrent drain() calls may both store; drain is
+  // idempotent and the later deadline differs by scheduling noise only.)
+  drain_deadline_.store(
+      (Clock::now() + config_.drain_linger).time_since_epoch().count(),
+      std::memory_order_release);
   if (!draining_.exchange(true)) {
-    drain_deadline_ = Clock::now() + config_.drain_linger;
     // Queued and future frames bounce off the dispatcher's admission gate
     // as code="draining" while the loops flush in-flight responses.
     dispatcher_.begin_drain();

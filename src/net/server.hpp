@@ -141,7 +141,10 @@ class CatalogServer {
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> joined_{false};
-  std::chrono::steady_clock::time_point drain_deadline_{};
+  /// Drain cutoff as steady_clock ticks since epoch. Published (release)
+  /// before draining_ flips so an event loop that observes draining_ never
+  /// reads a zero deadline and force-closes everything immediately.
+  std::atomic<std::chrono::steady_clock::duration::rep> drain_deadline_{0};
   std::atomic<std::uint64_t> next_conn_{0};
   std::atomic<std::size_t> open_connections_{0};
   /// Dispatcher callbacks referencing this server that have not returned
