@@ -1,0 +1,281 @@
+// bench_cache — repeated-query closed loop measuring the snapshot-keyed
+// query cache through the full TCP front end.
+//
+// Two in-process servers run the IDENTICAL preloaded catalog and the
+// identical read-only request mix (repeated queries + fetches; read-only so
+// response bytes cannot legitimately differ between passes):
+//
+//   cold: cache disabled — every request runs the full parse → engine →
+//         serialize pipeline on a dispatcher worker;
+//   warm: cache enabled — one warmup pass fills the L2 segment, then the
+//         measured pass is served from cached buffers (mostly inline on the
+//         server's event loops, without even entering the dispatcher).
+//
+// Byte-identity is validated in-bench: for every distinct request the cold
+// response, the warm first response, and the warm cached response must be
+// the same bytes. With --gate (the CI cache-smoke job) the run fails unless
+//   * warm p50 <= 0.2 x cold p50 (a cache that is not ~5x faster at the
+//     median is not doing its job),
+//   * L2 hit rate >= 90% over the measured pass,
+//   * every byte-identity check passed.
+// Writes BENCH_cache.json (override with --json=path).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.hpp"
+#include "core/dispatcher.hpp"
+#include "core/service.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "util/metrics.hpp"
+#include "workload/generator.hpp"
+#include "workload/lead_schema.hpp"
+#include "workload/query_gen.hpp"
+
+namespace {
+
+using namespace hxrc;
+using Clock = std::chrono::steady_clock;
+
+struct BenchConfig {
+  std::size_t preload = 200;
+  std::size_t distinct_queries = 32;
+  std::size_t distinct_fetches = 16;
+  std::size_t clients = 4;
+  std::size_t requests_per_client = 2000;
+  std::string json_path = "BENCH_cache.json";
+  bool gate = false;
+};
+
+/// One server over one catalog; cache on or off is the only variable.
+struct Instance {
+  std::unique_ptr<core::MetadataCatalog> catalog;
+  std::unique_ptr<core::ServiceDispatcher> dispatcher;
+  std::unique_ptr<net::CatalogServer> server;
+};
+
+Instance start_instance(const BenchConfig& config, bool cache_enabled) {
+  static xml::Schema schema = workload::lead_schema();
+  core::CatalogConfig catalog_config;
+  catalog_config.shred.auto_define_dynamic = true;
+  catalog_config.cache.enabled = cache_enabled;
+
+  Instance inst;
+  inst.catalog = std::make_unique<core::MetadataCatalog>(
+      schema, workload::lead_annotations(), catalog_config);
+  workload::DocumentGenerator generator;
+  for (std::size_t i = 0; i < config.preload; ++i) {
+    inst.catalog->ingest(generator.generate(i), "preload-" + std::to_string(i), "bench");
+  }
+
+  core::DispatcherConfig dispatch;
+  dispatch.workers = 4;
+  inst.dispatcher = std::make_unique<core::ServiceDispatcher>(*inst.catalog, dispatch);
+
+  net::ServerConfig server_config;
+  server_config.event_threads = 2;
+  inst.server = std::make_unique<net::CatalogServer>(*inst.dispatcher, server_config);
+  inst.catalog->set_server_pauses(&inst.server->stats().pauses);
+  inst.server->start();
+  return inst;
+}
+
+std::vector<std::string> build_requests(const BenchConfig& config) {
+  std::vector<std::string> requests;
+  workload::QueryGenerator query_gen;
+  for (std::uint64_t q = 0; q < config.distinct_queries; ++q) {
+    requests.push_back(core::query_to_xml(query_gen.generate(q)));
+  }
+  for (std::size_t f = 0; f < config.distinct_fetches; ++f) {
+    requests.push_back("<catalogRequest type=\"fetch\" version=\"1\" objectID=\"" +
+                       std::to_string(f % config.preload) + "\"/>");
+  }
+  return requests;
+}
+
+struct PhaseResult {
+  std::uint64_t responses = 0;
+  std::uint64_t errors = 0;
+  double elapsed_s = 0;
+  util::LatencyHistogram latency;
+};
+
+/// Closed loop: each client thread cycles through the shared request pool
+/// until it has issued its quota, recording per-call latency.
+void run_phase(std::uint16_t port, const std::vector<std::string>& requests,
+               const BenchConfig& config, PhaseResult& result) {
+  std::atomic<std::uint64_t> errors{0};
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::BlockingClient client("127.0.0.1", port);
+      for (std::size_t i = 0; i < config.requests_per_client; ++i) {
+        const std::string& request = requests[(c * 13 + i) % requests.size()];
+        const Clock::time_point sent = Clock::now();
+        const std::string response = client.call(request);
+        const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - sent);
+        result.latency.record(static_cast<std::uint64_t>(micros.count()));
+        if (response.find("status=\"ok\"") == std::string::npos) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+  result.responses = config.clients * config.requests_per_client;
+  result.errors = errors.load();
+}
+
+void print_phase(const char* name, const PhaseResult& result) {
+  const double rps = result.elapsed_s > 0
+                         ? static_cast<double>(result.responses) / result.elapsed_s
+                         : 0.0;
+  std::printf("%s: responses=%llu errors=%llu elapsed=%.2fs throughput=%.0f resp/s "
+              "p50=%lluus p99=%lluus mean=%lluus\n",
+              name, static_cast<unsigned long long>(result.responses),
+              static_cast<unsigned long long>(result.errors), result.elapsed_s, rps,
+              static_cast<unsigned long long>(result.latency.percentile_micros(0.50)),
+              static_cast<unsigned long long>(result.latency.percentile_micros(0.99)),
+              static_cast<unsigned long long>(result.latency.mean_micros()));
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: bench_cache [--gate] [--clients N] [--requests N]\n"
+               "                   [--preload N] [--json=path]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--gate") {
+      config.gate = true;
+    } else if (arg == "--clients") {
+      config.clients = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--requests") {
+      config.requests_per_client = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--preload") {
+      config.preload = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      config.json_path = arg.substr(7);
+    } else {
+      usage();
+    }
+  }
+
+  const std::vector<std::string> requests = build_requests(config);
+
+  Instance cold = start_instance(config, /*cache_enabled=*/false);
+  Instance warm = start_instance(config, /*cache_enabled=*/true);
+
+  // Byte-identity oracle: per distinct request, cold response == warm first
+  // response (cache miss + insert) == warm second response (cache hit).
+  std::size_t identity_failures = 0;
+  {
+    net::BlockingClient cold_client("127.0.0.1", cold.server->port());
+    net::BlockingClient warm_client("127.0.0.1", warm.server->port());
+    for (const std::string& request : requests) {
+      const std::string oracle = cold_client.call(request);
+      const std::string miss = warm_client.call(request);
+      const std::string hit = warm_client.call(request);
+      if (miss != oracle || hit != oracle) {
+        ++identity_failures;
+        std::printf("BYTE MISMATCH for request: %.80s...\n", request.c_str());
+      }
+    }
+  }
+
+  // Measured passes. The warm instance is already warmed by the identity
+  // sweep (every distinct request inserted); measure steady state.
+  PhaseResult cold_result;
+  run_phase(cold.server->port(), requests, config, cold_result);
+  PhaseResult warm_result;
+  run_phase(warm.server->port(), requests, config, warm_result);
+
+  print_phase("cold (cache off)", cold_result);
+  print_phase("warm (cache on) ", warm_result);
+
+  const util::CacheMetrics& cache = warm.catalog->cache_metrics();
+  const std::uint64_t l2_hits = cache.l2.hits.load();
+  const std::uint64_t l2_misses = cache.l2.misses.load();
+  const double hit_rate =
+      l2_hits + l2_misses > 0
+          ? static_cast<double>(l2_hits) / static_cast<double>(l2_hits + l2_misses)
+          : 0.0;
+  std::printf("cache: l2_hits=%llu l2_misses=%llu hit_rate=%.3f inline_served=%llu "
+              "l1_hits=%llu bypass=%llu\n",
+              static_cast<unsigned long long>(l2_hits),
+              static_cast<unsigned long long>(l2_misses), hit_rate,
+              static_cast<unsigned long long>(cache.inline_served.load()),
+              static_cast<unsigned long long>(cache.l1.hits.load()),
+              static_cast<unsigned long long>(cache.bypass.load()));
+
+  const std::uint64_t cold_p50 =
+      std::max<std::uint64_t>(1, cold_result.latency.percentile_micros(0.50));
+  const std::uint64_t warm_p50 = warm_result.latency.percentile_micros(0.50);
+  const double speedup = static_cast<double>(cold_p50) /
+                         static_cast<double>(std::max<std::uint64_t>(1, warm_p50));
+  std::printf("p50 speedup: %.1fx (cold=%lluus warm=%lluus)\n", speedup,
+              static_cast<unsigned long long>(cold_p50),
+              static_cast<unsigned long long>(warm_p50));
+
+  {
+    std::ofstream out(config.json_path);
+    out << "[\n  {\"name\": \"cache/closed_loop/" << config.clients << "x"
+        << config.requests_per_client << "\""
+        << ", \"distinct_requests\": " << requests.size()
+        << ", \"cold_responses\": " << cold_result.responses
+        << ", \"cold_p50_us\": " << cold_result.latency.percentile_micros(0.50)
+        << ", \"cold_p99_us\": " << cold_result.latency.percentile_micros(0.99)
+        << ", \"cold_mean_us\": " << cold_result.latency.mean_micros()
+        << ", \"warm_responses\": " << warm_result.responses
+        << ", \"warm_p50_us\": " << warm_result.latency.percentile_micros(0.50)
+        << ", \"warm_p99_us\": " << warm_result.latency.percentile_micros(0.99)
+        << ", \"warm_mean_us\": " << warm_result.latency.mean_micros()
+        << ", \"p50_speedup\": " << speedup
+        << ", \"l2_hits\": " << l2_hits
+        << ", \"l2_misses\": " << l2_misses
+        << ", \"hit_rate\": " << hit_rate
+        << ", \"inline_served\": " << cache.inline_served.load()
+        << ", \"l1_hits\": " << cache.l1.hits.load()
+        << ", \"identity_failures\": " << identity_failures
+        << "}\n]\n";
+  }
+
+  warm.server->drain();
+  cold.server->drain();
+
+  if (!config.gate) return identity_failures == 0 ? 0 : 1;
+
+  bool pass = true;
+  const auto fail = [&pass](const char* what) {
+    std::printf("GATE FAIL: %s\n", what);
+    pass = false;
+  };
+  if (identity_failures != 0) fail("cached responses not byte-identical");
+  if (cold_result.errors != 0 || warm_result.errors != 0) fail("error responses");
+  if (warm_p50 > cold_p50 / 5) fail("warm p50 > 0.2x cold p50");
+  if (hit_rate < 0.90) fail("L2 hit rate below 90%");
+  if (cache.inline_served.load() == 0) fail("no responses served inline on event loops");
+  std::printf("GATE %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

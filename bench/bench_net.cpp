@@ -439,8 +439,8 @@ void write_json(const std::string& path, const LoadConfig& config,
   if (server_stats != nullptr) {
     out << ", \"server_frames_in\": " << server_stats->frames_in.load()
         << ", \"server_protocol_errors\": " << server_stats->protocol_errors.load()
-        << ", \"server_read_pauses\": " << server_stats->read_pauses.load()
-        << ", \"server_write_pauses\": " << server_stats->write_pauses.load()
+        << ", \"server_read_pauses\": " << server_stats->pauses.read_pauses.load()
+        << ", \"server_write_pauses\": " << server_stats->pauses.write_pauses.load()
         << ", \"server_dropped_responses\": " << server_stats->dropped_responses.load();
   }
   out << "}\n]\n";
@@ -513,8 +513,8 @@ int run_gate(LoadConfig config) {
               "write_pauses=%llu dropped_responses=%llu\n",
               static_cast<unsigned long long>(stats.frames_in.load()),
               static_cast<unsigned long long>(stats.protocol_errors.load()),
-              static_cast<unsigned long long>(stats.read_pauses.load()),
-              static_cast<unsigned long long>(stats.write_pauses.load()),
+              static_cast<unsigned long long>(stats.pauses.read_pauses.load()),
+              static_cast<unsigned long long>(stats.pauses.write_pauses.load()),
               static_cast<unsigned long long>(stats.dropped_responses.load()));
   if (config.json_path.empty()) config.json_path = "BENCH_net.json";
   write_json(config.json_path, config, totals, report, &stats);

@@ -106,6 +106,10 @@ int main(int argc, char** argv) {
 
   core::ServiceDispatcher dispatcher(catalog, dispatch);
   net::CatalogServer server(dispatcher, server_config);
+  // Expose the server's backpressure counters through the catalog's `stats`
+  // request (<server read_pauses=... write_pauses=...>). The server outlives
+  // every request the dispatcher handles, so the pointer stays valid.
+  catalog.set_server_pauses(&server.stats().pauses);
   try {
     server.start();
   } catch (const net::SocketError& e) {

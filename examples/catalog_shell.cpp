@@ -228,6 +228,24 @@ int main(int argc, char** argv) {
             stats.sub_attribute_instances, stats.element_rows, stats.clobs,
             stats.clob_bytes, catalog.registry().attribute_count(),
             catalog.registry().element_count(), catalog.database().approx_bytes());
+        if (catalog.cache_enabled()) {
+          const util::CacheMetrics& cache = catalog.cache_metrics();
+          std::printf(
+              "cache: l1 hits=%llu misses=%llu entries=%llu bytes=%llu | "
+              "l2 hits=%llu misses=%llu entries=%llu bytes=%llu | "
+              "evictions=%llu bypass=%llu\n",
+              static_cast<unsigned long long>(cache.l1.hits.load()),
+              static_cast<unsigned long long>(cache.l1.misses.load()),
+              static_cast<unsigned long long>(cache.l1.entries.load()),
+              static_cast<unsigned long long>(cache.l1.bytes.load()),
+              static_cast<unsigned long long>(cache.l2.hits.load()),
+              static_cast<unsigned long long>(cache.l2.misses.load()),
+              static_cast<unsigned long long>(cache.l2.entries.load()),
+              static_cast<unsigned long long>(cache.l2.bytes.load()),
+              static_cast<unsigned long long>(cache.l1.evictions.load() +
+                                              cache.l2.evictions.load()),
+              static_cast<unsigned long long>(cache.bypass.load()));
+        }
       } else if (command == "checkpoint") {
         if (durable == nullptr) {
           std::printf("no data dir — start with --data-dir <dir>\n");

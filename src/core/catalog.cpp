@@ -82,6 +82,11 @@ void MetadataCatalog::publish_locked() {
   snap->stats = stats_;
   snap->next_object = next_object_.load(std::memory_order_acquire);
   snap->clob_count = db_.clobs().count();
+  if (config_.cache.enabled) {
+    // A fresh, empty per-generation cache segment: invalidation of the old
+    // generation's entries is the retirement below — nothing is scanned.
+    snap->cache = std::make_unique<QueryCacheSegment>(config_.cache, &cache_metrics_);
+  }
 
   const CatalogSnapshot* old = snapshot_.exchange(snap, std::memory_order_acq_rel);
   if (old != nullptr) epochs_.retire(old);
@@ -472,9 +477,22 @@ std::vector<ObjectId> MetadataCatalog::query_at(const CatalogSnapshot& snap,
   QueryContext ctx;
   ctx.registry = snap.defs.get();
   ctx.view = &snap.view;
+  // L1 memo, for plain runs only: plan-info callers want real pipeline
+  // counters, not a memoized set. The cached value is the tombstone-
+  // filtered set, so a hit skips the filter too.
+  std::string key;
+  if (info == nullptr && snap.cache != nullptr) {
+    key = engine_->canonical_key(q, ctx);
+    if (const auto cached = snap.cache->find_ids(key)) return cached->ids;
+  }
   std::vector<ObjectId> hits = engine_->run(q, info, ctx);
   if (!snap.deleted->empty()) {
     std::erase_if(hits, [&snap](ObjectId id) { return snap.deleted->count(id) != 0; });
+  }
+  if (!key.empty()) {
+    auto memo = std::make_shared<CachedIdSet>();
+    memo->ids = hits;
+    snap.cache->insert_ids(std::move(key), std::move(memo));
   }
   return hits;
 }
@@ -513,9 +531,18 @@ bool decode_cursor(std::string_view cursor, std::uint64_t& version, ObjectId& af
 
 QueryPage MetadataCatalog::query_paged(const ObjectQuery& q, QueryPlanInfo* info) const {
   ReadGuard guard(*this);
+  return query_paged_at(guard.snapshot(), q, info);
+}
+
+QueryPage MetadataCatalog::query_paged_at(const CatalogSnapshot& snap,
+                                          const ObjectQuery& q,
+                                          QueryPlanInfo* info) const {
   QueryPage page;
-  page.version = guard.epoch();
-  std::vector<ObjectId> hits = query_at(guard.snapshot(), q, info);
+  page.version = snap.epoch;
+  // Cursor re-entry lands on the L1 memo inside query_at: the full id-set
+  // was cached when page one ran, so later pages slice it without touching
+  // the engine.
+  std::vector<ObjectId> hits = query_at(snap, q, info);
   if (!std::is_sorted(hits.begin(), hits.end())) {
     std::sort(hits.begin(), hits.end());  // defensive: the engine emits ascending
   }

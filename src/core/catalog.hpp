@@ -46,6 +46,7 @@
 #include "core/model.hpp"
 #include "core/partition.hpp"
 #include "core/query.hpp"
+#include "core/query_cache.hpp"
 #include "core/registry.hpp"
 #include "core/response.hpp"
 #include "core/shredder.hpp"
@@ -62,6 +63,9 @@ namespace hxrc::core {
 struct CatalogConfig {
   ShredOptions shred;
   EngineOptions engine;
+  /// Snapshot-keyed query cache (core/query_cache.hpp). Enabled by default;
+  /// each published snapshot owns an empty per-generation segment.
+  CacheConfig cache;
 };
 
 /// A continuation cursor named a catalog version that no longer exists: a
@@ -147,6 +151,11 @@ struct CatalogSnapshot {
   ShredStats stats;
   ObjectId next_object = 0;
   std::size_t clob_count = 0;
+  /// This generation's query-cache segment (nullptr when caching is off).
+  /// Readers reach it only through their pinned snapshot, so an entry can
+  /// never be observed by a reader of a different generation; the segment
+  /// is reclaimed with the snapshot once no reader pins the epoch.
+  std::unique_ptr<QueryCacheSegment> cache;
 };
 
 enum class ObjectState { kUnknown, kLive, kDeleted };
@@ -327,6 +336,14 @@ class MetadataCatalog {
     return durability_metrics_;
   }
 
+  /// Network-backpressure counters rendered by the service `stats` request;
+  /// owned by the server (net::ServerStats), which must outlive the
+  /// catalog's use of them. Wire during single-threaded startup.
+  void set_server_pauses(const util::ServerPauses* pauses) noexcept {
+    server_pauses_ = pauses;
+  }
+  const util::ServerPauses* server_pauses() const noexcept { return server_pauses_; }
+
   // ---- concurrency ----
 
   /// Current catalog version (epoch). Bumped by every mutation; readable
@@ -365,6 +382,12 @@ class MetadataCatalog {
     std::vector<ObjectId> query(const ObjectQuery& q,
                                 QueryPlanInfo* info = nullptr) const {
       return catalog_->query_at(*snap_, q, info);
+    }
+    /// Paginated query against the pinned snapshot: cursor validation, id
+    /// slicing, and the L1 memo all run at one epoch, so the service layer
+    /// can compute a page AND serialize it from the same snapshot.
+    QueryPage query_paged(const ObjectQuery& q) const {
+      return catalog_->query_paged_at(*snap_, q, nullptr);
     }
     /// Tagged-XML response from the pinned snapshot.
     std::string build_response(std::span<const ObjectId> ids) const {
@@ -438,6 +461,14 @@ class MetadataCatalog {
   /// Lock-free to read; see util::IngestMetrics.
   const util::IngestMetrics& ingest_metrics() const noexcept { return ingest_metrics_; }
 
+  /// Query-cache observability: counters aggregated across every snapshot
+  /// generation's segment (hits/misses/inserts/evictions plus resident
+  /// bytes/entries gauges). Lock-free to read; see util::CacheMetrics.
+  const util::CacheMetrics& cache_metrics() const noexcept { return cache_metrics_; }
+  /// Mutable form for the dispatcher's bypass / inline-served accounting.
+  util::CacheMetrics& cache_metrics() noexcept { return cache_metrics_; }
+  bool cache_enabled() const noexcept { return config_.cache.enabled; }
+
  private:
   friend class ReadGuard;
 
@@ -449,8 +480,12 @@ class MetadataCatalog {
   std::string build_response_at(const CatalogSnapshot& snap, std::span<const ObjectId> ids,
                                 const std::vector<OrderId>* orders) const;
   /// Engine run + tombstone filter against one snapshot, ids ascending.
+  /// Plain runs (info == nullptr) go through the snapshot's L1 memo.
   std::vector<ObjectId> query_at(const CatalogSnapshot& snap, const ObjectQuery& q,
                                  QueryPlanInfo* info) const;
+  /// query_paged against one snapshot (see query_paged).
+  QueryPage query_paged_at(const CatalogSnapshot& snap, const ObjectQuery& q,
+                           QueryPlanInfo* info) const;
   void save_impl(std::ostream& out, bool binary) const;
   void bump_version() noexcept {
     version_.fetch_add(1, std::memory_order_acq_rel);
@@ -480,6 +515,10 @@ class MetadataCatalog {
   Partition partition_;
   DefinitionRegistry registry_;
   Thesaurus thesaurus_;
+  /// Declared before epochs_ so it outlives every retired snapshot: a
+  /// reclaimed generation's cache segment drains its resident-byte gauges
+  /// into these counters from its destructor.
+  util::CacheMetrics cache_metrics_;
   /// Declared before db_ so it is destroyed after it: retired index
   /// generations are freed by ~EpochManager with their deleters intact.
   mutable util::EpochManager epochs_;
@@ -508,6 +547,7 @@ class MetadataCatalog {
   std::atomic<std::uint64_t> snapshots_published_{0};
   MutationObserver observer_;
   const util::DurabilityMetrics* durability_metrics_ = nullptr;
+  const util::ServerPauses* server_pauses_ = nullptr;
 };
 
 }  // namespace hxrc::core

@@ -32,8 +32,59 @@ std::future<std::string> ServiceDispatcher::submit(std::string request_xml) {
   return result;
 }
 
+std::shared_ptr<const CachedResponse> ServiceDispatcher::try_cached(
+    std::string_view request_xml) {
+  if (draining_.load(std::memory_order_acquire) || !catalog_.cache_enabled()) {
+    return nullptr;
+  }
+  // Only the read-only types are cacheable; everything else (mutations,
+  // stats, malformed requests) must run through the service. The light
+  // root-tag scan keeps the miss path parse-free.
+  const std::string type = peek_request_type(request_xml);
+  if (type != "query" && type != "queryIds" && type != "fetch") {
+    catalog_.cache_metrics().bypass.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // timeoutMs="0" is the protocol's deterministic already-expired request —
+  // it must produce a timeout response, never a cached success.
+  if (peek_timeout_ms(request_xml) == 0) {
+    catalog_.cache_metrics().bypass.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  const Clock::time_point started = Clock::now();
+  const MetadataCatalog::ReadGuard guard(catalog_);
+  // unique_ptr::get() through the const snapshot still yields a mutable
+  // segment — the cache is internally synchronized (sharded mutexes).
+  QueryCacheSegment* segment = guard.snapshot().cache.get();
+  if (segment == nullptr) return nullptr;
+  std::shared_ptr<const CachedResponse> hit = segment->find_response(request_xml);
+  if (hit == nullptr) return nullptr;
+  // Charge the hit to the same per-type slot a dispatched request would
+  // land in: a cached answer is still a handled request.
+  util::RequestStats& slot = metrics_.at(static_cast<std::size_t>(slot_for(type)));
+  slot.handled.fetch_add(1, std::memory_order_relaxed);
+  if (hit->ok) {
+    slot.ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    slot.errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - started);
+  slot.latency.record(static_cast<std::uint64_t>(elapsed.count()));
+  return hit;
+}
+
 void ServiceDispatcher::submit_async(std::string request_xml,
-                                     std::function<void(std::string)> done) {
+                                     std::function<void(std::string)> done,
+                                     bool probe_cache) {
+  if (auto hit = probe_cache ? try_cached(request_xml) : nullptr) {
+    // Served synchronously on the caller's thread: no admission slot, no
+    // worker hop, no parsing. The body is copied once into the response
+    // string; the epoll front end avoids even that by calling try_cached
+    // itself and framing straight from the shared buffer.
+    done(hit->body);
+    return;
+  }
   if (draining_.load(std::memory_order_acquire)) {
     util::RequestStats& slot = metrics_.at(
         static_cast<std::size_t>(slot_for(peek_request_type(request_xml))));

@@ -30,7 +30,9 @@
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "core/catalog.hpp"
 #include "core/service.hpp"
@@ -70,8 +72,23 @@ class ServiceDispatcher {
   /// (the network front end's event loops). `done` is invoked exactly once
   /// with the serialized <catalogResponse>: on a worker thread for handled
   /// requests, or synchronously on the calling thread when admission is
-  /// refused (overloaded / draining).
-  void submit_async(std::string request_xml, std::function<void(std::string)> done);
+  /// refused (overloaded / draining) or the response is served from the
+  /// L2 cache. `probe_cache = false` skips the built-in try_cached probe —
+  /// for callers (the network front end) that already probed and missed,
+  /// so a miss is not counted twice.
+  void submit_async(std::string request_xml, std::function<void(std::string)> done,
+                    bool probe_cache = true);
+
+  /// L2 probe: answers a read request straight from the current snapshot's
+  /// serialized-response cache, keyed by the raw request bytes — no parsing,
+  /// no admission, no worker hop. Returns nullptr on miss, on non-cacheable
+  /// requests (mutations, stats, timeoutMs="0"), while draining, or when
+  /// the cache is disabled. On a hit the per-type metrics slot is charged
+  /// exactly as a dispatched request would be (handled / ok / errors /
+  /// latency), so `stats` figures stay truthful. The returned buffer is
+  /// immutable and epoch-protected — the network front end writes it to the
+  /// socket without copying into a response string first.
+  std::shared_ptr<const CachedResponse> try_cached(std::string_view request_xml);
 
   /// Synchronous convenience: submit + wait.
   std::string call(std::string request_xml) { return submit(std::move(request_xml)).get(); }
@@ -105,6 +122,10 @@ class ServiceDispatcher {
 
   const util::MetricsRegistry& metrics() const noexcept { return metrics_; }
   std::size_t workers() const noexcept { return pool_.size(); }
+
+  /// The catalog's cache counters — the network front end charges
+  /// inline_served here when it frames a try_cached hit on the event loop.
+  util::CacheMetrics& cache_metrics() noexcept { return catalog_.cache_metrics(); }
 
  private:
   int slot_for(std::string_view type_name) const noexcept;

@@ -510,6 +510,99 @@ std::vector<ObjectId> QueryEngine::run(const ObjectQuery& query,
   return run(query, info, QueryContext{});
 }
 
+namespace {
+
+void append_value_key(std::string& out, const rel::Value& value) {
+  // Type-tagged so "1000" (string) and 1000 (number) never collide — the
+  // predicate compiler treats them differently.
+  switch (value.type()) {
+    case rel::Type::kNull: out += 'n'; return;
+    case rel::Type::kInt: out += 'i'; break;
+    case rel::Type::kDouble: out += 'd'; break;
+    case rel::Type::kString: out += 's'; break;
+  }
+  out += value.to_string();
+}
+
+/// One criterion subtree in normal form. Unresolved names key as
+/// "u:<name>:<source>" — distinct per spelling, and harmlessly so: any
+/// unresolved node makes the whole query return the empty set.
+std::string attr_canonical_key(const DefinitionRegistry& registry,
+                               const Thesaurus* thesaurus, const std::string& user,
+                               const AttrQuery& attr, AttrDefId parent) {
+  const AttributeDef* def = find_attribute_loose(registry, attr.name(), attr.source(),
+                                                 parent, user, thesaurus);
+  std::string out = "a";
+  if (def == nullptr || !def->queryable) {
+    out += "u:" + attr.name() + ":" + attr.source();
+  } else {
+    out += std::to_string(def->id);
+  }
+  const AttrDefId my_def = def == nullptr ? kNoAttr : def->id;
+
+  // Sibling criteria sort lexicographically on their serialized form: the
+  // query model is an unordered conjunction, so differently-ordered
+  // spellings of one query must share a key.
+  std::vector<std::string> parts;
+  parts.reserve(attr.elements().size() + attr.sub_attributes().size());
+  for (const ElementPredicate& pred : attr.elements()) {
+    const ElementDef* elem = def == nullptr
+                                 ? nullptr
+                                 : find_element_loose(registry, pred.name, pred.source,
+                                                      my_def, thesaurus);
+    std::string part = "e";
+    if (elem == nullptr) {
+      part += "u:" + pred.name + ":" + pred.source;
+    } else {
+      part += std::to_string(elem->id);
+    }
+    if (pred.exists_only) {
+      part += '?';
+    } else {
+      part += static_cast<char>('0' + static_cast<int>(pred.op));
+      append_value_key(part, pred.value);
+    }
+    parts.push_back(std::move(part));
+  }
+  for (const AttrQuery& sub : attr.sub_attributes()) {
+    parts.push_back(attr_canonical_key(registry, thesaurus, user, sub, my_def));
+  }
+  std::sort(parts.begin(), parts.end());
+  out += '{';
+  for (const std::string& part : parts) {
+    out += part;
+    out += ';';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string QueryEngine::canonical_key(const ObjectQuery& query,
+                                       const QueryContext& ctx) const {
+  const DefinitionRegistry& registry =
+      ctx.registry != nullptr ? *ctx.registry : registry_;
+  const Thesaurus* thesaurus =
+      ctx.thesaurus != nullptr ? ctx.thesaurus : options_.thesaurus;
+  // The thesaurus is shared live across snapshots (setup-time mutation
+  // only); its size is the expansion fingerprint so a synonym added between
+  // publishes cannot revive a key minted without it.
+  std::string out =
+      "T" + std::to_string(thesaurus == nullptr ? 0 : thesaurus->size()) + "|";
+  std::vector<std::string> parts;
+  parts.reserve(query.attributes().size());
+  for (const AttrQuery& attr : query.attributes()) {
+    parts.push_back(attr_canonical_key(registry, thesaurus, query.user(), attr, kNoAttr));
+  }
+  std::sort(parts.begin(), parts.end());
+  for (const std::string& part : parts) {
+    out += part;
+    out += ';';
+  }
+  return out;
+}
+
 std::vector<ObjectId> QueryEngine::run(const ObjectQuery& query, QueryPlanInfo* info,
                                        const QueryContext& ctx) const {
   const DefinitionRegistry& registry =

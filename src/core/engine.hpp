@@ -107,6 +107,16 @@ class QueryEngine {
   std::vector<ObjectId> run(const ObjectQuery& query, QueryPlanInfo* info,
                             const QueryContext& ctx) const;
 
+  /// Canonical cache key for the query against `ctx`'s frozen registry and
+  /// thesaurus: criteria resolve to interned definition ids through the
+  /// same loose lookup the pipeline uses (so two spellings that resolve to
+  /// one definition share a key, and user-private visibility is captured
+  /// by the resolved ids themselves), sibling criteria are sorted into a
+  /// normal form (query order is immaterial to the result), and the prefix
+  /// carries a thesaurus-expansion fingerprint. limit/cursor are excluded —
+  /// the key names the full id-set, which pagination slices afterwards.
+  std::string canonical_key(const ObjectQuery& query, const QueryContext& ctx) const;
+
  private:
   bool can_fast_path(const QueryShredded& shredded,
                      const DefinitionRegistry& registry) const;

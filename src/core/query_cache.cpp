@@ -1,0 +1,39 @@
+#include "core/query_cache.hpp"
+
+namespace hxrc::core {
+
+namespace {
+
+util::ShardedCacheConfig level_config(std::size_t shards, std::size_t max_entries,
+                                      std::size_t max_bytes) {
+  util::ShardedCacheConfig config;
+  config.shards = shards;
+  config.max_entries = max_entries;
+  config.max_bytes = max_bytes;
+  return config;
+}
+
+}  // namespace
+
+QueryCacheSegment::QueryCacheSegment(const CacheConfig& config,
+                                     util::CacheMetrics* metrics)
+    : l1_(level_config(config.shards, config.l1_max_entries, config.l1_max_bytes),
+          metrics == nullptr ? nullptr : &metrics->l1),
+      l2_(level_config(config.shards, config.l2_max_entries, config.l2_max_bytes),
+          metrics == nullptr ? nullptr : &metrics->l2) {}
+
+void QueryCacheSegment::insert_ids(std::string key,
+                                   std::shared_ptr<const CachedIdSet> ids) {
+  // Accounted at payload size: the ids are the dominant term; the key and
+  // slot overhead ride inside the entry cap.
+  const std::size_t bytes = key.size() + ids->ids.size() * sizeof(ObjectId);
+  l1_.insert(std::move(key), std::move(ids), bytes);
+}
+
+void QueryCacheSegment::insert_response(std::string key,
+                                        std::shared_ptr<const CachedResponse> response) {
+  const std::size_t bytes = key.size() + response->body.size();
+  l2_.insert(std::move(key), std::move(response), bytes);
+}
+
+}  // namespace hxrc::core

@@ -1,0 +1,97 @@
+// The snapshot-keyed two-level query cache (per-generation segment).
+//
+// Grid metadata traffic is read-mostly and repetitive: many clients issue
+// the same discovery queries against a slowly-mutating catalog. Since the
+// MVCC rework every commit publishes one immutable CatalogSnapshot, so a
+// cache keyed by (snapshot generation, canonical query key) is trivially
+// correct — an entry can never go stale because its segment lives and dies
+// with the snapshot that computed it:
+//
+//  * L1 (engine level) memoizes the tombstone-filtered, sorted object-id
+//    set for a canonicalized query key (criteria order normalized, names
+//    interned to resolved definition ids, thesaurus fingerprint included —
+//    see QueryEngine::canonical_key). Pagination re-entry via cursors
+//    slices the memoized set instead of re-running the Fig. 4 pipeline.
+//  * L2 (service level) caches the fully serialized <catalogResponse>
+//    bytes keyed by the raw request bytes — a hot repeated query touches
+//    no engine code and no XML serialization at all; the network front end
+//    copies the cached buffer straight into a connection's write buffer.
+//    Negative results (not_found fetches, zero-hit queries) are cached the
+//    same way.
+//
+// One QueryCacheSegment is owned by each CatalogSnapshot (created in
+// publish_locked). Invalidation is free-by-construction: a new snapshot
+// starts with an empty segment, and the superseded segment is reclaimed
+// through util/epoch.hpp with its snapshot once no reader pins the epoch —
+// readers never lock against writers and writers never scan the cache.
+// Capacity is bounded per shard with second-chance CLOCK eviction
+// (util/sharded_cache.hpp); counters aggregate into one shared
+// util::CacheMetrics that survives generation turnover.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/model.hpp"
+#include "util/metrics.hpp"
+#include "util/sharded_cache.hpp"
+
+namespace hxrc::core {
+
+struct CacheConfig {
+  /// Master switch. Off, no segments are allocated and every probe misses
+  /// without touching a mutex.
+  bool enabled = true;
+  /// Shards per level (rounded up to a power of two).
+  std::size_t shards = 8;
+  /// L1 bounds: memoized id-sets (bytes counted as ids * sizeof(ObjectId)).
+  std::size_t l1_max_entries = 4096;
+  std::size_t l1_max_bytes = 16u << 20;
+  /// L2 bounds: serialized response bytes (key + body).
+  std::size_t l2_max_entries = 4096;
+  std::size_t l2_max_bytes = 64u << 20;
+};
+
+/// L1 value: the full (unpaginated) sorted id-set for a canonical query
+/// key, tombstones of the owning snapshot already applied.
+struct CachedIdSet {
+  std::vector<ObjectId> ids;
+};
+
+/// L2 value: one serialized <catalogResponse> plus the outcome it carried,
+/// so a cache hit can be attributed to the right metrics counters without
+/// re-parsing the body. `error_code` is core::ErrorCode as an int (kept
+/// untyped here to avoid a service.hpp include cycle); valid when !ok.
+struct CachedResponse {
+  std::string body;
+  bool ok = true;
+  int error_code = 0;
+};
+
+/// One snapshot generation's cache: both levels, sharded, bounded.
+class QueryCacheSegment {
+ public:
+  QueryCacheSegment(const CacheConfig& config, util::CacheMetrics* metrics);
+
+  std::shared_ptr<const CachedIdSet> find_ids(std::string_view key) {
+    return l1_.find(key);
+  }
+  void insert_ids(std::string key, std::shared_ptr<const CachedIdSet> ids);
+
+  std::shared_ptr<const CachedResponse> find_response(std::string_view key) {
+    return l2_.find(key);
+  }
+  void insert_response(std::string key, std::shared_ptr<const CachedResponse> response);
+
+  std::size_t l1_entries() const { return l1_.entry_count(); }
+  std::size_t l2_entries() const { return l2_.entry_count(); }
+
+ private:
+  util::ShardedCache<CachedIdSet> l1_;
+  util::ShardedCache<CachedResponse> l2_;
+};
+
+}  // namespace hxrc::core

@@ -1,6 +1,7 @@
 #include "core/service.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/string_util.hpp"
 #include "xml/parser.hpp"
@@ -167,6 +168,20 @@ std::string ok_response(std::uint64_t version, const std::string& payload) {
          "</catalogResponse>";
 }
 
+/// L2 insert: files the serialized response under the raw request bytes in
+/// the segment of the snapshot that computed it. Entries inserted into a
+/// superseded generation are harmless — only readers still pinned at that
+/// epoch can find them.
+void cache_response(const CatalogSnapshot& snap, std::string_view request_xml,
+                    const std::string& response, bool ok, ErrorCode code) {
+  if (snap.cache == nullptr) return;
+  auto value = std::make_shared<CachedResponse>();
+  value->body = response;
+  value->ok = ok;
+  value->error_code = static_cast<int>(code);
+  snap.cache->insert_response(std::string(request_xml), std::move(value));
+}
+
 /// Enforces the version handshake on a parsed request root. Absent =
 /// v1 (requests predating the attribute); "MAJOR" or "MAJOR.MINOR" with a
 /// foreign major is refused, unknown minors under our major are fine.
@@ -252,7 +267,7 @@ std::string CatalogService::handle(std::string_view request_xml, RequestOutcome*
     if (doc.root->name() != "catalogRequest") {
       throw ServiceError(ErrorCode::kParseError, "expected <catalogRequest>");
     }
-    std::string response = handle_parsed(*doc.root, outcome);
+    std::string response = handle_parsed(*doc.root, request_xml, outcome);
     outcome->ok = true;
     return response;
   } catch (const ServiceError& e) {
@@ -271,6 +286,7 @@ std::string CatalogService::handle(std::string_view request_xml, RequestOutcome*
 }
 
 std::string CatalogService::handle_parsed(const xml::Node& request,
+                                          std::string_view request_xml,
                                           RequestOutcome* outcome) {
   check_protocol_version(request);
   const std::string_view* type = request.attribute("type");
@@ -300,7 +316,11 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
 
   if (*type == "query" || *type == "queryIds") {
     const ObjectQuery query = query_from_xml(request);
-    const QueryPage page = catalog_.query_paged(query);
+    // One pinned snapshot for page computation AND serialization, so the L2
+    // entry lands in the segment of the generation that produced it (and the
+    // two can't straddle a concurrent commit).
+    const MetadataCatalog::ReadGuard guard(catalog_);
+    const QueryPage page = guard.query_paged(query);
     std::string payload;
     if (*type == "queryIds") {
       // Ids are ascending (query_paged guarantees it), so identical
@@ -311,12 +331,14 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
       }
       payload += "</objectIDs>";
     } else {
-      payload = catalog_.build_response(page.ids);
+      payload = guard.build_response(page.ids);
     }
     if (!page.next_cursor.empty()) {
       payload += "<nextCursor>" + xml::escape_text(page.next_cursor) + "</nextCursor>";
     }
-    return ok_response(page.version, payload);
+    std::string response = ok_response(page.version, payload);
+    cache_response(guard.snapshot(), request_xml, response, true, ErrorCode::kValidation);
+    return response;
   }
 
   if (*type == "fetch") {
@@ -330,11 +352,18 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
     // two cannot straddle a concurrent delete or ingest.
     const MetadataCatalog::ReadGuard guard(catalog_);
     if (*id < 0 || *id >= guard->next_object || guard->deleted->count(*id) != 0) {
-      throw ServiceError(ErrorCode::kNotFound,
-                         "object " + std::string(*id_text) + " does not exist");
+      const std::string message = "object " + std::string(*id_text) + " does not exist";
+      // Negative caching: the not_found response is a fact about this
+      // snapshot too — repeated probes for a missing id short-circuit.
+      cache_response(guard.snapshot(), request_xml,
+                     error_response(ErrorCode::kNotFound, message), false,
+                     ErrorCode::kNotFound);
+      throw ServiceError(ErrorCode::kNotFound, message);
     }
     const std::vector<ObjectId> ids{*id};
-    return ok_response(guard.epoch(), guard.build_response(ids));
+    std::string response = ok_response(guard.epoch(), guard.build_response(ids));
+    cache_response(guard.snapshot(), request_xml, response, true, ErrorCode::kValidation);
+    return response;
   }
 
   if (*type == "addAttribute") {
@@ -465,6 +494,38 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
                  std::to_string(wal->recovery_micros.load(std::memory_order_relaxed) / 1000) +
                  "\"";
       payload += "/>";
+    }
+    if (catalog_.cache_enabled()) {
+      const util::CacheMetrics& cache = catalog_.cache_metrics();
+      const auto level_attrs = [](const util::CacheLevelMetrics& level) {
+        std::string out;
+        out += " hits=\"" + std::to_string(level.hits.load(std::memory_order_relaxed)) + "\"";
+        out += " misses=\"" + std::to_string(level.misses.load(std::memory_order_relaxed)) +
+               "\"";
+        out += " inserts=\"" + std::to_string(level.inserts.load(std::memory_order_relaxed)) +
+               "\"";
+        out += " evictions=\"" +
+               std::to_string(level.evictions.load(std::memory_order_relaxed)) + "\"";
+        out += " entries=\"" + std::to_string(level.entries.load(std::memory_order_relaxed)) +
+               "\"";
+        out += " bytes=\"" + std::to_string(level.bytes.load(std::memory_order_relaxed)) +
+               "\"";
+        return out;
+      };
+      payload += "<cache bypass=\"" +
+                 std::to_string(cache.bypass.load(std::memory_order_relaxed)) + "\"";
+      payload += " inline_served=\"" +
+                 std::to_string(cache.inline_served.load(std::memory_order_relaxed)) + "\">";
+      payload += "<l1" + level_attrs(cache.l1) + "/>";
+      payload += "<l2" + level_attrs(cache.l2) + "/>";
+      payload += "</cache>";
+    }
+    if (const util::ServerPauses* pauses = catalog_.server_pauses()) {
+      payload += "<server read_pauses=\"" +
+                 std::to_string(pauses->read_pauses.load(std::memory_order_relaxed)) + "\"";
+      payload += " write_pauses=\"" +
+                 std::to_string(pauses->write_pauses.load(std::memory_order_relaxed)) +
+                 "\"/>";
     }
     if (metrics_ == nullptr) {
       payload += "</stats>";

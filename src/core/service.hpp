@@ -164,7 +164,13 @@ class CatalogService {
   std::string handle(std::string_view request_xml, RequestOutcome* outcome = nullptr);
 
  private:
-  std::string handle_parsed(const xml::Node& request, RequestOutcome* outcome);
+  /// `request_xml` rides along as the L2 cache key: read-only handlers
+  /// (query/queryIds/fetch) insert their serialized response into the
+  /// pinned snapshot's cache segment keyed by the raw request bytes, so an
+  /// identical request can later be answered without parsing anything
+  /// (ServiceDispatcher::try_cached probes before dispatch).
+  std::string handle_parsed(const xml::Node& request, std::string_view request_xml,
+                            RequestOutcome* outcome);
 
   MetadataCatalog& catalog_;
   /// Optional dispatcher metrics, rendered into stats responses. Not owned.

@@ -192,7 +192,7 @@ class CatalogServer::EventLoop {
     if (want == paused_) return;
     paused_ = want;
     if (paused_) {
-      server_.stats_.read_pauses.fetch_add(1, std::memory_order_relaxed);
+      server_.stats_.pauses.read_pauses.fetch_add(1, std::memory_order_relaxed);
     }
     for (auto& [id, conn] : conns_) update_interest(*conn);
     if (!paused_) {
@@ -293,7 +293,7 @@ class CatalogServer::EventLoop {
       if (!paused_ &&
           server_.dispatcher_.queue_depth() >= server_.pause_high_) {
         paused_ = true;
-        server_.stats_.read_pauses.fetch_add(1, std::memory_order_relaxed);
+        server_.stats_.pauses.read_pauses.fetch_add(1, std::memory_order_relaxed);
         for (auto& [id, c] : conns_) update_interest(*c);
       }
       if (paused_) return true;
@@ -359,14 +359,28 @@ class CatalogServer::EventLoop {
   }
 
   void submit(Connection& conn, std::uint32_t request_id, std::string body) {
+    // L2 fast path: a cached response is framed straight from the shared
+    // epoch-protected buffer on this event-loop thread — no response-string
+    // copy, no inbox round trip, no dispatcher admission, no worker hop.
+    // in_flight is never raised, so drain/quiet-close logic is untouched;
+    // the frame flushes with everything else at the end of parse_frames.
+    if (auto hit = server_.dispatcher_.try_cached(body)) {
+      append_frame(conn.outbuf, FrameType::kResponse, request_id, hit->body);
+      server_.stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      server_.dispatcher_.cache_metrics().inline_served.fetch_add(
+          1, std::memory_order_relaxed);
+      return;
+    }
     conn.in_flight++;
     const std::uint64_t conn_id = conn.id;
     server_.callbacks_outstanding_.fetch_add(1, std::memory_order_acq_rel);
     server_.dispatcher_.submit_async(
-        std::move(body), [this, conn_id, request_id](std::string response) {
+        std::move(body),
+        [this, conn_id, request_id](std::string response) {
           post_response(conn_id, request_id, std::move(response));
           server_.callbacks_outstanding_.fetch_sub(1, std::memory_order_acq_rel);
-        });
+        },
+        /*probe_cache=*/false);
   }
 
   void flush_writes(Connection& conn) {
@@ -403,7 +417,7 @@ class CatalogServer::EventLoop {
                           : pending >= server_.config_.max_write_buffer;
     if (want != conn.write_paused) {
       conn.write_paused = want;
-      if (want) server_.stats_.write_pauses.fetch_add(1, std::memory_order_relaxed);
+      if (want) server_.stats_.pauses.write_pauses.fetch_add(1, std::memory_order_relaxed);
     }
     update_interest(conn);
     maybe_close_quiet(conn);

@@ -78,10 +78,10 @@ struct ServerStats {
   /// Streams cut off for unrecoverable framing (bad magic, non-request
   /// frame type, oversized payload).
   std::atomic<std::uint64_t> protocol_errors{0};
-  /// Transitions into dispatcher-backpressure pause (reads off, per loop).
-  std::atomic<std::uint64_t> read_pauses{0};
-  /// Transitions into per-connection write-buffer pause.
-  std::atomic<std::uint64_t> write_pauses{0};
+  /// Pause transitions (dispatcher-backpressure read pauses per loop,
+  /// per-connection write-buffer pauses) — a util struct so the catalog's
+  /// stats response can report them (MetadataCatalog::set_server_pauses).
+  util::ServerPauses pauses;
   std::atomic<std::uint64_t> idle_closes{0};
   /// Responses whose connection was gone by completion time.
   std::atomic<std::uint64_t> dropped_responses{0};

@@ -4,18 +4,19 @@
 // The dispatcher records one sample per handled request; the stats request
 // type reports the aggregate (see core/service.cpp). Everything here is a
 // plain atomic so recording never blocks a worker: histograms are
-// power-of-two bucketed (bucket i counts samples with latency in
-// [2^(i-1), 2^i) microseconds), which is plenty for percentile reporting
-// and costs one fetch_add per sample.
+// log2-ranged with 4 linear sub-buckets per range (relative error ≤ 1/4
+// after interpolation), and recording costs one fetch_add per sample.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #if __has_include(<sys/resource.h>)
@@ -40,18 +41,24 @@ inline std::size_t peak_rss_bytes() noexcept {
 #endif
 }
 
-/// Log2-bucketed latency histogram over microseconds. All methods are
-/// thread-safe; readers see a consistent-enough snapshot for reporting
-/// (counters are monotone, so percentiles are within one bucket of exact).
+/// Latency histogram over microseconds: 28 log2 ranges — range i covers
+/// (2^(i-1), 2^i] — each split into 4 linear sub-buckets. The pure log2
+/// scheme reported the range's upper bound (a 2x error: BENCH_net once
+/// printed p50 = 262144 µs exactly); the sub-buckets plus rank
+/// interpolation in percentile_micros bound the relative error at 1/4
+/// while recording stays a branch-free index computation and one relaxed
+/// fetch_add. All methods are thread-safe; readers see a consistent-enough
+/// snapshot for reporting (counters are monotone).
 class LatencyHistogram {
  public:
-  /// Bucket 27 tops out at ~134 s; slower samples clamp into it.
-  static constexpr std::size_t kBuckets = 28;
+  /// Range 27 tops out at ~134 s; slower samples clamp into its last
+  /// sub-bucket.
+  static constexpr std::size_t kLog2Ranges = 28;
+  static constexpr std::size_t kSubBuckets = 4;
+  static constexpr std::size_t kBuckets = kLog2Ranges * kSubBuckets;
 
   void record(std::uint64_t micros) noexcept {
-    std::size_t bucket = 0;
-    while (bucket + 1 < kBuckets && (std::uint64_t{1} << bucket) < micros) ++bucket;
-    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    buckets_[bucket_index(micros)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     total_.fetch_add(micros, std::memory_order_relaxed);
     std::uint64_t seen = max_.load(std::memory_order_relaxed);
@@ -72,23 +79,57 @@ class LatencyHistogram {
     return n == 0 ? 0 : total_micros() / n;
   }
 
-  /// Upper bound (in µs) of the bucket containing the p-th percentile
-  /// sample (p in [0, 1]); 0 when empty.
+  /// The p-th percentile sample (p in [0, 1]) interpolated within its
+  /// sub-bucket by rank fraction; 0 when empty.
   std::uint64_t percentile_micros(double p) const noexcept {
     const std::uint64_t n = count();
     if (n == 0) return 0;
     if (p < 0.0) p = 0.0;
     if (p > 1.0) p = 1.0;
     const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(n - 1)) + 1;
-    std::uint64_t cumulative = 0;
+    std::uint64_t before = 0;
     for (std::size_t i = 0; i < kBuckets; ++i) {
-      cumulative += buckets_[i].load(std::memory_order_relaxed);
-      if (cumulative >= rank) return std::uint64_t{1} << i;
+      const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+      if (before + in_bucket >= rank) {
+        const auto [lo, hi] = bucket_bounds(i);
+        // Linear interpolation by rank position within the sub-bucket.
+        const double fraction =
+            static_cast<double>(rank - before) / static_cast<double>(in_bucket);
+        return lo + static_cast<std::uint64_t>(fraction * static_cast<double>(hi - lo));
+      }
+      before += in_bucket;
     }
-    return std::uint64_t{1} << (kBuckets - 1);
+    return bucket_bounds(kBuckets - 1).second;
   }
 
  private:
+  static std::size_t bucket_index(std::uint64_t micros) noexcept {
+    if (micros <= 1) return 0;
+    // Range = smallest r with 2^r >= micros (the historical log2 bucket).
+    std::size_t range = static_cast<std::size_t>(std::bit_width(micros - 1));
+    if (range >= kLog2Ranges) {
+      return kLog2Ranges * kSubBuckets - 1;  // clamp into the last sub-bucket
+    }
+    // Linear position of micros within (lo, lo + span]; span = 2^(r-1).
+    // For span < 4 (ranges 1..2) the shift collapses to sub-bucket 0/…,
+    // which is exact anyway — those ranges are 1–2 µs wide.
+    const std::uint64_t lo = std::uint64_t{1} << (range - 1);
+    const std::uint64_t sub = ((micros - lo - 1) * kSubBuckets) >> (range - 1);
+    return range * kSubBuckets + static_cast<std::size_t>(sub);
+  }
+
+  /// Inclusive-exclusive value bounds [lo, hi] of one sub-bucket.
+  static std::pair<std::uint64_t, std::uint64_t> bucket_bounds(std::size_t index) noexcept {
+    const std::size_t range = index / kSubBuckets;
+    const std::size_t sub = index % kSubBuckets;
+    if (range == 0) return {0, 1};
+    const std::uint64_t lo = std::uint64_t{1} << (range - 1);
+    const std::uint64_t span = lo;
+    const std::uint64_t sub_lo = lo + (span * sub) / kSubBuckets;
+    const std::uint64_t sub_hi = lo + (span * (sub + 1)) / kSubBuckets;
+    return {sub_lo, sub_hi < sub_lo + 1 ? sub_lo + 1 : sub_hi};
+  }
+
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> total_{0};
@@ -164,6 +205,44 @@ struct MvccStats {
   std::uint64_t retired_pending = 0;
   std::uint64_t reclamations = 0;
   std::uint64_t snapshots_published = 0;
+};
+
+/// Counters for one level of the snapshot-keyed query cache. `bytes` and
+/// `entries` are resident gauges (raised on insert, lowered on eviction and
+/// when a superseded generation's segment is reclaimed); the rest are
+/// monotone. Written with relaxed atomics from the read path, read lock-free
+/// by the stats reporter.
+struct CacheLevelMetrics {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> inserts{0};
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> entries{0};
+};
+
+/// The two-level query-cache counters rendered by the service `stats`
+/// surface (`<stats><cache>`): L1 memoizes engine id-sets, L2 serialized
+/// responses (see core/query_cache.hpp). `bypass` counts front-door
+/// requests that skipped the cache (non-cacheable type or deterministic
+/// zero deadline); `inline_served` counts L2 hits answered on the event
+/// loop without touching the dispatcher's worker queue.
+struct CacheMetrics {
+  CacheLevelMetrics l1;
+  CacheLevelMetrics l2;
+  std::atomic<std::uint64_t> bypass{0};
+  std::atomic<std::uint64_t> inline_served{0};
+};
+
+/// Backpressure-pause transitions recorded by the network front end: how
+/// often an event loop stopped reading its sockets (dispatcher-queue high
+/// watermark) and how often a single connection's writes paused its reads
+/// (write-buffer cap). Lives inside net::ServerStats; the catalog borrows a
+/// pointer (MetadataCatalog::set_server_pauses) the same way durability
+/// metrics are plumbed, so the `stats` request can render both counters.
+struct ServerPauses {
+  std::atomic<std::uint64_t> read_pauses{0};
+  std::atomic<std::uint64_t> write_pauses{0};
 };
 
 /// A fixed set of named RequestStats slots. The slot set is decided at

@@ -1,0 +1,224 @@
+// ShardedCache: a lock-light bounded map with CLOCK eviction.
+//
+// The building block of the snapshot-keyed query cache (core/query_cache):
+// string keys hash to one of N shards, each guarded by its own mutex held
+// only for a map probe or a slot swap — values are shared_ptr<const V>, so
+// a reader copies the handle out under the lock and dereferences outside
+// it. Capacity is bounded per shard in both entries and value bytes;
+// pressure is relieved by second-chance CLOCK: every hit sets the entry's
+// reference bit, the eviction hand clears bits until it finds a cold entry
+// and replaces it. There is no global state, no LRU list maintenance on
+// the hit path, and no allocation on the hit path.
+//
+// Accounting goes through an optional CacheLevelMetrics: hits/misses/
+// inserts/evictions are monotone, bytes/entries are resident gauges that
+// the destructor drains — a retired cache segment (epoch reclamation,
+// core/catalog.cpp) subtracts its residency when it dies, so the gauges
+// stay truthful across generation turnover.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace hxrc::util {
+
+struct ShardedCacheConfig {
+  /// Shard count, rounded up to a power of two; 1 disables sharding.
+  std::size_t shards = 8;
+  /// Entry cap across the whole cache (split evenly over the shards).
+  std::size_t max_entries = 4096;
+  /// Value-byte cap across the whole cache (split evenly over the shards).
+  std::size_t max_bytes = 16u << 20;
+};
+
+template <typename Value>
+class ShardedCache {
+ public:
+  explicit ShardedCache(const ShardedCacheConfig& config,
+                        CacheLevelMetrics* metrics = nullptr)
+      : metrics_(metrics) {
+    std::size_t shards = 1;
+    while (shards < config.shards) shards <<= 1;
+    shard_max_entries_ = std::max<std::size_t>(1, config.max_entries / shards);
+    shard_max_bytes_ = std::max<std::size_t>(1, config.max_bytes / shards);
+    shards_ = std::vector<Shard>(shards);
+  }
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  ~ShardedCache() {
+    if (metrics_ == nullptr) return;
+    for (Shard& shard : shards_) {
+      metrics_->bytes.fetch_sub(shard.bytes, std::memory_order_relaxed);
+      metrics_->entries.fetch_sub(shard.index.size(), std::memory_order_relaxed);
+    }
+  }
+
+  /// The cached value, or nullptr. A hit gives the entry its second chance
+  /// (sets the CLOCK reference bit).
+  std::shared_ptr<const Value> find(std::string_view key) {
+    Shard& shard = shard_for(key);
+    std::shared_ptr<const Value> out;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        Slot& slot = shard.slots[it->second];
+        slot.referenced = true;
+        out = slot.value;
+      }
+    }
+    if (metrics_ != nullptr) {
+      (out != nullptr ? metrics_->hits : metrics_->misses)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  /// Inserts (or overwrites — racing fills of the same key are benign) a
+  /// value accounted at `bytes`, evicting cold entries until it fits. A
+  /// value larger than a whole shard's byte budget is simply not cached.
+  void insert(std::string key, std::shared_ptr<const Value> value, std::size_t bytes) {
+    if (bytes > shard_max_bytes_) return;
+    Shard& shard = shard_for(key);
+    std::uint64_t evicted = 0;
+    std::int64_t bytes_delta = 0;
+    std::int64_t entries_delta = 0;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      if (const auto it = shard.index.find(std::string_view(key));
+          it != shard.index.end()) {
+        Slot& slot = shard.slots[it->second];
+        bytes_delta = static_cast<std::int64_t>(bytes) -
+                      static_cast<std::int64_t>(slot.bytes);
+        shard.bytes = shard.bytes - slot.bytes + bytes;
+        slot.value = std::move(value);
+        slot.bytes = bytes;
+        slot.referenced = true;
+      } else {
+        while (!shard.index.empty() &&
+               (shard.index.size() >= shard_max_entries_ ||
+                shard.bytes + bytes > shard_max_bytes_)) {
+          bytes_delta -= static_cast<std::int64_t>(evict_one(shard));
+          --entries_delta;
+          ++evicted;
+        }
+        const std::size_t at = free_slot(shard);
+        Slot& slot = shard.slots[at];
+        slot.key = std::move(key);
+        slot.value = std::move(value);
+        slot.bytes = bytes;
+        slot.referenced = true;
+        slot.live = true;
+        shard.index.emplace(std::string_view(slot.key), at);
+        shard.bytes += bytes;
+        bytes_delta += static_cast<std::int64_t>(bytes);
+        ++entries_delta;
+      }
+    }
+    if (metrics_ != nullptr) {
+      metrics_->inserts.fetch_add(1, std::memory_order_relaxed);
+      metrics_->evictions.fetch_add(evicted, std::memory_order_relaxed);
+      metrics_->bytes.fetch_add(static_cast<std::uint64_t>(bytes_delta),
+                                std::memory_order_relaxed);
+      metrics_->entries.fetch_add(static_cast<std::uint64_t>(entries_delta),
+                                  std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t entry_count() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.index.size();
+    }
+    return total;
+  }
+
+  std::size_t byte_count() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.bytes;
+    }
+    return total;
+  }
+
+ private:
+  struct Slot {
+    std::string key;
+    std::shared_ptr<const Value> value;
+    std::size_t bytes = 0;
+    bool referenced = false;
+    bool live = false;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Keys view into slots[i].key. The views stay valid because slots is a
+    /// deque (growth never moves a Slot, so SSO key bytes never relocate)
+    /// and a slot's key string only changes under the shard mutex together
+    /// with its index entry.
+    std::unordered_map<std::string_view, std::size_t> index;
+    std::deque<Slot> slots;
+    std::vector<std::size_t> free;
+    std::size_t hand = 0;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(std::string_view key) noexcept {
+    return shards_[std::hash<std::string_view>{}(key) & (shards_.size() - 1)];
+  }
+
+  /// Second-chance sweep: clears reference bits until a cold live slot
+  /// turns up, unlinks it, and returns its byte count. Caller holds the
+  /// shard mutex and guarantees at least one live slot.
+  std::size_t evict_one(Shard& shard) {
+    for (;;) {
+      shard.hand = (shard.hand + 1) % shard.slots.size();
+      Slot& slot = shard.slots[shard.hand];
+      if (!slot.live) continue;
+      if (slot.referenced) {
+        slot.referenced = false;
+        continue;
+      }
+      const std::size_t bytes = slot.bytes;
+      shard.index.erase(std::string_view(slot.key));
+      shard.bytes -= bytes;
+      slot.value.reset();
+      slot.key.clear();
+      slot.bytes = 0;
+      slot.live = false;
+      shard.free.push_back(shard.hand);
+      return bytes;
+    }
+  }
+
+  std::size_t free_slot(Shard& shard) {
+    if (!shard.free.empty()) {
+      const std::size_t at = shard.free.back();
+      shard.free.pop_back();
+      return at;
+    }
+    shard.slots.emplace_back();
+    return shard.slots.size() - 1;
+  }
+
+  std::vector<Shard> shards_;
+  std::size_t shard_max_entries_ = 0;
+  std::size_t shard_max_bytes_ = 0;
+  CacheLevelMetrics* metrics_ = nullptr;
+};
+
+}  // namespace hxrc::util

@@ -244,10 +244,10 @@ TEST(NetServer, QueueSaturationPausesReadsInsteadOfOverloadedFlood) {
 
   // With the worker held, the loop must hit the high watermark and stop
   // reading — the burst stays in socket buffers, the queue stays bounded.
-  for (int i = 0; i < 1000 && ts.server->stats().read_pauses.load() == 0; ++i) {
+  for (int i = 0; i < 1000 && ts.server->stats().pauses.read_pauses.load() == 0; ++i) {
     std::this_thread::sleep_for(1ms);
   }
-  EXPECT_GE(ts.server->stats().read_pauses.load(), 1u);
+  EXPECT_GE(ts.server->stats().pauses.read_pauses.load(), 1u);
   EXPECT_LE(ts.dispatcher.queue_depth(), 4u);
 
   // Release: every one of the 50 requests completes ok. Saturation never
