@@ -512,21 +512,35 @@ std::vector<ObjectId> QueryEngine::run(const ObjectQuery& query,
 
 namespace {
 
+/// Length-prefixes a caller-supplied string before embedding it in a key.
+/// Values and unresolved names can contain any byte — including the ';',
+/// ':', '{', '}' the key format uses — so raw embedding lets crafted
+/// values collide with a differently-structured query (and a colliding
+/// key would serve one query's cached id-set to another). The "<len>:"
+/// prefix makes the serialization injective: a structural parse skips
+/// exactly len bytes and no value byte is ever read as a delimiter.
+void append_sized(std::string& out, std::string_view v) {
+  out += std::to_string(v.size());
+  out += ':';
+  out += v;
+}
+
 void append_value_key(std::string& out, const rel::Value& value) {
   // Type-tagged so "1000" (string) and 1000 (number) never collide — the
-  // predicate compiler treats them differently.
+  // predicate compiler treats them differently. Numeric to_string output
+  // is delimiter-free, but strings carry arbitrary bytes and must be
+  // length-prefixed.
   switch (value.type()) {
     case rel::Type::kNull: out += 'n'; return;
-    case rel::Type::kInt: out += 'i'; break;
-    case rel::Type::kDouble: out += 'd'; break;
-    case rel::Type::kString: out += 's'; break;
+    case rel::Type::kInt: out += 'i'; out += value.to_string(); return;
+    case rel::Type::kDouble: out += 'd'; out += value.to_string(); return;
+    case rel::Type::kString: out += 's'; append_sized(out, value.to_string()); return;
   }
-  out += value.to_string();
 }
 
 /// One criterion subtree in normal form. Unresolved names key as
-/// "u:<name>:<source>" — distinct per spelling, and harmlessly so: any
-/// unresolved node makes the whole query return the empty set.
+/// "u<len>:<name><len>:<source>" — distinct per spelling, and harmlessly
+/// so: any unresolved node makes the whole query return the empty set.
 std::string attr_canonical_key(const DefinitionRegistry& registry,
                                const Thesaurus* thesaurus, const std::string& user,
                                const AttrQuery& attr, AttrDefId parent) {
@@ -534,7 +548,9 @@ std::string attr_canonical_key(const DefinitionRegistry& registry,
                                                  parent, user, thesaurus);
   std::string out = "a";
   if (def == nullptr || !def->queryable) {
-    out += "u:" + attr.name() + ":" + attr.source();
+    out += 'u';
+    append_sized(out, attr.name());
+    append_sized(out, attr.source());
   } else {
     out += std::to_string(def->id);
   }
@@ -552,7 +568,9 @@ std::string attr_canonical_key(const DefinitionRegistry& registry,
                                                       my_def, thesaurus);
     std::string part = "e";
     if (elem == nullptr) {
-      part += "u:" + pred.name + ":" + pred.source;
+      part += 'u';
+      append_sized(part, pred.name);
+      append_sized(part, pred.source);
     } else {
       part += std::to_string(elem->id);
     }
@@ -586,10 +604,11 @@ std::string QueryEngine::canonical_key(const ObjectQuery& query,
   const Thesaurus* thesaurus =
       ctx.thesaurus != nullptr ? ctx.thesaurus : options_.thesaurus;
   // The thesaurus is shared live across snapshots (setup-time mutation
-  // only); its size is the expansion fingerprint so a synonym added between
-  // publishes cannot revive a key minted without it.
+  // only); its mutation counter is the expansion fingerprint so a synonym
+  // added — or remapped, which leaves size() unchanged — between publishes
+  // cannot revive a key minted under the old map.
   std::string out =
-      "T" + std::to_string(thesaurus == nullptr ? 0 : thesaurus->size()) + "|";
+      "T" + std::to_string(thesaurus == nullptr ? 0 : thesaurus->version()) + "|";
   std::vector<std::string> parts;
   parts.reserve(query.attributes().size());
   for (const AttrQuery& attr : query.attributes()) {

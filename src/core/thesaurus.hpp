@@ -12,6 +12,7 @@
 // Aliases apply to attribute and element names alike.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -32,6 +33,7 @@ class Thesaurus {
   /// the same alias overwrite earlier ones.
   void add_synonym(Term alias, Term canonical) {
     synonyms_[std::move(alias)] = std::move(canonical);
+    ++version_;
   }
 
   void add_synonym(std::string alias_name, std::string alias_source,
@@ -57,6 +59,12 @@ class Thesaurus {
   std::size_t size() const noexcept { return synonyms_.size(); }
   bool empty() const noexcept { return synonyms_.empty(); }
 
+  /// Monotone mutation counter: bumps on every add_synonym, including an
+  /// overwrite of an existing alias (which leaves size() unchanged).
+  /// Canonical query keys embed this as the expansion fingerprint so a
+  /// remapped synonym cannot revive a cache entry minted under the old map.
+  std::uint64_t version() const noexcept { return version_; }
+
   /// All (alias, canonical) pairs (unordered); used by persistence.
   std::vector<std::pair<Term, Term>> items() const {
     std::vector<std::pair<Term, Term>> out;
@@ -75,6 +83,7 @@ class Thesaurus {
   };
 
   std::unordered_map<Term, Term, TermHash> synonyms_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace hxrc::core

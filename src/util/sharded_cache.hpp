@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -99,13 +100,23 @@ class ShardedCache {
       const std::lock_guard<std::mutex> lock(shard.mutex);
       if (const auto it = shard.index.find(std::string_view(key));
           it != shard.index.end()) {
-        Slot& slot = shard.slots[it->second];
+        const std::size_t at = it->second;
+        Slot& slot = shard.slots[at];
         bytes_delta = static_cast<std::int64_t>(bytes) -
                       static_cast<std::int64_t>(slot.bytes);
         shard.bytes = shard.bytes - slot.bytes + bytes;
         slot.value = std::move(value);
         slot.bytes = bytes;
         slot.referenced = true;
+        // A larger replacement value can push the shard past its byte
+        // budget just like a fresh insert: evict cold entries (never the
+        // slot just written) until it fits again. When only the written
+        // slot remains, shard.bytes == bytes <= shard_max_bytes_.
+        while (shard.bytes > shard_max_bytes_ && shard.index.size() > 1) {
+          bytes_delta -= static_cast<std::int64_t>(evict_one(shard, at));
+          --entries_delta;
+          ++evicted;
+        }
       } else {
         while (!shard.index.empty() &&
                (shard.index.size() >= shard_max_entries_ ||
@@ -183,10 +194,12 @@ class ShardedCache {
 
   /// Second-chance sweep: clears reference bits until a cold live slot
   /// turns up, unlinks it, and returns its byte count. Caller holds the
-  /// shard mutex and guarantees at least one live slot.
-  std::size_t evict_one(Shard& shard) {
+  /// shard mutex and guarantees at least one evictable (live, non-skip)
+  /// slot. `skip` protects the slot the caller just wrote.
+  std::size_t evict_one(Shard& shard, std::size_t skip = SIZE_MAX) {
     for (;;) {
       shard.hand = (shard.hand + 1) % shard.slots.size();
+      if (shard.hand == skip) continue;
       Slot& slot = shard.slots[shard.hand];
       if (!slot.live) continue;
       if (slot.referenced) {

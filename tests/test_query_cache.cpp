@@ -15,8 +15,11 @@
 #include <vector>
 
 #include "core/dispatcher.hpp"
+#include "core/engine.hpp"
 #include "core/service.hpp"
+#include "core/thesaurus.hpp"
 #include "util/metrics.hpp"
+#include "util/sharded_cache.hpp"
 #include "workload/generator.hpp"
 #include "workload/lead_schema.hpp"
 #include "workload/query_gen.hpp"
@@ -332,6 +335,70 @@ TEST(QueryCache, StatsReportCacheCounters) {
   EXPECT_EQ(plain_stats.root->first_child("stats")->first_child("cache"), nullptr);
 }
 
+// ---- canonical keys are injective: value bytes can't forge structure ----
+
+TEST(QueryCache, CanonicalKeyStringValueCannotForgeStructure) {
+  xml::Schema schema = workload::lead_schema();
+  MetadataCatalog catalog(schema, workload::lead_annotations(), cached_config());
+  const QueryEngine engine(catalog.partition(), catalog.registry(),
+                           catalog.database());
+
+  // Regression: with raw value embedding, the single-predicate query whose
+  // string value is crafted as "x" + <separator> + <the second predicate's
+  // key bytes> serialized byte-identically to the genuine two-predicate
+  // conjunction — and a colliding key serves one query's cached id-set (and
+  // L2 response) to the other. Length prefixes must keep them distinct.
+  AttrQuery forged("ghost-attr", "S");
+  forged.add_element("n1", "s1", rel::Value("x;eu:n2:s2?"), CompareOp::kEq);
+  ObjectQuery forged_query;
+  forged_query.add_attribute(std::move(forged));
+
+  AttrQuery genuine("ghost-attr", "S");
+  genuine.add_element("n1", "s1", rel::Value("x"), CompareOp::kEq);
+  genuine.require_element("n2", "s2");
+  ObjectQuery genuine_query;
+  genuine_query.add_attribute(std::move(genuine));
+
+  EXPECT_NE(engine.canonical_key(forged_query, QueryContext{}),
+            engine.canonical_key(genuine_query, QueryContext{}));
+
+  // Same forgery one level up: an unresolved attribute name containing the
+  // old "u:<name>:<source>" separator must not alias a different split of
+  // the same bytes.
+  ObjectQuery colon_name;
+  colon_name.add_attribute(AttrQuery("a:b", "c"));
+  ObjectQuery colon_source;
+  colon_source.add_attribute(AttrQuery("a", "b:c"));
+  EXPECT_NE(engine.canonical_key(colon_name, QueryContext{}),
+            engine.canonical_key(colon_source, QueryContext{}));
+}
+
+// ---- remapping a synonym (size-neutral) still changes the key ----
+
+TEST(QueryCache, ThesaurusRemapChangesCanonicalKey) {
+  xml::Schema schema = workload::lead_schema();
+  MetadataCatalog catalog(schema, workload::lead_annotations(), cached_config());
+  const QueryEngine engine(catalog.partition(), catalog.registry(),
+                           catalog.database());
+
+  Thesaurus thesaurus;
+  thesaurus.add_synonym("res", "CF", "dx", "ARPS");
+  QueryContext ctx;
+  ctx.thesaurus = &thesaurus;
+
+  AttrQuery grid("grid", "ARPS");
+  grid.add_element("res", "CF", rel::Value(1000.0), CompareOp::kEq);
+  ObjectQuery query;
+  query.add_attribute(std::move(grid));
+  const std::string before = engine.canonical_key(query, ctx);
+
+  // Overwriting an existing alias leaves size() unchanged; the fingerprint
+  // must still move or entries minted under the old map stay hittable.
+  thesaurus.add_synonym("res", "CF", "dzmin", "ARPS");
+  ASSERT_EQ(thesaurus.size(), 1u);
+  EXPECT_NE(engine.canonical_key(query, ctx), before);
+}
+
 // ---- MVCC contract: a pinned snapshot never sees a newer generation ----
 
 TEST(QueryCache, PinnedSnapshotReadsStableUnderChurn) {
@@ -436,6 +503,30 @@ TEST(QueryCache, DispatcherChurnServesWellFormedResponses) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
   dispatcher.drain();
+}
+
+// ---- overwriting a key with a larger value still honors the budget ----
+
+TEST(QueryCache, ShardedCacheOverwriteEvictsBackToByteBudget) {
+  util::ShardedCacheConfig config;
+  config.shards = 1;
+  config.max_entries = 64;
+  config.max_bytes = 1000;
+  util::ShardedCache<std::string> cache(config);
+  for (int i = 0; i < 9; ++i) {
+    cache.insert("k" + std::to_string(i),
+                 std::make_shared<const std::string>("v"), 100);
+  }
+  ASSERT_LE(cache.byte_count(), 1000u);
+
+  // Regression: the overwrite branch used to skip the eviction loop, so
+  // growing an existing entry left the shard over budget until the next
+  // new-key insert happened to trigger eviction.
+  cache.insert("k0", std::make_shared<const std::string>("w"), 900);
+  EXPECT_LE(cache.byte_count(), 1000u);
+  const auto kept = cache.find("k0");
+  ASSERT_NE(kept, nullptr) << "the just-written slot must never be evicted";
+  EXPECT_EQ(*kept, "w");
 }
 
 }  // namespace

@@ -28,6 +28,17 @@ TEST(Thesaurus, ResolvesSynonymsAndChains) {
   EXPECT_FALSE(thesaurus.resolve("unknown", "").has_value());
 }
 
+TEST(Thesaurus, VersionBumpsOnOverwrite) {
+  Thesaurus thesaurus;
+  thesaurus.add_synonym("alias", "", "dx", "ARPS");
+  const std::uint64_t v1 = thesaurus.version();
+  // Remapping an existing alias leaves size() unchanged but must still
+  // advance the mutation counter — canonical query keys fingerprint it.
+  thesaurus.add_synonym("alias", "", "dzmin", "ARPS");
+  EXPECT_EQ(thesaurus.size(), 1u);
+  EXPECT_GT(thesaurus.version(), v1);
+}
+
 TEST(Thesaurus, CyclesTerminate) {
   Thesaurus thesaurus;
   thesaurus.add_synonym("a", "", "b", "");
