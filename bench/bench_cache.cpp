@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_stamp.hpp"
 #include "core/catalog.hpp"
 #include "core/dispatcher.hpp"
 #include "core/service.hpp"
@@ -258,6 +259,7 @@ int main(int argc, char** argv) {
         << ", \"inline_served\": " << cache.inline_served.load()
         << ", \"l1_hits\": " << cache.l1.hits.load()
         << ", \"identity_failures\": " << identity_failures
+        << ", " << hxrc::benchx::bench_stamp_fields()
         << "}\n]\n";
   }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "baselines/backend.hpp"
+#include "bench_stamp.hpp"
 #include "core/catalog.hpp"
 #include "util/metrics.hpp"
 #include "workload/generator.hpp"
@@ -137,7 +138,10 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
   void Finalize() override {
     benchmark::ConsoleReporter::Finalize();
     std::ofstream out(path_);
-    out << "[\n";
+    // Leading provenance record (name "_meta") so every BENCH_*.json carries
+    // the commit, build type, and run time it was measured from.
+    out << "[\n  {\"name\": \"_meta\", " << bench_stamp_fields()
+        << (records_.empty() ? "}\n" : "},\n");
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       out << "  {\"name\": \"" << escaped(r.name) << "\", \"corpus_size\": " << r.corpus_size

@@ -1,0 +1,521 @@
+// bench_fed — federated scatter-gather closed loop through the full TCP
+// stack, against a single-node baseline serving the identical corpus.
+//
+// Three topologies run in-process, every hop over real sockets:
+//
+//   single: one catalog behind one net::CatalogServer — the baseline;
+//   fed2:   2 shard servers behind a FederationRouter, itself served by a
+//           net::CatalogServer (clients talk to the router port and cannot
+//           tell it from a catalog port);
+//   fed4:   the same with 4 shards.
+//
+// Each topology is preloaded with the same generated corpus (the
+// federations through their router's own wire ingest path, so placement
+// and gid assignment are the production ones), then measured under the
+// same closed-loop read mix of scatter-gather queries and point fetches.
+//
+// Correctness is validated in-bench before anything is timed:
+//   * result-set oracle: for every distinct query, the id set answered by
+//     each federation maps (gid -> preloaded document name) to exactly the
+//     name set the single node answers — nothing dropped, nothing invented;
+//   * merge byte-oracle: each federation's merged query response must be
+//     byte-identical to the page rebuilt from its own shards' direct
+//     responses (lids remapped to gids, k-way merged ascending, wrapped in
+//     the canonical envelope) — the acceptance check that the router
+//     mangles zero frames.
+//
+// With --gate (CI fed-smoke) the correctness checks fail the run
+// unconditionally; the throughput check is tiered by the machine's core
+// count, because scatter-gather adds a network hop per request and only
+// pays for itself when shards have cores to run on (EXPERIMENTS.md E17):
+//   >= 6 cores: fed4 >= 2.5x single;  3-5 cores: best fed >= 1.3x single;
+//   <  3 cores: overhead-bound — fed2 >= 0.40x, fed4 >= 0.35x single.
+// Writes BENCH_fed.json (override with --json=path).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_stamp.hpp"
+#include "core/catalog.hpp"
+#include "core/dispatcher.hpp"
+#include "core/service.hpp"
+#include "fed/merge.hpp"
+#include "fed/router.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "util/metrics.hpp"
+#include "workload/generator.hpp"
+#include "workload/lead_schema.hpp"
+#include "workload/query_gen.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace {
+
+using namespace hxrc;
+using Clock = std::chrono::steady_clock;
+
+struct BenchConfig {
+  std::size_t preload = 96;
+  std::size_t distinct_queries = 24;
+  std::size_t distinct_fetches = 24;
+  std::size_t clients = 4;
+  std::size_t requests_per_client = 800;
+  std::string json_path = "BENCH_fed.json";
+  bool gate = false;
+};
+
+std::string ingest_request(const xml::Document& doc, const std::string& name) {
+  return "<catalogRequest type=\"ingest\" version=\"1\" name=\"" + name +
+         "\" user=\"bench\">" + xml::write(doc) + "</catalogRequest>";
+}
+
+std::string fetch_request(std::uint64_t id) {
+  return "<catalogRequest type=\"fetch\" version=\"1\" objectID=\"" +
+         std::to_string(id) + "\"/>";
+}
+
+// ---------------------------------------------------------------------------
+// Topologies.
+
+struct SingleNode {
+  explicit SingleNode(const BenchConfig& config)
+      : schema(workload::lead_schema()) {
+    core::CatalogConfig catalog_config;
+    catalog_config.shred.auto_define_dynamic = true;
+    // The response cache is off in every topology (shards too): repeated
+    // queries would otherwise be served inline from the single node's L2 at
+    // echo-server speed and the comparison would measure the cache, not the
+    // query pipeline. bench_cache owns that measurement.
+    catalog_config.cache.enabled = false;
+    catalog = std::make_unique<core::MetadataCatalog>(
+        schema, workload::lead_annotations(), catalog_config);
+    workload::DocumentGenerator generator;
+    for (std::size_t i = 0; i < config.preload; ++i) {
+      catalog->ingest(generator.generate(i), "preload-" + std::to_string(i),
+                      "bench");
+    }
+    core::DispatcherConfig dispatch;
+    dispatch.workers = 4;
+    dispatcher = std::make_unique<core::ServiceDispatcher>(*catalog, dispatch);
+    net::ServerConfig server_config;
+    server_config.event_threads = 2;
+    server = std::make_unique<net::CatalogServer>(*dispatcher, server_config);
+    server->start();
+  }
+
+  xml::Schema schema;
+  std::unique_ptr<core::MetadataCatalog> catalog;
+  std::unique_ptr<core::ServiceDispatcher> dispatcher;
+  std::unique_ptr<net::CatalogServer> server;
+};
+
+struct Shard {
+  Shard()
+      : schema(workload::lead_schema()),
+        catalog(schema, workload::lead_annotations(),
+                [] {
+                  core::CatalogConfig config;
+                  config.shred.auto_define_dynamic = true;
+                  config.cache.enabled = false;
+                  return config;
+                }()),
+        dispatcher(catalog,
+                   [] {
+                     core::DispatcherConfig config;
+                     config.workers = 2;
+                     config.max_queue = 256;
+                     return config;
+                   }()) {
+    net::ServerConfig config;
+    config.port = 0;
+    config.event_threads = 1;
+    server = std::make_unique<net::CatalogServer>(dispatcher, config);
+    server->start();
+  }
+
+  xml::Schema schema;
+  core::MetadataCatalog catalog;
+  core::ServiceDispatcher dispatcher;
+  std::unique_ptr<net::CatalogServer> server;
+};
+
+struct Federation {
+  Federation(const BenchConfig& config, std::uint32_t nshards)
+      : shard_count(nshards) {
+    fed::RouterOptions options;
+    for (std::uint32_t i = 0; i < nshards; ++i) {
+      shards.push_back(std::make_unique<Shard>());
+      fed::ShardEndpoint endpoint;
+      endpoint.primary_port = shards.back()->server->port();
+      options.shards.push_back(endpoint);
+    }
+    options.workers = 4;
+    options.io_timeout_ms = 10000;
+    options.probe_interval_ms = 0;
+    router = std::make_unique<fed::FederationRouter>(std::move(options));
+    net::ServerConfig server_config;
+    server_config.event_threads = 2;
+    front = std::make_unique<net::CatalogServer>(*router, server_config);
+    front->start();
+
+    // Preload the identical corpus through the router's own wire ingest
+    // path; record each document's assigned gid for the fetch mix and the
+    // result-set oracle.
+    net::BlockingClient client("127.0.0.1", front->port());
+    workload::DocumentGenerator generator;
+    for (std::size_t i = 0; i < config.preload; ++i) {
+      const std::string name = "preload-" + std::to_string(i);
+      const std::string response =
+          client.call(ingest_request(generator.generate(i), name));
+      const fed::ParsedResponse parsed = fed::parse_response(response);
+      if (!parsed.ok) {
+        std::fprintf(stderr, "federated preload failed: %s\n", response.c_str());
+        std::exit(1);
+      }
+      const std::uint64_t gid = std::stoull(std::string(
+          xml::parse(response).root->child_text("objectID")));
+      gid_by_name[name] = gid;
+      gids.push_back(gid);
+    }
+  }
+
+  void stop() {
+    front->drain();
+    for (auto& shard : shards) shard->server->drain();
+  }
+
+  std::uint16_t port() const { return front->port(); }
+
+  std::uint32_t shard_count;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::unique_ptr<fed::FederationRouter> router;
+  std::unique_ptr<net::CatalogServer> front;
+  std::map<std::string, std::uint64_t> gid_by_name;
+  std::vector<std::uint64_t> gids;
+};
+
+// ---------------------------------------------------------------------------
+// Request mixes. Queries are shared text; fetches are per-topology because
+// ids differ (sequential locally, gid-spaced federated).
+
+std::vector<std::string> build_queries(const BenchConfig& config, bool ids_only) {
+  std::vector<std::string> queries;
+  workload::QueryGenerator query_gen;
+  for (std::uint64_t q = 0; q < config.distinct_queries; ++q) {
+    std::string wire = core::query_to_xml(query_gen.generate(q));
+    if (ids_only) {
+      const auto pos = wire.find("type=\"query\"");
+      wire.replace(pos, std::string("type=\"query\"").size(), "type=\"queryIds\"");
+    }
+    queries.push_back(std::move(wire));
+  }
+  return queries;
+}
+
+std::vector<std::string> build_mix(const BenchConfig& config,
+                                   const std::vector<std::uint64_t>& ids) {
+  std::vector<std::string> requests = build_queries(config, /*ids_only=*/false);
+  for (std::size_t f = 0; f < config.distinct_fetches; ++f) {
+    requests.push_back(fetch_request(ids[(f * 7) % ids.size()]));
+  }
+  return requests;
+}
+
+// ---------------------------------------------------------------------------
+// Closed loop (same shape as bench_cache: each client cycles the pool).
+
+struct PhaseResult {
+  std::uint64_t responses = 0;
+  std::uint64_t errors = 0;
+  double elapsed_s = 0;
+  util::LatencyHistogram latency;
+};
+
+void run_phase(std::uint16_t port, const std::vector<std::string>& requests,
+               const BenchConfig& config, PhaseResult& result) {
+  std::atomic<std::uint64_t> errors{0};
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::BlockingClient client("127.0.0.1", port);
+      for (std::size_t i = 0; i < config.requests_per_client; ++i) {
+        const std::string& request = requests[(c * 13 + i) % requests.size()];
+        const Clock::time_point sent = Clock::now();
+        const std::string response = client.call(request);
+        const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - sent);
+        result.latency.record(static_cast<std::uint64_t>(micros.count()));
+        if (response.find("status=\"ok\"") == std::string::npos) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+  result.responses = config.clients * config.requests_per_client;
+  result.errors = errors.load();
+}
+
+double throughput(const PhaseResult& result) {
+  return result.elapsed_s > 0
+             ? static_cast<double>(result.responses) / result.elapsed_s
+             : 0.0;
+}
+
+void print_phase(const char* name, const PhaseResult& result) {
+  std::printf("%s: responses=%llu errors=%llu elapsed=%.2fs throughput=%.0f resp/s "
+              "p50=%lluus p99=%lluus mean=%lluus\n",
+              name, static_cast<unsigned long long>(result.responses),
+              static_cast<unsigned long long>(result.errors), result.elapsed_s,
+              throughput(result),
+              static_cast<unsigned long long>(result.latency.percentile_micros(0.50)),
+              static_cast<unsigned long long>(result.latency.percentile_micros(0.99)),
+              static_cast<unsigned long long>(result.latency.mean_micros()));
+}
+
+// ---------------------------------------------------------------------------
+// Oracles.
+
+std::vector<std::uint64_t> ids_of(const std::string& response) {
+  const fed::ParsedResponse parsed = fed::parse_response(response);
+  if (!parsed.ok) return {};
+  return fed::parse_query_payload(parsed.payload, /*ids_only=*/true).ids;
+}
+
+/// Every federation must answer exactly the single node's result names for
+/// every distinct query. Returns the number of mismatching queries.
+std::size_t check_result_sets(const BenchConfig& config, SingleNode& single,
+                              Federation& federation) {
+  std::size_t mismatches = 0;
+  std::map<std::uint64_t, std::string> name_by_gid;
+  for (const auto& [name, gid] : federation.gid_by_name) name_by_gid[gid] = name;
+
+  net::BlockingClient single_client("127.0.0.1", single.server->port());
+  net::BlockingClient fed_client("127.0.0.1", federation.port());
+  const std::vector<std::string> queries = build_queries(config, /*ids_only=*/true);
+  for (const std::string& query : queries) {
+    std::set<std::string> expected;
+    for (const std::uint64_t id : ids_of(single_client.call(query))) {
+      // Single-node preload ids are sequential: id i is "preload-i".
+      expected.insert("preload-" + std::to_string(id));
+    }
+    std::set<std::string> actual;
+    bool unknown_gid = false;
+    for (const std::uint64_t gid : ids_of(fed_client.call(query))) {
+      const auto it = name_by_gid.find(gid);
+      if (it == name_by_gid.end()) {
+        unknown_gid = true;
+      } else {
+        actual.insert(it->second);
+      }
+    }
+    if (unknown_gid || actual != expected) {
+      ++mismatches;
+      std::printf("RESULT-SET MISMATCH (fed%u, %zu vs %zu rows): %.80s...\n",
+                  federation.shard_count, actual.size(), expected.size(),
+                  query.c_str());
+    }
+  }
+  return mismatches;
+}
+
+/// The router's merged `query` response must be byte-identical to the page
+/// rebuilt from the shards' own responses. Returns mismatch count.
+std::size_t check_merge_bytes(const BenchConfig& config, Federation& federation) {
+  std::size_t mismatches = 0;
+  net::BlockingClient fed_client("127.0.0.1", federation.port());
+  std::vector<std::unique_ptr<net::BlockingClient>> shard_clients;
+  for (const auto& shard : federation.shards) {
+    shard_clients.push_back(std::make_unique<net::BlockingClient>(
+        "127.0.0.1", shard->server->port()));
+  }
+
+  const std::vector<std::string> queries = build_queries(config, /*ids_only=*/false);
+  for (const std::string& query : queries) {
+    std::vector<std::pair<std::uint64_t, std::string>> rows;
+    std::uint64_t version = 0;
+    bool shard_error = false;
+    for (std::uint32_t s = 0; s < federation.shard_count; ++s) {
+      // Keep the response alive while spans view into it.
+      const std::string shard_response = shard_clients[s]->call(query);
+      const fed::ParsedResponse parsed = fed::parse_response(shard_response);
+      if (!parsed.ok) {
+        shard_error = true;
+        break;
+      }
+      version = std::max(version, parsed.version);
+      for (const fed::ResultSpan& span :
+           fed::parse_query_payload(parsed.payload, /*ids_only=*/false).results) {
+        rows.emplace_back(fed::gid_of(span.lid, s, federation.shard_count),
+                          std::string(span.body));
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+    std::string expected = "<results>";
+    for (const auto& [gid, body] : rows) {
+      expected += "<result objectID=\"" + std::to_string(gid) + "\">" + body +
+                  "</result>";
+    }
+    expected += "</results>";
+    const std::string actual = fed_client.call(query);
+    const std::string expected_full = fed::ok_envelope(version, expected);
+    if (shard_error || actual != expected_full) {
+      ++mismatches;
+      std::printf("MERGE BYTE MISMATCH (fed%u): %.80s...\n",
+                  federation.shard_count, query.c_str());
+      std::size_t d = 0;
+      while (d < actual.size() && d < expected_full.size() &&
+             actual[d] == expected_full[d]) ++d;
+      std::printf("  first diff at %zu\n  actual:   ...%.160s\n  expected: ...%.160s\n",
+                  d, actual.c_str() + (d > 40 ? d - 40 : 0),
+                  expected_full.c_str() + (d > 40 ? d - 40 : 0));
+    }
+  }
+  return mismatches;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: bench_fed [--gate] [--clients N] [--requests N]\n"
+               "                 [--preload N] [--json=path]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--gate") {
+      config.gate = true;
+    } else if (arg == "--clients") {
+      config.clients = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--requests") {
+      config.requests_per_client = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--preload") {
+      config.preload = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      config.json_path = arg.substr(7);
+    } else {
+      usage();
+    }
+  }
+
+  SingleNode single(config);
+  Federation fed2(config, 2);
+  Federation fed4(config, 4);
+
+  // Correctness before speed: result-set and merge-byte oracles over every
+  // distinct query, against the live topologies.
+  const std::size_t set_mismatches =
+      check_result_sets(config, single, fed2) +
+      check_result_sets(config, single, fed4);
+  const std::size_t byte_mismatches =
+      check_merge_bytes(config, fed2) + check_merge_bytes(config, fed4);
+  std::printf("oracle: result_set_mismatches=%zu merge_byte_mismatches=%zu\n",
+              set_mismatches, byte_mismatches);
+
+  // Per-topology request mixes: identical queries, topology-local fetch ids.
+  std::vector<std::uint64_t> single_ids;
+  for (std::size_t i = 0; i < config.preload; ++i) single_ids.push_back(i);
+  const std::vector<std::string> single_mix = build_mix(config, single_ids);
+  const std::vector<std::string> fed2_mix = build_mix(config, fed2.gids);
+  const std::vector<std::string> fed4_mix = build_mix(config, fed4.gids);
+
+  PhaseResult single_result;
+  run_phase(single.server->port(), single_mix, config, single_result);
+  PhaseResult fed2_result;
+  run_phase(fed2.port(), fed2_mix, config, fed2_result);
+  PhaseResult fed4_result;
+  run_phase(fed4.port(), fed4_mix, config, fed4_result);
+
+  print_phase("single", single_result);
+  print_phase("fed2  ", fed2_result);
+  print_phase("fed4  ", fed4_result);
+
+  const double single_rps = std::max(throughput(single_result), 1e-9);
+  const double ratio2 = throughput(fed2_result) / single_rps;
+  const double ratio4 = throughput(fed4_result) / single_rps;
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const char* tier = cores >= 6 ? "scale" : cores >= 3 ? "partial" : "overhead";
+  std::printf("cores=%u tier=%s fed2/single=%.2fx fed4/single=%.2fx\n", cores,
+              tier, ratio2, ratio4);
+
+  {
+    std::ofstream out(config.json_path);
+    out << "[\n  {\"name\": \"fed/closed_loop/" << config.clients << "x"
+        << config.requests_per_client << "\""
+        << ", \"preload\": " << config.preload
+        << ", \"distinct_requests\": " << single_mix.size()
+        << ", \"cores\": " << cores
+        << ", \"tier\": \"" << tier << "\""
+        << ", \"single_rps\": " << throughput(single_result)
+        << ", \"single_p50_us\": " << single_result.latency.percentile_micros(0.50)
+        << ", \"single_p99_us\": " << single_result.latency.percentile_micros(0.99)
+        << ", \"fed2_rps\": " << throughput(fed2_result)
+        << ", \"fed2_p50_us\": " << fed2_result.latency.percentile_micros(0.50)
+        << ", \"fed2_p99_us\": " << fed2_result.latency.percentile_micros(0.99)
+        << ", \"fed4_rps\": " << throughput(fed4_result)
+        << ", \"fed4_p50_us\": " << fed4_result.latency.percentile_micros(0.50)
+        << ", \"fed4_p99_us\": " << fed4_result.latency.percentile_micros(0.99)
+        << ", \"fed2_ratio\": " << ratio2
+        << ", \"fed4_ratio\": " << ratio4
+        << ", \"errors\": "
+        << (single_result.errors + fed2_result.errors + fed4_result.errors)
+        << ", \"result_set_mismatches\": " << set_mismatches
+        << ", \"merge_byte_mismatches\": " << byte_mismatches
+        << ", " << hxrc::benchx::bench_stamp_fields()
+        << "}\n]\n";
+  }
+
+  fed4.stop();
+  fed2.stop();
+  single.server->drain();
+
+  const bool correct = set_mismatches == 0 && byte_mismatches == 0 &&
+                       single_result.errors == 0 && fed2_result.errors == 0 &&
+                       fed4_result.errors == 0;
+  if (!config.gate) return correct ? 0 : 1;
+
+  bool pass = true;
+  const auto fail = [&pass](const char* what) {
+    std::printf("GATE FAIL: %s\n", what);
+    pass = false;
+  };
+  if (set_mismatches != 0) fail("federated result sets differ from single node");
+  if (byte_mismatches != 0) fail("merged responses not byte-identical to shard pages");
+  if (single_result.errors != 0 || fed2_result.errors != 0 ||
+      fed4_result.errors != 0) {
+    fail("error responses during measured phases");
+  }
+  // Throughput tiers (EXPERIMENTS.md E17): scatter-gather only pays when
+  // shards have cores; below 3 cores the gate bounds the routing overhead
+  // instead of demanding speedup.
+  if (cores >= 6) {
+    if (ratio4 < 2.5) fail("fed4 < 2.5x single on a >=6 core machine");
+  } else if (cores >= 3) {
+    if (std::max(ratio2, ratio4) < 1.3) fail("best federation < 1.3x single on a 3-5 core machine");
+  } else {
+    if (ratio2 < 0.40) fail("fed2 < 0.40x single (routing overhead bound)");
+    if (ratio4 < 0.35) fail("fed4 < 0.35x single (routing overhead bound)");
+  }
+  std::printf("GATE %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

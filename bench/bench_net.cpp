@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_stamp.hpp"
 #include "core/catalog.hpp"
 #include "core/dispatcher.hpp"
 #include "core/service.hpp"
@@ -443,7 +444,7 @@ void write_json(const std::string& path, const LoadConfig& config,
         << ", \"server_write_pauses\": " << server_stats->pauses.write_pauses.load()
         << ", \"server_dropped_responses\": " << server_stats->dropped_responses.load();
   }
-  out << "}\n]\n";
+  out << ", " << benchx::bench_stamp_fields() << "}\n]\n";
 }
 
 void print_summary(const LoadTotals& totals, const LoadReport& report) {

@@ -1,0 +1,46 @@
+// Provenance stamp for every BENCH_*.json the benches emit: the git SHA and
+// build type the binary was compiled from (CMake configure-time defines) and
+// the UTC wall-clock time of the run. A bench number without these three
+// fields cannot be compared against anything later; with them, any two JSON
+// files can be lined up ("same SHA, Release vs Release, three weeks apart").
+//
+// Deliberately does not include benchmark/benchmark.h: the standalone
+// closed-loop drivers (bench_net, bench_cache, bench_fed) stamp their
+// hand-written JSON through the same helper.
+#pragma once
+
+#include <ctime>
+#include <string>
+
+#ifndef HXRC_GIT_SHA
+#define HXRC_GIT_SHA "unknown"
+#endif
+#ifndef HXRC_BUILD_TYPE
+#define HXRC_BUILD_TYPE "unknown"
+#endif
+
+namespace hxrc::benchx {
+
+/// ISO-8601 UTC timestamp, e.g. "2026-08-08T14:03:21Z".
+inline std::string bench_timestamp_utc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm parts{};
+  ::gmtime_r(&now, &parts);
+  char buffer[32];
+  std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &parts);
+  return buffer;
+}
+
+/// The stamp as ready-to-splice JSON object fields (no surrounding braces):
+///   "git_sha": "abc1234", "build_type": "Release", "timestamp": "...Z"
+inline std::string bench_stamp_fields() {
+  std::string out;
+  out += "\"git_sha\": \"" HXRC_GIT_SHA "\"";
+  out += ", \"build_type\": \"" HXRC_BUILD_TYPE "\"";
+  out += ", \"timestamp\": \"";
+  out += bench_timestamp_utc();
+  out += "\"";
+  return out;
+}
+
+}  // namespace hxrc::benchx

@@ -1,0 +1,158 @@
+// catalog_router: the federation front end as a network service.
+//
+// Speaks the identical framed wire protocol as catalog_server on its client
+// side — a client cannot tell a router port from a catalog port — and
+// scatter-gathers every request across N shard catalogs behind it
+// (src/fed/router.hpp): point ops routed by gid mod N, queries merged into
+// one globally-ascending page, stats summed, defines broadcast.
+//
+// Run a 2-shard federation with one replica for shard 0:
+//
+//   catalog_server --port 7071 --data-dir /tmp/s0 --ship-to 127.0.0.1:7081 &
+//   catalog_server --port 7072 --data-dir /tmp/s1 &
+//   catalog_server --port 7073 --replica --replication-listen 7081 &
+//   catalog_router --port 7070 --shard 127.0.0.1:7071,127.0.0.1:7073
+//                  --shard 127.0.0.1:7072
+//
+// Flags:
+//   --port N             listen port (default 7070; 0 = ephemeral)
+//   --shard P[,R]        shard endpoint: primary host:port, optionally a
+//                        replica host:port after a comma (repeat per shard;
+//                        order fixes the shard index — keep it stable)
+//   --workers N          routing worker threads (default 4)
+//   --event-threads N    epoll event-loop threads (default 2)
+//   --max-queue N        admission bound (default 256)
+//   --io-timeout-ms N    per-shard call timeout (default 5000)
+//   --probe-interval-ms N  health-probe cadence, 0 = off (default 500)
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "fed/router.hpp"
+#include "net/server.hpp"
+
+namespace {
+
+std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: catalog_router --shard HOST:PORT[,HOST:PORT] [--shard ...]\n"
+               "                      [--port N] [--workers N] [--event-threads N]\n"
+               "                      [--max-queue N] [--io-timeout-ms N]\n"
+               "                      [--probe-interval-ms N]\n");
+  std::exit(2);
+}
+
+bool parse_host_port(const std::string& text, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    return false;
+  }
+  const long value = std::atol(text.c_str() + colon + 1);
+  if (value <= 0 || value > 65535) return false;
+  host = text.substr(0, colon);
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+hxrc::fed::ShardEndpoint parse_shard(const std::string& spec) {
+  hxrc::fed::ShardEndpoint shard;
+  const std::size_t comma = spec.find(',');
+  const std::string primary = spec.substr(0, comma);
+  if (!parse_host_port(primary, shard.primary_host, shard.primary_port)) usage();
+  if (comma != std::string::npos) {
+    const std::string replica = spec.substr(comma + 1);
+    if (!parse_host_port(replica, shard.replica_host, shard.replica_port)) usage();
+  }
+  return shard;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hxrc;
+
+  long port = 7070;
+  fed::RouterOptions options;
+  net::ServerConfig server_config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = std::atol(value().c_str());
+    } else if (arg == "--shard") {
+      options.shards.push_back(parse_shard(value()));
+    } else if (arg == "--workers") {
+      options.workers = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--event-threads") {
+      server_config.event_threads = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--max-queue") {
+      options.max_queue = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--io-timeout-ms") {
+      options.io_timeout_ms = static_cast<std::uint32_t>(std::atol(value().c_str()));
+    } else if (arg == "--probe-interval-ms") {
+      options.probe_interval_ms = static_cast<std::uint32_t>(std::atol(value().c_str()));
+    } else {
+      usage();
+    }
+  }
+  if (port < 0 || port > 65535 || options.shards.empty()) usage();
+  server_config.port = static_cast<std::uint16_t>(port);
+
+  fed::FederationRouter router(options);
+  net::CatalogServer server(router, server_config);
+  try {
+    server.start();
+  } catch (const net::SocketError& e) {
+    std::fprintf(stderr, "cannot start router: %s\n", e.what());
+    return 1;
+  }
+
+  struct sigaction action {};
+  action.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  std::printf("catalog_router listening on 127.0.0.1:%u (shards=%u workers=%zu "
+              "event_threads=%zu max_queue=%zu)\n",
+              static_cast<unsigned>(server.port()), router.shard_count(),
+              options.workers, server_config.event_threads, options.max_queue);
+  for (std::size_t i = 0; i < options.shards.size(); ++i) {
+    const fed::ShardEndpoint& shard = options.shards[i];
+    std::string line = "  shard " + std::to_string(i) + ": primary " +
+                       shard.primary_host + ":" +
+                       std::to_string(shard.primary_port);
+    if (!shard.replica_host.empty()) {
+      line += " replica " + shard.replica_host + ":" +
+              std::to_string(shard.replica_port);
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.drain();
+
+  const net::ServerStats& stats = server.stats();
+  std::printf("routed %llu frames over %llu connections (%llu bytes in, %llu out)\n",
+              static_cast<unsigned long long>(stats.frames_in.load()),
+              static_cast<unsigned long long>(stats.connections_accepted.load()),
+              static_cast<unsigned long long>(stats.bytes_in.load()),
+              static_cast<unsigned long long>(stats.bytes_out.load()));
+  return 0;
+}

@@ -10,13 +10,24 @@
 //       frames code="draining", flush in-flight responses, quiesce workers,
 //       final WAL fsync. kill -9 at any point is recoverable on restart.
 //
+// Federation roles (see src/fed/):
+//   shard primary   --data-dir DIR --ship-to HOST:PORT   streams every
+//                   fsync-acknowledged WAL batch to a read replica;
+//   read replica    --replica [--replication-listen N]   read-only service
+//                   fed exclusively by the replication stream.
+//
 // Flags:
-//   --port N             listen port (default 7070; 0 = ephemeral)
-//   --data-dir DIR       run durable on DIR (default: in-memory only)
-//   --workers N          dispatcher worker threads (default 4)
-//   --event-threads N    epoll event-loop threads (default 2)
-//   --max-queue N        dispatcher admission bound (default 256)
-//   --idle-timeout-ms N  close idle connections after N ms (default 0 = never)
+//   --port N               listen port (default 7070; 0 = ephemeral)
+//   --data-dir DIR         run durable on DIR (default: in-memory only)
+//   --workers N            dispatcher worker threads (default 4)
+//   --event-threads N      epoll event-loop threads (default 2)
+//   --max-queue N          dispatcher admission bound (default 256)
+//   --idle-timeout-ms N    close idle connections after N ms (default 0 = never)
+//   --fsync-every-ms N     WAL group-commit time cadence (default 20)
+//   --fsync-every-n N      WAL group-commit volume backstop (default 256)
+//   --ship-to HOST:PORT    ship the WAL to a replica (requires --data-dir)
+//   --replica              read-only replica fed by the replication stream
+//   --replication-listen N replication port (replica; default 0 = ephemeral)
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +37,8 @@
 
 #include "core/catalog.hpp"
 #include "core/dispatcher.hpp"
+#include "fed/replica.hpp"
+#include "fed/shipper.hpp"
 #include "net/server.hpp"
 #include "storage/recovery.hpp"
 #include "workload/lead_schema.hpp"
@@ -40,8 +53,19 @@ void on_signal(int) { g_stop = 1; }
   std::fprintf(stderr,
                "usage: catalog_server [--port N] [--data-dir DIR] [--workers N]\n"
                "                      [--event-threads N] [--max-queue N]\n"
-               "                      [--idle-timeout-ms N]\n");
+               "                      [--idle-timeout-ms N] [--fsync-every-ms N]\n"
+               "                      [--fsync-every-n N] [--ship-to HOST:PORT]\n"
+               "                      [--replica] [--replication-listen N]\n");
   std::exit(2);
+}
+
+/// "host:port" → pair; exits with usage() on malformed input.
+void parse_host_port(const std::string& text, std::string& host, long& port) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) usage();
+  host = text.substr(0, colon);
+  port = std::atol(text.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) usage();
 }
 
 }  // namespace
@@ -53,6 +77,11 @@ int main(int argc, char** argv) {
   std::string data_dir;
   core::DispatcherConfig dispatch;
   net::ServerConfig server_config;
+  storage::DurabilityConfig durability;
+  bool replica_mode = false;
+  long replication_port = 0;
+  std::string ship_host;
+  long ship_port = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -72,12 +101,33 @@ int main(int argc, char** argv) {
       dispatch.max_queue = static_cast<std::size_t>(std::atol(value().c_str()));
     } else if (arg == "--idle-timeout-ms") {
       server_config.idle_timeout = std::chrono::milliseconds(std::atol(value().c_str()));
+    } else if (arg == "--fsync-every-ms") {
+      durability.wal.fsync_every_ms = static_cast<std::uint32_t>(std::atol(value().c_str()));
+    } else if (arg == "--fsync-every-n") {
+      durability.wal.fsync_every_n = static_cast<std::uint32_t>(std::atol(value().c_str()));
+    } else if (arg == "--ship-to") {
+      parse_host_port(value(), ship_host, ship_port);
+    } else if (arg == "--replica") {
+      replica_mode = true;
+    } else if (arg == "--replication-listen") {
+      replication_port = std::atol(value().c_str());
+      if (replication_port < 0 || replication_port > 65535) usage();
     } else {
       usage();
     }
   }
   if (port < 0 || port > 65535) usage();
   server_config.port = static_cast<std::uint16_t>(port);
+  if (!ship_host.empty() && data_dir.empty()) {
+    std::fprintf(stderr, "--ship-to requires --data-dir (the WAL is what ships)\n");
+    return 2;
+  }
+  if (replica_mode && !data_dir.empty()) {
+    std::fprintf(stderr,
+                 "--replica is incompatible with --data-dir: a replica's state "
+                 "is the replication stream\n");
+    return 2;
+  }
 
   xml::Schema schema = workload::lead_schema();
   core::CatalogConfig catalog_config;
@@ -86,7 +136,6 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<storage::DurableCatalog> durable;
   if (!data_dir.empty()) {
-    storage::DurabilityConfig durability;
     durability.data_dir = data_dir;
     try {
       durable = std::make_unique<storage::DurableCatalog>(catalog, durability);
@@ -104,6 +153,23 @@ int main(int argc, char** argv) {
         static_cast<double>(recovery.recovery_micros) / 1000.0);
   }
 
+  // Replica: accept the replication stream on an internal port and refuse
+  // client mutations — the stream is the only writer.
+  std::unique_ptr<fed::ReplicationListener> replication;
+  if (replica_mode) {
+    dispatch.read_only = true;
+    fed::ReplicaOptions replica_options;
+    replica_options.port = static_cast<std::uint16_t>(replication_port);
+    replication = std::make_unique<fed::ReplicationListener>(catalog, replica_options);
+    try {
+      replication->start();
+    } catch (const net::SocketError& e) {
+      std::fprintf(stderr, "cannot start replication listener: %s\n", e.what());
+      return 1;
+    }
+    catalog.set_replication_state(&replication->state());
+  }
+
   core::ServiceDispatcher dispatcher(catalog, dispatch);
   net::CatalogServer server(dispatcher, server_config);
   // Expose the server's backpressure counters through the catalog's `stats`
@@ -117,16 +183,33 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Primary: stream every fsync-acknowledged WAL batch to the replica.
+  std::unique_ptr<fed::WalShipper> shipper;
+  if (!ship_host.empty()) {
+    fed::ShipperOptions ship_options;
+    ship_options.host = ship_host;
+    ship_options.port = static_cast<std::uint16_t>(ship_port);
+    shipper = std::make_unique<fed::WalShipper>(*durable, ship_options);
+    shipper->start();
+  }
+
   struct sigaction action {};
   action.sa_handler = on_signal;
   ::sigaction(SIGTERM, &action, nullptr);
   ::sigaction(SIGINT, &action, nullptr);
 
   std::printf("catalog_server listening on 127.0.0.1:%u (workers=%zu event_threads=%zu "
-              "max_queue=%zu durable=%s)\n",
+              "max_queue=%zu durable=%s%s)\n",
               static_cast<unsigned>(server.port()), dispatcher.workers(),
               server_config.event_threads, dispatcher.max_queue(),
-              data_dir.empty() ? "no" : "yes");
+              data_dir.empty() ? "no" : "yes", replica_mode ? " role=replica" : "");
+  if (replication != nullptr) {
+    std::printf("replication listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(replication->port()));
+  }
+  if (shipper != nullptr) {
+    std::printf("shipping WAL to %s:%ld\n", ship_host.c_str(), ship_port);
+  }
   std::fflush(stdout);
 
   while (g_stop == 0) {
@@ -136,6 +219,10 @@ int main(int argc, char** argv) {
   std::printf("draining...\n");
   std::fflush(stdout);
   server.drain();
+  // Best-effort tail shipping: anything the live stream misses from here on
+  // is recovered from the WAL file when the primary next starts.
+  if (shipper != nullptr) shipper->stop();
+  if (replication != nullptr) replication->stop();
   if (durable != nullptr) durable->close();  // final WAL fsync
 
   const net::ServerStats& stats = server.stats();

@@ -24,6 +24,12 @@
 // every mutation is WAL-logged to <dir>, and on startup the newest valid
 // snapshot plus the WAL tail is replayed before the prompt appears — kill
 // the process (kill -9 included) and restart to pick up where it crashed.
+//
+// With `--connect host:port` the shell drives a live catalog_server or
+// catalog_router over the wire instead of an in-process catalog: gen,
+// ingest, find, fetch and stats translate to framed <catalogRequest>s
+// (plus `raw <xml>` for sending arbitrary request bodies); commands that
+// need in-process state (sql, xfind, defs, checkpoint) are unavailable.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -34,6 +40,8 @@
 
 #include "core/catalog.hpp"
 #include "core/path_query.hpp"
+#include "core/service.hpp"
+#include "net/client.hpp"
 #include "storage/recovery.hpp"
 #include "util/string_util.hpp"
 #include "workload/generator.hpp"
@@ -76,22 +84,70 @@ void print_help() {
       "  xfind <path-expression>         XPath-style metadata query\n"
       "  fetch <object_id>               print reconstructed XML\n"
       "  sql <statement>                 query the shredded tables\n"
+      "  raw <request-xml>               send a request body verbatim (--connect)\n"
       "  defs | stats | checkpoint | help | quit\n");
+}
+
+/// Prints the ids of a queryIds response as one sorted-by-the-server line.
+void print_remote_ids(const std::string& response) {
+  std::vector<long long> ids;
+  std::size_t pos = 0;
+  while ((pos = response.find("<objectID>", pos)) != std::string::npos) {
+    pos += 10;
+    ids.push_back(std::atoll(response.c_str() + pos));
+  }
+  if (response.find("status=\"error\"") != std::string::npos) {
+    std::printf("%s\n", response.c_str());
+    return;
+  }
+  std::printf("%zu object(s):", ids.size());
+  for (const long long id : ids) std::printf(" %lld", id);
+  if (response.find("<partial ") != std::string::npos) std::printf(" [partial]");
+  std::printf("\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string data_dir;
+  std::string connect;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--data-dir" && i + 1 < argc) {
       data_dir = argv[++i];
     } else if (arg.rfind("--data-dir=", 0) == 0) {
       data_dir = arg.substr(std::string("--data-dir=").size());
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect = arg.substr(std::string("--connect=").size());
     } else {
-      std::fprintf(stderr, "usage: catalog_shell [--data-dir <dir>]\n");
+      std::fprintf(stderr,
+                   "usage: catalog_shell [--data-dir <dir>] [--connect host:port]\n");
       return 2;
+    }
+  }
+  if (!connect.empty() && !data_dir.empty()) {
+    std::fprintf(stderr, "--connect and --data-dir are mutually exclusive\n");
+    return 2;
+  }
+
+  std::unique_ptr<net::BlockingClient> remote;
+  if (!connect.empty()) {
+    const std::size_t colon = connect.rfind(':');
+    const long remote_port =
+        colon == std::string::npos ? 0 : std::atol(connect.c_str() + colon + 1);
+    if (colon == std::string::npos || colon == 0 || remote_port <= 0 ||
+        remote_port > 65535) {
+      std::fprintf(stderr, "--connect expects host:port\n");
+      return 2;
+    }
+    try {
+      remote = std::make_unique<net::BlockingClient>(
+          connect.substr(0, colon), static_cast<std::uint16_t>(remote_port));
+    } catch (const net::SocketError& e) {
+      std::fprintf(stderr, "cannot connect to %s: %s\n", connect.c_str(), e.what());
+      return 1;
     }
   }
 
@@ -124,6 +180,9 @@ int main(int argc, char** argv) {
   std::uint64_t next_doc = catalog.object_count();
 
   std::printf("hybrid XML-relational metadata catalog shell — 'help' for commands\n");
+  if (remote != nullptr) {
+    std::printf("connected to %s (wire mode)\n", connect.c_str());
+  }
   std::string line;
   while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
     std::istringstream input(line);
@@ -132,6 +191,97 @@ int main(int argc, char** argv) {
     try {
       if (command.empty()) continue;
       if (command == "quit" || command == "exit") break;
+      if (remote != nullptr) {
+        // Wire mode: translate commands into framed <catalogRequest>s.
+        if (command == "help") {
+          print_help();
+        } else if (command == "gen") {
+          std::size_t n = 10;
+          input >> n;
+          std::size_t ok = 0;
+          for (std::size_t i = 0; i < n; ++i, ++next_doc) {
+            const xml::Document doc = generator.generate(next_doc);
+            const std::string request =
+                "<catalogRequest type=\"ingest\" name=\"gen-" +
+                std::to_string(next_doc) + "\" user=\"shell\">" +
+                xml::write(*doc.root) + "</catalogRequest>";
+            const std::string response = remote->call(request);
+            if (response.find("status=\"ok\"") != std::string::npos) {
+              ++ok;
+            } else {
+              std::printf("%s\n", response.c_str());
+            }
+          }
+          std::printf("ingested %zu/%zu documents over the wire\n", ok, n);
+        } else if (command == "ingest") {
+          std::string path;
+          input >> path;
+          std::ifstream file(path);
+          if (!file) {
+            std::printf("cannot open '%s'\n", path.c_str());
+            continue;
+          }
+          std::stringstream buffer;
+          buffer << file.rdbuf();
+          const std::string request = "<catalogRequest type=\"ingest\" name=\"" +
+                                      xml::escape_attribute(path) +
+                                      "\" user=\"shell\">" + buffer.str() +
+                                      "</catalogRequest>";
+          std::printf("%s\n", remote->call(request).c_str());
+        } else if (command == "find") {
+          std::string name;
+          input >> name;
+          if (name.empty()) {
+            std::printf("usage: find <name> [<source>] [<elem><op><value> ...]\n");
+            continue;
+          }
+          std::vector<std::string> tokens;
+          std::string token;
+          while (input >> token) tokens.push_back(token);
+          std::string source;
+          std::size_t first_pred = 0;
+          if (!tokens.empty() &&
+              tokens[0].find_first_of("=<>!") == std::string::npos) {
+            source = tokens[0];
+            first_pred = 1;
+          }
+          core::AttrQuery attr(name, source);
+          bool ok = true;
+          for (std::size_t i = first_pred; i < tokens.size(); ++i) {
+            if (!parse_predicate(tokens[i], attr)) {
+              std::printf("bad predicate '%s'\n", tokens[i].c_str());
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) continue;
+          core::ObjectQuery query;
+          query.add_attribute(std::move(attr));
+          std::string request = core::query_to_xml(query);
+          request.replace(request.find("type=\"query\""),
+                          std::string("type=\"query\"").size(),
+                          "type=\"queryIds\"");
+          print_remote_ids(remote->call(request));
+        } else if (command == "fetch") {
+          long long id = -1;
+          input >> id;
+          const std::string request = "<catalogRequest type=\"fetch\" objectID=\"" +
+                                      std::to_string(id) + "\"/>";
+          std::printf("%s\n", remote->call(request).c_str());
+        } else if (command == "stats") {
+          std::printf("%s\n",
+                      remote->call("<catalogRequest type=\"stats\"/>").c_str());
+        } else if (command == "raw") {
+          std::string request;
+          std::getline(input, request);
+          std::printf("%s\n", remote->call(util::trim(request)).c_str());
+        } else {
+          std::printf("'%s' needs an in-process catalog — unavailable with "
+                      "--connect\n",
+                      command.c_str());
+        }
+        continue;
+      }
       if (command == "help") {
         print_help();
       } else if (command == "gen") {

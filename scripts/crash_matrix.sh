@@ -13,16 +13,27 @@
 # This is the end-to-end, real-kill(-9) companion to the deterministic
 # FaultFs kill-point matrix in tests/test_recovery.cpp.
 #
-# The final round does the same to catalog_server: SIGKILL the network
-# front end while a catalog_load client fleet (live writers included) is
-# ingesting over TCP — the data dir must recover exactly like a shell kill.
+# Round 6 does the same to catalog_server: SIGKILL the network front end
+# while a catalog_load client fleet (live writers included) is ingesting
+# over TCP — the data dir must recover exactly like a shell kill.
 #
-# Usage: scripts/crash_matrix.sh [catalog_shell] [catalog_server] [catalog_load]
+# Round 7 kills a FEDERATION shard primary: a 2-shard router topology with
+# a WAL-shipped read replica behind shard 0 takes live load, shard 0's
+# primary is SIGKILLed mid-burst, and the round requires that (a) the load
+# fleet sees zero mangled/dropped frames across the failover, (b) the
+# router keeps answering merged queries whose DOM-level counts equal the
+# sum of what the surviving shard and the replica each hold, with no
+# partial-degradation marker (the replica IS serving), and (c) the dead
+# primary's data dir recovers deterministically to at least everything the
+# replica was shipped.
+#
+# Usage: scripts/crash_matrix.sh [catalog_shell] [catalog_server] [catalog_load] [catalog_router]
 set -u
 
 SHELL_BIN="${1:-build/examples/catalog_shell}"
 SERVER_BIN="${2:-build/examples/catalog_server}"
 LOAD_BIN="${3:-build/bench/catalog_load}"
+ROUTER_BIN="${4:-build/examples/catalog_router}"
 DIR="$(mktemp -d "${TMPDIR:-/tmp}/hxrc_crash_matrix.XXXXXX")"
 trap 'rm -rf "$DIR"' EXIT
 
@@ -136,6 +147,108 @@ if [ -x "$SERVER_BIN" ] && [ -x "$LOAD_BIN" ]; then
   check_recovery "$LAST_OBJECTS" "kill@net-load"
 else
   echo "crash_matrix: net round SKIPPED (catalog_server/catalog_load not built)"
+fi
+
+# Round 7: kill -9 a federation shard primary under live routed load.
+if [ -x "$SERVER_BIN" ] && [ -x "$LOAD_BIN" ] && [ -x "$ROUTER_BIN" ]; then
+  FED="$DIR/fed"
+  mkdir -p "$FED/s0" "$FED/s1"
+
+  # Scrape the first match of a sed pattern out of a growing log file.
+  scrape() {
+    local file="$1" pattern="$2" found=""
+    for _ in $(seq 1 100); do
+      found="$(sed -n "$pattern" "$file" 2>/dev/null | head -n 1)"
+      [ -n "$found" ] && break
+      sleep 0.1
+    done
+    echo "$found"
+  }
+
+  # Replica first: shard 0's primary needs its replication port to ship to.
+  "$SERVER_BIN" --port 0 --replica --replication-listen 0 \
+    > "$FED/replica.log" 2>&1 &
+  REPLICA_PID=$!
+  R_PORT="$(scrape "$FED/replica.log" 's/.*catalog_server listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p')"
+  R_SHIP="$(scrape "$FED/replica.log" 's/.*replication listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p')"
+  [ -n "$R_PORT" ] && [ -n "$R_SHIP" ] || fail "fed: replica never published its ports"
+
+  "$SERVER_BIN" --port 0 --data-dir "$FED/s0" --ship-to "127.0.0.1:$R_SHIP" \
+    > "$FED/s0.log" 2>&1 &
+  S0_PID=$!
+  S0_PORT="$(scrape "$FED/s0.log" 's/.*catalog_server listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p')"
+  "$SERVER_BIN" --port 0 --data-dir "$FED/s1" > "$FED/s1.log" 2>&1 &
+  S1_PID=$!
+  S1_PORT="$(scrape "$FED/s1.log" 's/.*catalog_server listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p')"
+  [ -n "$S0_PORT" ] && [ -n "$S1_PORT" ] || fail "fed: shards never published their ports"
+
+  "$ROUTER_BIN" --port 0 --probe-interval-ms 200 \
+    --shard "127.0.0.1:$S0_PORT,127.0.0.1:$R_PORT" \
+    --shard "127.0.0.1:$S1_PORT" > "$FED/router.log" 2>&1 &
+  ROUTER_PID=$!
+  ROUTER_PORT="$(scrape "$FED/router.log" 's/.*catalog_router listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p')"
+  [ -n "$ROUTER_PORT" ] || fail "fed: router never published its port"
+
+  # Live load through the router, shard 0's primary killed mid-burst. The
+  # fleet runs to completion so its frame accounting is trustworthy:
+  # failover may surface error *responses* (unavailable writes), but a
+  # single mangled or dropped frame is a protocol bug.
+  "$LOAD_BIN" --port "$ROUTER_PORT" --connections 16 --writer-every 2 \
+    --duration 6 > "$FED/load.log" 2>&1 &
+  FED_LOAD_PID=$!
+  sleep 2.5
+  kill -9 "$S0_PID" 2>/dev/null
+  wait "$S0_PID" 2>/dev/null
+  wait "$FED_LOAD_PID" 2>/dev/null
+  MANGLED="$(sed -n 's/.*mangled=\([0-9]*\).*/\1/p' "$FED/load.log" | head -n 1)"
+  DROPPED="$(sed -n 's/.*dropped=\([0-9]*\).*/\1/p' "$FED/load.log" | head -n 1)"
+  RESPONSES="$(sed -n 's/.*responses=\([0-9]*\).*/\1/p' "$FED/load.log" | head -n 1)"
+  [ -n "$RESPONSES" ] && [ "$RESPONSES" -gt 0 ] ||
+    fail "fed: load fleet produced no responses"
+  [ "$MANGLED" = "0" ] || fail "fed: $MANGLED mangled frames across failover"
+  [ "$DROPPED" = "0" ] || fail "fed: $DROPPED dropped frames across failover"
+
+  # DOM oracle after failover: the router's merged stats must equal the sum
+  # of what the replica (serving shard 0) and shard 1 each hold, and a
+  # merged query must answer ok with no partial-degradation marker.
+  wire_stats_objects() {
+    printf 'stats\nquit\n' | "$SHELL_BIN" --connect "127.0.0.1:$1" 2>/dev/null |
+      sed -n 's/.*<stats [^>]*objects="\([0-9]*\)".*/\1/p' | head -n 1
+  }
+  FED_OBJECTS="$(wire_stats_objects "$ROUTER_PORT")"
+  REPLICA_OBJECTS="$(wire_stats_objects "$R_PORT")"
+  S1_OBJECTS="$(wire_stats_objects "$S1_PORT")"
+  [ -n "$FED_OBJECTS" ] && [ -n "$REPLICA_OBJECTS" ] && [ -n "$S1_OBJECTS" ] ||
+    fail "fed: stats scrape failed after failover (fed='$FED_OBJECTS' replica='$REPLICA_OBJECTS' s1='$S1_OBJECTS')"
+  [ "$FED_OBJECTS" = "$((REPLICA_OBJECTS + S1_OBJECTS))" ] ||
+    fail "fed: merged stats $FED_OBJECTS != replica $REPLICA_OBJECTS + shard1 $S1_OBJECTS"
+  MERGED="$(printf 'raw <catalogRequest type="queryIds"><attribute name="grid" source="ARPS"/></catalogRequest>\nquit\n' |
+    "$SHELL_BIN" --connect "127.0.0.1:$ROUTER_PORT" 2>/dev/null)"
+  echo "$MERGED" | grep -q 'status="ok"' ||
+    fail "fed: merged query not ok after failover"
+  echo "$MERGED" | grep -q 'code="partial"' &&
+    fail "fed: merged query degraded to partial although the replica serves shard 0"
+
+  # Deterministic recovery of the killed primary, floored by the replica:
+  # every record the replica applied came off the primary's fsynced WAL, so
+  # the recovered count may never be below it.
+  s0_objects() {
+    printf 'quit\n' | "$SHELL_BIN" --data-dir "$FED/s0" 2>/dev/null |
+      sed -n 's/.*recovered from.*objects=\([0-9]*\).*/\1/p'
+  }
+  S0_FIRST="$(s0_objects)"
+  S0_SECOND="$(s0_objects)"
+  [ -n "$S0_FIRST" ] || fail "fed: no recovery banner from the killed primary"
+  [ "$S0_FIRST" = "$S0_SECOND" ] ||
+    fail "fed: non-deterministic shard recovery ($S0_FIRST vs $S0_SECOND objects)"
+  [ "$S0_FIRST" -ge "$REPLICA_OBJECTS" ] ||
+    fail "fed: recovered primary ($S0_FIRST) below its replica ($REPLICA_OBJECTS)"
+
+  kill "$ROUTER_PID" "$S1_PID" "$REPLICA_PID" 2>/dev/null
+  wait "$ROUTER_PID" "$S1_PID" "$REPLICA_PID" 2>/dev/null
+  echo "crash_matrix: kill@fed-primary: failover ok (fed=$FED_OBJECTS = replica=$REPLICA_OBJECTS + s1=$S1_OBJECTS, mangled=0, recovered s0=$S0_FIRST deterministic)"
+else
+  echo "crash_matrix: fed round SKIPPED (catalog_server/catalog_load/catalog_router not built)"
 fi
 
 echo "crash_matrix: PASS (final objects=$LAST_OBJECTS)"

@@ -1,0 +1,68 @@
+// RequestBroker: the request-handling seam behind the TCP front end.
+//
+// net::CatalogServer only moves framed <catalogRequest> bodies in and
+// <catalogResponse> bodies out; everything it needs from "the thing that
+// answers requests" is this interface. Two implementations exist:
+//
+//   * core::ServiceDispatcher — the single-node worker pool over one
+//     MetadataCatalog (the original, direct wiring);
+//   * fed::FederationRouter — the scatter-gather front end that routes the
+//     same requests across N shard catalogs over the wire.
+//
+// The split is what lets a router process reuse the server (epoll loops,
+// pipelining, backpressure, graceful drain) unchanged: to a client, a
+// router port and a catalog port speak the identical protocol.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/metrics.hpp"
+
+namespace hxrc::core {
+
+struct CachedResponse;
+
+class RequestBroker {
+ public:
+  virtual ~RequestBroker() = default;
+
+  /// Admits one serialized request; `done` is invoked exactly once with the
+  /// serialized <catalogResponse> — on an internal worker thread for handled
+  /// requests, or synchronously on the calling thread when admission is
+  /// refused (overloaded / draining). `probe_cache = false` tells an
+  /// implementation with a synchronous response cache that the caller
+  /// already probed (so a miss is not double-counted); implementations
+  /// without one ignore it.
+  virtual void submit_async(std::string request_xml,
+                            std::function<void(std::string)> done,
+                            bool probe_cache) = 0;
+
+  /// Synchronous fast path: answer a request from a response cache without
+  /// a worker hop, or nullptr when there is no such answer (miss,
+  /// non-cacheable request, no cache at all). The returned buffer is
+  /// immutable and stays valid for the life of the shared_ptr.
+  virtual std::shared_ptr<const CachedResponse> try_cached(std::string_view request_xml) = 0;
+
+  /// Requests admitted and not yet completed — the server's backpressure
+  /// watermarks pause socket reads against max_queue() using this.
+  virtual std::size_t queue_depth() const noexcept = 0;
+  virtual std::size_t max_queue() const noexcept = 0;
+
+  /// Closes the admission gate without waiting (later submissions resolve
+  /// to code="draining") / quiesces until every admitted request completed.
+  /// Both idempotent; draining is permanent.
+  virtual void begin_drain() = 0;
+  virtual void drain() = 0;
+  virtual bool draining() const noexcept = 0;
+
+  /// Cache counters to charge for try_cached hits the *caller* serves
+  /// (the event loop's inline path); nullptr when the implementation has no
+  /// cache, in which case try_cached never hits and nothing is charged.
+  virtual util::CacheMetrics* cache_metrics_hook() noexcept { return nullptr; }
+};
+
+}  // namespace hxrc::core

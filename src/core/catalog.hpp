@@ -344,6 +344,16 @@ class MetadataCatalog {
   }
   const util::ServerPauses* server_pauses() const noexcept { return server_pauses_; }
 
+  /// Replication watermarks rendered by the service `stats` request; owned
+  /// by the replication apply loop (fed::ReplicationListener), which must
+  /// outlive the catalog's use of them. Wire during single-threaded startup.
+  void set_replication_state(const util::ReplicationState* state) noexcept {
+    replication_state_ = state;
+  }
+  const util::ReplicationState* replication_state() const noexcept {
+    return replication_state_;
+  }
+
   // ---- concurrency ----
 
   /// Current catalog version (epoch). Bumped by every mutation; readable
@@ -548,6 +558,7 @@ class MetadataCatalog {
   MutationObserver observer_;
   const util::DurabilityMetrics* durability_metrics_ = nullptr;
   const util::ServerPauses* server_pauses_ = nullptr;
+  const util::ReplicationState* replication_state_ = nullptr;
 };
 
 }  // namespace hxrc::core

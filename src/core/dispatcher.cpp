@@ -92,6 +92,19 @@ void ServiceDispatcher::submit_async(std::string request_xml,
     done(error_response(ErrorCode::kDraining, "service is shutting down"));
     return;
   }
+  if (config_.read_only) {
+    const std::string type = peek_request_type(request_xml);
+    if (type == "ingest" || type == "addAttribute" || type == "define" ||
+        type == "delete") {
+      util::RequestStats& slot = metrics_.at(static_cast<std::size_t>(slot_for(type)));
+      slot.handled.fetch_add(1, std::memory_order_relaxed);
+      slot.errors.fetch_add(1, std::memory_order_relaxed);
+      done(error_response(ErrorCode::kValidation,
+                          "read-only replica: mutations are applied only through "
+                          "the replication stream"));
+      return;
+    }
+  }
 
   // Admission: a lock-free bounded counter. fetch_add/compare loop instead
   // of a blind increment so a rejected submission never transiently

@@ -34,6 +34,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/broker.hpp"
 #include "core/catalog.hpp"
 #include "core/service.hpp"
 #include "util/metrics.hpp"
@@ -50,13 +51,19 @@ struct DispatcherConfig {
   /// Deadline applied to requests that carry no timeoutMs attribute;
   /// zero = no deadline.
   std::chrono::milliseconds default_timeout{0};
+  /// Refuse mutation requests (ingest/addAttribute/define/delete) with
+  /// code="validation" before they reach the catalog. Read replicas run
+  /// with this set: their only legitimate write path is the replication
+  /// apply loop, and a stray client write would silently diverge them from
+  /// their primary.
+  bool read_only = false;
   /// Test seam: runs on the worker thread before each request is handled.
   /// Lets tests hold workers at a barrier to fill the admission queue or
   /// expire deadlines deterministically.
   std::function<void()> before_execute;
 };
 
-class ServiceDispatcher {
+class ServiceDispatcher : public RequestBroker {
  public:
   explicit ServiceDispatcher(MetadataCatalog& catalog, DispatcherConfig config = {});
 
@@ -77,7 +84,7 @@ class ServiceDispatcher {
   /// for callers (the network front end) that already probed and missed,
   /// so a miss is not counted twice.
   void submit_async(std::string request_xml, std::function<void(std::string)> done,
-                    bool probe_cache = true);
+                    bool probe_cache = true) override;
 
   /// L2 probe: answers a read request straight from the current snapshot's
   /// serialized-response cache, keyed by the raw request bytes — no parsing,
@@ -88,13 +95,13 @@ class ServiceDispatcher {
   /// latency), so `stats` figures stay truthful. The returned buffer is
   /// immutable and epoch-protected — the network front end writes it to the
   /// socket without copying into a response string first.
-  std::shared_ptr<const CachedResponse> try_cached(std::string_view request_xml);
+  std::shared_ptr<const CachedResponse> try_cached(std::string_view request_xml) override;
 
   /// Synchronous convenience: submit + wait.
   std::string call(std::string request_xml) { return submit(std::move(request_xml)).get(); }
 
   /// Requests admitted and not yet picked up by a worker.
-  std::size_t queue_depth() const noexcept {
+  std::size_t queue_depth() const noexcept override {
     return pending_.load(std::memory_order_acquire);
   }
 
@@ -103,7 +110,7 @@ class ServiceDispatcher {
   /// The network front end calls this on SIGTERM so queued frames are
   /// answered `draining` while it flushes in-flight responses, then calls
   /// drain() once the sockets are quiet. Idempotent; draining is permanent.
-  void begin_drain() { draining_.store(true, std::memory_order_release); }
+  void begin_drain() override { draining_.store(true, std::memory_order_release); }
 
   /// Quiesces the dispatcher: stops admitting (later submissions resolve to
   /// `code="draining"`), then blocks until every already-admitted request
@@ -112,13 +119,15 @@ class ServiceDispatcher {
   /// the catalog and no deferred frees are pending, so the durability layer
   /// can take its final WAL flush / detach safely (DurableCatalog::close).
   /// Idempotent; draining is permanent.
-  void drain();
+  void drain() override;
 
-  bool draining() const noexcept { return draining_.load(std::memory_order_acquire); }
+  bool draining() const noexcept override {
+    return draining_.load(std::memory_order_acquire);
+  }
 
   /// The admission-queue bound, for the network front end's backpressure
   /// watermarks (stop reading sockets before submissions start bouncing).
-  std::size_t max_queue() const noexcept { return config_.max_queue; }
+  std::size_t max_queue() const noexcept override { return config_.max_queue; }
 
   const util::MetricsRegistry& metrics() const noexcept { return metrics_; }
   std::size_t workers() const noexcept { return pool_.size(); }
@@ -126,6 +135,9 @@ class ServiceDispatcher {
   /// The catalog's cache counters — the network front end charges
   /// inline_served here when it frames a try_cached hit on the event loop.
   util::CacheMetrics& cache_metrics() noexcept { return catalog_.cache_metrics(); }
+  util::CacheMetrics* cache_metrics_hook() noexcept override {
+    return &catalog_.cache_metrics();
+  }
 
  private:
   int slot_for(std::string_view type_name) const noexcept;

@@ -211,6 +211,10 @@ std::string peek_request_type(std::string_view request_xml) {
   return std::string(peek_root_attribute(request_xml, "type"));
 }
 
+std::string peek_request_attr(std::string_view request_xml, std::string_view name) {
+  return std::string(peek_root_attribute(request_xml, name));
+}
+
 long peek_timeout_ms(std::string_view request_xml) {
   const std::string_view text = peek_root_attribute(request_xml, "timeoutMs");
   if (text.empty()) return -1;
@@ -493,6 +497,25 @@ std::string CatalogService::handle_parsed(const xml::Node& request,
       payload += " recovery_ms=\"" +
                  std::to_string(wal->recovery_micros.load(std::memory_order_relaxed) / 1000) +
                  "\"";
+      payload += "/>";
+    }
+    if (const util::ReplicationState* repl = catalog_.replication_state()) {
+      payload += "<replication";
+      payload += " wal_seq=\"" +
+                 std::to_string(repl->wal_seq.load(std::memory_order_relaxed)) + "\"";
+      payload += " applied_lsn=\"" +
+                 std::to_string(repl->applied_lsn.load(std::memory_order_relaxed)) + "\"";
+      payload += " applied_epoch=\"" +
+                 std::to_string(repl->applied_epoch.load(std::memory_order_relaxed)) + "\"";
+      payload += " records_applied=\"" +
+                 std::to_string(repl->records_applied.load(std::memory_order_relaxed)) +
+                 "\"";
+      payload += " chunks_applied=\"" +
+                 std::to_string(repl->chunks_applied.load(std::memory_order_relaxed)) + "\"";
+      payload += " bootstraps=\"" +
+                 std::to_string(repl->bootstraps.load(std::memory_order_relaxed)) + "\"";
+      payload += " connections=\"" +
+                 std::to_string(repl->connections.load(std::memory_order_relaxed)) + "\"";
       payload += "/>";
     }
     if (catalog_.cache_enabled()) {

@@ -71,6 +71,7 @@ enum class ErrorCode {
   kStaleCursor,  // continuation cursor predates a catalog mutation
   kDraining,     // dispatcher: shutting down, no longer admitting
   kUnsupportedVersion,  // request declared a protocol major we don't speak
+  kUnavailable,  // federation: the owning shard is unreachable (no replica)
 };
 
 /// One row of the ErrorCode ↔ wire-string table.
@@ -94,11 +95,12 @@ inline constexpr ErrorCodeName kErrorCodeNames[] = {
     {ErrorCode::kStaleCursor, "stale_cursor"},
     {ErrorCode::kDraining, "draining"},
     {ErrorCode::kUnsupportedVersion, "unsupported_version"},
+    {ErrorCode::kUnavailable, "unavailable"},
 };
 
-// kUnsupportedVersion is the last enumerator: one table row per code.
+// kUnavailable is the last enumerator: one table row per code.
 static_assert(std::size(kErrorCodeNames) ==
-              static_cast<std::size_t>(ErrorCode::kUnsupportedVersion) + 1);
+              static_cast<std::size_t>(ErrorCode::kUnavailable) + 1);
 
 std::string_view error_code_name(ErrorCode code) noexcept;
 
@@ -138,6 +140,11 @@ const std::vector<std::string>& service_request_type_names();
 /// (no DOM build — used by the dispatcher to classify rejected requests).
 /// Returns "" when no type is found.
 std::string peek_request_type(std::string_view request_xml);
+
+/// Light scan of a serialized request's root tag for an arbitrary
+/// attribute (same mechanics as peek_request_type; the federation router
+/// routes on objectID= without a DOM build). Returns "" when absent.
+std::string peek_request_attr(std::string_view request_xml, std::string_view name);
 
 /// Light scan for the root tag's timeoutMs attribute. Returns a negative
 /// value when absent or non-numeric. timeoutMs="0" means "already expired"

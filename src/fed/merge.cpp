@@ -1,0 +1,401 @@
+#include "fed/merge.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/service.hpp"
+
+namespace hxrc::fed {
+
+namespace {
+
+/// Index just past the matching '>' of the tag opening at `pos`, skipping
+/// quoted attribute values (an attribute may legally contain '>').
+std::size_t tag_close(std::string_view s, std::size_t pos) {
+  char quote = 0;
+  for (; pos < s.size(); ++pos) {
+    const char c = s[pos];
+    if (quote != 0) {
+      if (c == quote) quote = 0;
+    } else if (c == '"' || c == '\'') {
+      quote = c;
+    } else if (c == '>') {
+      return pos + 1;
+    }
+  }
+  throw FedError("unterminated tag in shard response");
+}
+
+/// Value of `name="..."` inside the root tag of `xml` (quote-naive on the
+/// needle is fine: attribute names never appear inside values we emit).
+std::string attr_needle(std::string_view name) {
+  std::string needle(" ");
+  needle += name;
+  needle += "=\"";
+  return needle;
+}
+
+std::string_view root_attr(std::string_view xml, std::string_view name) {
+  if (xml.empty() || xml[0] != '<') throw FedError("shard payload is not XML");
+  const std::string_view tag = xml.substr(0, tag_close(xml, 0));
+  const std::string needle = attr_needle(name);
+  const std::size_t at = tag.find(needle);
+  if (at == std::string_view::npos) return {};
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = tag.find('"', begin);
+  if (end == std::string_view::npos) throw FedError("unterminated attribute");
+  return tag.substr(begin, end - begin);
+}
+
+std::uint64_t parse_u64(std::string_view text, const char* what) {
+  if (text.empty()) throw FedError(std::string("missing ") + what);
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') throw FedError(std::string("non-numeric ") + what);
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+bool consume(std::string_view s, std::size_t& pos, std::string_view token) {
+  if (s.compare(pos, token.size(), token) != 0) return false;
+  pos += token.size();
+  return true;
+}
+
+/// Position of the `</result>` matching an already-consumed `<result ...>`
+/// opener. Tracks nesting so stored documents containing their own
+/// <result> elements cannot desynchronize the scan (response text is
+/// XML-escaped, so every '<' begins a real tag).
+std::size_t matching_result_close(std::string_view s, std::size_t pos) {
+  int depth = 1;
+  while (true) {
+    pos = s.find('<', pos);
+    if (pos == std::string_view::npos) {
+      throw FedError("unterminated <result> in shard response");
+    }
+    if (s.compare(pos, 9, "</result>") == 0) {
+      if (--depth == 0) return pos;
+      pos += 9;
+      continue;
+    }
+    if (s.compare(pos, 7, "<result") == 0 && pos + 7 < s.size()) {
+      const char next = s[pos + 7];
+      if (next == '>' || next == ' ' || next == '\t' || next == '/' ||
+          next == '\n' || next == '\r') {
+        const std::size_t end = tag_close(s, pos);
+        if (s[end - 2] != '/') ++depth;  // self-closing tags don't nest
+        pos = end;
+        continue;
+      }
+    }
+    ++pos;
+  }
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Parses one dot-terminated (or end-terminated) hex field.
+bool take_hex(std::string_view s, std::size_t& pos, std::uint64_t& value) {
+  if (pos >= s.size()) return false;
+  std::uint64_t v = 0;
+  std::size_t digits = 0;
+  while (pos < s.size() && s[pos] != '.') {
+    const char c = s[pos];
+    std::uint64_t d = 0;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | d;
+    ++pos;
+    ++digits;
+  }
+  if (digits == 0 || digits > 16) return false;
+  if (pos < s.size()) ++pos;  // swallow the dot
+  value = v;
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t placement_shard(std::string_view name, std::uint32_t nshards) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::uint32_t>(h % nshards);
+}
+
+ParsedResponse parse_response(std::string_view response) {
+  static constexpr std::string_view kOpen = "<catalogResponse";
+  static constexpr std::string_view kClose = "</catalogResponse>";
+  if (response.rfind(kOpen, 0) != 0) {
+    throw FedError("shard response is not a <catalogResponse>");
+  }
+  const std::size_t body = tag_close(response, 0);
+  const std::size_t end = response.rfind(kClose);
+  if (end == std::string_view::npos || end < body) {
+    throw FedError("shard response envelope is truncated");
+  }
+  ParsedResponse parsed;
+  parsed.payload = response.substr(body, end - body);
+  const std::string_view status = root_attr(response, "status");
+  if (status == "ok") {
+    parsed.ok = true;
+    parsed.version = parse_u64(root_attr(response, "version"), "response version");
+  } else if (status == "error") {
+    parsed.code = std::string(root_attr(response, "code"));
+  } else {
+    throw FedError("shard response has unknown status '" + std::string(status) +
+                   "'");
+  }
+  return parsed;
+}
+
+std::string ok_envelope(std::uint64_t version, std::string_view payload) {
+  std::string out = "<catalogResponse status=\"ok\" protocol=\"";
+  out += std::to_string(core::kProtocolMajor);
+  out += "\" version=\"";
+  out += std::to_string(version);
+  out += "\">";
+  out += payload;
+  out += "</catalogResponse>";
+  return out;
+}
+
+QueryPayload parse_query_payload(std::string_view payload, bool ids_only) {
+  QueryPayload page;
+  std::size_t pos = 0;
+  if (ids_only) {
+    if (!consume(payload, pos, "<objectIDs>")) {
+      throw FedError("queryIds payload missing <objectIDs>");
+    }
+    while (consume(payload, pos, "<objectID>")) {
+      const std::size_t end = payload.find("</objectID>", pos);
+      if (end == std::string_view::npos) {
+        throw FedError("unterminated <objectID>");
+      }
+      page.ids.push_back(parse_u64(payload.substr(pos, end - pos), "objectID"));
+      pos = end + 11;
+    }
+    if (!consume(payload, pos, "</objectIDs>")) {
+      throw FedError("queryIds payload missing </objectIDs>");
+    }
+  } else {
+    if (!consume(payload, pos, "<results>")) {
+      throw FedError("query payload missing <results>");
+    }
+    while (consume(payload, pos, "<result objectID=\"")) {
+      const std::size_t id_end = payload.find('"', pos);
+      if (id_end == std::string_view::npos) {
+        throw FedError("unterminated objectID attribute");
+      }
+      ResultSpan span;
+      span.lid = parse_u64(payload.substr(pos, id_end - pos), "objectID");
+      std::size_t body = id_end + 1;
+      if (!consume(payload, body, ">")) {
+        throw FedError("malformed <result> opening tag");
+      }
+      const std::size_t close = matching_result_close(payload, body);
+      span.body = payload.substr(body, close - body);
+      page.results.push_back(span);
+      pos = close + 9;
+    }
+    if (!consume(payload, pos, "</results>")) {
+      throw FedError("query payload missing </results>");
+    }
+  }
+  if (consume(payload, pos, "<nextCursor>")) {
+    const std::size_t end = payload.find("</nextCursor>", pos);
+    if (end == std::string_view::npos) throw FedError("unterminated <nextCursor>");
+    // Cursor strings are "HXC1.<hex>.<hex>" — no XML-escapable bytes, so
+    // the escaped wire form is the literal cursor.
+    page.next_cursor = std::string(payload.substr(pos, end - pos));
+    pos = end + 13;
+  }
+  if (pos != payload.size()) {
+    throw FedError("trailing bytes after query payload");
+  }
+  return page;
+}
+
+std::string encode_fed_cursor(const FedCursor& cursor) {
+  std::string out = "HXF1.";
+  out += hex(cursor.shard_count);
+  out += '.';
+  out += hex(cursor.serving_mask);
+  out += '.';
+  out += hex(cursor.legs.size());
+  for (const FedCursorLeg& leg : cursor.legs) {
+    out += '.';
+    out += hex(leg.shard);
+    out += '.';
+    out += hex(leg.epoch);
+    out += '.';
+    out += hex(leg.after_lid);
+  }
+  return out;
+}
+
+bool decode_fed_cursor(std::string_view text, FedCursor& cursor) {
+  if (text.rfind("HXF1.", 0) != 0) return false;
+  std::size_t pos = 5;
+  std::uint64_t shards = 0, mask = 0, count = 0;
+  if (!take_hex(text, pos, shards) || !take_hex(text, pos, mask) ||
+      !take_hex(text, pos, count)) {
+    return false;
+  }
+  if (shards == 0 || shards > 64 || count > shards) return false;
+  cursor.shard_count = static_cast<std::uint32_t>(shards);
+  cursor.serving_mask = mask;
+  cursor.legs.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FedCursorLeg leg;
+    std::uint64_t shard = 0;
+    if (!take_hex(text, pos, shard) || !take_hex(text, pos, leg.epoch) ||
+        !take_hex(text, pos, leg.after_lid)) {
+      return false;
+    }
+    if (shard >= shards) return false;
+    leg.shard = static_cast<std::uint32_t>(shard);
+    cursor.legs.push_back(leg);
+  }
+  return pos == text.size();
+}
+
+std::string encode_shard_cursor(std::uint64_t epoch, std::uint64_t after_lid) {
+  return "HXC1." + hex(epoch) + "." + hex(after_lid);
+}
+
+MergeOutput merge_query_pages(const std::vector<MergeInput>& inputs,
+                              std::uint32_t nshards, std::size_t limit,
+                              bool ids_only) {
+  MergeOutput out;
+  out.payload = ids_only ? "<objectIDs>" : "<results>";
+  std::vector<std::size_t> next(inputs.size(), 0);
+  std::size_t taken = 0;
+  while (limit == 0 || taken < limit) {
+    // Linear head scan: shard counts are small (<= 64), a heap would lose.
+    std::size_t best = inputs.size();
+    std::uint64_t best_gid = 0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const MergeInput& in = inputs[i];
+      const std::size_t have =
+          ids_only ? in.page.ids.size() : in.page.results.size();
+      if (next[i] >= have) continue;
+      const std::uint64_t lid =
+          ids_only ? in.page.ids[next[i]] : in.page.results[next[i]].lid;
+      const std::uint64_t gid = gid_of(lid, in.shard, nshards);
+      if (best == inputs.size() || gid < best_gid) {
+        best = i;
+        best_gid = gid;
+      }
+    }
+    if (best == inputs.size()) break;  // every stream drained
+    if (ids_only) {
+      out.payload += "<objectID>" + std::to_string(best_gid) + "</objectID>";
+    } else {
+      const ResultSpan& span = inputs[best].page.results[next[best]];
+      out.payload += "<result objectID=\"" + std::to_string(best_gid) + "\">";
+      out.payload += span.body;
+      out.payload += "</result>";
+    }
+    ++next[best];
+    ++taken;
+  }
+  out.payload += ids_only ? "</objectIDs>" : "</results>";
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const MergeInput& in = inputs[i];
+    const std::size_t have = ids_only ? in.page.ids.size() : in.page.results.size();
+    const bool leftover = next[i] < have;
+    if (!leftover && !in.more) continue;  // shard fully consumed
+    FedCursorLeg leg;
+    leg.shard = in.shard;
+    leg.epoch = in.version;
+    if (next[i] == 0) {
+      leg.after_lid = kNoLid;
+    } else {
+      const std::size_t last = next[i] - 1;
+      leg.after_lid = ids_only ? in.page.ids[last] : in.page.results[last].lid;
+    }
+    out.legs.push_back(leg);
+  }
+  out.truncated = !out.legs.empty();
+  return out;
+}
+
+std::string merge_stats_payload(const std::vector<ShardStatsInput>& shards) {
+  static constexpr const char* kSummed[] = {"objects", "attributes", "elements",
+                                            "clobs", "deleted"};
+  std::uint64_t sums[5] = {0, 0, 0, 0, 0};
+  std::uint64_t definitions = 0;
+  std::uint64_t version = 0;
+  std::string children;
+  for (const ShardStatsInput& shard : shards) {
+    if (shard.payload.rfind("<stats", 0) != 0) {
+      throw FedError("shard stats payload missing <stats>");
+    }
+    std::string child = "<shard index=\"" + std::to_string(shard.shard) +
+                        "\" endpoint=\"" +
+                        (shard.replica ? "replica" : "primary") + "\"";
+    for (std::size_t i = 0; i < 5; ++i) {
+      const std::string_view value = root_attr(shard.payload, kSummed[i]);
+      sums[i] += parse_u64(value, kSummed[i]);
+      child += attr_needle(kSummed[i]);
+      child += value;
+      child += "\"";
+    }
+    const std::uint64_t defs =
+        parse_u64(root_attr(shard.payload, "definitions"), "definitions");
+    const std::uint64_t ver =
+        parse_u64(root_attr(shard.payload, "version"), "version");
+    definitions = std::max(definitions, defs);
+    version = std::max(version, ver);
+    child += " definitions=\"" + std::to_string(defs) + "\" version=\"" +
+             std::to_string(ver) + "\"/>";
+    children += child;
+  }
+  std::string payload = "<stats";
+  for (std::size_t i = 0; i < 5; ++i) {
+    payload += attr_needle(kSummed[i]);
+    payload += std::to_string(sums[i]);
+    payload += "\"";
+  }
+  payload += " definitions=\"" + std::to_string(definitions) + "\"";
+  payload += " version=\"" + std::to_string(version) + "\"";
+  payload += " shards=\"" + std::to_string(shards.size()) + "\">";
+  payload += children;
+  payload += "</stats>";
+  return payload;
+}
+
+std::string rewrite_root_attr(std::string_view xml, std::string_view name,
+                              std::string_view value) {
+  if (xml.empty() || xml[0] != '<') throw FedError("request is not XML");
+  const std::string_view tag = xml.substr(0, tag_close(xml, 0));
+  const std::string needle = attr_needle(name);
+  const std::size_t at = tag.find(needle);
+  if (at == std::string_view::npos) {
+    throw FedError("request has no " + std::string(name) + " attribute");
+  }
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = tag.find('"', begin);
+  if (end == std::string_view::npos) throw FedError("unterminated attribute");
+  std::string out(xml.substr(0, begin));
+  out += value;
+  out += xml.substr(end);
+  return out;
+}
+
+}  // namespace hxrc::fed

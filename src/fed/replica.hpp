@@ -1,0 +1,101 @@
+// ReplicationListener: the receiving half of WAL shipping.
+//
+// A read replica runs a normal catalog process (MetadataCatalog +
+// read-only ServiceDispatcher + CatalogServer) plus this listener on a
+// second, internal port. A shard primary's WalShipper connects here,
+// bootstraps the replica (snapshot + WAL file catch-up) and then streams
+// every fsync-acknowledged WAL batch; the listener applies the records
+// through the same storage::apply_record path recovery uses, into the live
+// catalog — MVCC snapshot isolation is what lets reads keep flowing while
+// records apply.
+//
+// Consistency model:
+//  * apply order == primary log order (TCP FIFO + per-connection serial
+//    apply), and records with LSN <= the applied watermark are skipped, so
+//    a reconnecting shipper may overlap its catch-up with the live stream
+//    freely;
+//  * the replica's catalog version mirrors the primary's (apply_record
+//    re-pins each record's epoch), so staleness is observable as a version
+//    gap and cursors issued by the primary are valid on the replica at the
+//    same epoch;
+//  * mutations from clients are refused by the read-only dispatcher — the
+//    replication stream is the only writer.
+//
+// The listener reports its watermark through util::ReplicationState; wire
+// it into the catalog (set_replication_state) so `stats` answers carry
+// <replication wal_seq= applied_lsn= .../> for the router's staleness and
+// health probes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.hpp"
+#include "net/socket.hpp"
+#include "util/metrics.hpp"
+
+namespace hxrc::fed {
+
+struct ReplicaOptions {
+  /// Replication port; 0 = kernel-chosen (read the outcome via port()).
+  std::uint16_t port = 0;
+  /// Largest replication frame accepted (bootstrap snapshots ride in one
+  /// frame, so this bounds catalog size — default 1 GiB).
+  std::size_t max_frame_payload = std::size_t{1} << 30;
+};
+
+class ReplicationListener {
+ public:
+  ReplicationListener(core::MetadataCatalog& catalog, ReplicaOptions options = {});
+  ~ReplicationListener();
+
+  ReplicationListener(const ReplicationListener&) = delete;
+  ReplicationListener& operator=(const ReplicationListener&) = delete;
+
+  /// Binds + listens and spawns the acceptor. Throws net::SocketError when
+  /// the port is unavailable.
+  void start();
+
+  /// The bound replication port (valid after start()).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting and joins connection threads. Connections blocked in
+  /// a read are unblocked by closing their sockets. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  /// Watermarks + counters; stable address for the life of the listener
+  /// (wire into MetadataCatalog::set_replication_state).
+  const util::ReplicationState& state() const noexcept { return state_; }
+
+ private:
+  void accept_loop();
+  void serve(int fd);
+  /// Applies one bootstrap/chunk message; throws to drop the connection.
+  void handle_bootstrap(std::string_view payload);
+  std::uint64_t handle_chunk(std::string_view payload);
+
+  core::MetadataCatalog& catalog_;
+  ReplicaOptions options_;
+  util::ReplicationState state_;
+  net::Socket listen_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  /// Serializes apply + watermark updates across connections (a reconnect
+  /// may briefly overlap the dying connection).
+  std::mutex apply_mutex_;
+  /// True until the first bootstrap/chunk lands; a fresh replica accepts a
+  /// connect-time bootstrap (snapshot load), a non-fresh one only clean
+  /// +1 rotations.
+  bool fresh_ = true;
+  std::mutex conns_mutex_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace hxrc::fed

@@ -1,0 +1,114 @@
+#include "fed/ship_wire.hpp"
+
+namespace hxrc::fed {
+
+using storage::WalDecoder;
+using storage::WalEncoder;
+using storage::WalError;
+
+namespace {
+
+WalDecoder begin_decode(std::string_view payload, ShipMsg expected) {
+  WalDecoder dec(payload);
+  const auto tag = static_cast<ShipMsg>(dec.u8());
+  if (tag != expected) {
+    throw WalError("replication message kind " +
+                   std::to_string(static_cast<int>(tag)) + " where " +
+                   std::to_string(static_cast<int>(expected)) + " was expected");
+  }
+  return dec;
+}
+
+void finish_decode(const WalDecoder& dec) {
+  if (!dec.done()) {
+    throw WalError("replication message carries trailing bytes");
+  }
+}
+
+}  // namespace
+
+ShipMsg peek_ship_msg(std::string_view payload) {
+  if (payload.empty()) throw WalError("empty replication message");
+  const auto tag = static_cast<unsigned char>(payload[0]);
+  if (tag > static_cast<unsigned char>(ShipMsg::kAck)) {
+    throw WalError("unknown replication message kind " + std::to_string(tag));
+  }
+  return static_cast<ShipMsg>(tag);
+}
+
+std::string encode_hello(const HelloMsg& msg) {
+  WalEncoder enc;
+  enc.u8(static_cast<std::uint8_t>(ShipMsg::kHello));
+  enc.u64(msg.wal_seq);
+  enc.u64(msg.applied_lsn);
+  enc.u64(msg.records_applied);
+  return enc.take();
+}
+
+HelloMsg decode_hello(std::string_view payload) {
+  WalDecoder dec = begin_decode(payload, ShipMsg::kHello);
+  HelloMsg msg;
+  msg.wal_seq = dec.u64();
+  msg.applied_lsn = dec.u64();
+  msg.records_applied = dec.u64();
+  finish_decode(dec);
+  return msg;
+}
+
+std::string encode_bootstrap(const BootstrapMsg& msg) {
+  WalEncoder enc;
+  enc.u8(static_cast<std::uint8_t>(ShipMsg::kBootstrap));
+  enc.u64(msg.wal_seq);
+  enc.u64(msg.prev_records);
+  enc.u64(msg.epoch);
+  enc.str(msg.snapshot);
+  return enc.take();
+}
+
+BootstrapMsg decode_bootstrap(std::string_view payload) {
+  WalDecoder dec = begin_decode(payload, ShipMsg::kBootstrap);
+  BootstrapMsg msg;
+  msg.wal_seq = dec.u64();
+  msg.prev_records = dec.u64();
+  msg.epoch = dec.u64();
+  msg.snapshot = std::string(dec.str());
+  finish_decode(dec);
+  return msg;
+}
+
+std::string encode_chunk(std::uint64_t wal_seq, std::uint64_t first_lsn,
+                         std::string_view frames) {
+  WalEncoder enc;
+  enc.u8(static_cast<std::uint8_t>(ShipMsg::kChunk));
+  enc.u64(wal_seq);
+  enc.u64(first_lsn);
+  enc.str(frames);
+  return enc.take();
+}
+
+ChunkMsg decode_chunk(std::string_view payload) {
+  WalDecoder dec = begin_decode(payload, ShipMsg::kChunk);
+  ChunkMsg msg;
+  msg.wal_seq = dec.u64();
+  msg.first_lsn = dec.u64();
+  msg.frames = std::string(dec.str());
+  finish_decode(dec);
+  return msg;
+}
+
+std::string encode_ack(const AckMsg& msg) {
+  WalEncoder enc;
+  enc.u8(static_cast<std::uint8_t>(ShipMsg::kAck));
+  enc.u64(msg.applied_lsn);
+  return enc.take();
+}
+
+AckMsg decode_ack(std::string_view payload) {
+  WalDecoder dec = begin_decode(payload, ShipMsg::kAck);
+  AckMsg msg;
+  msg.applied_lsn = dec.u64();
+  finish_decode(dec);
+  return msg;
+}
+
+}  // namespace hxrc::fed

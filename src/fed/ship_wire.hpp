@@ -1,0 +1,89 @@
+// Replication wire messages (WAL shipping), carried in net frames of type
+// FrameType::kWalShip on a replica's dedicated replication port.
+//
+// The framing reuses the versioned net header (net/frame.hpp) so the codec,
+// length bounds, and corruption handling are shared with the request
+// protocol; the payload is WalEncoder binary, tagged with a one-byte
+// message kind:
+//
+//   kHello      replica → shipper, once per connection: where the replica
+//               is (wal_seq, applied_lsn) so the shipper can catch it up
+//               from the WAL file without resending everything.
+//   kBootstrap  shipper → replica: adopt wal sequence `wal_seq`. A fresh
+//               replica loads `snapshot` (may be empty for a fresh
+//               primary); a non-fresh replica adopts a +1 rotation after
+//               verifying it applied all `prev_records` of the finished
+//               sequence, and refuses anything else (divergence — restart
+//               the replica to resync).
+//   kChunk      shipper → replica: raw WAL frames (no file magic) whose
+//               first record is `first_lsn` within wal.<wal_seq>.log.
+//               Records with LSN <= the replica's applied watermark are
+//               skipped, so overlap between the file-based catch-up and
+//               the live stream is harmless.
+//   kAck        replica → shipper: applied-LSN watermark, after each chunk.
+//
+// Request ids on kWalShip frames are 0; the stream is strictly ordered, so
+// nothing needs matching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "storage/wal.hpp"
+
+namespace hxrc::fed {
+
+enum class ShipMsg : std::uint8_t {
+  kHello = 0,
+  kBootstrap = 1,
+  kChunk = 2,
+  kAck = 3,
+};
+
+struct HelloMsg {
+  std::uint64_t wal_seq = 0;
+  std::uint64_t applied_lsn = 0;
+  /// Total records ever applied; 0 + applied_lsn==0 marks a fresh replica.
+  std::uint64_t records_applied = 0;
+};
+
+struct BootstrapMsg {
+  std::uint64_t wal_seq = 0;
+  /// Record count of the finished wal.<wal_seq-1>.log for a live rotation;
+  /// 0 for a connect-time bootstrap of a fresh replica.
+  std::uint64_t prev_records = 0;
+  /// Catalog version at the snapshot point; 0 = unknown (connect-time
+  /// bootstrap, where the snapshot bytes themselves carry the version).
+  std::uint64_t epoch = 0;
+  std::string snapshot;
+};
+
+struct ChunkMsg {
+  std::uint64_t wal_seq = 0;
+  std::uint64_t first_lsn = 0;
+  std::string frames;
+};
+
+struct AckMsg {
+  std::uint64_t applied_lsn = 0;
+};
+
+/// Kind tag of an encoded message. Throws storage::WalError on an empty or
+/// unknown-tag payload.
+ShipMsg peek_ship_msg(std::string_view payload);
+
+std::string encode_hello(const HelloMsg& msg);
+std::string encode_bootstrap(const BootstrapMsg& msg);
+std::string encode_chunk(std::uint64_t wal_seq, std::uint64_t first_lsn,
+                         std::string_view frames);
+std::string encode_ack(const AckMsg& msg);
+
+/// Decoders take the whole payload (tag included) and throw
+/// storage::WalError on a malformed or wrong-kind payload.
+HelloMsg decode_hello(std::string_view payload);
+BootstrapMsg decode_bootstrap(std::string_view payload);
+ChunkMsg decode_chunk(std::string_view payload);
+AckMsg decode_ack(std::string_view payload);
+
+}  // namespace hxrc::fed

@@ -57,10 +57,14 @@ void BlockingClient::send_raw(std::string_view bytes) {
 
 Frame BlockingClient::recv_frame() {
   for (;;) {
-    DecodeResult result = decode_frame(inbuf_, ~std::size_t{0});
+    DecodeResult result = decode_frame(inbuf_, max_payload_);
     if (result.status == DecodeStatus::kFrame) {
       inbuf_.erase(0, result.consumed);
       return std::move(result.frame);
+    }
+    if (result.status == DecodeStatus::kTooLarge) {
+      throw SocketError("oversized frame from server (payload exceeds " +
+                        std::to_string(max_payload_) + " bytes)");
     }
     if (result.status != DecodeStatus::kNeedMore) {
       throw SocketError("malformed frame from server");
@@ -72,7 +76,15 @@ Frame BlockingClient::recv_frame() {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    if (n == 0) throw SocketError("connection closed by server");
+    if (n == 0) {
+      throw SocketError(inbuf_.empty()
+                            ? "connection closed by server"
+                            : "connection closed by server mid-frame (" +
+                                  std::to_string(inbuf_.size()) + " bytes buffered)");
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      throw SocketError("read timed out waiting for a frame");
+    }
     throw SocketError(std::string("read: ") + std::strerror(errno));
   }
 }

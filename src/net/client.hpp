@@ -6,6 +6,7 @@
 // want the straightforward thing: call() = one request, one response.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -17,6 +18,12 @@ namespace hxrc::net {
 
 class BlockingClient {
  public:
+  /// Largest response payload accepted by default. A peer announcing a
+  /// bigger length in its header gets a clean SocketError instead of an
+  /// unbounded allocation (or, worse, an eternal read loop waiting for
+  /// petabytes that never come).
+  static constexpr std::size_t kDefaultMaxPayload = std::size_t{256} << 20;
+
   /// Connects immediately; throws SocketError on failure.
   BlockingClient(const std::string& host, std::uint16_t port);
 
@@ -46,12 +53,22 @@ class BlockingClient {
   /// still read pending responses).
   void shutdown_write();
 
+  /// Caps the response payload this client will accept (see
+  /// kDefaultMaxPayload). A frame header announcing more throws SocketError
+  /// from recv_frame without consuming the stream.
+  void set_max_payload(std::size_t bytes) noexcept { max_payload_ = bytes; }
+
+  /// Bounds every blocking read/write on this connection (net::set_io_timeout);
+  /// an expired wait surfaces as SocketError. 0 = wait forever.
+  void set_io_timeout(std::uint32_t millis) { net::set_io_timeout(sock_.fd(), millis); }
+
   int fd() const noexcept { return sock_.fd(); }
 
  private:
   Socket sock_;
   std::string inbuf_;
   std::uint32_t next_id_ = 1;
+  std::size_t max_payload_ = kDefaultMaxPayload;
 };
 
 }  // namespace hxrc::net

@@ -48,6 +48,11 @@ enum class FrameType : std::uint8_t {
   /// The frame never reached the service (bad version, oversized payload);
   /// the payload is still a <catalogResponse status="error">.
   kError = 2,
+  /// Internal replication traffic (src/fed/ship_wire.hpp): WAL-shipping
+  /// hello/bootstrap/chunk/ack messages between a shard primary and its
+  /// read replica. Never valid on the public request port — the server
+  /// answers it like any non-request frame type.
+  kWalShip = 3,
 };
 
 struct Frame {

@@ -186,7 +186,7 @@ class CatalogServer::EventLoop {
   /// paused no socket of this shard is read and no parsed frame is
   /// submitted, so saturation surfaces as TCP backpressure at the peers.
   void update_pause_state() {
-    const std::size_t depth = server_.dispatcher_.queue_depth();
+    const std::size_t depth = server_.broker_.queue_depth();
     const bool want =
         paused_ ? depth > server_.pause_low_ : depth >= server_.pause_high_;
     if (want == paused_) return;
@@ -291,7 +291,7 @@ class CatalogServer::EventLoop {
   bool parse_frames(Connection& conn) {
     for (;;) {
       if (!paused_ &&
-          server_.dispatcher_.queue_depth() >= server_.pause_high_) {
+          server_.broker_.queue_depth() >= server_.pause_high_) {
         paused_ = true;
         server_.stats_.pauses.read_pauses.fetch_add(1, std::memory_order_relaxed);
         for (auto& [id, c] : conns_) update_interest(*c);
@@ -364,17 +364,18 @@ class CatalogServer::EventLoop {
     // copy, no inbox round trip, no dispatcher admission, no worker hop.
     // in_flight is never raised, so drain/quiet-close logic is untouched;
     // the frame flushes with everything else at the end of parse_frames.
-    if (auto hit = server_.dispatcher_.try_cached(body)) {
+    if (auto hit = server_.broker_.try_cached(body)) {
       append_frame(conn.outbuf, FrameType::kResponse, request_id, hit->body);
       server_.stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
-      server_.dispatcher_.cache_metrics().inline_served.fetch_add(
-          1, std::memory_order_relaxed);
+      if (util::CacheMetrics* cm = server_.broker_.cache_metrics_hook()) {
+        cm->inline_served.fetch_add(1, std::memory_order_relaxed);
+      }
       return;
     }
     conn.in_flight++;
     const std::uint64_t conn_id = conn.id;
     server_.callbacks_outstanding_.fetch_add(1, std::memory_order_acq_rel);
-    server_.dispatcher_.submit_async(
+    server_.broker_.submit_async(
         std::move(body),
         [this, conn_id, request_id](std::string response) {
           post_response(conn_id, request_id, std::move(response));
@@ -538,8 +539,8 @@ class CatalogServer::EventLoop {
 // CatalogServer
 // ---------------------------------------------------------------------------
 
-CatalogServer::CatalogServer(core::ServiceDispatcher& dispatcher, ServerConfig config)
-    : dispatcher_(dispatcher), config_(config) {
+CatalogServer::CatalogServer(core::RequestBroker& broker, ServerConfig config)
+    : broker_(broker), config_(config) {
   if (config_.event_threads == 0) config_.event_threads = 1;
   if (config_.pause_high_watermark != 0) {
     pause_high_ = config_.pause_high_watermark;
@@ -549,8 +550,8 @@ CatalogServer::CatalogServer(core::ServiceDispatcher& dispatcher, ServerConfig c
     // headroom concurrent loops could hit the bound and bounce requests as
     // `overloaded` — exactly what read-pausing exists to prevent.
     const std::size_t headroom =
-        std::min(dispatcher_.max_queue() / 2, 2 * config_.event_threads);
-    pause_high_ = dispatcher_.max_queue() - headroom;
+        std::min(broker_.max_queue() / 2, 2 * config_.event_threads);
+    pause_high_ = broker_.max_queue() - headroom;
   }
   if (pause_high_ == 0) pause_high_ = 1;
   pause_low_ = config_.pause_low_watermark != 0 ? config_.pause_low_watermark
@@ -621,13 +622,13 @@ void CatalogServer::drain() {
       (Clock::now() + config_.drain_linger).time_since_epoch().count(),
       std::memory_order_release);
   if (!draining_.exchange(true)) {
-    // Queued and future frames bounce off the dispatcher's admission gate
+    // Queued and future frames bounce off the broker's admission gate
     // as code="draining" while the loops flush in-flight responses.
-    dispatcher_.begin_drain();
+    broker_.begin_drain();
   }
   for (auto& loop : loops_) loop->wake();
   join_threads();
-  dispatcher_.drain();
+  broker_.drain();
 }
 
 void CatalogServer::shutdown() {

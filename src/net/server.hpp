@@ -1,8 +1,10 @@
-// CatalogServer: the TCP front end over ServiceDispatcher.
+// CatalogServer: the TCP front end over a core::RequestBroker.
 //
 // The engine stays untouched: the server's only job is to move framed
-// <catalogRequest> bodies from sockets into ServiceDispatcher::submit_async
-// and framed <catalogResponse> bodies back out. The shape is one acceptor
+// <catalogRequest> bodies from sockets into RequestBroker::submit_async
+// and framed <catalogResponse> bodies back out. The broker is usually the
+// single-node ServiceDispatcher; a fed::FederationRouter plugs in through
+// the same seam to serve the identical protocol over sharded backends. The shape is one acceptor
 // thread plus N event-loop threads, each owning an epoll set of
 // connections (a connection is touched only by its owning loop thread;
 // cross-thread traffic — new connections from the acceptor, completed
@@ -28,7 +30,7 @@
 //  * graceful drain — drain() stops accepting, flips the dispatcher's
 //    admission gate (queued/new frames answer code="draining"), lets
 //    in-flight requests complete and flush, then reuses
-//    ServiceDispatcher::drain() for worker + epoch quiescence. Connections
+//    RequestBroker::drain() for worker + epoch quiescence. Connections
 //    that never go quiet are cut off after drain_linger.
 #pragma once
 
@@ -40,7 +42,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/dispatcher.hpp"
+#include "core/broker.hpp"
 #include "net/socket.hpp"
 
 namespace hxrc::net {
@@ -89,7 +91,7 @@ struct ServerStats {
 
 class CatalogServer {
  public:
-  CatalogServer(core::ServiceDispatcher& dispatcher, ServerConfig config = {});
+  CatalogServer(core::RequestBroker& broker, ServerConfig config = {});
   ~CatalogServer();
 
   CatalogServer(const CatalogServer&) = delete;
@@ -104,7 +106,7 @@ class CatalogServer {
 
   /// Graceful shutdown: stop accepting, answer new frames with
   /// code="draining", complete + flush in-flight requests, then quiesce
-  /// the dispatcher (ServiceDispatcher::drain()). Blocks until done.
+  /// the broker (RequestBroker::drain()). Blocks until done.
   /// Idempotent.
   void drain();
 
@@ -126,7 +128,7 @@ class CatalogServer {
   void accept_loop();
   void join_threads();
 
-  core::ServiceDispatcher& dispatcher_;
+  core::RequestBroker& broker_;
   ServerConfig config_;
   ServerStats stats_;
   Socket listen_;

@@ -6,6 +6,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -97,6 +98,18 @@ void set_nodelay(int fd) {
   const int one = 1;
   if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
     throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+void set_io_timeout(int fd, std::uint32_t millis) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(millis / 1000);
+  tv.tv_usec = static_cast<suseconds_t>(millis % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_SNDTIMEO)");
   }
 }
 

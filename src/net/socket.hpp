@@ -64,5 +64,11 @@ void set_nonblocking(int fd);
 /// Disables Nagle: the server writes whole frames and the closed-loop
 /// client sends one request per round trip — batching only adds latency.
 void set_nodelay(int fd);
+/// SO_RCVTIMEO + SO_SNDTIMEO on a blocking socket: reads and writes that
+/// stall longer than `millis` fail with EAGAIN instead of hanging forever.
+/// The federation router's per-shard calls run on top of this — a dead or
+/// wedged shard must cost one bounded timeout, not a stuck worker.
+/// 0 = never time out (the default state of a fresh socket).
+void set_io_timeout(int fd, std::uint32_t millis);
 
 }  // namespace hxrc::net

@@ -290,7 +290,11 @@ DurableCatalog::DurableCatalog(core::MetadataCatalog& catalog, DurabilityConfig 
 
   cleanup_superseded(seq_);
 
-  wal_ = std::make_unique<WalWriter>(fs_.open_append(wal_path), config_.wal, &metrics_);
+  // LSNs continue from the replayed record count, so an LSN names the
+  // record's ordinal in this WAL file across restarts (replication relies
+  // on it: a replica's applied-LSN watermark is per (wal_seq, ordinal)).
+  wal_ = std::make_unique<WalWriter>(fs_.open_append(wal_path), config_.wal, &metrics_,
+                                     recovery_.replayed_records);
   recovery_.recovery_micros = elapsed_micros(start);
   metrics_.recovery_micros.store(recovery_.recovery_micros, std::memory_order_relaxed);
   metrics_.replayed_records.store(recovery_.replayed_records, std::memory_order_relaxed);
@@ -322,6 +326,24 @@ void DurableCatalog::flush() {
   if (!closed_) wal_->flush();
 }
 
+void DurableCatalog::install_ship_sink(std::uint64_t seq) {
+  if (ship_observer_ == nullptr) {
+    wal_->set_ship_sink(nullptr);
+    return;
+  }
+  WalShipObserver* observer = ship_observer_;
+  wal_->set_ship_sink([observer, seq](std::uint64_t first_lsn,
+                                      std::string_view frames) {
+    observer->on_durable(seq, first_lsn, frames);
+  });
+}
+
+void DurableCatalog::set_ship_observer(WalShipObserver* observer) {
+  std::lock_guard<std::mutex> guard(lifecycle_mutex_);
+  ship_observer_ = observer;
+  if (!closed_) install_ship_sink(seq_);
+}
+
 void DurableCatalog::checkpoint() {
   std::lock_guard<std::mutex> guard(lifecycle_mutex_);
   if (closed_) throw RecoveryError("checkpoint on a closed DurableCatalog");
@@ -333,10 +355,18 @@ void DurableCatalog::checkpoint() {
     auto lock = catalog_.read_lock();
     const std::string bytes = encode_snapshot(catalog_, /*locked=*/true);
     write_snapshot_file(fs_, config_.data_dir, old_seq + 1, bytes, &metrics_);
+    const std::uint64_t prev_records = wal_->records();
     wal_->close();
     wal_ = std::make_unique<WalWriter>(fs_.create(dir_path(wal_name(old_seq + 1))),
                                        config_.wal, &metrics_);
     seq_ = old_seq + 1;
+    // Still under the mutation fence: replicas learn about the rotation
+    // (with the exact image the new sequence starts from) before any frame
+    // of the new WAL can exist.
+    if (ship_observer_ != nullptr) {
+      ship_observer_->on_rotate(seq_, prev_records, catalog_.version(), bytes);
+      install_ship_sink(seq_);
+    }
   }
   cleanup_superseded(seq_);
 }

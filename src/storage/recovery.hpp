@@ -34,6 +34,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "core/catalog.hpp"
 #include "storage/fs.hpp"
@@ -81,6 +82,30 @@ std::string encode_event(const core::MutationEvent& event);
 /// mutation diverges (id drift) — that is corruption the CRC cannot see.
 void apply_record(core::MetadataCatalog& catalog, const WalRecord& record);
 
+/// Replication tap on a DurableCatalog (see fed/shipper.hpp for the network
+/// half). Callbacks run with durability-layer locks held — on_durable under
+/// the WAL writer mutex, on_rotate under the catalog's shared lock inside
+/// checkpoint() — so implementations must only enqueue and return.
+class WalShipObserver {
+ public:
+  virtual ~WalShipObserver() = default;
+
+  /// A run of fsync-acknowledged WAL frames (raw frame bytes, no file
+  /// magic); the first record's LSN within wal.<wal_seq>.log is first_lsn.
+  virtual void on_durable(std::uint64_t wal_seq, std::uint64_t first_lsn,
+                          std::string_view frames) = 0;
+
+  /// A checkpoint rotated to wal.<new_seq>.log (empty); `snapshot` is the
+  /// serialized catalog image the new sequence starts from, `prev_records`
+  /// the total record count of the finished wal.<new_seq-1>.log (a replica
+  /// adopts the rotation only when its applied-LSN matches — proof it
+  /// missed nothing), and `epoch` the catalog version at the snapshot
+  /// point. Called under the mutation fence, so no on_durable for new_seq
+  /// can precede it.
+  virtual void on_rotate(std::uint64_t new_seq, std::uint64_t prev_records,
+                         std::uint64_t epoch, const std::string& snapshot) = 0;
+};
+
 class DurableCatalog {
  public:
   /// Opens (recovering if the directory has state) and attaches. The
@@ -96,6 +121,14 @@ class DurableCatalog {
   const RecoveryInfo& recovery() const noexcept { return recovery_; }
   const util::DurabilityMetrics& metrics() const noexcept { return metrics_; }
   std::uint64_t wal_seq() const noexcept { return seq_; }
+  const std::string& data_dir() const noexcept { return config_.data_dir; }
+
+  /// Installs (or clears, with nullptr) the replication observer. The
+  /// observer must outlive the DurableCatalog or be cleared first. Frames
+  /// appended but not yet durable at installation time are included in the
+  /// stream; overlap with a concurrent read of the WAL file is resolved by
+  /// LSN on the receiving side (WalWriter::set_ship_sink).
+  void set_ship_observer(WalShipObserver* observer);
 
   /// Blocks until every mutation so far is fsync-acknowledged.
   void flush();
@@ -112,6 +145,10 @@ class DurableCatalog {
  private:
   void on_mutation(const core::MutationEvent& event);
   void cleanup_superseded(std::uint64_t live_seq);
+  /// Hooks `wal_` up to ship_observer_ for the given sequence number.
+  /// Caller guarantees no concurrent writer swap (lifecycle_mutex_ or
+  /// construction).
+  void install_ship_sink(std::uint64_t seq);
   std::string dir_path(const std::string& name) const {
     return config_.data_dir + "/" + name;
   }
@@ -132,6 +169,9 @@ class DurableCatalog {
   /// so the two can never touch `wal_` concurrently.
   std::mutex lifecycle_mutex_;
   bool closed_ = false;
+  /// Replication tap; written under lifecycle_mutex_, read by the writer's
+  /// ship sink (which captured it when installed).
+  WalShipObserver* ship_observer_ = nullptr;
 };
 
 }  // namespace hxrc::storage

@@ -116,20 +116,12 @@ void encode_frame(std::string& out, WalRecordType type, std::uint64_t epoch,
   put_u32le(frame + 4, crc32c(0, body, body_len));
 }
 
-WalScan scan_wal(std::string_view bytes) {
-  WalScan scan;
-  if (bytes.empty()) return scan;  // fresh file: nothing written yet
-  if (bytes.size() < sizeof kWalMagic ||
-      std::memcmp(bytes.data(), kWalMagic, sizeof kWalMagic) != 0) {
-    if (bytes.size() < sizeof kWalMagic) {
-      // A crash can tear even the 8-byte header write.
-      scan.torn_tail = true;
-      scan.stop_reason = "torn file header";
-      return scan;
-    }
-    throw WalError("not a WAL file (bad magic)");
-  }
-  std::size_t pos = sizeof kWalMagic;
+namespace {
+
+/// Shared frame walk for scan_wal / scan_wal_frames: parses frames starting
+/// at `pos`, appending to `scan` until the bytes end or a torn/corrupt
+/// frame stops it.
+void scan_frames_from(std::string_view bytes, std::size_t pos, WalScan& scan) {
   scan.valid_bytes = pos;
   while (pos < bytes.size()) {
     if (bytes.size() - pos < kFramePrefix) {
@@ -163,14 +155,66 @@ WalScan scan_wal(std::string_view bytes) {
     pos += kFramePrefix + body_len;
     scan.valid_bytes = pos;
   }
+}
+
+}  // namespace
+
+WalScan scan_wal(std::string_view bytes) {
+  WalScan scan;
+  if (bytes.empty()) return scan;  // fresh file: nothing written yet
+  if (bytes.size() < sizeof kWalMagic ||
+      std::memcmp(bytes.data(), kWalMagic, sizeof kWalMagic) != 0) {
+    if (bytes.size() < sizeof kWalMagic) {
+      // A crash can tear even the 8-byte header write.
+      scan.torn_tail = true;
+      scan.stop_reason = "torn file header";
+      return scan;
+    }
+    throw WalError("not a WAL file (bad magic)");
+  }
+  scan_frames_from(bytes, sizeof kWalMagic, scan);
+  return scan;
+}
+
+WalScan scan_wal_frames(std::string_view bytes) {
+  WalScan scan;
+  scan_frames_from(bytes, 0, scan);
   return scan;
 }
 
 // ---- writer --------------------------------------------------------------
 
+namespace {
+
+/// Number of whole frames in a buffer the writer itself built (always an
+/// exact run of frames — no torn tails possible).
+std::uint64_t count_whole_frames(std::string_view buf) {
+  std::uint64_t n = 0;
+  std::size_t pos = 0;
+  while (pos < buf.size()) {
+    pos += kFramePrefix + read_u32le(buf.data() + pos);
+    ++n;
+  }
+  return n;
+}
+
+/// Byte length of the first `count` frames of such a buffer.
+std::size_t frames_prefix_bytes(std::string_view buf, std::uint64_t count) {
+  std::size_t pos = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    pos += kFramePrefix + read_u32le(buf.data() + pos);
+  }
+  return pos;
+}
+
+}  // namespace
+
 WalWriter::WalWriter(std::unique_ptr<File> file, WalOptions options,
-                     util::DurabilityMetrics* metrics)
+                     util::DurabilityMetrics* metrics, std::uint64_t initial_records)
     : file_(std::move(file)), options_(options), metrics_(metrics) {
+  appended_records_ = initial_records;
+  synced_records_ = initial_records;
+  ship_next_lsn_ = initial_records + 1;
   if (file_->size() == 0) {
     file_->write(kWalMagic, sizeof kWalMagic);
     bytes_ = sizeof kWalMagic;
@@ -202,6 +246,18 @@ std::uint64_t WalWriter::append(WalRecordType type, std::uint64_t epoch,
   encode_frame(pending_, type, epoch, payload);
   bytes_ += pending_.size() - before;
   const std::uint64_t lsn = ++appended_records_;
+  if (ship_sink_) {
+    const std::string_view frame(pending_.data() + before, pending_.size() - before);
+    if (options_.sync) {
+      // Stage until an fsync makes the record durable; shipped from
+      // ship_synced_locked.
+      ship_buf_.append(frame);
+    } else {
+      // No durability acknowledgement exists to wait for — ship now.
+      ship_sink_(lsn, frame);
+      ship_next_lsn_ = lsn + 1;
+    }
+  }
   if (metrics_ != nullptr) {
     metrics_->wal_records.fetch_add(1, std::memory_order_relaxed);
     metrics_->wal_bytes.fetch_add(pending_.size() - before, std::memory_order_relaxed);
@@ -264,6 +320,7 @@ void WalWriter::sync_locked(std::unique_lock<std::mutex>& lock) {
     synced_records_ = target;
     ++fsyncs_;
     if (metrics_ != nullptr) metrics_->wal_fsyncs.fetch_add(1, std::memory_order_relaxed);
+    ship_synced_locked();
   }
   synced_cv_.notify_all();
   // The flusher parks while someone else's fsync is in flight; wake it so
@@ -293,6 +350,41 @@ void WalWriter::writeout_locked(std::unique_lock<std::mutex>& lock) {
   if (!ok) failed_ = true;
   synced_cv_.notify_all();
   work_cv_.notify_all();
+}
+
+void WalWriter::ship_synced_locked() {
+  if (!ship_sink_ || ship_next_lsn_ > synced_records_) return;
+  const std::uint64_t count = synced_records_ - ship_next_lsn_ + 1;
+  const std::size_t prefix = frames_prefix_bytes(ship_buf_, count);
+  ship_sink_(ship_next_lsn_, std::string_view(ship_buf_.data(), prefix));
+  ship_buf_.erase(0, prefix);
+  ship_next_lsn_ += count;
+}
+
+void WalWriter::set_ship_sink(ShipSink sink) {
+  std::unique_lock lock(mutex_);
+  ship_sink_ = std::move(sink);
+  ship_buf_.clear();
+  if (!ship_sink_) return;
+  if (options_.sync) {
+    // Capture frames appended but not yet durable so the live stream is
+    // gapless against a file read taken after this call: everything the
+    // file may be missing is either in pending_ (never written) or in
+    // write_buf_ (an fsync in flight right now — its frames will be covered
+    // by synced_records_ when it lands, and must be stageable then).
+    ship_buf_.reserve(write_buf_.size() * static_cast<std::size_t>(syncing_) +
+                      pending_.size());
+    if (syncing_) ship_buf_.append(write_buf_);
+    ship_buf_.append(pending_);
+    ship_next_lsn_ = appended_records_ - count_whole_frames(ship_buf_) + 1;
+    ship_synced_locked();
+  } else {
+    // Hand any pending frames to the OS now: with sync off the live stream
+    // only carries frames appended after this call, so everything earlier
+    // must be readable from the file.
+    write_out_locked();
+    ship_next_lsn_ = appended_records_ + 1;
+  }
 }
 
 void WalWriter::flusher_loop() {
@@ -390,6 +482,11 @@ std::uint64_t WalWriter::bytes() const {
 std::uint64_t WalWriter::fsyncs() const {
   std::lock_guard lock(mutex_);
   return fsyncs_;
+}
+
+std::uint64_t WalWriter::synced_records() const {
+  std::lock_guard lock(mutex_);
+  return synced_records_;
 }
 
 }  // namespace hxrc::storage

@@ -30,6 +30,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -84,6 +85,12 @@ struct WalScan {
 /// WAL (wrong magic on a non-empty file); every later defect is reported as
 /// a torn tail, never an exception.
 WalScan scan_wal(std::string_view bytes);
+
+/// Scans a headerless run of frames — the payload format of replication
+/// chunks (fed/ship_wire.hpp), which ship frames without the file magic.
+/// Same torn-tail semantics as scan_wal; on the wire a torn tail means a
+/// corrupt chunk, and the receiver should drop the connection.
+WalScan scan_wal_frames(std::string_view bytes);
 
 // ---- payload codec -------------------------------------------------------
 
@@ -210,8 +217,20 @@ struct WalOptions {
 /// running unlogged).
 class WalWriter {
  public:
+  /// Ship hook (replication): invoked under the writer mutex, in LSN order,
+  /// with a run of freshly *durable* frames — `frames` is raw frame bytes
+  /// (no file magic) whose first record has LSN `first_lsn`. The callback
+  /// must be quick (hand off to a queue); it runs on the append path with
+  /// sync off and on the flusher/flush path with sync on.
+  using ShipSink =
+      std::function<void(std::uint64_t first_lsn, std::string_view frames)>;
+
+  /// `initial_records` is the record count already present in the file when
+  /// reopening an existing WAL — LSNs continue from it, so an LSN is always
+  /// the record's 1-based ordinal in the file regardless of process
+  /// restarts. A fresh file passes 0.
   WalWriter(std::unique_ptr<File> file, WalOptions options,
-            util::DurabilityMetrics* metrics);
+            util::DurabilityMetrics* metrics, std::uint64_t initial_records = 0);
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
@@ -221,6 +240,14 @@ class WalWriter {
   /// record's LSN (1-based record count). The record is durable only after
   /// a flush()/flusher pass covers it.
   std::uint64_t append(WalRecordType type, std::uint64_t epoch, std::string_view payload);
+
+  /// Installs (or clears) the replication ship sink. Frames appended after
+  /// installation are shipped once durable; frames already appended but not
+  /// yet handed to the OS are captured too, so the sink's stream is gapless
+  /// against a reader that starts from the current *file* contents (the
+  /// shipper reads the file only after installing the sink; overlap between
+  /// the two is resolved by LSN on the receiving side).
+  void set_ship_sink(ShipSink sink);
 
   /// Blocks until every record appended so far is fsynced. With sync
   /// disabled, hands the pending batch to the OS and returns.
@@ -232,6 +259,8 @@ class WalWriter {
   std::uint64_t records() const;
   std::uint64_t bytes() const;
   std::uint64_t fsyncs() const;
+  /// Records acknowledged durable (fsync passed their LSN).
+  std::uint64_t synced_records() const;
 
  private:
   /// Drain pending_ to the OS (no fsync) once it grows past this. With sync
@@ -244,6 +273,9 @@ class WalWriter {
   void sync_locked(std::unique_lock<std::mutex>& lock);
   void writeout_locked(std::unique_lock<std::mutex>& lock);
   void write_out_locked();
+  /// Ships the prefix of ship_buf_ covering records with LSN <=
+  /// synced_records_. Caller holds the mutex.
+  void ship_synced_locked();
 
   std::unique_ptr<File> file_;
   WalOptions options_;
@@ -265,6 +297,14 @@ class WalWriter {
   /// under the mutex.
   std::string pending_;
   std::string write_buf_;  // swap target while the batch is written unlocked
+  /// Replication staging: frames appended since the sink's ship cursor.
+  /// With sync on, frames accumulate here and are shipped (prefix-wise, by
+  /// frame-walking the length fields) once an fsync covers their LSNs; with
+  /// sync off each frame ships directly from append(). Empty and unused
+  /// while no sink is installed.
+  ShipSink ship_sink_;
+  std::string ship_buf_;
+  std::uint64_t ship_next_lsn_ = 1;
   std::thread flusher_;
 };
 

@@ -234,6 +234,23 @@ struct CacheMetrics {
   std::atomic<std::uint64_t> inline_served{0};
 };
 
+/// Replica-side replication watermark, written by the WAL-apply loop
+/// (fed::ReplicationListener) and read lock-free by the stats reporter: the
+/// WAL sequence being followed, the last applied LSN within it (1-based
+/// record count — the "applied-LSN watermark" a router compares against the
+/// primary's wal_records), and activity counters. The catalog borrows a
+/// pointer (MetadataCatalog::set_replication_state) so the `stats` request
+/// renders `<replication .../>` on replicas.
+struct ReplicationState {
+  std::atomic<std::uint64_t> wal_seq{0};
+  std::atomic<std::uint64_t> applied_lsn{0};
+  std::atomic<std::uint64_t> applied_epoch{0};
+  std::atomic<std::uint64_t> records_applied{0};
+  std::atomic<std::uint64_t> chunks_applied{0};
+  std::atomic<std::uint64_t> bootstraps{0};
+  std::atomic<std::uint64_t> connections{0};
+};
+
 /// Backpressure-pause transitions recorded by the network front end: how
 /// often an event loop stopped reading its sockets (dispatcher-queue high
 /// watermark) and how often a single connection's writes paused its reads

@@ -2,11 +2,15 @@
 // dispatcher backpressure as *socket* backpressure, graceful drain, and
 // idle reaping — all over real sockets against an in-process CatalogServer.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
+
+#include "net/socket.hpp"
 
 #include "core/dispatcher.hpp"
 #include "core/service.hpp"
@@ -337,6 +341,114 @@ TEST(NetServer, IdleConnectionsAreClosed) {
   // Quiet past the timeout: the server reaps the connection.
   EXPECT_THROW(client.recv_frame(), SocketError);
   EXPECT_GE(ts.server->stats().idle_closes.load(), 1u);
+}
+
+// ---- client resilience against a misbehaving server ----
+
+/// A server that speaks garbage: accepts one connection, writes the given
+/// bytes, and closes. Every client failure mode must be a clean
+/// SocketError — never a hang, never a bad allocation.
+struct MaliciousServer {
+  explicit MaliciousServer(std::string bytes, int hold_open_ms = 0)
+      : listener(listen_tcp(0)), port(local_port(listener.fd())) {
+    worker = std::thread([this, bytes = std::move(bytes), hold_open_ms] {
+      const Socket conn(::accept(listener.fd(), nullptr, nullptr));
+      if (!conn.valid()) return;
+      if (!bytes.empty()) {
+        (void)::send(conn.fd(), bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      }
+      // Hold the connection open (for timeout tests), then the destructor
+      // closes: the client sees EOF after `bytes`.
+      if (hold_open_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(hold_open_ms));
+      }
+    });
+  }
+  ~MaliciousServer() { worker.join(); }
+
+  BlockingClient connect() {
+    BlockingClient client("127.0.0.1", port);
+    client.set_io_timeout(2000);  // a hang fails the test, not the suite
+    return client;
+  }
+
+  Socket listener;
+  std::uint16_t port;
+  std::thread worker;
+};
+
+TEST(NetClient, TruncatedHeaderIsACleanError) {
+  std::string wire;
+  append_frame(wire, FrameType::kResponse, 1, "payload");
+  MaliciousServer server(wire.substr(0, kFrameHeaderBytes - 4));
+  BlockingClient client = server.connect();
+  // The server may have closed before the send lands, so the send itself is
+  // allowed to be the clean error.
+  EXPECT_THROW(
+      {
+        client.send_request("<catalogRequest type=\"stats\"/>");
+        client.recv_frame();
+      },
+      SocketError);
+}
+
+TEST(NetClient, OversizeLengthAnnouncementIsRefusedUpFront) {
+  // A full header announcing a payload far past the client's cap, followed
+  // by nothing: the client must refuse on the header alone instead of
+  // trying to allocate or waiting for bytes that never come.
+  std::string wire;
+  append_frame(wire, FrameType::kResponse, 1, std::string(64 << 10, 'x'));
+  MaliciousServer server(wire.substr(0, kFrameHeaderBytes));
+  BlockingClient client = server.connect();
+  client.set_max_payload(1024);
+  // The server may have closed before the send lands, so the send itself is
+  // allowed to be the clean error.
+  EXPECT_THROW(
+      {
+        client.send_request("<catalogRequest type=\"stats\"/>");
+        client.recv_frame();
+      },
+      SocketError);
+}
+
+TEST(NetClient, ConnectionClosedMidBodyIsACleanError) {
+  std::string wire;
+  append_frame(wire, FrameType::kResponse, 1, std::string(4096, 'y'));
+  MaliciousServer server(wire.substr(0, kFrameHeaderBytes + 100));
+  BlockingClient client = server.connect();
+  // The server may have closed before the send lands, so the send itself is
+  // allowed to be the clean error.
+  EXPECT_THROW(
+      {
+        client.send_request("<catalogRequest type=\"stats\"/>");
+        client.recv_frame();
+      },
+      SocketError);
+}
+
+TEST(NetClient, NonProtocolBytesAreACleanError) {
+  MaliciousServer server("HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nhi");
+  BlockingClient client = server.connect();
+  // The server may have closed before the send lands, so the send itself is
+  // allowed to be the clean error.
+  EXPECT_THROW(
+      {
+        client.send_request("<catalogRequest type=\"stats\"/>");
+        client.recv_frame();
+      },
+      SocketError);
+}
+
+TEST(NetClient, SilentServerTimesOutInsteadOfHangingForever) {
+  // Accepts, sends nothing, and holds the connection open well past the
+  // client's timeout — the recv must give up, not wait for EOF.
+  MaliciousServer server({}, /*hold_open_ms=*/1000);
+  BlockingClient client = server.connect();
+  client.set_io_timeout(100);
+  client.send_request("<catalogRequest type=\"stats\"/>");
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.recv_frame(), SocketError);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 1500ms);
 }
 
 }  // namespace
